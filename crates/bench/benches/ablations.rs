@@ -1,0 +1,173 @@
+//! Design-choice ablations (DESIGN.md §7): each benchmark prints the
+//! metric it ablates before timing it, so `cargo bench` doubles as the
+//! ablation report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pai_collectives::{hierarchical, CommPlan};
+use pai_core::{OverlapMode, PerfModel};
+use pai_graph::zoo;
+use pai_hw::{Bytes, HardwareConfig};
+use pai_pearl::{comm_plan, ModelComm, Strategy};
+use std::hint::black_box;
+
+/// Flat (paper-simple) vs hierarchical AllReduce-Cluster.
+fn ablation_hierarchical(c: &mut Criterion) {
+    let cfg = HardwareConfig::pai_default();
+    let payload = Bytes::from_gb(1.0);
+    let simple = hierarchical::paper_simple_plan(payload).serialized_time(&cfg);
+    let exact = hierarchical::allreduce_plan(payload, 8, 8).serialized_time(&cfg);
+    println!(
+        "[ablation_hierarchical] 1 GB over 8x8 GPUs: paper-simple {simple}, hierarchical {exact} ({:.2}x)",
+        simple.as_f64() / exact.as_f64()
+    );
+    let mut group = c.benchmark_group("ablation_hierarchical");
+    group.bench_function("paper_simple", |b| {
+        b.iter(|| black_box(hierarchical::paper_simple_plan(payload).serialized_time(&cfg)))
+    });
+    group.bench_function("hierarchical", |b| {
+        b.iter(|| black_box(hierarchical::allreduce_plan(payload, 8, 8).serialized_time(&cfg)))
+    });
+    group.finish();
+}
+
+/// PEARL communication volume vs shard count.
+fn ablation_pearl_shards(c: &mut Criterion) {
+    let gcn = ModelComm::of(&zoo::gcn());
+    let cfg = HardwareConfig::pai_default();
+    for gpus in [2usize, 4, 8] {
+        let plan = comm_plan(&Strategy::Pearl { gpus }, &gcn);
+        println!(
+            "[ablation_pearl_shards] {gpus} shards: {} per rank, {}",
+            plan.total_bytes(),
+            plan.serialized_time(&cfg)
+        );
+    }
+    let mut group = c.benchmark_group("ablation_pearl_shards");
+    for gpus in [2usize, 4, 8] {
+        group.bench_function(format!("gpus_{gpus}"), |b| {
+            b.iter(|| black_box(comm_plan(&Strategy::Pearl { gpus }, &gcn)))
+        });
+    }
+    group.finish();
+}
+
+/// Sparse-aware vs naive-dense PS traffic for the giant-embedding model.
+fn ablation_sparse_aware_ps(c: &mut Criterion) {
+    let mi = ModelComm::of(&zoo::multi_interests());
+    let aware = comm_plan(
+        &Strategy::PsWorker {
+            workers: 8,
+            sparse_aware: true,
+        },
+        &mi,
+    );
+    let naive = comm_plan(
+        &Strategy::PsWorker {
+            workers: 8,
+            sparse_aware: false,
+        },
+        &mi,
+    );
+    println!(
+        "[ablation_sparse_aware_ps] touched-rows {} vs whole-table {} ({:.0}x reduction)",
+        aware.total_bytes(),
+        naive.total_bytes(),
+        naive.total_bytes().as_f64() / aware.total_bytes().as_f64()
+    );
+    let mut group = c.benchmark_group("ablation_sparse_aware_ps");
+    group.bench_function("sparse_aware", |b| {
+        b.iter(|| {
+            black_box(comm_plan(
+                &Strategy::PsWorker {
+                    workers: 8,
+                    sparse_aware: true,
+                },
+                &mi,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// The non-overlap assumption vs ideal overlap on the analytical side.
+fn ablation_overlap(c: &mut Criterion) {
+    use pai_core::{Architecture, WorkloadFeatures};
+    use pai_hw::Flops;
+    let job = WorkloadFeatures::builder(Architecture::PsWorker)
+        .cnodes(16)
+        .batch_size(256)
+        .input_bytes(Bytes::from_mb(20.0))
+        .weight_bytes(Bytes::from_gb(1.0))
+        .flops(Flops::from_tera(0.5))
+        .mem_access_bytes(Bytes::from_gb(20.0))
+        .build();
+    let ser = PerfModel::paper_default();
+    let ideal = ser.with_overlap(OverlapMode::Ideal);
+    println!(
+        "[ablation_overlap] serialized {} vs ideal {}",
+        ser.total_time(&job),
+        ideal.total_time(&job)
+    );
+    let mut group = c.benchmark_group("ablation_overlap");
+    group.bench_function("serialized", |b| b.iter(|| black_box(ser.total_time(&job))));
+    group.bench_function("ideal", |b| b.iter(|| black_box(ideal.total_time(&job))));
+    group.finish();
+}
+
+/// XLA fusion cost and payoff on the Speech graph.
+fn ablation_xla_fusion(c: &mut Criterion) {
+    use pai_graph::passes::fuse_elementwise;
+    use pai_sim::{SimConfig, StepSimulator};
+    let model = zoo::speech();
+    let sim = StepSimulator::new(SimConfig::testbed());
+    let base = sim.run(model.graph(), &CommPlan::new(), 1);
+    let fused_graph = fuse_elementwise(model.graph());
+    let fused = sim.run(&fused_graph, &CommPlan::new(), 1);
+    println!(
+        "[ablation_xla_fusion] Speech kernels {} -> {}, step {} -> {}",
+        base.kernels, fused.kernels, base.total, fused.total
+    );
+    let mut group = c.benchmark_group("ablation_xla_fusion");
+    group.sample_size(10);
+    group.bench_function("fuse_pass", |b| {
+        b.iter(|| black_box(fuse_elementwise(model.graph())))
+    });
+    group.finish();
+}
+
+/// Bandwidth-only vs alpha-beta collective timing across payload sizes.
+fn ablation_alpha_beta(c: &mut Criterion) {
+    use pai_collectives::latency::{allreduce_crossover, allreduce_time, Latency};
+    use pai_collectives::ring;
+    use pai_hw::LinkKind;
+    let link = HardwareConfig::pai_default().link(LinkKind::NvLink);
+    let lat = Latency::nvlink_default();
+    println!(
+        "[ablation_alpha_beta] 8-rank NVLink ring crossover: {} (below this the paper's S/B model underestimates)",
+        allreduce_crossover(8, &link, lat)
+    );
+    for kb in [4.0, 64.0, 1024.0, 65536.0] {
+        let payload = Bytes::from_kb(kb);
+        let bw = ring::allreduce_time(8, payload, &link);
+        let ab = allreduce_time(8, payload, &link, lat);
+        println!(
+            "[ablation_alpha_beta] {kb:>8.0} KB: bandwidth-only {bw}, alpha-beta {ab}"
+        );
+    }
+    let mut group = c.benchmark_group("ablation_alpha_beta");
+    group.bench_function("alpha_beta_eval", |b| {
+        b.iter(|| black_box(allreduce_time(8, Bytes::from_kb(64.0), &link, lat)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_hierarchical,
+    ablation_pearl_shards,
+    ablation_sparse_aware_ps,
+    ablation_overlap,
+    ablation_xla_fusion,
+    ablation_alpha_beta
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Benchmark support: shared fixtures for the Criterion targets.
+//!
+//! Three bench binaries regenerate the paper's results under timing:
+//!
+//! - `experiments` — one benchmark per table/figure, each invoking the
+//!   same experiment function the `repro` binary uses;
+//! - `ablations` — the design-choice ablations DESIGN.md calls out
+//!   (flat vs hierarchical AllReduce, PEARL shard count, PS sharding,
+//!   sparse-aware vs naive PS);
+//! - `simulator` — raw step-simulation throughput for each zoo model.
+
+use pai_repro::Context;
+
+/// Population size used by the benchmark contexts — large enough that
+/// the statistics are stable, small enough for timed iterations.
+pub const BENCH_JOBS: usize = 2_000;
+
+/// A shared, pre-generated context for the experiment benchmarks.
+pub fn bench_context() -> Context {
+    Context::with_size(BENCH_JOBS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds() {
+        let ctx = bench_context();
+        assert_eq!(ctx.population.len(), BENCH_JOBS);
+    }
+}

@@ -1,0 +1,103 @@
+//! Hierarchical (NVLink-within, Ethernet-across) collectives.
+//!
+//! An AllReduce-Cluster job has `g` GPUs per server and `s` servers.
+//! The standard hierarchical AllReduce is:
+//!
+//! 1. ReduceScatter inside each server over NVLink — `(g-1)/g · S`;
+//! 2. cross-server ring AllReduce of each GPU's `S/g` shard over
+//!    Ethernet — `2 (s-1)/s · S/g`;
+//! 3. AllGather inside each server over NVLink — `(g-1)/g · S`.
+//!
+//! The paper's simple model charges `S` on each medium instead
+//! (Table II's "Ethernet & NVLink"); both are provided so the ablation
+//! bench can quantify the difference.
+
+use pai_hw::{Bytes, LinkKind};
+
+use crate::plan::{CommPlan, Transfer};
+use crate::ring;
+
+/// The exact hierarchical AllReduce plan.
+///
+/// # Panics
+///
+/// Panics if `gpus_per_server` or `servers` is zero.
+pub fn allreduce_plan(payload: Bytes, gpus_per_server: usize, servers: usize) -> CommPlan {
+    assert!(gpus_per_server > 0, "need at least one GPU per server");
+    assert!(servers > 0, "need at least one server");
+    let mut plan = CommPlan::new();
+    plan.push(Transfer::new(
+        "intra-server reduce-scatter",
+        LinkKind::NvLink,
+        ring::reduce_scatter_per_rank(gpus_per_server, payload),
+    ));
+    let shard = payload.scale(1.0 / gpus_per_server as f64);
+    plan.push(Transfer::new(
+        "cross-server shard allreduce",
+        LinkKind::Ethernet,
+        ring::allreduce_per_rank(servers, shard),
+    ));
+    plan.push(Transfer::new(
+        "intra-server allgather",
+        LinkKind::NvLink,
+        ring::allgather_per_rank(gpus_per_server, payload),
+    ));
+    plan
+}
+
+/// The paper's simple AllReduce-Cluster plan: the full payload once on
+/// each medium of the Table II path.
+pub fn paper_simple_plan(payload: Bytes) -> CommPlan {
+    [
+        Transfer::new("weights over Ethernet", LinkKind::Ethernet, payload),
+        Transfer::new("weights over NVLink", LinkKind::NvLink, payload),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_hw::HardwareConfig;
+
+    #[test]
+    fn hierarchical_volumes() {
+        let plan = allreduce_plan(Bytes::from_gb(1.0), 8, 4);
+        // NVLink: (7/8 + 7/8) GB = 1.75 GB.
+        assert!((plan.bytes_on(LinkKind::NvLink).as_gb() - 1.75).abs() < 1e-9);
+        // Ethernet: 2*(3/4) * 1/8 GB = 0.1875 GB.
+        assert!((plan.bytes_on(LinkKind::Ethernet).as_gb() - 0.1875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_server_degenerates_to_local_ring() {
+        let plan = allreduce_plan(Bytes::from_gb(1.0), 8, 1);
+        assert!(plan.bytes_on(LinkKind::Ethernet).is_zero());
+        assert!((plan.bytes_on(LinkKind::NvLink).as_gb() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_gpu_per_server_is_pure_ethernet() {
+        let plan = allreduce_plan(Bytes::from_gb(1.0), 1, 4);
+        assert!(plan.bytes_on(LinkKind::NvLink).is_zero());
+        assert!((plan.bytes_on(LinkKind::Ethernet).as_gb() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_beats_paper_simple_on_ethernet_time() {
+        // The exact algorithm only ships 1/g of the payload across
+        // servers, so it is faster than the paper's conservative model.
+        let cfg = HardwareConfig::pai_default();
+        let payload = Bytes::from_gb(1.0);
+        let exact = allreduce_plan(payload, 8, 4).serialized_time(&cfg);
+        let simple = paper_simple_plan(payload).serialized_time(&cfg);
+        assert!(exact.as_f64() < simple.as_f64());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn rejects_zero_gpus() {
+        let _ = allreduce_plan(Bytes::from_mb(1.0), 0, 2);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Collective-communication cost models — the NCCL stand-in.
+//!
+//! The paper's decentralized architectures synchronize gradients with
+//! NCCL collectives over NVLink and Ethernet (Sec. II-A2), and PEARL is
+//! "implemented on top of NCCL primitives such as Broadcast and
+//! Reduce" using AllGatherv and ReduceScatter (Sec. IV-C). This crate
+//! provides:
+//!
+//! - [`ring`] — per-rank transfer volumes of the standard ring
+//!   algorithms (the exact `2(n-1)/n` algebra);
+//! - [`ps`] — parameter-server push/pull volumes;
+//! - [`plan`] — [`plan::CommPlan`]: an ordered list of link transfers
+//!   that `pai-sim` executes and `pai-pearl` emits;
+//! - [`hierarchical`] — the NVLink-within-server / Ethernet-across
+//!   composition used by AllReduce-Cluster;
+//! - [`latency`] — the α–β refinement for latency-bound small tensors
+//!   (an ablation over the paper's bandwidth-only simplification).
+//!
+//! Two fidelity levels exist deliberately: the paper's *simple* model
+//! charges a collective `S/B` on each medium of the path (that is what
+//! Eq. 3's 21× is computed from); the *ring* model charges the exact
+//! per-rank ring volume. `pai-core` uses the simple model to stay
+//! faithful to the paper; the ablation benches compare both.
+//!
+//! # Examples
+//!
+//! ```
+//! use pai_collectives::ring;
+//! use pai_hw::Bytes;
+//!
+//! // 8-GPU ring AllReduce of 204 MB moves 2*(7/8)*204 = 357 MB per rank
+//! // — exactly ResNet50's Table V network traffic.
+//! let v = ring::allreduce_per_rank(8, Bytes::from_mb(204.0));
+//! assert!((v.as_mb() - 357.0).abs() < 1e-9);
+//! ```
+
+pub mod hierarchical;
+pub mod latency;
+pub mod plan;
+pub mod ps;
+pub mod ring;
+
+pub use plan::{CommPlan, Transfer};

@@ -1,0 +1,77 @@
+//! Parameter-server push/pull volumes.
+//!
+//! In the PS architecture each worker pulls the variables it needs at
+//! the start of a step and pushes gradients back at the end
+//! (Sec. II-A2). Per worker and per step that is one payload in each
+//! direction; the PS side shards variables across server nodes, so the
+//! per-worker volume does not grow with the worker count.
+
+use pai_hw::Bytes;
+
+/// Bytes a worker moves per step for dense variables: pull weights +
+/// push gradients.
+pub fn dense_per_worker(weights: Bytes) -> Bytes {
+    weights.scale(2.0)
+}
+
+/// Bytes a worker moves per step when only `touched` bytes of a sparse
+/// (embedding) variable are accessed: pull the touched rows + push
+/// their gradients. This is the sparse-aware accounting PEARL's design
+/// argument rests on — "naively communicating all elements of a large
+/// sparse variable, even though only a small subset is accessed,
+/// results in relatively low scalability" (Sec. IV-C).
+pub fn sparse_per_worker(touched: Bytes) -> Bytes {
+    touched.scale(2.0)
+}
+
+/// The naive dense treatment of a sparse variable: the whole table in
+/// both directions. Kept for the PEARL-motivation ablation.
+pub fn sparse_as_dense_per_worker(table: Bytes) -> Bytes {
+    table.scale(2.0)
+}
+
+/// Per-PS-node volume per step with `workers` workers and `ps_nodes`
+/// shards: every worker's pull+push lands on some shard.
+///
+/// # Panics
+///
+/// Panics if `ps_nodes` is zero.
+pub fn per_ps_node(workers: usize, ps_nodes: usize, weights: Bytes) -> Bytes {
+    assert!(ps_nodes > 0, "need at least one parameter server");
+    weights.scale(2.0 * workers as f64 / ps_nodes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_is_pull_plus_push() {
+        assert_eq!(dense_per_worker(Bytes::from_mb(100.0)).as_mb(), 200.0);
+    }
+
+    #[test]
+    fn sparse_accounting_only_counts_touched_rows() {
+        let table = Bytes::from_gb(239.0);
+        let touched = Bytes::from_mb(61.0);
+        assert!(sparse_per_worker(touched).as_f64() < table.as_f64());
+        assert_eq!(
+            sparse_as_dense_per_worker(table).as_gb(),
+            2.0 * table.as_gb()
+        );
+    }
+
+    #[test]
+    fn ps_node_load_scales_with_workers_and_shards() {
+        let w = Bytes::from_mb(10.0);
+        assert_eq!(per_ps_node(8, 4, w).as_mb(), 40.0);
+        assert_eq!(per_ps_node(8, 8, w).as_mb(), 20.0);
+        assert_eq!(per_ps_node(1, 1, w).as_mb(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parameter server")]
+    fn rejects_zero_ps_nodes() {
+        let _ = per_ps_node(4, 0, Bytes::from_mb(1.0));
+    }
+}

@@ -1,0 +1,304 @@
+//! The workload feature schema (Fig. 4).
+//!
+//! A [`WorkloadFeatures`] record is the fixed point the whole framework
+//! revolves around: the profiler extracts one from run metadata, the
+//! trace generator samples populations of them, and the performance
+//! model turns one plus a hardware configuration into a time breakdown.
+//!
+//! All byte/FLOP quantities are *per training step, per cNode* —
+//! matching the paper's convention that run metadata describes "behavior
+//! of a single computation node (using one GPU device)" while job meta
+//! information supplies the replica count.
+
+use std::fmt;
+
+use pai_hw::{Bytes, Flops};
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+
+/// Per-step, per-cNode resource requirements of a training job.
+///
+/// # Examples
+///
+/// ```
+/// use pai_core::{Architecture, WorkloadFeatures};
+/// use pai_hw::{Bytes, Flops};
+///
+/// let job = WorkloadFeatures::builder(Architecture::AllReduceLocal)
+///     .cnodes(8)
+///     .batch_size(64)
+///     .input_bytes(Bytes::from_mb(38.0))
+///     .weight_bytes(Bytes::from_mb(204.0))
+///     .flops(Flops::from_tera(1.56))
+///     .mem_access_bytes(Bytes::from_gb(31.9))
+///     .build();
+/// assert_eq!(job.cnodes(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadFeatures {
+    arch: Architecture,
+    cnodes: usize,
+    batch_size: usize,
+    input_bytes: Bytes,
+    weight_bytes: Bytes,
+    flops: Flops,
+    mem_access_bytes: Bytes,
+}
+
+impl WorkloadFeatures {
+    /// Starts building a record for the given architecture.
+    pub fn builder(arch: Architecture) -> WorkloadFeaturesBuilder {
+        WorkloadFeaturesBuilder {
+            arch,
+            cnodes: 1,
+            batch_size: 1,
+            input_bytes: Bytes::ZERO,
+            weight_bytes: Bytes::ZERO,
+            flops: Flops::ZERO,
+            mem_access_bytes: Bytes::ZERO,
+        }
+    }
+
+    /// The training architecture (Table II class).
+    pub fn arch(&self) -> Architecture {
+        self.arch
+    }
+
+    /// Number of computation nodes — GPU devices each holding one model
+    /// replica (Sec. III-A).
+    pub fn cnodes(&self) -> usize {
+        self.cnodes
+    }
+
+    /// Per-replica mini-batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// `S_d`: input-sample bytes loaded per step per replica.
+    pub fn input_bytes(&self) -> Bytes {
+        self.input_bytes
+    }
+
+    /// `S_w`: weight/gradient bytes exchanged per step per replica
+    /// (zero communication happens for 1w1g regardless of this value).
+    pub fn weight_bytes(&self) -> Bytes {
+        self.weight_bytes
+    }
+
+    /// `#FLOPs`: compute-bound operation cost per step per replica.
+    pub fn flops(&self) -> Flops {
+        self.flops
+    }
+
+    /// `S_mem_access`: memory traffic of memory-bound (element-wise)
+    /// operations per step per replica.
+    pub fn mem_access_bytes(&self) -> Bytes {
+        self.mem_access_bytes
+    }
+
+    /// A copy re-homed on a different architecture with a different
+    /// replica count — the primitive behind the Sec. III-C projections.
+    /// All per-replica features are preserved (weight-replica mode).
+    pub fn remapped(&self, arch: Architecture, cnodes: usize) -> WorkloadFeatures {
+        assert!(cnodes > 0, "a job needs at least one cNode");
+        WorkloadFeatures {
+            arch,
+            cnodes,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for WorkloadFeatures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x{} (batch {}, Sd {}, Sw {}, {}, mem {})",
+            self.arch,
+            self.cnodes,
+            self.batch_size,
+            self.input_bytes,
+            self.weight_bytes,
+            self.flops,
+            self.mem_access_bytes
+        )
+    }
+}
+
+/// Builder for [`WorkloadFeatures`].
+#[derive(Debug, Clone)]
+pub struct WorkloadFeaturesBuilder {
+    arch: Architecture,
+    cnodes: usize,
+    batch_size: usize,
+    input_bytes: Bytes,
+    weight_bytes: Bytes,
+    flops: Flops,
+    mem_access_bytes: Bytes,
+}
+
+impl WorkloadFeaturesBuilder {
+    /// Sets the cNode count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnodes` is zero.
+    pub fn cnodes(mut self, cnodes: usize) -> Self {
+        assert!(cnodes > 0, "a job needs at least one cNode");
+        self.cnodes = cnodes;
+        self
+    }
+
+    /// Sets the per-replica batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets `S_d`, the per-step input volume.
+    pub fn input_bytes(mut self, bytes: Bytes) -> Self {
+        self.input_bytes = bytes;
+        self
+    }
+
+    /// Sets `S_w`, the per-step weight/gradient volume.
+    pub fn weight_bytes(mut self, bytes: Bytes) -> Self {
+        self.weight_bytes = bytes;
+        self
+    }
+
+    /// Sets `#FLOPs`, the per-step compute-bound cost.
+    pub fn flops(mut self, flops: Flops) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Sets `S_mem_access`, the per-step memory-bound traffic.
+    pub fn mem_access_bytes(mut self, bytes: Bytes) -> Self {
+        self.mem_access_bytes = bytes;
+        self
+    }
+
+    /// Finalizes the record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture/cNode combination is inconsistent:
+    /// 1w1g requires exactly one cNode; every distributed class requires
+    /// more than one.
+    pub fn build(self) -> WorkloadFeatures {
+        match self.arch {
+            Architecture::OneWorkerOneGpu => assert_eq!(
+                self.cnodes, 1,
+                "1w1g means exactly one cNode, got {}",
+                self.cnodes
+            ),
+            Architecture::OneWorkerMultiGpu | Architecture::AllReduceLocal => assert!(
+                self.cnodes >= 2,
+                "{} is a multi-GPU class, got {} cNode(s)",
+                self.arch,
+                self.cnodes
+            ),
+            Architecture::PsWorker | Architecture::AllReduceCluster => assert!(
+                self.cnodes >= 2,
+                "{} is a distributed class, got {} cNode(s)",
+                self.arch,
+                self.cnodes
+            ),
+        }
+        WorkloadFeatures {
+            arch: self.arch,
+            cnodes: self.cnodes,
+            batch_size: self.batch_size,
+            input_bytes: self.input_bytes,
+            weight_bytes: self.weight_bytes,
+            flops: self.flops,
+            mem_access_bytes: self.mem_access_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkloadFeatures {
+        WorkloadFeatures::builder(Architecture::PsWorker)
+            .cnodes(32)
+            .batch_size(256)
+            .input_bytes(Bytes::from_mb(10.0))
+            .weight_bytes(Bytes::from_gb(2.0))
+            .flops(Flops::from_tera(0.3))
+            .mem_access_bytes(Bytes::from_gb(12.0))
+            .build()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let j = sample();
+        assert_eq!(j.arch(), Architecture::PsWorker);
+        assert_eq!(j.cnodes(), 32);
+        assert_eq!(j.batch_size(), 256);
+        assert!((j.weight_bytes().as_gb() - 2.0).abs() < 1e-12);
+        assert!((j.flops().as_tera() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remapped_preserves_per_replica_features() {
+        let j = sample();
+        let m = j.remapped(Architecture::AllReduceLocal, 8);
+        assert_eq!(m.arch(), Architecture::AllReduceLocal);
+        assert_eq!(m.cnodes(), 8);
+        assert_eq!(m.weight_bytes(), j.weight_bytes());
+        assert_eq!(m.input_bytes(), j.input_bytes());
+        assert_eq!(m.flops(), j.flops());
+        assert_eq!(m.batch_size(), j.batch_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one cNode")]
+    fn rejects_multi_node_1w1g() {
+        let _ = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu)
+            .cnodes(2)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-GPU class")]
+    fn rejects_single_node_1wng() {
+        let _ = WorkloadFeatures::builder(Architecture::OneWorkerMultiGpu).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "distributed class")]
+    fn rejects_single_node_ps() {
+        let _ = WorkloadFeatures::builder(Architecture::PsWorker).build();
+    }
+
+    #[test]
+    fn one_w_one_g_defaults_are_valid() {
+        let j = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu).build();
+        assert_eq!(j.cnodes(), 1);
+        assert!(j.weight_bytes().is_zero());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = sample();
+        let json = serde_json::to_string(&j).expect("serialize");
+        let back: WorkloadFeatures = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!sample().to_string().is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+//! The analytical workload-characterization framework of
+//! *Characterizing Deep Learning Training Workloads on Alibaba-PAI*
+//! (IISWC 2019) — the paper's primary contribution.
+//!
+//! The framework (Sec. II-B) decomposes one training step into three
+//! parts and predicts each from workload features and hardware
+//! capacities derated to an attainable efficiency:
+//!
+//! ```text
+//! T_total = Td + Tc + Tw
+//! Td = S_d / B_d                                  (input data I/O)
+//! Tc = #FLOPs / peak_FLOPs + S_mem / B_mem        (computation)
+//! Tw = S_w / B_w                                  (weight/gradient traffic)
+//! ```
+//!
+//! On top of that closed form the crate implements everything Sec. III
+//! does with it:
+//!
+//! - [`breakdown`] — per-component times, percentages, job-level and
+//!   cNode-level aggregation, per-hardware views (Fig. 7, Fig. 8)
+//! - [`throughput`](mod@throughput) — Eq. 2
+//! - [`project`] — PS/Worker → AllReduce-Local / AllReduce-Cluster
+//!   what-if projection (Fig. 9, Fig. 10) and the Eq. 3 speedup bound
+//! - [`sweep`] — the Table III hardware-variation study (Fig. 11)
+//! - [`scaling`] — strong-scaling curves behind the PEARL scalability
+//!   claim (Sec. IV-C)
+//! - [`sensitivity`] — the Sec. V-A efficiency-assumption study (Fig. 15)
+//! - [`overlap`] — the Sec. V-B overlap-assumption study (Fig. 16)
+//! - [`stats`] — empirical CDFs and weighted means used by all figures
+//!
+//! # Examples
+//!
+//! ```
+//! use pai_core::{Architecture, PerfModel, WorkloadFeatures};
+//! use pai_hw::{Bytes, Flops};
+//!
+//! // A PS/Worker job: 16 workers, 1 GB of weights, modest compute.
+//! let job = WorkloadFeatures::builder(Architecture::PsWorker)
+//!     .cnodes(16)
+//!     .batch_size(512)
+//!     .input_bytes(Bytes::from_mb(50.0))
+//!     .weight_bytes(Bytes::from_gb(1.0))
+//!     .flops(Flops::from_tera(0.8))
+//!     .mem_access_bytes(Bytes::from_gb(30.0))
+//!     .build();
+//!
+//! let model = PerfModel::paper_default();
+//! let b = model.breakdown(&job);
+//! // Weight traffic dominates: 1 GB over 25 Gbps Ethernet + 10 GB/s PCIe.
+//! assert!(b.weight_fraction() > 0.5);
+//! ```
+
+pub mod arch;
+pub mod breakdown;
+pub mod features;
+pub mod model;
+pub mod overlap;
+pub mod project;
+pub mod scaling;
+pub mod sensitivity;
+pub mod stats;
+pub mod sweep;
+pub mod throughput;
+
+pub use arch::Architecture;
+pub use breakdown::{Breakdown, HardwareBreakdown};
+pub use features::{WorkloadFeatures, WorkloadFeaturesBuilder};
+pub use model::PerfModel;
+pub use overlap::OverlapMode;
+pub use project::{comm_bound_speedup, ProjectionOutcome, ProjectionTarget};
+pub use stats::Ecdf;
+pub use throughput::throughput;

@@ -1,0 +1,315 @@
+//! The analytical performance model of Sec. II-B.
+//!
+//! `T_total = Td + Tc + Tw` where
+//!
+//! - `Td = S_d / B_d` — input samples over PCIe, multiplied by a
+//!   contention factor when multiple replicas share one server's PCIe
+//!   (Sec. III-C1 calls this out when projecting to AllReduce-Local:
+//!   "slow-down of input data I/O, due to the competition for PCIe
+//!   bandwidth");
+//! - `Tc = #FLOPs / peak_FLOPs + S_mem / B_mem` — compute-bound plus
+//!   memory-bound operation time (Eq. 1);
+//! - `Tw = Σ_medium S_w / B_medium` — the weight volume crossing each
+//!   medium on its class's path (Table II). For PS/Worker this is
+//!   exactly the numerator of the paper's Eq. 3:
+//!   `S_w/(Ethernet×eff) + S_w/(PCIe×eff)`.
+//!
+//! Every denominator is derated by the [`Efficiency`] assumption
+//! (70 % by default).
+
+use pai_hw::{Bytes, Efficiency, HardwareConfig, LinkKind, Seconds};
+
+use crate::breakdown::Breakdown;
+use crate::features::WorkloadFeatures;
+use crate::overlap::OverlapMode;
+
+/// Number of GPUs per server assumed when packing cluster-mode
+/// AllReduce replicas onto servers (both Fig. 1 server flavors host 8).
+pub const GPUS_PER_SERVER: usize = 8;
+
+/// The analytical performance model: a hardware configuration, an
+/// efficiency assumption (carried inside the configuration) and an
+/// overlap mode.
+///
+/// # Examples
+///
+/// ```
+/// use pai_core::{Architecture, PerfModel, WorkloadFeatures};
+/// use pai_hw::{Bytes, Flops};
+///
+/// // Validate the paper's ResNet50 example (Sec. IV-B): 1.56 TFLOPs on a
+/// // 15 TFLOP V100 at 70 % efficiency -> 0.149 s of compute-bound time.
+/// let model = PerfModel::testbed_default();
+/// let job = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu)
+///     .flops(Flops::from_tera(1.56))
+///     .build();
+/// let b = model.breakdown(&job);
+/// assert!((b.compute_bound().as_f64() - 0.1486).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    config: HardwareConfig,
+    overlap: OverlapMode,
+}
+
+impl PerfModel {
+    /// A model over an explicit configuration and overlap mode.
+    pub fn new(config: HardwareConfig, overlap: OverlapMode) -> Self {
+        PerfModel { config, overlap }
+    }
+
+    /// Table I hardware, 70 % efficiency, no overlap — the setting of
+    /// the entire Sec. III collective analysis.
+    pub fn paper_default() -> Self {
+        PerfModel::new(HardwareConfig::pai_default(), OverlapMode::Serialized)
+    }
+
+    /// Sec. IV testbed hardware (V100 GPUs), 70 % efficiency, no overlap.
+    pub fn testbed_default() -> Self {
+        PerfModel::new(HardwareConfig::testbed_default(), OverlapMode::Serialized)
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &HardwareConfig {
+        &self.config
+    }
+
+    /// The overlap assumption.
+    pub fn overlap(&self) -> OverlapMode {
+        self.overlap
+    }
+
+    /// A copy over different hardware (Table III sweeps, projections).
+    pub fn with_config(&self, config: HardwareConfig) -> PerfModel {
+        PerfModel { config, ..*self }
+    }
+
+    /// A copy under a different efficiency assumption (Sec. V-A).
+    pub fn with_efficiency(&self, efficiency: Efficiency) -> PerfModel {
+        PerfModel {
+            config: self.config.with_efficiency(efficiency),
+            ..*self
+        }
+    }
+
+    /// A copy under a different overlap assumption (Sec. V-B).
+    pub fn with_overlap(&self, overlap: OverlapMode) -> PerfModel {
+        PerfModel { overlap, ..*self }
+    }
+
+    /// `Td`: input-data I/O time over PCIe, including the local
+    /// PCIe-sharing contention factor for multi-GPU-per-server classes.
+    pub fn data_io_time(&self, job: &WorkloadFeatures) -> Seconds {
+        let contention = job
+            .arch()
+            .input_contention_factor(job.cnodes(), GPUS_PER_SERVER);
+        let volume = job.input_bytes().scale(contention as f64);
+        self.config.link(LinkKind::Pcie).transfer_time(volume)
+    }
+
+    /// The compute-bound half of `Tc`: `#FLOPs / (peak_FLOPs × eff)`.
+    pub fn compute_bound_time(&self, job: &WorkloadFeatures) -> Seconds {
+        let peak = self
+            .config
+            .gpu()
+            .peak_flops()
+            .scale(self.config.efficiency().compute());
+        job.flops() / peak
+    }
+
+    /// The memory-bound half of `Tc`: `S_mem / (B_mem × eff)`.
+    pub fn memory_bound_time(&self, job: &WorkloadFeatures) -> Seconds {
+        self.config
+            .link(LinkKind::HbmMemory)
+            .transfer_time(job.mem_access_bytes())
+    }
+
+    /// `Tw` split by medium: the weight volume crosses every medium on
+    /// its class's Table II path once per step. 1w1g communicates
+    /// nothing regardless of the recorded weight volume.
+    pub fn weight_traffic_by_medium(
+        &self,
+        job: &WorkloadFeatures,
+    ) -> Vec<(LinkKind, Seconds)> {
+        job.arch()
+            .weight_media()
+            .iter()
+            .map(|&kind| (kind, self.config.link(kind).transfer_time(job.weight_bytes())))
+            .collect()
+    }
+
+    /// Total `Tw`.
+    pub fn weight_traffic_time(&self, job: &WorkloadFeatures) -> Seconds {
+        self.weight_traffic_by_medium(job)
+            .into_iter()
+            .map(|(_, t)| t)
+            .sum()
+    }
+
+    /// The full per-step breakdown of Eq. 1.
+    pub fn breakdown(&self, job: &WorkloadFeatures) -> Breakdown {
+        let tw_by_medium = self.weight_traffic_by_medium(job);
+        let tw = tw_by_medium.iter().map(|&(_, t)| t).sum();
+        Breakdown::new(
+            self.data_io_time(job),
+            self.compute_bound_time(job),
+            self.memory_bound_time(job),
+            tw,
+            tw_by_medium,
+            self.overlap,
+        )
+    }
+
+    /// `T_total` under the model's overlap mode.
+    pub fn total_time(&self, job: &WorkloadFeatures) -> Seconds {
+        self.breakdown(job).total()
+    }
+
+    /// Job throughput in samples per second (Eq. 2):
+    /// `#cNode / T_total × batch_size`.
+    pub fn throughput(&self, job: &WorkloadFeatures) -> f64 {
+        crate::throughput::throughput(job.cnodes(), self.total_time(job), job.batch_size())
+    }
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel::paper_default()
+    }
+}
+
+/// Convenience: the per-step volume a PS/Worker job moves per replica is
+/// the model size itself; helper to express weight volumes that include
+/// optimizer state (the paper's Table IV parameter sizes "include both
+/// the trainable variables and the optimization-related variables").
+pub fn with_optimizer_state(trainable: Bytes, slots_per_weight: usize) -> Bytes {
+    trainable.scale((1 + slots_per_weight) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use pai_hw::Flops;
+
+    fn ps_job(weight_gb: f64) -> WorkloadFeatures {
+        WorkloadFeatures::builder(Architecture::PsWorker)
+            .cnodes(16)
+            .batch_size(256)
+            .input_bytes(Bytes::from_mb(10.0))
+            .weight_bytes(Bytes::from_gb(weight_gb))
+            .flops(Flops::from_tera(0.5))
+            .mem_access_bytes(Bytes::from_gb(20.0))
+            .build()
+    }
+
+    #[test]
+    fn ps_weight_time_matches_eq3_numerator() {
+        // Eq. 3 numerator: Sw/(25Gb x 70%) + Sw/(10GB x 70%).
+        let m = PerfModel::paper_default();
+        let job = ps_job(1.0);
+        let tw = m.weight_traffic_time(&job).as_f64();
+        let expected = 1e9 / (3.125e9 * 0.7) + 1e9 / (10e9 * 0.7);
+        assert!((tw - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_local_weight_time_uses_nvlink() {
+        let m = PerfModel::paper_default();
+        let job = ps_job(1.0).remapped(Architecture::AllReduceLocal, 8);
+        let tw = m.weight_traffic_time(&job).as_f64();
+        assert!((tw - 1e9 / (50e9 * 0.7)).abs() < 1e-12);
+        let media = m.weight_traffic_by_medium(&job);
+        assert_eq!(media.len(), 1);
+        assert_eq!(media[0].0, LinkKind::NvLink);
+    }
+
+    #[test]
+    fn one_w_one_g_never_communicates() {
+        let m = PerfModel::paper_default();
+        let job = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu)
+            .weight_bytes(Bytes::from_gb(5.0))
+            .build();
+        assert!(m.weight_traffic_time(&job).is_zero());
+        assert!(m.weight_traffic_by_medium(&job).is_empty());
+    }
+
+    #[test]
+    fn data_io_contention_scales_local_classes() {
+        let m = PerfModel::paper_default();
+        let base = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu)
+            .input_bytes(Bytes::from_mb(70.0))
+            .build();
+        // 70 MB over 10 GB/s x 0.7 = 10 ms.
+        assert!((m.data_io_time(&base).as_f64() - 0.01).abs() < 1e-9);
+        let local8 = base.remapped(Architecture::AllReduceLocal, 8);
+        assert!((m.data_io_time(&local8).as_f64() - 0.08).abs() < 1e-9);
+        // PS workers sit on separate servers: no contention at any scale.
+        let ps = base.remapped(Architecture::PsWorker, 128);
+        assert!((m.data_io_time(&ps).as_f64() - 0.01).abs() < 1e-9);
+        // Cluster AllReduce contends within an 8-GPU server only.
+        let arc = base.remapped(Architecture::AllReduceCluster, 128);
+        assert!((m.data_io_time(&arc).as_f64() - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_computation_terms() {
+        let m = PerfModel::paper_default(); // 11 TFLOPs, 1 TB/s, 70 %
+        let job = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu)
+            .flops(Flops::from_tera(7.7))
+            .mem_access_bytes(Bytes::from_gb(700.0))
+            .build();
+        assert!((m.compute_bound_time(&job).as_f64() - 1.0).abs() < 1e-9);
+        assert!((m.memory_bound_time(&job).as_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_total_is_component_sum() {
+        let m = PerfModel::paper_default();
+        let job = ps_job(2.0);
+        let b = m.breakdown(&job);
+        let sum = b.data_io() + b.computation() + b.weight_traffic();
+        assert!((b.total().as_f64() - sum.as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_overlap_takes_max() {
+        let m = PerfModel::paper_default().with_overlap(OverlapMode::Ideal);
+        let job = ps_job(10.0); // Tw dominates massively
+        let b = m.breakdown(&job);
+        assert!((b.total().as_f64() - b.weight_traffic().as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_override_shifts_weight_time() {
+        let base = PerfModel::paper_default();
+        let slow_comm =
+            base.with_efficiency(Efficiency::paper_default().with_communication(0.35));
+        let job = ps_job(1.0);
+        let ratio = slow_comm
+            .weight_traffic_time(&job)
+            .ratio(base.weight_traffic_time(&job));
+        assert!((ratio - 2.0).abs() < 1e-9);
+        // Compute time untouched.
+        assert_eq!(
+            slow_comm.compute_bound_time(&job),
+            base.compute_bound_time(&job)
+        );
+    }
+
+    #[test]
+    fn throughput_eq2() {
+        let m = PerfModel::paper_default();
+        let job = ps_job(1.0);
+        let t = m.total_time(&job).as_f64();
+        let expected = 16.0 / t * 256.0;
+        assert!((m.throughput(&job) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimizer_state_multiplier() {
+        // Momentum optimizer: one slot per weight doubles the volume.
+        let w = with_optimizer_state(Bytes::from_mb(100.0), 1);
+        assert!((w.as_mb() - 200.0).abs() < 1e-9);
+    }
+}

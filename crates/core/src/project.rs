@@ -1,0 +1,299 @@
+//! Architecture projection: what if a PS/Worker job ran on AllReduce?
+//! (Sec. III-C1, Fig. 9, Fig. 10.)
+//!
+//! Mapping rules, verbatim from the paper:
+//!
+//! - **AllReduce-Local** — "an AllReduce-Local job can have at most 8
+//!   #cNodes: for a PS/Worker job with #cNodes > 8, the number of
+//!   cNodes is reduced to 8; for those with #cNodes ≤ 8, the cNode
+//!   numbers will remain unchanged." Only models that fit entirely in
+//!   GPU memory are eligible (weight-replica mode).
+//! - **AllReduce-Cluster** — "we retain the original number of cNodes".
+//!
+//! Two speedups are reported: the single-cNode step-time speedup
+//! `T_old / T_new`, and the end-to-end throughput speedup of Eq. 2,
+//! which also feels the cNode-count reduction.
+
+use pai_hw::{LinkKind, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+use crate::features::WorkloadFeatures;
+use crate::model::{PerfModel, GPUS_PER_SERVER};
+
+/// The projection destinations of Sec. III-C1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProjectionTarget {
+    /// Single NVLink server, at most 8 replicas.
+    AllReduceLocal,
+    /// Cross-server AllReduce, original replica count.
+    AllReduceCluster,
+}
+
+impl ProjectionTarget {
+    /// The architecture a job lands on.
+    pub fn architecture(self) -> Architecture {
+        match self {
+            ProjectionTarget::AllReduceLocal => Architecture::AllReduceLocal,
+            ProjectionTarget::AllReduceCluster => Architecture::AllReduceCluster,
+        }
+    }
+}
+
+/// The result of projecting one job onto an AllReduce architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectionOutcome {
+    /// The job as it originally ran.
+    pub original: WorkloadFeatures,
+    /// The job as projected.
+    pub projected: WorkloadFeatures,
+    /// Where it was projected.
+    pub target: ProjectionTarget,
+    /// Per-step time before projection.
+    pub original_step: Seconds,
+    /// Per-step time after projection.
+    pub projected_step: Seconds,
+    /// `T_old / T_new` for one cNode (Fig. 9a "Single cNode speedup").
+    pub single_cnode_speedup: f64,
+    /// Eq. 2 throughput ratio new/old (Fig. 9a "Throughput speedup");
+    /// feels the cNode reduction of the 8-GPU cap.
+    pub throughput_speedup: f64,
+}
+
+impl ProjectionOutcome {
+    /// True when end-to-end throughput strictly improves.
+    pub fn improves_throughput(&self) -> bool {
+        self.throughput_speedup > 1.0
+    }
+
+    /// True when the per-step time strictly improves.
+    pub fn improves_step_time(&self) -> bool {
+        self.single_cnode_speedup > 1.0
+    }
+}
+
+/// Projects a PS/Worker job onto an AllReduce architecture and predicts
+/// both speedups with `model`.
+///
+/// Returns `None` when the job is ineligible: it is not PS/Worker, or
+/// (for the replica-mode AllReduce targets) its weights do not fit in
+/// one GPU's memory — "the weight size supported by the current
+/// AllReduce frameworks is limited by single GPU's memory size".
+///
+/// # Examples
+///
+/// ```
+/// use pai_core::{Architecture, PerfModel, WorkloadFeatures};
+/// use pai_core::project::{project, ProjectionTarget};
+/// use pai_hw::{Bytes, Flops};
+///
+/// let job = WorkloadFeatures::builder(Architecture::PsWorker)
+///     .cnodes(32)
+///     .weight_bytes(Bytes::from_gb(1.0))
+///     .flops(Flops::from_tera(0.2))
+///     .build();
+/// let out = project(&PerfModel::paper_default(), &job, ProjectionTarget::AllReduceLocal)
+///     .expect("1 GB fits in GPU memory");
+/// assert_eq!(out.projected.cnodes(), 8); // capped
+/// assert!(out.single_cnode_speedup > 1.0); // NVLink beats Ethernet+PCIe
+/// ```
+pub fn project(
+    model: &PerfModel,
+    job: &WorkloadFeatures,
+    target: ProjectionTarget,
+) -> Option<ProjectionOutcome> {
+    if job.arch() != Architecture::PsWorker {
+        return None;
+    }
+    if !model.config().gpu().fits_in_memory(job.weight_bytes()) {
+        return None;
+    }
+    let cnodes = match target {
+        ProjectionTarget::AllReduceLocal => job.cnodes().min(GPUS_PER_SERVER),
+        ProjectionTarget::AllReduceCluster => job.cnodes(),
+    };
+    let projected = job.remapped(target.architecture(), cnodes.max(2));
+    let original_step = model.total_time(job);
+    let projected_step = model.total_time(&projected);
+    let single_cnode_speedup = original_step.ratio(projected_step);
+    let throughput_speedup = model.throughput(&projected) / model.throughput(job);
+    Some(ProjectionOutcome {
+        original: *job,
+        projected,
+        target,
+        original_step,
+        projected_step,
+        single_cnode_speedup,
+        throughput_speedup,
+    })
+}
+
+/// Projects every eligible PS/Worker job in a population; ineligible
+/// jobs are skipped.
+pub fn project_population(
+    model: &PerfModel,
+    jobs: &[WorkloadFeatures],
+    target: ProjectionTarget,
+) -> Vec<ProjectionOutcome> {
+    jobs.iter()
+        .filter_map(|job| project(model, job, target))
+        .collect()
+}
+
+/// The Eq. 3 speedup bound for communication-bound workloads mapped
+/// from PS/Worker to AllReduce-Local:
+///
+/// ```text
+/// [ Sw/(Ethernet×eff) + Sw/(PCIe×eff) ] / [ Sw/(NVLink×eff) ]
+/// ```
+///
+/// With the Table I capacities this is 21×, independent of `Sw` and of
+/// any uniform efficiency factor.
+pub fn comm_bound_speedup(model: &PerfModel) -> f64 {
+    let cfg = model.config();
+    let eth = cfg.link(LinkKind::Ethernet).effective_bandwidth();
+    let pcie = cfg.link(LinkKind::Pcie).effective_bandwidth();
+    let nvlink = cfg.link(LinkKind::NvLink).effective_bandwidth();
+    nvlink.as_bytes_per_sec() * (1.0 / eth.as_bytes_per_sec() + 1.0 / pcie.as_bytes_per_sec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_hw::{Bytes, Flops};
+
+    fn ps_job(cnodes: usize, weight_gb: f64, flops_t: f64) -> WorkloadFeatures {
+        WorkloadFeatures::builder(Architecture::PsWorker)
+            .cnodes(cnodes)
+            .batch_size(128)
+            .input_bytes(Bytes::from_mb(5.0))
+            .weight_bytes(Bytes::from_gb(weight_gb))
+            .flops(Flops::from_tera(flops_t))
+            .mem_access_bytes(Bytes::from_gb(10.0))
+            .build()
+    }
+
+    #[test]
+    fn eq3_bound_is_21x_at_table_i() {
+        let s = comm_bound_speedup(&PerfModel::paper_default());
+        assert!((s - 21.0).abs() < 1e-9, "expected 21x, got {s}");
+    }
+
+    #[test]
+    fn eq3_bound_is_efficiency_invariant_when_uniform() {
+        use pai_hw::Efficiency;
+        let half = PerfModel::paper_default().with_efficiency(Efficiency::uniform(0.5));
+        assert!((comm_bound_speedup(&half) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_projection_caps_at_eight() {
+        let m = PerfModel::paper_default();
+        let out = project(&m, &ps_job(128, 1.0, 0.1), ProjectionTarget::AllReduceLocal)
+            .expect("eligible");
+        assert_eq!(out.projected.cnodes(), 8);
+        assert_eq!(out.projected.arch(), Architecture::AllReduceLocal);
+    }
+
+    #[test]
+    fn local_projection_keeps_small_jobs() {
+        let m = PerfModel::paper_default();
+        let out = project(&m, &ps_job(4, 1.0, 0.1), ProjectionTarget::AllReduceLocal)
+            .expect("eligible");
+        assert_eq!(out.projected.cnodes(), 4);
+    }
+
+    #[test]
+    fn cluster_projection_retains_cnodes() {
+        let m = PerfModel::paper_default();
+        let out = project(&m, &ps_job(128, 1.0, 0.1), ProjectionTarget::AllReduceCluster)
+            .expect("eligible");
+        assert_eq!(out.projected.cnodes(), 128);
+        assert_eq!(out.projected.arch(), Architecture::AllReduceCluster);
+    }
+
+    #[test]
+    fn oversized_models_are_ineligible() {
+        // Multi-Interests: 239 GB of embeddings cannot replicate on a GPU.
+        let m = PerfModel::paper_default();
+        assert!(project(&m, &ps_job(64, 239.0, 0.1), ProjectionTarget::AllReduceLocal).is_none());
+        assert!(
+            project(&m, &ps_job(64, 239.0, 0.1), ProjectionTarget::AllReduceCluster).is_none()
+        );
+    }
+
+    #[test]
+    fn non_ps_jobs_are_ineligible() {
+        let m = PerfModel::paper_default();
+        let job = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu).build();
+        assert!(project(&m, &job, ProjectionTarget::AllReduceLocal).is_none());
+    }
+
+    #[test]
+    fn comm_bound_job_approaches_eq3_speedup() {
+        // A job that is virtually all weight traffic reaches ~21x
+        // single-cNode speedup on AllReduce-Local.
+        let m = PerfModel::paper_default();
+        let job = WorkloadFeatures::builder(Architecture::PsWorker)
+            .cnodes(8)
+            .batch_size(128)
+            .input_bytes(Bytes::from_kb(1.0))
+            .weight_bytes(Bytes::from_gb(10.0))
+            .flops(Flops::from_giga(0.001))
+            .mem_access_bytes(Bytes::from_mb(1.0))
+            .build();
+        let out = project(&m, &job, ProjectionTarget::AllReduceLocal).expect("eligible");
+        assert!(
+            (out.single_cnode_speedup - 21.0).abs() < 0.2,
+            "got {}",
+            out.single_cnode_speedup
+        );
+    }
+
+    #[test]
+    fn cluster_projection_speedup_is_bounded_by_1_2x_for_comm_bound() {
+        // Sec. III-C1: "Ethernet is the main bottleneck ... the speedup
+        // is quite limited, at most 1.2X based on Table I".
+        let m = PerfModel::paper_default();
+        let job = ps_job(64, 10.0, 1e-6);
+        let out = project(&m, &job, ProjectionTarget::AllReduceCluster).expect("eligible");
+        assert!(out.single_cnode_speedup > 1.0);
+        assert!(out.single_cnode_speedup < 1.25, "got {}", out.single_cnode_speedup);
+    }
+
+    #[test]
+    fn io_bound_jobs_slow_down_on_allreduce() {
+        // A job dominated by input I/O suffers from PCIe contention
+        // after projection (Sec. III-C1's "slow-down of input data I/O").
+        let m = PerfModel::paper_default();
+        let job = WorkloadFeatures::builder(Architecture::PsWorker)
+            .cnodes(8)
+            .batch_size(64)
+            .input_bytes(Bytes::from_gb(1.0))
+            .weight_bytes(Bytes::from_mb(1.0))
+            .flops(Flops::from_giga(1.0))
+            .mem_access_bytes(Bytes::from_mb(100.0))
+            .build();
+        let out = project(&m, &job, ProjectionTarget::AllReduceLocal).expect("eligible");
+        assert!(out.single_cnode_speedup < 1.0, "got {}", out.single_cnode_speedup);
+        assert!(!out.improves_throughput());
+    }
+
+    #[test]
+    fn throughput_speedup_feels_cnode_reduction() {
+        // 128 -> 8 cNodes: even a big step-time win can lose throughput.
+        let m = PerfModel::paper_default();
+        let out = project(&m, &ps_job(128, 1.0, 0.5), ProjectionTarget::AllReduceLocal)
+            .expect("eligible");
+        let expected = out.single_cnode_speedup * 8.0 / 128.0;
+        assert!((out.throughput_speedup - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_population_skips_ineligible() {
+        let m = PerfModel::paper_default();
+        let jobs = vec![ps_job(16, 1.0, 0.1), ps_job(16, 500.0, 0.1)];
+        let outs = project_population(&m, &jobs, ProjectionTarget::AllReduceLocal);
+        assert_eq!(outs.len(), 1);
+    }
+}

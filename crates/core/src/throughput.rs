@@ -1,0 +1,64 @@
+//! Training throughput (Eq. 2).
+//!
+//! `throughput = #cNode / T_total × batch_size` — the number of samples
+//! the whole job processes per unit time, used to judge whether an
+//! architecture projection that *reduces* the cNode count (the 8-GPU
+//! cap of AllReduce-Local) still wins end-to-end.
+
+use pai_hw::Seconds;
+
+/// Samples per second processed by a job (Eq. 2).
+///
+/// # Panics
+///
+/// Panics if `cnodes` or `batch_size` is zero, or `step_time` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use pai_core::throughput;
+/// use pai_hw::Seconds;
+/// // 16 replicas, 0.5 s steps, batch 256 -> 8192 samples/s.
+/// assert_eq!(throughput(16, Seconds::from_f64(0.5), 256), 8192.0);
+/// ```
+pub fn throughput(cnodes: usize, step_time: Seconds, batch_size: usize) -> f64 {
+    assert!(cnodes > 0, "throughput needs at least one cNode");
+    assert!(batch_size > 0, "throughput needs a positive batch size");
+    assert!(
+        step_time.as_f64() > 0.0,
+        "throughput needs a positive step time"
+    );
+    cnodes as f64 / step_time.as_f64() * batch_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_cnodes_and_batch() {
+        let t = Seconds::from_f64(0.25);
+        assert_eq!(throughput(1, t, 1), 4.0);
+        assert_eq!(throughput(8, t, 1), 32.0);
+        assert_eq!(throughput(8, t, 64), 2048.0);
+    }
+
+    #[test]
+    fn inverse_in_step_time() {
+        let fast = throughput(4, Seconds::from_f64(0.1), 32);
+        let slow = throughput(4, Seconds::from_f64(0.2), 32);
+        assert!((fast / slow - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive step time")]
+    fn rejects_zero_time() {
+        let _ = throughput(1, Seconds::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cNode")]
+    fn rejects_zero_cnodes() {
+        let _ = throughput(0, Seconds::from_f64(1.0), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Gradient-graph synthesis.
+//!
+//! A training step executes the forward graph and then its backward
+//! sweep. The standard cost conventions apply: each dense contraction
+//! (MatMul/Conv2D) spawns a data-gradient and a weight-gradient
+//! contraction of the same cost (2× forward FLOPs); element-wise ops
+//! spawn element-wise gradients of comparable traffic; embedding
+//! lookups spawn sparse scatter updates.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{Op, OpKind};
+
+/// Gradient op(s) for one forward op, in execution order.
+fn gradient_ops(name: &str, kind: &OpKind) -> Vec<Op> {
+    match kind {
+        OpKind::MatMul {
+            m,
+            k,
+            n,
+            dtype,
+            tensor_core,
+        } => vec![
+            // dX = dY * W^T : [m,n] x [n,k]
+            Op::new(
+                format!("grad/{name}/dgrad"),
+                OpKind::MatMul {
+                    m: *m,
+                    k: *n,
+                    n: *k,
+                    dtype: *dtype,
+                    tensor_core: *tensor_core,
+                },
+            ),
+            // dW = X^T * dY : [k,m] x [m,n]
+            Op::new(
+                format!("grad/{name}/wgrad"),
+                OpKind::MatMul {
+                    m: *k,
+                    k: *m,
+                    n: *n,
+                    dtype: *dtype,
+                    tensor_core: *tensor_core,
+                },
+            ),
+        ],
+        OpKind::Conv2d { .. } => vec![
+            Op::new(format!("grad/{name}/dgrad"), kind.clone()),
+            Op::new(format!("grad/{name}/wgrad"), kind.clone()),
+        ],
+        OpKind::ElementWise {
+            arity,
+            numel,
+            flops_per_elem,
+            dtype,
+            fused_from,
+        } => vec![Op::new(
+            format!("grad/{name}"),
+            OpKind::ElementWise {
+                arity: arity + 1, // upstream gradient is an extra input
+                numel: *numel,
+                flops_per_elem: *flops_per_elem,
+                dtype: *dtype,
+                fused_from: *fused_from,
+            },
+        )],
+        OpKind::Reduce { numel, dtype } => vec![Op::new(
+            format!("grad/{name}"),
+            OpKind::ElementWise {
+                arity: 1,
+                numel: *numel,
+                flops_per_elem: 1,
+                dtype: *dtype,
+                fused_from: 1,
+            },
+        )],
+        OpKind::Softmax { rows, cols, dtype } => vec![Op::new(
+            format!("grad/{name}"),
+            OpKind::ElementWise {
+                arity: 2,
+                numel: rows * cols,
+                flops_per_elem: 4,
+                dtype: *dtype,
+                fused_from: 1,
+            },
+        )],
+        OpKind::LayerNorm { numel, dtype } => vec![Op::new(
+            format!("grad/{name}"),
+            OpKind::ElementWise {
+                arity: 3,
+                numel: *numel,
+                flops_per_elem: 8,
+                dtype: *dtype,
+                fused_from: 1,
+            },
+        )],
+        OpKind::EmbeddingLookup { ids, dim, dtype } => vec![Op::new(
+            format!("grad/{name}"),
+            OpKind::EmbeddingUpdate {
+                ids: *ids,
+                dim: *dim,
+                dtype: *dtype,
+            },
+        )],
+        // Input loading and sparse updates have no further gradient.
+        OpKind::EmbeddingUpdate { .. } | OpKind::DataLoad { .. } => Vec::new(),
+    }
+}
+
+/// Appends the backward sweep to a forward graph, returning the
+/// training graph (named `<fwd>/train`).
+///
+/// Gradient nodes are chained in reverse topological order after the
+/// last forward node, matching the serialized execution a training
+/// step performs.
+///
+/// # Examples
+///
+/// ```
+/// use pai_graph::{backward, Graph, Op};
+/// use pai_graph::op::matmul;
+///
+/// let mut fwd = Graph::new("mlp");
+/// fwd.add(Op::new("fc", matmul(8, 16, 32)));
+/// let train = backward::augment(&fwd);
+/// // dgrad + wgrad double the forward FLOPs -> 3x total.
+/// assert_eq!(train.stats().flops.as_f64(), 3.0 * fwd.stats().flops.as_f64());
+/// ```
+pub fn augment(forward: &Graph) -> Graph {
+    let mut g = Graph::new(format!("{}/train", forward.name()));
+    let forward_nodes: Vec<NodeId> = forward.topo_order();
+    let mut id_map = Vec::with_capacity(forward.len());
+    for (_, op) in forward.nodes() {
+        id_map.push(g.add(op.clone()));
+    }
+    for (id, _) in forward.nodes() {
+        for succ in forward.successors(id) {
+            g.connect(id_map[id.index()], id_map[succ.index()]);
+        }
+    }
+    let mut prev = forward_nodes.last().map(|id| id_map[id.index()]);
+    for id in forward_nodes.iter().rev() {
+        let op = forward.node(*id);
+        let grads = gradient_ops(op.name(), op.kind());
+        prev = g.add_chain(prev, grads);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{elementwise, matmul};
+    use pai_hw::Bytes;
+
+    #[test]
+    fn matmul_backward_doubles_flops() {
+        let mut fwd = Graph::new("f");
+        fwd.add(Op::new("mm", matmul(4, 8, 16)));
+        let train = augment(&fwd);
+        assert_eq!(train.stats().flops.as_f64(), 3.0 * fwd.stats().flops.as_f64());
+        assert_eq!(train.len(), 3);
+    }
+
+    #[test]
+    fn conv_backward_doubles_flops() {
+        let mut fwd = Graph::new("f");
+        fwd.add(Op::new(
+            "conv",
+            OpKind::Conv2d {
+                batch: 2,
+                in_channels: 3,
+                out_channels: 4,
+                kernel_h: 3,
+                kernel_w: 3,
+                out_h: 8,
+                out_w: 8,
+                dtype: crate::DType::F32,
+                tensor_core: false,
+            },
+        ));
+        let train = augment(&fwd);
+        assert_eq!(train.stats().flops.as_f64(), 3.0 * fwd.stats().flops.as_f64());
+    }
+
+    #[test]
+    fn elementwise_backward_adds_memory_traffic() {
+        let mut fwd = Graph::new("f");
+        fwd.add(Op::new("relu", elementwise(1, 1000, 1)));
+        let train = augment(&fwd);
+        let fwd_mem = fwd.stats().mem_access_memory_bound;
+        let train_mem = train.stats().mem_access_memory_bound;
+        // grad has arity 2 -> (2+1)/(1+1) = 1.5x the forward traffic added.
+        assert_eq!(
+            train_mem.as_u64(),
+            fwd_mem.as_u64() + Bytes::new(3 * 1000 * 4).as_u64()
+        );
+    }
+
+    #[test]
+    fn embedding_lookup_gets_scatter_update() {
+        let mut fwd = Graph::new("f");
+        fwd.add(Op::new(
+            "emb",
+            OpKind::EmbeddingLookup {
+                ids: 100,
+                dim: 16,
+                dtype: crate::DType::F32,
+            },
+        ));
+        let train = augment(&fwd);
+        assert_eq!(train.len(), 2);
+        let names: Vec<&str> = train.nodes().map(|(_, op)| op.name()).collect();
+        assert!(names.iter().any(|n| n.starts_with("grad/emb")));
+    }
+
+    #[test]
+    fn dataload_has_no_gradient() {
+        let mut fwd = Graph::new("f");
+        fwd.add(Op::new("in", OpKind::DataLoad { bytes: 10 }));
+        let train = augment(&fwd);
+        assert_eq!(train.len(), 1);
+    }
+
+    #[test]
+    fn training_graph_is_acyclic_and_ordered() {
+        let mut fwd = Graph::new("f");
+        let a = fwd.add(Op::new("fc1", matmul(2, 4, 8)));
+        let b = fwd.add(Op::new("act", elementwise(1, 16, 1)));
+        let c = fwd.add(Op::new("fc2", matmul(2, 8, 2)));
+        fwd.connect(a, b);
+        fwd.connect(b, c);
+        let train = augment(&fwd);
+        let order = train.topo_order();
+        assert_eq!(order.len(), train.len());
+        // Backward of fc2 must come before backward of fc1.
+        let name_pos = |needle: &str| {
+            order
+                .iter()
+                .position(|&id| train.node(id).name().contains(needle))
+                .expect("node present")
+        };
+        assert!(name_pos("grad/fc2") < name_pos("grad/fc1"));
+        assert!(name_pos("fc2") < name_pos("grad/fc2"));
+    }
+
+    #[test]
+    fn tensor_core_flag_propagates_to_gradients() {
+        let mut fwd = Graph::new("f");
+        fwd.add(Op::new(
+            "mm",
+            OpKind::MatMul {
+                m: 4,
+                k: 4,
+                n: 4,
+                dtype: crate::DType::F16,
+                tensor_core: true,
+            },
+        ));
+        let train = augment(&fwd);
+        assert_eq!(
+            train.stats().tensor_core_flops.as_f64(),
+            train.stats().flops.as_f64()
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Trainable-parameter inventory (the substance of Table IV).
+//!
+//! The paper classifies parameters into **dense** weights and
+//! **embedding** weights ("Parameters of such models can be classified
+//! into dense and sparse weights, depending on how their elements are
+//! accessed", Sec. IV-C), and its Table IV sizes "include both the
+//! trainable variables and the optimization-related variables, such as
+//! momentums".
+
+use std::fmt;
+
+use pai_hw::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::DType;
+
+/// Dense vs embedding (sparse-access) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Every element is touched every step (conv filters, attention
+    /// projections…). Replicable; AllReduce-friendly.
+    Dense,
+    /// Only the looked-up rows are touched (commodity/item embeddings).
+    /// Can vastly exceed GPU memory; PEARL partitions these.
+    Embedding,
+}
+
+impl fmt::Display for ParamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParamKind::Dense => "dense",
+            ParamKind::Embedding => "embedding",
+        })
+    }
+}
+
+/// One named parameter group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    name: String,
+    kind: ParamKind,
+    elements: u64,
+    dtype: DType,
+    /// Optimizer slots per weight (0 = plain SGD, 1 = momentum,
+    /// 2 = Adam).
+    optimizer_slots: usize,
+}
+
+impl ParamSpec {
+    /// Creates a parameter group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or `elements` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ParamKind,
+        elements: u64,
+        dtype: DType,
+        optimizer_slots: usize,
+    ) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "parameter groups need a name");
+        assert!(elements > 0, "parameter groups need at least one element");
+        ParamSpec {
+            name,
+            kind,
+            elements,
+            dtype,
+            optimizer_slots,
+        }
+    }
+
+    /// The group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dense or embedding.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+
+    /// Trainable element count.
+    pub fn elements(&self) -> u64 {
+        self.elements
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Optimizer slots per weight.
+    pub fn optimizer_slots(&self) -> usize {
+        self.optimizer_slots
+    }
+
+    /// Bytes of the trainable variables alone.
+    pub fn trainable_bytes(&self) -> Bytes {
+        Bytes::new(self.elements * self.dtype.size_bytes() as u64)
+    }
+
+    /// Bytes including optimizer state — the Table IV convention.
+    pub fn total_bytes(&self) -> Bytes {
+        self.trainable_bytes()
+            .scale((1 + self.optimizer_slots) as f64)
+    }
+}
+
+impl fmt::Display for ParamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}, +{} slots)",
+            self.name,
+            self.kind,
+            self.total_bytes(),
+            self.optimizer_slots
+        )
+    }
+}
+
+/// A model's full parameter inventory.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParamInventory {
+    groups: Vec<ParamSpec>,
+}
+
+impl ParamInventory {
+    /// An empty inventory.
+    pub fn new() -> Self {
+        ParamInventory { groups: Vec::new() }
+    }
+
+    /// Adds a group.
+    pub fn push(&mut self, spec: ParamSpec) {
+        self.groups.push(spec);
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[ParamSpec] {
+        &self.groups
+    }
+
+    /// Total bytes (incl. optimizer state) of dense groups — the
+    /// "Dense weights" column of Table IV.
+    pub fn dense_bytes(&self) -> Bytes {
+        self.groups
+            .iter()
+            .filter(|g| g.kind() == ParamKind::Dense)
+            .map(|g| g.total_bytes())
+            .sum()
+    }
+
+    /// Total bytes (incl. optimizer state) of embedding groups — the
+    /// "Embedding weights" column of Table IV.
+    pub fn embedding_bytes(&self) -> Bytes {
+        self.groups
+            .iter()
+            .filter(|g| g.kind() == ParamKind::Embedding)
+            .map(|g| g.total_bytes())
+            .sum()
+    }
+
+    /// Total bytes across all groups.
+    pub fn total_bytes(&self) -> Bytes {
+        self.dense_bytes() + self.embedding_bytes()
+    }
+}
+
+impl FromIterator<ParamSpec> for ParamInventory {
+    fn from_iter<I: IntoIterator<Item = ParamSpec>>(iter: I) -> Self {
+        ParamInventory {
+            groups: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ParamSpec> for ParamInventory {
+    fn extend<I: IntoIterator<Item = ParamSpec>>(&mut self, iter: I) {
+        self.groups.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn momentum_doubles_size() {
+        // ResNet50: 25.5M weights x 4 B x (1 + momentum) = 204 MB,
+        // exactly Table IV's dense size.
+        let p = ParamSpec::new("resnet50", ParamKind::Dense, 25_500_000, DType::F32, 1);
+        assert!((p.total_bytes().as_mb() - 204.0).abs() < 0.1);
+        assert!((p.trainable_bytes().as_mb() - 102.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn inventory_partitions_by_kind() {
+        let inv: ParamInventory = [
+            ParamSpec::new("dense", ParamKind::Dense, 1_000, DType::F32, 2),
+            ParamSpec::new("emb", ParamKind::Embedding, 10_000, DType::F32, 1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(inv.dense_bytes().as_u64(), 1_000 * 4 * 3);
+        assert_eq!(inv.embedding_bytes().as_u64(), 10_000 * 4 * 2);
+        assert_eq!(
+            inv.total_bytes().as_u64(),
+            inv.dense_bytes().as_u64() + inv.embedding_bytes().as_u64()
+        );
+        assert_eq!(inv.groups().len(), 2);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut inv = ParamInventory::new();
+        inv.extend([ParamSpec::new("a", ParamKind::Dense, 10, DType::F16, 0)]);
+        assert_eq!(inv.groups().len(), 1);
+        assert_eq!(inv.total_bytes().as_u64(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn rejects_empty_group() {
+        let _ = ParamSpec::new("x", ParamKind::Dense, 0, DType::F32, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = ParamSpec::new("emb", ParamKind::Embedding, 10, DType::F32, 1);
+        assert!(!p.to_string().is_empty());
+        assert_eq!(ParamKind::Dense.to_string(), "dense");
+    }
+}

@@ -1,0 +1,18 @@
+//! Graph optimization passes (Sec. IV-D).
+//!
+//! Two optimizations are studied in the paper's case studies:
+//!
+//! - **XLA-style fusion** ([`xla`]): "operation fusion exploits GPU's
+//!   high-speed cache" — chains of element-wise ops collapse into one
+//!   kernel, eliminating the intermediate reads/writes and the
+//!   per-kernel launch overhead.
+//! - **Mixed precision** ([`mixed_precision`]): TensorCore-eligible
+//!   dense contractions are re-typed to FP16 and routed to TensorCore,
+//!   "potentially achieving up to 8X speedup compared to the default
+//!   multiply-and-addition in FP32".
+
+pub mod mixed_precision;
+pub mod xla;
+
+pub use mixed_precision::apply_mixed_precision;
+pub use xla::fuse_elementwise;

@@ -1,0 +1,292 @@
+//! XLA-style element-wise fusion.
+//!
+//! TensorFlow XLA "can fuse pipelined operations to reduce the memory
+//! overhead" (Sec. III-B). The pass collapses maximal linear chains of
+//! element-wise operators into single fused kernels:
+//!
+//! - memory traffic drops from `Σ_i (arity_i + 1) · numel` to
+//!   `(arity_first + extra_inputs + 1) · numel` — intermediates live in
+//!   registers/cache instead of HBM;
+//! - kernel launches drop from `k` to 1, which the simulator charges as
+//!   framework overhead (Sec. VI-A3).
+//!
+//! Only straight-line chains fuse (each link must be the sole consumer
+//! of its predecessor), matching XLA's conservative rule-based fuser
+//! that "cannot be generalized well" (Sec. VI-A2).
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{Op, OpKind};
+
+/// True when the node is an element-wise op.
+fn is_elementwise(graph: &Graph, id: NodeId) -> bool {
+    matches!(graph.node(id).kind(), OpKind::ElementWise { .. })
+}
+
+/// The extent of an element-wise node (0 for other kinds).
+fn elementwise_numel(graph: &Graph, id: NodeId) -> usize {
+    match graph.node(id).kind() {
+        OpKind::ElementWise { numel, .. } => *numel,
+        _ => 0,
+    }
+}
+
+/// Applies element-wise fusion, returning the optimized graph
+/// (named `<g>/xla`).
+///
+/// # Examples
+///
+/// ```
+/// use pai_graph::passes::fuse_elementwise;
+/// use pai_graph::op::elementwise;
+/// use pai_graph::{Graph, Op};
+///
+/// let mut g = Graph::new("chain");
+/// g.add_chain(None, vec![
+///     Op::new("a", elementwise(1, 1000, 1)),
+///     Op::new("b", elementwise(1, 1000, 1)),
+///     Op::new("c", elementwise(1, 1000, 1)),
+/// ]);
+/// let fused = fuse_elementwise(&g);
+/// assert_eq!(fused.len(), 1); // one kernel instead of three
+/// // Traffic: 3 x 2 x numel -> 2 x numel.
+/// assert!(fused.stats().mem_access_memory_bound.as_f64()
+///     < g.stats().mem_access_memory_bound.as_f64());
+/// ```
+pub fn fuse_elementwise(graph: &Graph) -> Graph {
+    let order = graph.topo_order();
+    // Precompute in/out degrees.
+    let mut in_deg = vec![0usize; graph.len()];
+    let mut out_deg = vec![0usize; graph.len()];
+    for (id, _) in graph.nodes() {
+        for succ in graph.successors(id) {
+            in_deg[succ.index()] += 1;
+            out_deg[id.index()] += 1;
+        }
+    }
+
+    // chain_head[i] = head node of the fused chain containing i.
+    let mut chain_head: Vec<usize> = (0..graph.len()).collect();
+    for &id in &order {
+        if !is_elementwise(graph, id) {
+            continue;
+        }
+        // Extend the chain through the unique element-wise successor.
+        // Only same-numel neighbors fuse: mixed-extent fusion would
+        // need broadcast semantics the conservative rule-based fuser
+        // (like XLA's, Sec. VI-A2) does not attempt.
+        let succs: Vec<NodeId> = graph.successors(id).collect();
+        if out_deg[id.index()] == 1 {
+            let next = succs[0];
+            if is_elementwise(graph, next)
+                && in_deg[next.index()] == 1
+                && elementwise_numel(graph, next) == elementwise_numel(graph, id)
+            {
+                chain_head[next.index()] = chain_head[id.index()];
+            }
+        }
+    }
+
+    // Build fused op parameters per chain head.
+    #[derive(Default, Clone)]
+    struct ChainAcc {
+        members: Vec<usize>,
+    }
+    let mut chains: Vec<ChainAcc> = vec![ChainAcc::default(); graph.len()];
+    for &id in &order {
+        chains[chain_head[id.index()]].members.push(id.index());
+    }
+
+    let mut out = Graph::new(format!("{}/xla", graph.name()));
+    // Map original node index -> new node id (members map to their
+    // chain's fused node).
+    let mut new_id = vec![None::<NodeId>; graph.len()];
+    for &id in &order {
+        let head = chain_head[id.index()];
+        if head != id.index() {
+            continue; // non-head members are absorbed
+        }
+        let members = &chains[head].members;
+        let node = graph.node(id);
+        let fused = if members.len() > 1 && is_elementwise(graph, id) {
+            let mut numel_max = 0usize;
+            let mut flops_sum = 0usize;
+            let mut fused_count = 0usize;
+            let mut arity_first = 0usize;
+            let mut extra_inputs = 0usize;
+            let mut dtype = crate::DType::F32;
+            for (pos, &m) in members.iter().enumerate() {
+                if let OpKind::ElementWise {
+                    arity,
+                    numel,
+                    flops_per_elem,
+                    dtype: dt,
+                    fused_from,
+                } = graph.node(NodeId(m)).kind()
+                {
+                    numel_max = numel_max.max(*numel);
+                    flops_sum += flops_per_elem;
+                    fused_count += fused_from;
+                    dtype = *dt;
+                    if pos == 0 {
+                        arity_first = *arity;
+                    } else {
+                        // Side inputs beyond the chained value still
+                        // stream from memory.
+                        extra_inputs += arity.saturating_sub(1);
+                    }
+                } else {
+                    unreachable!("chains only contain element-wise ops");
+                }
+            }
+            Op::new(
+                format!("fused/{}", node.name()),
+                OpKind::ElementWise {
+                    arity: arity_first + extra_inputs,
+                    numel: numel_max,
+                    flops_per_elem: flops_sum,
+                    dtype,
+                    fused_from: fused_count,
+                },
+            )
+        } else {
+            node.clone()
+        };
+        let nid = out.add(fused);
+        for &m in members {
+            new_id[m] = Some(nid);
+        }
+    }
+
+    // Re-create edges between distinct fused nodes.
+    for (id, _) in graph.nodes() {
+        for succ in graph.successors(id) {
+            let (a, b) = (
+                new_id[id.index()].expect("mapped"),
+                new_id[succ.index()].expect("mapped"),
+            );
+            if a != b {
+                // Avoid duplicate edges created by multiple member links.
+                if !out.successors(a).any(|s| s == b) {
+                    out.connect(a, b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{elementwise, matmul};
+
+    fn chain_graph(k: usize, numel: usize) -> Graph {
+        let mut g = Graph::new("c");
+        let ops = (0..k)
+            .map(|i| Op::new(format!("ew{i}"), elementwise(1, numel, 1)))
+            .collect();
+        g.add_chain(None, ops);
+        g
+    }
+
+    #[test]
+    fn fuses_a_straight_chain() {
+        let g = chain_graph(4, 1000);
+        let f = fuse_elementwise(&g);
+        assert_eq!(f.len(), 1);
+        let s = f.stats();
+        // 4 x (1+1) x numel x 4B -> (1+1) x numel x 4B.
+        assert_eq!(s.mem_access_memory_bound.as_u64(), 2 * 1000 * 4);
+        assert_eq!(s.fused_away_ops, 3);
+        // Arithmetic is preserved.
+        assert_eq!(
+            s.memory_bound_flops.as_f64(),
+            g.stats().memory_bound_flops.as_f64()
+        );
+    }
+
+    #[test]
+    fn preserves_flops_exactly() {
+        let g = chain_graph(5, 777);
+        let f = fuse_elementwise(&g);
+        assert_eq!(
+            f.stats().memory_bound_flops.as_f64(),
+            g.stats().memory_bound_flops.as_f64()
+        );
+    }
+
+    #[test]
+    fn does_not_fuse_across_compute_ops() {
+        let mut g = Graph::new("mixed");
+        let a = g.add(Op::new("ew1", elementwise(1, 100, 1)));
+        let m = g.add(Op::new("mm", matmul(10, 10, 10)));
+        let b = g.add(Op::new("ew2", elementwise(1, 100, 1)));
+        g.connect(a, m);
+        g.connect(m, b);
+        let f = fuse_elementwise(&g);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.stats().flops.as_f64(), g.stats().flops.as_f64());
+    }
+
+    #[test]
+    fn does_not_fuse_through_fanout() {
+        let mut g = Graph::new("fan");
+        let a = g.add(Op::new("ew1", elementwise(1, 100, 1)));
+        let b = g.add(Op::new("ew2", elementwise(1, 100, 1)));
+        let c = g.add(Op::new("ew3", elementwise(1, 100, 1)));
+        g.connect(a, b);
+        g.connect(a, c); // a has two consumers: cannot absorb b or c
+        let f = fuse_elementwise(&g);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn does_not_fuse_through_fanin() {
+        let mut g = Graph::new("fanin");
+        let a = g.add(Op::new("ew1", elementwise(1, 100, 1)));
+        let b = g.add(Op::new("ew2", elementwise(1, 100, 1)));
+        let c = g.add(Op::new("ew3", elementwise(2, 100, 1)));
+        g.connect(a, c);
+        g.connect(b, c); // c has two producers
+        let f = fuse_elementwise(&g);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn side_inputs_still_count_as_traffic() {
+        // a -> b where b also reads a second tensor: the fused kernel
+        // must still stream that side input.
+        let mut g = Graph::new("side");
+        g.add_chain(
+            None,
+            vec![
+                Op::new("ew1", elementwise(1, 100, 1)),
+                Op::new("ew2", elementwise(2, 100, 1)),
+            ],
+        );
+        let f = fuse_elementwise(&g);
+        assert_eq!(f.len(), 1);
+        // arity = 1 (chain input) + 1 (side input) -> traffic 3*numel*4.
+        assert_eq!(f.stats().mem_access_memory_bound.as_u64(), 3 * 100 * 4);
+    }
+
+    #[test]
+    fn idempotent_on_already_fused_graphs() {
+        let g = chain_graph(3, 50);
+        let once = fuse_elementwise(&g);
+        let twice = fuse_elementwise(&once);
+        assert_eq!(once.len(), twice.len());
+        assert_eq!(
+            once.stats().mem_access_memory_bound,
+            twice.stats().mem_access_memory_bound
+        );
+    }
+
+    #[test]
+    fn kernel_launch_count_drops() {
+        let g = chain_graph(6, 10);
+        let f = fuse_elementwise(&g);
+        assert_eq!(g.stats().kernel_launches(), 6);
+        assert_eq!(f.stats().kernel_launches(), 1);
+    }
+}

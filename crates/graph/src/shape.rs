@@ -1,0 +1,116 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape (row-major, possibly 0-d for scalars).
+///
+/// # Examples
+///
+/// ```
+/// use pai_graph::Shape;
+/// let s = Shape::new([64, 3, 224, 224]); // one ResNet input batch
+/// assert_eq!(s.numel(), 64 * 3 * 224 * 224);
+/// assert_eq!(s.rank(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new<I: IntoIterator<Item = usize>>(dims: I) -> Self {
+        let dims: Vec<usize> = dims.into_iter().collect();
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// A scalar (rank 0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// The `i`-th dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_dim() {
+        let _ = Shape::new([2, 0, 4]);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let s: Shape = vec![8, 128].into();
+        assert_eq!(s.to_string(), "[8x128]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

@@ -1,0 +1,133 @@
+//! The six production models of the paper's case studies (Sec. IV).
+//!
+//! Each model is rebuilt at the operator level so its per-step feature
+//! aggregates reproduce Table V and its parameter inventory reproduces
+//! Table IV. Structural layer math provides the op *mix* (which ops,
+//! what shapes, how many kernels); a final, explicitly labeled
+//! **calibration pad** then closes the gap between structural totals
+//! and the published measured totals — the measured numbers include
+//! framework traffic (workspaces, transposes, cache misses) that no
+//! shape-level model can derive. Each [`ModelSpec`] reports its
+//! calibration fraction so the pad is never hidden.
+//!
+//! | model | domain | arch (Table IV) | batch (Table V) |
+//! |---|---|---|---|
+//! | ResNet50 | CV | AllReduce-Local | 64 |
+//! | NMT | translation | AllReduce-Local | 6144 tokens |
+//! | BERT | QA | AllReduce-Local | 12 |
+//! | Speech | speech recognition | 1w1g | 32 |
+//! | Multi-Interests | recommender | PS/Worker | 2048 |
+//! | GCN | recommender | PEARL | 512 |
+
+mod bert;
+pub mod inference;
+pub(crate) mod layers;
+mod gcn;
+mod multi_interests;
+mod nmt;
+mod resnet50;
+mod speech;
+mod spec;
+
+pub use bert::bert;
+pub use gcn::gcn;
+pub use multi_interests::{multi_interests, multi_interests_with, MultiInterestsConfig};
+pub use nmt::nmt;
+pub use resnet50::resnet50;
+pub use speech::speech;
+pub use spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+
+/// All six case-study models, in Table IV order.
+pub fn all() -> Vec<ModelSpec> {
+    vec![
+        resnet50(),
+        nmt(),
+        bert(),
+        speech(),
+        multi_interests(),
+        gcn(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_models_build() {
+        let models = all();
+        assert_eq!(models.len(), 6);
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            ["ResNet50", "NMT", "BERT", "Speech", "Multi-Interests", "GCN"]
+        );
+    }
+
+    #[test]
+    fn every_model_matches_its_table_v_targets() {
+        for m in all() {
+            let err = m.calibration_report();
+            assert!(
+                err.flops_error.abs() < 0.02,
+                "{}: FLOP mismatch {:+.3}",
+                m.name(),
+                err.flops_error
+            );
+            assert!(
+                err.mem_error.abs() < 0.02,
+                "{}: memory mismatch {:+.3}",
+                m.name(),
+                err.mem_error
+            );
+            assert!(
+                err.pcie_error.abs() < 0.02,
+                "{}: PCIe mismatch {:+.3}",
+                m.name(),
+                err.pcie_error
+            );
+        }
+    }
+
+    #[test]
+    fn every_model_matches_table_iv_parameter_sizes() {
+        for m in all() {
+            let t = m.targets();
+            let dense = m.params().dense_bytes().as_mb();
+            let emb = m.params().embedding_bytes().as_mb();
+            let tol = |target: f64| (target * 0.02).max(0.05);
+            assert!(
+                (dense - t.dense_mb).abs() < tol(t.dense_mb),
+                "{}: dense {dense} MB vs Table IV {} MB",
+                m.name(),
+                t.dense_mb
+            );
+            assert!(
+                (emb - t.embedding_mb).abs() < tol(t.embedding_mb),
+                "{}: embedding {emb} MB vs Table IV {} MB",
+                m.name(),
+                t.embedding_mb
+            );
+        }
+    }
+
+    #[test]
+    fn structural_graphs_dominate_op_counts() {
+        // Calibration adds at most a handful of pad ops; the op mix
+        // must come from real layers.
+        for m in all() {
+            let pads = m
+                .graph()
+                .nodes()
+                .filter(|(_, op)| op.name().starts_with("calibration/"))
+                .count();
+            assert!(pads <= 7, "{}: {pads} pad ops", m.name());
+            assert!(
+                m.graph().len() > 30,
+                "{}: only {} ops — not a structural model",
+                m.name(),
+                m.graph().len()
+            );
+        }
+    }
+}

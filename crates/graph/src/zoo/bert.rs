@@ -1,0 +1,131 @@
+//! BERT (Table IV row 3): QA/language understanding, AllReduce-Local,
+//! batch 12.
+//!
+//! BERT-base: 12 encoder layers, d=768, 12 heads, FFN 3072, vocabulary
+//! 30522 — the Table IV dense size (1 GB) is exactly the 83M encoder
+//! parameters under Adam (two slots), the embedding size (284 MB) the
+//! 23.7M embedding parameters likewise. Sequence length 256 puts the
+//! structural FLOPs just under the Table V measurement.
+
+use pai_hw::Efficiency;
+
+use crate::backward;
+use crate::dtype::DType;
+use crate::graph::Graph;
+use crate::op::{matmul, Op};
+use crate::param::{ParamInventory, ParamKind, ParamSpec};
+
+use super::layers::{attention_block, embedding, ffn_block, input_pipeline};
+use super::spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+
+const BATCH: usize = 12;
+const SEQ: usize = 256;
+const D: usize = 768;
+const HEADS: usize = 12;
+const FF: usize = 3072;
+const LAYERS: usize = 12;
+const VOCAB: usize = 30_522;
+
+fn forward() -> Graph {
+    let mut g = Graph::new("bert");
+    let tokens = BATCH * SEQ;
+    // Table V: 46 KB of PCIe copy — token ids + attention mask (i32).
+    let mut p = input_pipeline(&mut g, (tokens * 2 * 4) as u64);
+    p = embedding(&mut g, p, "wordpiece", tokens, D);
+    for l in 0..LAYERS {
+        p = attention_block(&mut g, p, &format!("layer{l}/attn"), tokens, D, HEADS, SEQ);
+        p = ffn_block(&mut g, p, &format!("layer{l}/ffn"), tokens, D, FF);
+    }
+    // MLM head over the masked positions (~15 % of tokens).
+    let masked = tokens * 15 / 100;
+    let _ = g.add_chain(
+        p,
+        vec![
+            Op::new("mlm/transform", matmul(masked, D, D)),
+            Op::new("mlm/logits", matmul(masked, D, VOCAB)),
+        ],
+    );
+    g
+}
+
+/// Builds the calibrated BERT spec.
+pub fn bert() -> ModelSpec {
+    let training = backward::augment(&forward());
+    let mut params = ParamInventory::new();
+    // 83.3M encoder weights, Adam (2 slots): 1 GB (Table IV).
+    params.push(ParamSpec::new(
+        "encoder",
+        ParamKind::Dense,
+        83_330_000,
+        DType::F32,
+        2,
+    ));
+    // 23.67M embedding weights (30522 x 768 + positions), Adam: 284 MB.
+    params.push(ParamSpec::new(
+        "embeddings",
+        ParamKind::Embedding,
+        23_670_000,
+        DType::F32,
+        2,
+    ));
+    ModelSpec::assemble(
+        "BERT",
+        "QA",
+        CaseStudyArch::AllReduceLocal,
+        BATCH,
+        training,
+        params,
+        FeatureTargets {
+            flops_g: 2100.0,
+            mem_gb: 107.3,
+            pcie_mb: 0.046,
+            network_mb: 1500.0,
+            dense_mb: 1000.0,
+            embedding_mb: 284.0,
+        },
+        // Table VI row "BERT".
+        Efficiency::per_component(0.816, 0.95, 0.0042, 0.471, 0.471),
+        (BATCH * SEQ) as u64,
+        D,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_forward_undershoots_measured_flops() {
+        let fwd = forward();
+        let fwd_g = fwd.stats().flops.as_giga();
+        // 3x forward must stay under the Table V target (pad closes it).
+        assert!(fwd_g * 3.0 < 2100.0, "forward too big: {fwd_g} GFLOP");
+        assert!(fwd_g * 3.0 > 1000.0, "forward suspiciously small: {fwd_g}");
+    }
+
+    #[test]
+    fn spec_matches_table_v() {
+        let m = bert();
+        let s = m.graph().stats();
+        assert!((s.flops.as_tera() - 2.1).abs() / 2.1 < 0.02);
+        assert!((s.mem_access_memory_bound.as_gb() - 107.3).abs() / 107.3 < 0.02);
+        assert!((s.input_bytes.as_mb() - 0.046).abs() / 0.046 < 0.05);
+    }
+
+    #[test]
+    fn params_match_table_iv() {
+        let m = bert();
+        assert!((m.params().dense_bytes().as_mb() - 1000.0).abs() < 5.0);
+        assert!((m.params().embedding_bytes().as_mb() - 284.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn has_the_right_layer_count() {
+        let fwd = forward();
+        let attn_layers = fwd
+            .nodes()
+            .filter(|(_, op)| op.name().ends_with("/q_proj"))
+            .count();
+        assert_eq!(attn_layers, 12);
+    }
+}

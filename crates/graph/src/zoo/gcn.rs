@@ -1,0 +1,158 @@
+//! GCN (Table IV row 6): graph-embedding recommender, PEARL, batch 512.
+//!
+//! A two-hop graph convolutional network over the commodity graph
+//! (Wang et al. / Ying et al., cited by the paper): 512 seed items per
+//! step, fan-out 75 per hop, 54 GB item-embedding table. Each step
+//! touches ~2.9M embedding rows — far too much Ethernet traffic for
+//! PS/Worker (Fig. 13d shows ~95 % communication), which is what PEARL
+//! was built for.
+
+use pai_hw::Efficiency;
+
+use crate::backward;
+use crate::dtype::DType;
+use crate::graph::Graph;
+use crate::op::{elementwise, matmul, Op, OpKind};
+use crate::param::{ParamInventory, ParamKind, ParamSpec};
+
+use super::layers::{embedding, input_pipeline};
+use super::spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+
+const SEEDS: usize = 512;
+const FANOUT: usize = 75;
+const DIM: usize = 128;
+
+fn forward() -> Graph {
+    let mut g = Graph::new("gcn");
+    let hop1 = SEEDS * FANOUT;
+    let hop2 = hop1 * FANOUT;
+    // Table V: 1.2 MB of PCIe copy — seed ids + labels; neighbor
+    // sampling happens GPU-side against the partitioned table.
+    let mut p = input_pipeline(&mut g, 1_200_000);
+    p = embedding(&mut g, p, "hop2_emb", hop2, DIM);
+    p = embedding(&mut g, p, "hop1_emb", hop1, DIM);
+    p = embedding(&mut g, p, "seed_emb", SEEDS, DIM);
+    // Layer 1: transform all hop-2 neighbors, then aggregate to hop-1.
+    p = g.add_chain(
+        p,
+        vec![
+            Op::new("layer1/transform", matmul(hop2, DIM, DIM)),
+            Op::new("layer1/relu", elementwise(1, hop2 * DIM, 1)),
+            Op::new(
+                "layer1/aggregate",
+                OpKind::Reduce {
+                    numel: hop2 * DIM,
+                    dtype: DType::F32,
+                },
+            ),
+            Op::new("layer1/combine", elementwise(2, hop1 * DIM, 2)),
+        ],
+    );
+    // Layer 2: transform hop-1, aggregate to seeds.
+    p = g.add_chain(
+        p,
+        vec![
+            Op::new("layer2/transform", matmul(hop1, DIM, DIM)),
+            Op::new("layer2/relu", elementwise(1, hop1 * DIM, 1)),
+            Op::new(
+                "layer2/aggregate",
+                OpKind::Reduce {
+                    numel: hop1 * DIM,
+                    dtype: DType::F32,
+                },
+            ),
+            Op::new("layer2/combine", elementwise(2, SEEDS * DIM, 2)),
+        ],
+    );
+    // Pairwise similarity scoring against negative samples.
+    let _ = g.add_chain(
+        p,
+        vec![
+            Op::new("score", matmul(SEEDS, DIM, 32)),
+            Op::new("loss", elementwise(2, SEEDS * 32, 4)),
+        ],
+    );
+    g
+}
+
+/// Builds the calibrated GCN spec.
+pub fn gcn() -> ModelSpec {
+    let training = backward::augment(&forward());
+    let mut params = ParamInventory::new();
+    // 25.9M dense weights (transforms + scoring tower), momentum: 207 MB.
+    params.push(ParamSpec::new(
+        "gcn_layers",
+        ParamKind::Dense,
+        25_875_000,
+        DType::F32,
+        1,
+    ));
+    // 6.75G embedding weights (52.7M items x 128), momentum: 54 GB.
+    params.push(ParamSpec::new(
+        "item_embeddings",
+        ParamKind::Embedding,
+        6_750_000_000,
+        DType::F32,
+        1,
+    ));
+    let touched = (SEEDS + SEEDS * FANOUT + SEEDS * FANOUT * FANOUT) as u64;
+    ModelSpec::assemble(
+        "GCN",
+        "Recommender",
+        CaseStudyArch::Pearl,
+        SEEDS,
+        training,
+        params,
+        FeatureTargets {
+            flops_g: 330.7,
+            mem_gb: 25.79,
+            pcie_mb: 1.2,
+            network_mb: 3000.0,
+            dense_mb: 207.0,
+            embedding_mb: 54_000.0,
+        },
+        // Table VI row "GCN".
+        Efficiency::per_component(0.882, 0.699, 0.862, 0.2735, 0.2735),
+        touched,
+        DIM,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table_v() {
+        let m = gcn();
+        let s = m.graph().stats();
+        assert!((s.flops.as_giga() - 330.7).abs() / 330.7 < 0.02);
+        assert!((s.mem_access_memory_bound.as_gb() - 25.79).abs() / 25.79 < 0.02);
+        assert!((s.input_bytes.as_mb() - 1.2).abs() / 1.2 < 0.02);
+    }
+
+    #[test]
+    fn params_match_table_iv() {
+        let m = gcn();
+        assert!((m.params().dense_bytes().as_mb() - 207.0).abs() < 1.0);
+        assert!((m.params().embedding_bytes().as_gb() - 54.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn touches_millions_of_rows_per_step() {
+        let m = gcn();
+        assert_eq!(m.touched_embedding_rows(), 512 + 38_400 + 2_880_000);
+        // ~1.5 GB of embedding rows gathered per step.
+        assert!((m.touched_embedding_bytes().as_gb() - 1.494).abs() < 0.01);
+    }
+
+    #[test]
+    fn two_hop_structure() {
+        let fwd = forward();
+        let lookups = fwd
+            .nodes()
+            .filter(|(_, op)| op.name().ends_with("/lookup"))
+            .count();
+        assert_eq!(lookups, 3);
+    }
+}

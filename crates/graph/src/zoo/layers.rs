@@ -1,0 +1,236 @@
+//! Shared layer builders for the model zoo.
+//!
+//! Each helper appends the ops of one layer to a graph and returns the
+//! new chain tail. Shapes follow the standard layer math; costs fall
+//! out of the op definitions in [`crate::op`].
+
+use crate::dtype::DType;
+use crate::graph::{Graph, NodeId};
+use crate::op::{elementwise, matmul, Op, OpKind};
+
+/// Convolution + batch-norm + ReLU, the ResNet building block.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv_bn_relu(
+    g: &mut Graph,
+    prev: Option<NodeId>,
+    name: &str,
+    batch: usize,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    out_hw: usize,
+) -> Option<NodeId> {
+    let out_numel = batch * out_channels * out_hw * out_hw;
+    g.add_chain(
+        prev,
+        vec![
+            Op::new(
+                format!("{name}/conv"),
+                OpKind::Conv2d {
+                    batch,
+                    in_channels,
+                    out_channels,
+                    kernel_h: kernel,
+                    kernel_w: kernel,
+                    out_h: out_hw,
+                    out_w: out_hw,
+                    dtype: DType::F32,
+                    tensor_core: false,
+                },
+            ),
+            // BN + ReLU fused (as cuDNN does): one read-write pass.
+            Op::new(format!("{name}/bn_relu"), elementwise(1, out_numel, 3)),
+        ],
+    )
+}
+
+/// Multi-head self-attention over `tokens` positions of width `d`.
+///
+/// `heads` only affects the score/softmax shapes; the four projection
+/// GEMMs dominate.
+pub(crate) fn attention_block(
+    g: &mut Graph,
+    prev: Option<NodeId>,
+    name: &str,
+    tokens: usize,
+    d: usize,
+    heads: usize,
+    seq: usize,
+) -> Option<NodeId> {
+    let mut prev = prev;
+    for proj in ["q", "k", "v"] {
+        prev = g.add_chain(
+            prev,
+            vec![Op::new(format!("{name}/{proj}_proj"), matmul(tokens, d, d))],
+        );
+    }
+    let batches = tokens / seq.max(1);
+    let dh = d / heads.max(1);
+    prev = g.add_chain(
+        prev,
+        vec![
+            // scores = Q K^T per head per sequence.
+            Op::new(
+                format!("{name}/scores"),
+                matmul(batches * heads * seq, dh, seq),
+            ),
+            Op::new(
+                format!("{name}/softmax"),
+                OpKind::Softmax {
+                    rows: batches * heads * seq,
+                    cols: seq,
+                    dtype: DType::F32,
+                },
+            ),
+            // context = scores V.
+            Op::new(
+                format!("{name}/context"),
+                matmul(batches * heads * seq, seq, dh),
+            ),
+            Op::new(format!("{name}/o_proj"), matmul(tokens, d, d)),
+            Op::new(format!("{name}/residual"), elementwise(2, tokens * d, 1)),
+            Op::new(
+                format!("{name}/layernorm"),
+                OpKind::LayerNorm {
+                    numel: tokens * d,
+                    dtype: DType::F32,
+                },
+            ),
+        ],
+    );
+    prev
+}
+
+/// Position-wise feed-forward block `d -> ff -> d` with GELU.
+pub(crate) fn ffn_block(
+    g: &mut Graph,
+    prev: Option<NodeId>,
+    name: &str,
+    tokens: usize,
+    d: usize,
+    ff: usize,
+) -> Option<NodeId> {
+    g.add_chain(
+        prev,
+        vec![
+            Op::new(format!("{name}/ff1"), matmul(tokens, d, ff)),
+            // GELU is ~8 flops/element.
+            Op::new(format!("{name}/gelu"), elementwise(1, tokens * ff, 8)),
+            Op::new(format!("{name}/ff2"), matmul(tokens, ff, d)),
+            Op::new(format!("{name}/residual"), elementwise(2, tokens * d, 1)),
+            Op::new(
+                format!("{name}/layernorm"),
+                OpKind::LayerNorm {
+                    numel: tokens * d,
+                    dtype: DType::F32,
+                },
+            ),
+        ],
+    )
+}
+
+/// One LSTM timestep: the fused input/recurrent gate GEMMs plus the
+/// gate nonlinearities and state updates.
+pub(crate) fn lstm_step(
+    g: &mut Graph,
+    prev: Option<NodeId>,
+    name: &str,
+    batch: usize,
+    input: usize,
+    hidden: usize,
+) -> Option<NodeId> {
+    let gates = 4 * hidden;
+    let bh = batch * hidden;
+    g.add_chain(
+        prev,
+        vec![
+            Op::new(format!("{name}/x_gemm"), matmul(batch, input, gates)),
+            Op::new(format!("{name}/h_gemm"), matmul(batch, hidden, gates)),
+            // The pointwise LSTM-cell region, one elementary kernel per
+            // op as an unfused framework emits it (program order; XLA
+            // fuses this whole same-extent region, Sec. IV-D):
+            // gate nonlinearities over the four [batch, hidden] slices…
+            Op::new(format!("{name}/i_sigmoid"), elementwise(1, bh, 4)),
+            Op::new(format!("{name}/f_sigmoid"), elementwise(1, bh, 4)),
+            Op::new(format!("{name}/g_tanh"), elementwise(1, bh, 6)),
+            Op::new(format!("{name}/o_sigmoid"), elementwise(1, bh, 4)),
+            // …then the state updates: c' = f*c + i*g, h' = o*tanh(c').
+            Op::new(format!("{name}/f_mul_c"), elementwise(2, bh, 1)),
+            Op::new(format!("{name}/i_mul_g"), elementwise(2, bh, 1)),
+            Op::new(format!("{name}/c_add"), elementwise(2, bh, 1)),
+            Op::new(format!("{name}/c_tanh"), elementwise(1, bh, 6)),
+            Op::new(format!("{name}/h_out"), elementwise(2, bh, 1)),
+        ],
+    )
+}
+
+/// An embedding gather of `ids` rows of width `dim`.
+pub(crate) fn embedding(
+    g: &mut Graph,
+    prev: Option<NodeId>,
+    name: &str,
+    ids: usize,
+    dim: usize,
+) -> Option<NodeId> {
+    g.add_chain(
+        prev,
+        vec![Op::new(
+            format!("{name}/lookup"),
+            OpKind::EmbeddingLookup {
+                ids,
+                dim,
+                dtype: DType::F32,
+            },
+        )],
+    )
+}
+
+/// The input pipeline: one `DataLoad` of exactly `bytes`.
+pub(crate) fn input_pipeline(g: &mut Graph, bytes: u64) -> Option<NodeId> {
+    Some(g.add(Op::new("input/load", OpKind::DataLoad { bytes })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_block_flops_are_dominated_by_projections() {
+        let mut g = Graph::new("attn");
+        attention_block(&mut g, None, "l0", 1024, 512, 8, 128);
+        let s = g.stats();
+        // 4 projections: 4 x 2 x 1024 x 512 x 512.
+        let proj = 4.0 * 2.0 * 1024.0 * 512.0 * 512.0;
+        assert!(s.flops.as_f64() > proj);
+        assert!(s.flops.as_f64() < proj * 1.5);
+    }
+
+    #[test]
+    fn lstm_step_flops() {
+        let mut g = Graph::new("lstm");
+        lstm_step(&mut g, None, "t0", 32, 1024, 1024);
+        let s = g.stats();
+        let expected = 2.0 * 32.0 * 1024.0 * 4096.0 * 2.0;
+        assert_eq!(s.flops.as_f64(), expected);
+        assert_eq!(s.memory_bound_ops, 9);
+    }
+
+    #[test]
+    fn conv_bn_relu_counts() {
+        let mut g = Graph::new("c");
+        conv_bn_relu(&mut g, None, "c1", 2, 3, 8, 3, 16);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.stats().compute_bound_ops, 1);
+        assert_eq!(g.stats().memory_bound_ops, 1);
+    }
+
+    #[test]
+    fn chained_layers_stay_acyclic() {
+        let mut g = Graph::new("chain");
+        let p = input_pipeline(&mut g, 100);
+        let p = embedding(&mut g, p, "emb", 100, 16);
+        let p = attention_block(&mut g, p, "a", 100, 16, 2, 10);
+        let _ = ffn_block(&mut g, p, "f", 100, 16, 64);
+        assert_eq!(g.topo_order().len(), g.len());
+    }
+}

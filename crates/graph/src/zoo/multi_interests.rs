@@ -1,0 +1,200 @@
+//! Multi-Interests (Table IV row 5): recommender, PS/Worker,
+//! batch 2048.
+//!
+//! A multi-interest recommendation model (Covington et al. / Weston et
+//! al., cited by the paper): a 239 GB commodity-embedding table, a tiny
+//! dense tower (1.19 MB!) and a couple of attention layers over each
+//! user's behavior sequence. The extreme embedding-to-dense ratio is
+//! why only PS/Worker can train it (Sec. IV-D).
+//!
+//! Fig. 13c studies three (batch size, attention layers)
+//! configurations of this model; [`multi_interests_with`] builds them.
+
+use pai_hw::Efficiency;
+
+use crate::backward;
+use crate::dtype::DType;
+use crate::graph::Graph;
+use crate::op::{elementwise, matmul, Op};
+use crate::param::{ParamInventory, ParamKind, ParamSpec};
+
+use super::layers::{attention_block, embedding, input_pipeline};
+use super::spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+
+/// Behavior-sequence length per user.
+const SEQ: usize = 58;
+/// Embedding width.
+const DIM: usize = 128;
+/// Attention operating width (embeddings are projected down before the
+/// interest-extraction layers).
+const ATTN_DIM: usize = 64;
+
+/// One Fig. 13c configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiInterestsConfig {
+    /// Per-replica batch size.
+    pub batch: usize,
+    /// Number of attention layers.
+    pub attention_layers: usize,
+}
+
+impl Default for MultiInterestsConfig {
+    /// The Table V configuration: batch 2048, two attention layers.
+    fn default() -> Self {
+        MultiInterestsConfig {
+            batch: 2048,
+            attention_layers: 2,
+        }
+    }
+}
+
+fn forward(cfg: MultiInterestsConfig) -> Graph {
+    let mut g = Graph::new("multi_interests");
+    let batch = cfg.batch;
+    // Wide user/context features: the Table V PCIe copy scales with
+    // batch (261 MB at 2048 -> ~127.4 KB per sample).
+    let mut p = input_pipeline(&mut g, (batch as u64) * 127_440);
+    // Behavior-sequence item embeddings: batch x SEQ gathered rows.
+    p = embedding(&mut g, p, "item_emb", batch * SEQ, DIM);
+    let tokens = batch * SEQ;
+    p = g.add_chain(
+        p,
+        vec![Op::new("behavior_proj", matmul(tokens, DIM, ATTN_DIM))],
+    );
+    for l in 0..cfg.attention_layers {
+        p = attention_block(&mut g, p, &format!("interest{l}"), tokens, ATTN_DIM, 4, SEQ);
+    }
+    // Interest pooling + a small scoring tower.
+    let _ = g.add_chain(
+        p,
+        vec![
+            Op::new("pool", elementwise(2, batch * ATTN_DIM, 2)),
+            Op::new("tower/fc1", matmul(batch, ATTN_DIM, 64)),
+            Op::new("tower/relu", elementwise(1, batch * 64, 1)),
+            Op::new("tower/fc2", matmul(batch, 64, 1)),
+            Op::new("loss", elementwise(2, batch, 4)),
+        ],
+    );
+    g
+}
+
+/// Builds the Table V configuration.
+pub fn multi_interests() -> ModelSpec {
+    multi_interests_with(MultiInterestsConfig::default())
+}
+
+/// Builds an arbitrary Fig. 13c configuration. Table V feature targets
+/// are scaled linearly with batch size and attention-layer count from
+/// the measured (2048, 2) point.
+pub fn multi_interests_with(cfg: MultiInterestsConfig) -> ModelSpec {
+    assert!(cfg.batch > 0, "batch size must be positive");
+    assert!(cfg.attention_layers > 0, "need at least one attention layer");
+    let training = backward::augment(&forward(cfg));
+    let mut params = ParamInventory::new();
+    // 148.8K dense weights, momentum: 1.19 MB (Table IV).
+    params.push(ParamSpec::new(
+        "attention+tower",
+        ParamKind::Dense,
+        148_800,
+        DType::F32,
+        1,
+    ));
+    // 29.93G embedding weights (233.8M rows x 128), momentum: 239.45 GB.
+    params.push(ParamSpec::new(
+        "item_embeddings",
+        ParamKind::Embedding,
+        29_931_000_000,
+        DType::F32,
+        1,
+    ));
+    let base = MultiInterestsConfig::default();
+    let batch_scale = cfg.batch as f64 / base.batch as f64;
+    let layer_scale = cfg.attention_layers as f64 / base.attention_layers as f64;
+    // Compute scales with batch x layers; I/O and network only with batch.
+    let compute_scale = batch_scale * (0.4 + 0.6 * layer_scale);
+    ModelSpec::assemble(
+        "Multi-Interests",
+        "Recommender",
+        CaseStudyArch::PsWorker,
+        cfg.batch,
+        training,
+        params,
+        FeatureTargets {
+            flops_g: 105.8 * compute_scale,
+            mem_gb: 100.4 * compute_scale,
+            pcie_mb: 261.0 * batch_scale,
+            network_mb: 122.0 * batch_scale,
+            dense_mb: 1.19,
+            embedding_mb: 239_450.0,
+        },
+        // Table VI row "Multi-Interests".
+        Efficiency::per_component(0.3271, 0.95, 0.8647, 0.6921, 0.6921),
+        (cfg.batch * SEQ) as u64,
+        DIM,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table_v() {
+        let m = multi_interests();
+        let s = m.graph().stats();
+        assert!((s.flops.as_giga() - 105.8).abs() / 105.8 < 0.02);
+        assert!((s.mem_access_memory_bound.as_gb() - 100.4).abs() / 100.4 < 0.02);
+        assert!((s.input_bytes.as_mb() - 261.0).abs() / 261.0 < 0.02);
+    }
+
+    #[test]
+    fn params_match_table_iv() {
+        let m = multi_interests();
+        assert!((m.params().dense_bytes().as_mb() - 1.19).abs() < 0.02);
+        assert!((m.params().embedding_bytes().as_gb() - 239.45).abs() < 0.5);
+    }
+
+    #[test]
+    fn embedding_dwarfs_dense() {
+        let m = multi_interests();
+        assert!(
+            m.params().embedding_bytes().as_f64()
+                > 100_000.0 * m.params().dense_bytes().as_f64()
+        );
+    }
+
+    #[test]
+    fn config_variants_scale_features() {
+        let big = multi_interests_with(MultiInterestsConfig {
+            batch: 4096,
+            attention_layers: 2,
+        });
+        let base = multi_interests();
+        let ratio = big.graph().stats().flops.as_f64() / base.graph().stats().flops.as_f64();
+        assert!((ratio - 2.0).abs() < 0.1, "flops ratio {ratio}");
+        assert_eq!(big.touched_embedding_rows(), 2 * base.touched_embedding_rows());
+    }
+
+    #[test]
+    fn deeper_attention_adds_compute_but_not_io() {
+        let deep = multi_interests_with(MultiInterestsConfig {
+            batch: 2048,
+            attention_layers: 4,
+        });
+        let base = multi_interests();
+        assert!(deep.graph().stats().flops.as_f64() > base.graph().stats().flops.as_f64());
+        assert_eq!(
+            deep.graph().stats().input_bytes.as_u64(),
+            base.graph().stats().input_bytes.as_u64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        let _ = multi_interests_with(MultiInterestsConfig {
+            batch: 0,
+            attention_layers: 1,
+        });
+    }
+}

@@ -1,0 +1,126 @@
+//! NMT (Table IV row 2): e-commerce translation, AllReduce-Local,
+//! batch 6144 (tokens).
+//!
+//! A Transformer encoder–decoder (Vaswani et al., which the paper
+//! cites for its production NMT): d=512, 8 heads, FFN 2048, 6+6
+//! layers, shared 44k vocabulary. The Table V batch of 6144 is split
+//! evenly between source and target streams.
+
+use pai_hw::Efficiency;
+
+use crate::backward;
+use crate::dtype::DType;
+use crate::graph::Graph;
+use crate::op::{matmul, Op};
+use crate::param::{ParamInventory, ParamKind, ParamSpec};
+
+use super::layers::{attention_block, embedding, ffn_block, input_pipeline};
+use super::spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+
+const TOKENS: usize = 6144;
+const SRC: usize = TOKENS / 2;
+const TGT: usize = TOKENS / 2;
+const SEQ: usize = 48;
+const D: usize = 512;
+const HEADS: usize = 8;
+const FF: usize = 2048;
+const LAYERS: usize = 6;
+const VOCAB: usize = 44_000;
+
+fn forward() -> Graph {
+    let mut g = Graph::new("nmt");
+    // Table V: 22 KB of PCIe copy — token ids only (i32, src + tgt).
+    let mut p = input_pipeline(&mut g, 22_000);
+    p = embedding(&mut g, p, "src_emb", SRC, D);
+    for l in 0..LAYERS {
+        p = attention_block(&mut g, p, &format!("enc{l}/self"), SRC, D, HEADS, SEQ);
+        p = ffn_block(&mut g, p, &format!("enc{l}/ffn"), SRC, D, FF);
+    }
+    p = embedding(&mut g, p, "tgt_emb", TGT, D);
+    for l in 0..LAYERS {
+        p = attention_block(&mut g, p, &format!("dec{l}/self"), TGT, D, HEADS, SEQ);
+        p = attention_block(&mut g, p, &format!("dec{l}/cross"), TGT, D, HEADS, SEQ);
+        p = ffn_block(&mut g, p, &format!("dec{l}/ffn"), TGT, D, FF);
+    }
+    let _ = g.add_chain(p, vec![Op::new("logits", matmul(TGT, D, VOCAB))]);
+    g
+}
+
+/// Builds the calibrated NMT spec.
+pub fn nmt() -> ModelSpec {
+    let training = backward::augment(&forward());
+    let mut params = ParamInventory::new();
+    // 58.83M dense weights, Adam (2 slots): 706 MB (Table IV).
+    params.push(ParamSpec::new(
+        "transformer",
+        ParamKind::Dense,
+        58_830_000,
+        DType::F32,
+        2,
+    ));
+    // 68.25M embedding weights (2 x 44k vocab + softmax), Adam: 819 MB.
+    params.push(ParamSpec::new(
+        "vocab_embeddings",
+        ParamKind::Embedding,
+        68_250_000,
+        DType::F32,
+        2,
+    ));
+    ModelSpec::assemble(
+        "NMT",
+        "Translation",
+        CaseStudyArch::AllReduceLocal,
+        TOKENS,
+        training,
+        params,
+        FeatureTargets {
+            flops_g: 2500.0,
+            mem_gb: 101.6,
+            pcie_mb: 0.022,
+            network_mb: 1330.0,
+            dense_mb: 706.0,
+            embedding_mb: 819.0,
+        },
+        // Table VI row "NMT".
+        Efficiency::per_component(0.828, 0.791, 0.001, 0.352, 0.352),
+        TOKENS as u64,
+        D,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_forward_undershoots_measured_flops() {
+        let fwd_g = forward().stats().flops.as_giga();
+        assert!(fwd_g * 3.0 < 2500.0, "forward too big: {fwd_g}");
+        assert!(fwd_g * 3.0 > 900.0, "forward too small: {fwd_g}");
+    }
+
+    #[test]
+    fn spec_matches_table_v() {
+        let m = nmt();
+        let s = m.graph().stats();
+        assert!((s.flops.as_tera() - 2.5).abs() / 2.5 < 0.02);
+        assert!((s.mem_access_memory_bound.as_gb() - 101.6).abs() / 101.6 < 0.02);
+    }
+
+    #[test]
+    fn params_match_table_iv() {
+        let m = nmt();
+        assert!((m.params().dense_bytes().as_mb() - 706.0).abs() < 3.0);
+        assert!((m.params().embedding_bytes().as_mb() - 819.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn decoder_has_cross_attention() {
+        let fwd = forward();
+        let cross = fwd
+            .nodes()
+            .filter(|(_, op)| op.name().contains("/cross/"))
+            .count();
+        assert!(cross > 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! ResNet50 (Table IV row 1): CV, AllReduce-Local, batch 64.
+//!
+//! The bottleneck-stage layout follows He et al.; with the
+//! multiply-add-counts-2 convention the structural forward pass lands
+//! at ≈8.2 GFLOP/image, so forward+backward at batch 64 reproduces
+//! Table V's 1.56 TFLOPs essentially without padding.
+
+use pai_hw::Efficiency;
+
+use crate::backward;
+use crate::dtype::DType;
+use crate::graph::Graph;
+use crate::op::{elementwise, matmul, Op, OpKind};
+use crate::param::{ParamInventory, ParamKind, ParamSpec};
+
+use super::layers::{conv_bn_relu, input_pipeline};
+use super::spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+
+const BATCH: usize = 64;
+
+/// One bottleneck block: 1x1 reduce, 3x3, 1x1 expand (+ residual add);
+/// the first block of a stage also carries the projection shortcut.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    g: &mut Graph,
+    prev: Option<crate::graph::NodeId>,
+    name: &str,
+    in_c: usize,
+    mid_c: usize,
+    out_c: usize,
+    out_hw: usize,
+    projection: bool,
+) -> Option<crate::graph::NodeId> {
+    let mut p = conv_bn_relu(g, prev, &format!("{name}/a"), BATCH, in_c, mid_c, 1, out_hw);
+    p = conv_bn_relu(g, p, &format!("{name}/b"), BATCH, mid_c, mid_c, 3, out_hw);
+    p = conv_bn_relu(g, p, &format!("{name}/c"), BATCH, mid_c, out_c, 1, out_hw);
+    if projection {
+        p = conv_bn_relu(g, p, &format!("{name}/proj"), BATCH, in_c, out_c, 1, out_hw);
+    }
+    g.add_chain(
+        p,
+        vec![Op::new(
+            format!("{name}/add"),
+            elementwise(2, BATCH * out_c * out_hw * out_hw, 1),
+        )],
+    )
+}
+
+fn forward() -> Graph {
+    let mut g = Graph::new("resnet50");
+    // Table V: 38 MB of PCIe memory copy = 64 x 3 x 224 x 224 fp32.
+    let mut p = input_pipeline(&mut g, (BATCH * 3 * 224 * 224 * 4) as u64);
+    p = conv_bn_relu(&mut g, p, "conv1", BATCH, 3, 64, 7, 112);
+    // Max-pool to 56x56.
+    p = g.add_chain(
+        p,
+        vec![Op::new(
+            "pool1",
+            elementwise(1, BATCH * 64 * 56 * 56, 1),
+        )],
+    );
+    // (blocks, mid, out, spatial)
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 56),
+        (4, 128, 512, 28),
+        (6, 256, 1024, 14),
+        (3, 512, 2048, 7),
+    ];
+    let mut in_c = 64;
+    for (si, &(blocks, mid, out, hw)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            p = bottleneck(
+                &mut g,
+                p,
+                &format!("stage{}/block{}", si + 1, b),
+                in_c,
+                mid,
+                out,
+                hw,
+                b == 0,
+            );
+            in_c = out;
+        }
+    }
+    // Global average pool + classifier + softmax loss.
+    p = g.add_chain(
+        p,
+        vec![
+            Op::new(
+                "avgpool",
+                OpKind::Reduce {
+                    numel: BATCH * 2048 * 49,
+                    dtype: DType::F32,
+                },
+            ),
+            Op::new("fc", matmul(BATCH, 2048, 1000)),
+            Op::new(
+                "softmax",
+                OpKind::Softmax {
+                    rows: BATCH,
+                    cols: 1000,
+                    dtype: DType::F32,
+                },
+            ),
+        ],
+    );
+    let _ = p;
+    g
+}
+
+/// Builds the calibrated ResNet50 spec.
+pub fn resnet50() -> ModelSpec {
+    let training = backward::augment(&forward());
+    let mut params = ParamInventory::new();
+    // 25.5M weights, momentum SGD: x2 = 204 MB (Table IV).
+    params.push(ParamSpec::new(
+        "conv+fc",
+        ParamKind::Dense,
+        25_500_000,
+        DType::F32,
+        1,
+    ));
+    ModelSpec::assemble(
+        "ResNet50",
+        "CV",
+        CaseStudyArch::AllReduceLocal,
+        BATCH,
+        training,
+        params,
+        FeatureTargets {
+            flops_g: 1560.0,
+            mem_gb: 31.9,
+            pcie_mb: 38.0,
+            network_mb: 357.0,
+            dense_mb: 204.0,
+            embedding_mb: 0.0,
+        },
+        // Table VI row "ResNet50".
+        Efficiency::per_component(0.8255, 0.789, 0.351, 0.494, 0.494),
+        0,
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_forward_is_about_8_gflop_per_image() {
+        let g = forward();
+        let per_image = g.stats().flops.as_giga() / BATCH as f64;
+        assert!(
+            (6.5..9.0).contains(&per_image),
+            "got {per_image} GFLOP/image"
+        );
+    }
+
+    #[test]
+    fn spec_matches_table_v() {
+        let m = resnet50();
+        let s = m.graph().stats();
+        assert!((s.flops.as_tera() - 1.56).abs() / 1.56 < 0.02);
+        assert!((s.mem_access_memory_bound.as_gb() - 31.9).abs() / 31.9 < 0.02);
+        assert!((s.input_bytes.as_mb() - 38.0).abs() / 38.0 < 0.02);
+    }
+
+    #[test]
+    fn conv_mix_dominates() {
+        let m = resnet50();
+        let report = m.calibration_report();
+        assert!(
+            report.flops_pad_fraction < 0.35,
+            "pad fraction {}",
+            report.flops_pad_fraction
+        );
+    }
+
+    #[test]
+    fn params_match_table_iv() {
+        let m = resnet50();
+        assert!((m.params().dense_bytes().as_mb() - 204.0).abs() < 1.0);
+        assert!(m.params().embedding_bytes().is_zero());
+    }
+}

@@ -1,0 +1,357 @@
+//! [`ModelSpec`]: one case-study model with its published targets.
+
+use std::fmt;
+
+use pai_hw::{Bytes, Efficiency, Flops};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::op::{elementwise, Op, OpKind};
+use crate::param::ParamInventory;
+
+/// The system architecture a case-study model trains under (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseStudyArch {
+    /// Replica-mode AllReduce inside one NVLink server (8 GPUs).
+    AllReduceLocal,
+    /// Single worker, single GPU.
+    OneWorkerOneGpu,
+    /// Parameter servers + workers across servers.
+    PsWorker,
+    /// The paper's hybrid strategy: partitioned embeddings +
+    /// replicated dense weights (Sec. IV-C).
+    Pearl,
+}
+
+impl CaseStudyArch {
+    /// Table IV's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CaseStudyArch::AllReduceLocal => "AllReduce-Local",
+            CaseStudyArch::OneWorkerOneGpu => "1w1g",
+            CaseStudyArch::PsWorker => "PS/Worker",
+            CaseStudyArch::Pearl => "PEARL",
+        }
+    }
+}
+
+impl fmt::Display for CaseStudyArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The published per-model numbers this reproduction calibrates to
+/// (Tables IV and V).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureTargets {
+    /// Table V FLOP count per step (G = 1e9).
+    pub flops_g: f64,
+    /// Table V memory access per step, GB.
+    pub mem_gb: f64,
+    /// Table V PCIe memory copy per step, MB.
+    pub pcie_mb: f64,
+    /// Table V network traffic per step, MB.
+    pub network_mb: f64,
+    /// Table IV dense weights (incl. optimizer state), MB.
+    pub dense_mb: f64,
+    /// Table IV embedding weights (incl. optimizer state), MB.
+    pub embedding_mb: f64,
+}
+
+/// Relative error of the calibrated graph against its targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// (built - target) / target for FLOPs.
+    pub flops_error: f64,
+    /// (built - target) / target for memory-bound traffic.
+    pub mem_error: f64,
+    /// (built - target) / target for PCIe input bytes.
+    pub pcie_error: f64,
+    /// Fraction of total FLOPs contributed by the calibration pad.
+    pub flops_pad_fraction: f64,
+    /// Fraction of memory-bound traffic contributed by the pad.
+    pub mem_pad_fraction: f64,
+}
+
+/// One case-study model: calibrated training graph + parameter
+/// inventory + published targets + measured efficiencies (Table VI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    name: &'static str,
+    domain: &'static str,
+    arch: CaseStudyArch,
+    batch_size: usize,
+    graph: Graph,
+    params: ParamInventory,
+    targets: FeatureTargets,
+    measured_efficiency: Efficiency,
+    /// Embedding rows gathered per step (drives PEARL/PS traffic).
+    touched_embedding_rows: u64,
+    /// Embedding width.
+    embedding_dim: usize,
+    flops_pad: Flops,
+    mem_pad: Bytes,
+}
+
+impl ModelSpec {
+    /// Assembles a spec; used by the per-model builders.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        name: &'static str,
+        domain: &'static str,
+        arch: CaseStudyArch,
+        batch_size: usize,
+        training_graph: Graph,
+        params: ParamInventory,
+        targets: FeatureTargets,
+        measured_efficiency: Efficiency,
+        touched_embedding_rows: u64,
+        embedding_dim: usize,
+    ) -> ModelSpec {
+        let (graph, flops_pad, mem_pad) = calibrate(training_graph, &targets);
+        ModelSpec {
+            name,
+            domain,
+            arch,
+            batch_size,
+            graph,
+            params,
+            targets,
+            measured_efficiency,
+            touched_embedding_rows,
+            embedding_dim,
+            flops_pad,
+            mem_pad,
+        }
+    }
+
+    /// Model name as in Table IV.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Application domain as in Table IV.
+    pub fn domain(&self) -> &'static str {
+        self.domain
+    }
+
+    /// Training architecture as in Table IV.
+    pub fn arch(&self) -> CaseStudyArch {
+        self.arch
+    }
+
+    /// Per-replica batch size as in Table V.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The calibrated training graph (forward + backward + pad).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The parameter inventory (Table IV).
+    pub fn params(&self) -> &ParamInventory {
+        &self.params
+    }
+
+    /// The published targets.
+    pub fn targets(&self) -> &FeatureTargets {
+        &self.targets
+    }
+
+    /// The Table VI measured hardware efficiencies, used by the
+    /// simulator to play the testbed role in Fig. 12.
+    pub fn measured_efficiency(&self) -> &Efficiency {
+        &self.measured_efficiency
+    }
+
+    /// Embedding rows gathered per training step.
+    pub fn touched_embedding_rows(&self) -> u64 {
+        self.touched_embedding_rows
+    }
+
+    /// Embedding vector width.
+    pub fn embedding_dim(&self) -> usize {
+        self.embedding_dim
+    }
+
+    /// Bytes of embedding rows (weights only, f32) touched per step.
+    pub fn touched_embedding_bytes(&self) -> Bytes {
+        Bytes::new(self.touched_embedding_rows * self.embedding_dim as u64 * 4)
+    }
+
+    /// How far the calibrated graph sits from its targets, plus how
+    /// much of it is calibration pad.
+    pub fn calibration_report(&self) -> CalibrationReport {
+        let s = self.graph.stats();
+        let rel = |built: f64, target: f64| {
+            if target == 0.0 {
+                0.0
+            } else {
+                (built - target) / target
+            }
+        };
+        CalibrationReport {
+            flops_error: rel(s.flops.as_giga(), self.targets.flops_g),
+            mem_error: rel(s.mem_access_memory_bound.as_gb(), self.targets.mem_gb),
+            pcie_error: rel(s.input_bytes.as_mb(), self.targets.pcie_mb),
+            flops_pad_fraction: if s.flops.is_zero() {
+                0.0
+            } else {
+                self.flops_pad.as_f64() / s.flops.as_f64()
+            },
+            mem_pad_fraction: if s.mem_access_memory_bound.is_zero() {
+                0.0
+            } else {
+                self.mem_pad.as_f64() / s.mem_access_memory_bound.as_f64()
+            },
+        }
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] batch {} on {}",
+            self.name, self.domain, self.batch_size, self.arch
+        )
+    }
+}
+
+/// Appends the calibration pad closing the gap between structural
+/// totals and the Table V targets. Panics if the structural graph
+/// overshoots a target by more than 5 % — that means the layer math is
+/// wrong, not the pad.
+fn calibrate(mut graph: Graph, targets: &FeatureTargets) -> (Graph, Flops, Bytes) {
+    let s = graph.stats();
+    let target_flops = targets.flops_g * 1e9;
+    let target_mem = targets.mem_gb * 1e9;
+    let target_pcie = targets.pcie_mb * 1e6;
+
+    let check_overshoot = |built: f64, target: f64, what: &str| {
+        assert!(
+            built <= target * 1.05,
+            "structural graph overshoots the {what} target: {built} > {target}"
+        );
+    };
+    check_overshoot(s.flops.as_f64(), target_flops, "FLOP");
+    check_overshoot(s.mem_access_memory_bound.as_f64(), target_mem, "memory");
+    check_overshoot(s.input_bytes.as_f64(), target_pcie, "PCIe");
+
+    let tail = graph.topo_order().last().copied();
+
+    let flops_deficit = (target_flops - s.flops.as_f64()).max(0.0);
+    let mut flops_pad = Flops::ZERO;
+    let mut prev = tail;
+    if flops_deficit > target_flops * 0.001 {
+        // A square-ish GEMM carrying exactly the deficit.
+        let k = 1024usize;
+        let m = 256usize;
+        let n = ((flops_deficit / (2.0 * m as f64 * k as f64)).ceil() as usize).max(1);
+        let op = Op::new("calibration/compute", crate::op::matmul(m, k, n));
+        flops_pad = op.kind().flops();
+        prev = graph.add_chain(prev, vec![op]);
+    }
+
+    // Re-measure: the pad matmul added a little memory traffic too —
+    // only to the total, not to the memory-bound figure we target.
+    let mem_deficit = (target_mem - s.mem_access_memory_bound.as_f64()).max(0.0);
+    let mut mem_pad = Bytes::ZERO;
+    if mem_deficit > target_mem * 0.001 {
+        // The pad is a CHAIN of unfused element-wise ops, not one op:
+        // the measured traffic it stands in for is framework-generated
+        // pointwise work that XLA demonstrably fuses (Sec. IV-D), so it
+        // must be fusable here too.
+        const PAD_CHAIN: usize = 4;
+        let numel = (mem_deficit / (2.0 * 4.0 * PAD_CHAIN as f64)).ceil() as usize;
+        let ops: Vec<Op> = (0..PAD_CHAIN)
+            .map(|i| Op::new(format!("calibration/memory{i}"), elementwise(1, numel.max(1), 1)))
+            .collect();
+        mem_pad = ops.iter().map(|op| op.kind().mem_bytes()).sum();
+        prev = graph.add_chain(prev, ops);
+    }
+
+    let pcie_deficit = (target_pcie - s.input_bytes.as_f64()).max(0.0);
+    if pcie_deficit > target_pcie * 0.001 {
+        let op = Op::new(
+            "calibration/input",
+            OpKind::DataLoad {
+                bytes: pcie_deficit.round() as u64,
+            },
+        );
+        graph.add_chain(prev, vec![op]);
+    }
+
+    (graph, flops_pad, mem_pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::matmul;
+
+    fn targets() -> FeatureTargets {
+        FeatureTargets {
+            flops_g: 10.0,
+            mem_gb: 1.0,
+            pcie_mb: 5.0,
+            network_mb: 100.0,
+            dense_mb: 200.0,
+            embedding_mb: 0.0,
+        }
+    }
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new("tiny");
+        g.add(Op::new("mm", matmul(64, 64, 64)));
+        g.add(Op::new("ew", elementwise(1, 1000, 1)));
+        g
+    }
+
+    #[test]
+    fn calibration_hits_targets() {
+        let (g, flops_pad, mem_pad) = calibrate(tiny_graph(), &targets());
+        let s = g.stats();
+        assert!((s.flops.as_giga() - 10.0).abs() / 10.0 < 0.01);
+        assert!((s.mem_access_memory_bound.as_gb() - 1.0).abs() < 0.01);
+        assert!((s.input_bytes.as_mb() - 5.0).abs() < 0.01);
+        assert!(flops_pad.as_f64() > 0.0);
+        assert!(mem_pad.as_f64() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overshoots the FLOP target")]
+    fn calibration_rejects_overshoot() {
+        let mut g = Graph::new("big");
+        g.add(Op::new("mm", matmul(4096, 4096, 4096)));
+        let mut t = targets();
+        t.flops_g = 1.0;
+        let _ = calibrate(g, &t);
+    }
+
+    #[test]
+    fn no_pad_when_targets_already_met() {
+        let (g, _, _) = calibrate(tiny_graph(), &targets());
+        let s = g.stats();
+        let t = FeatureTargets {
+            flops_g: s.flops.as_giga(),
+            mem_gb: s.mem_access_memory_bound.as_gb(),
+            pcie_mb: s.input_bytes.as_mb(),
+            ..targets()
+        };
+        let before = g.len();
+        let (g2, fp, mp) = calibrate(g, &t);
+        assert_eq!(g2.len(), before);
+        assert!(fp.is_zero());
+        assert!(mp.is_zero());
+    }
+
+    #[test]
+    fn arch_labels() {
+        assert_eq!(CaseStudyArch::Pearl.to_string(), "PEARL");
+        assert_eq!(CaseStudyArch::AllReduceLocal.label(), "AllReduce-Local");
+    }
+}

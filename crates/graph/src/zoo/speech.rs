@@ -1,0 +1,135 @@
+//! Speech (Table IV row 4): acoustic model, 1w1g, batch 32.
+//!
+//! "Composed of CNN followed by Long Short-Term Memory (LSTM)
+//! architecture with layer normalization" (Sec. IV-A). The unrolled
+//! recurrence produces thousands of *small* kernels — tiny GEMMs and
+//! element-wise state updates — which is exactly why the paper measures
+//! only 3.1 % memory-bandwidth efficiency for this model (Table VI)
+//! and why its analytical estimate misses by 66.7 % (Fig. 12).
+
+use pai_hw::Efficiency;
+
+use crate::backward;
+use crate::dtype::DType;
+use crate::graph::Graph;
+use crate::op::{matmul, Op, OpKind};
+use crate::param::{ParamInventory, ParamKind, ParamSpec};
+
+use super::layers::{conv_bn_relu, input_pipeline, lstm_step};
+use super::spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+
+const BATCH: usize = 32;
+const TIMESTEPS: usize = 420;
+const HIDDEN: usize = 1024;
+const LSTM_LAYERS: usize = 5;
+const VOCAB: usize = 8_000;
+
+fn forward() -> Graph {
+    let mut g = Graph::new("speech");
+    // Table V: 804 MB of PCIe copy — fp32 spectrogram windows.
+    let mut p = input_pipeline(&mut g, 804_000_000);
+    // A small convolutional front-end over the spectrogram.
+    p = conv_bn_relu(&mut g, p, "cnn1", BATCH, 1, 32, 3, 256);
+    p = conv_bn_relu(&mut g, p, "cnn2", BATCH, 32, 32, 3, 128);
+    // Project into the recurrent width.
+    p = g.add_chain(
+        p,
+        vec![Op::new("proj", matmul(BATCH * TIMESTEPS, 512, HIDDEN))],
+    );
+    for layer in 0..LSTM_LAYERS {
+        for t in 0..TIMESTEPS {
+            p = lstm_step(
+                &mut g,
+                p,
+                &format!("lstm{layer}/t{t}"),
+                BATCH,
+                HIDDEN,
+                HIDDEN,
+            );
+        }
+        // Layer normalization between recurrent layers (Sec. IV-A).
+        p = g.add_chain(
+            p,
+            vec![Op::new(
+                format!("lstm{layer}/layernorm"),
+                OpKind::LayerNorm {
+                    numel: BATCH * TIMESTEPS * HIDDEN,
+                    dtype: DType::F32,
+                },
+            )],
+        );
+    }
+    let _ = g.add_chain(
+        p,
+        vec![Op::new("logits", matmul(BATCH * TIMESTEPS, HIDDEN, VOCAB))],
+    );
+    g
+}
+
+/// Builds the calibrated Speech spec.
+pub fn speech() -> ModelSpec {
+    let training = backward::augment(&forward());
+    let mut params = ParamInventory::new();
+    // 52M weights (5 LSTM layers + CNN + projections), momentum: 416 MB.
+    params.push(ParamSpec::new(
+        "cnn+lstm",
+        ParamKind::Dense,
+        52_000_000,
+        DType::F32,
+        1,
+    ));
+    ModelSpec::assemble(
+        "Speech",
+        "Speech recognition",
+        CaseStudyArch::OneWorkerOneGpu,
+        BATCH,
+        training,
+        params,
+        FeatureTargets {
+            flops_g: 7900.0,
+            mem_gb: 20.4,
+            pcie_mb: 804.0,
+            network_mb: 728.0,
+            dense_mb: 416.0,
+            embedding_mb: 0.0,
+        },
+        // Table VI row "Audio": note the 3.1 % GDDR efficiency.
+        Efficiency::per_component(0.6086, 0.031, 0.7773, 0.405, 0.405),
+        0,
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrolled_recurrence_produces_many_small_kernels() {
+        let m = speech();
+        // 5 layers x 420 steps x 11 ops, x ~2.2 for backward.
+        assert!(m.graph().len() > 40_000, "got {} ops", m.graph().len());
+    }
+
+    #[test]
+    fn spec_matches_table_v() {
+        let m = speech();
+        let s = m.graph().stats();
+        assert!((s.flops.as_tera() - 7.9).abs() / 7.9 < 0.02);
+        assert!((s.mem_access_memory_bound.as_gb() - 20.4).abs() / 20.4 < 0.02);
+        assert!((s.input_bytes.as_mb() - 804.0).abs() / 804.0 < 0.02);
+    }
+
+    #[test]
+    fn structural_forward_undershoots_measured_flops() {
+        let fwd_g = forward().stats().flops.as_giga();
+        assert!(fwd_g * 3.0 < 7900.0, "forward too big: {fwd_g}");
+        assert!(fwd_g * 3.0 > 3500.0, "forward too small: {fwd_g}");
+    }
+
+    #[test]
+    fn params_match_table_iv() {
+        let m = speech();
+        assert!((m.params().dense_bytes().as_mb() - 416.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for graph construction, backward synthesis and the
+//! optimization passes.
+
+use pai_graph::backward;
+use pai_graph::op::{elementwise, matmul, Op};
+use pai_graph::passes::{apply_mixed_precision, fuse_elementwise};
+use pai_graph::{Graph, OpKind};
+use proptest::prelude::*;
+
+/// A random chain graph alternating matmuls and element-wise chains.
+fn chain_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..64, 1usize..64, 1usize..64).prop_map(|(m, k, n)| matmul(m, k, n)),
+            (1usize..3, 1usize..100_000, 1usize..4)
+                .prop_map(|(a, n, f)| elementwise(a, n, f)),
+        ],
+        1..40,
+    )
+    .prop_map(|kinds| {
+        let mut g = Graph::new("prop");
+        let ops = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Op::new(format!("op{i}"), kind))
+            .collect();
+        g.add_chain(None, ops);
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn topo_order_is_a_permutation(g in chain_graph()) {
+        let order = g.topo_order();
+        prop_assert_eq!(order.len(), g.len());
+        let mut seen: Vec<usize> = order.iter().map(|n| n.index()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..g.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backward_at_least_doubles_compute(g in chain_graph()) {
+        let train = backward::augment(&g);
+        let fwd = g.stats();
+        let all = train.stats();
+        // Every contraction gains dgrad+wgrad of equal cost.
+        prop_assert!((all.flops.as_f64() - 3.0 * fwd.flops.as_f64()).abs()
+            <= 1e-9 * fwd.flops.as_f64().max(1.0));
+        // Memory traffic strictly grows when there are memory-bound ops.
+        if fwd.memory_bound_ops > 0 {
+            prop_assert!(
+                all.mem_access_memory_bound.as_f64() > fwd.mem_access_memory_bound.as_f64()
+            );
+        }
+        // The training graph stays acyclic.
+        prop_assert_eq!(train.topo_order().len(), train.len());
+    }
+
+    #[test]
+    fn fusion_preserves_arithmetic_and_reduces_traffic(g in chain_graph()) {
+        let fused = fuse_elementwise(&g);
+        let before = g.stats();
+        let after = fused.stats();
+        prop_assert_eq!(after.flops.as_f64(), before.flops.as_f64());
+        prop_assert!(
+            (after.memory_bound_flops.as_f64() - before.memory_bound_flops.as_f64()).abs()
+                <= 1e-9 * before.memory_bound_flops.as_f64().max(1.0)
+        );
+        prop_assert!(
+            after.mem_access_memory_bound.as_f64()
+                <= before.mem_access_memory_bound.as_f64() + 1e-9
+        );
+        prop_assert!(after.total_ops <= before.total_ops);
+        // Fusion bookkeeping is consistent.
+        prop_assert_eq!(
+            after.total_ops + after.fused_away_ops - before.fused_away_ops,
+            before.total_ops
+        );
+    }
+
+    #[test]
+    fn fusion_is_idempotent(g in chain_graph()) {
+        let once = fuse_elementwise(&g);
+        let twice = fuse_elementwise(&once);
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert_eq!(
+            once.stats().mem_access_memory_bound.as_f64(),
+            twice.stats().mem_access_memory_bound.as_f64()
+        );
+    }
+
+    #[test]
+    fn mixed_precision_preserves_flops_and_marks_contractions(g in chain_graph()) {
+        let (mp, routed) = apply_mixed_precision(&g);
+        prop_assert_eq!(mp.stats().flops.as_f64(), g.stats().flops.as_f64());
+        prop_assert_eq!(routed, g.stats().compute_bound_ops);
+        if routed > 0 {
+            prop_assert_eq!(
+                mp.stats().tensor_core_flops.as_f64(),
+                mp.stats().flops.as_f64()
+            );
+        }
+        // Idempotence.
+        let (_, again) = apply_mixed_precision(&mp);
+        prop_assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn op_costs_are_nonnegative_and_scale_with_size(
+        m in 1usize..256, k in 1usize..256, n in 1usize..256,
+    ) {
+        let small = matmul(m, k, n);
+        let big = matmul(m * 2, k, n);
+        prop_assert!(big.flops().as_f64() == 2.0 * small.flops().as_f64());
+        prop_assert!(big.mem_bytes().as_f64() > small.mem_bytes().as_f64());
+    }
+
+    #[test]
+    fn dataload_costs_live_on_pcie_only(bytes in 0u64..(1u64 << 50)) {
+        let op = OpKind::DataLoad { bytes };
+        prop_assert_eq!(op.pcie_bytes().as_u64(), bytes);
+        prop_assert!(op.flops().is_zero());
+    }
+}

@@ -1,0 +1,217 @@
+//! GPU device models.
+//!
+//! Two GPU generations appear in the paper: the generic cluster GPU of
+//! Table I (11 TFLOPs, 1 TB/s memory) used for the collective analysis
+//! of Sec. III, and the Tesla V100 of the Sec. IV testbed (15 TFLOPs
+//! FP32, up to 8× that with TensorCore mixed precision, ~0.9–1 TB/s HBM2).
+
+use std::fmt;
+
+use crate::quantity::{Bandwidth, Bytes, FlopsRate};
+
+/// Static description of a GPU device.
+///
+/// # Examples
+///
+/// ```
+/// use pai_hw::GpuSpec;
+/// let v100 = GpuSpec::tesla_v100();
+/// assert_eq!(v100.peak_flops().as_tera_per_sec(), 15.0);
+/// assert_eq!(v100.tensor_core_flops().as_tera_per_sec(), 120.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    name: &'static str,
+    peak_flops: FlopsRate,
+    tensor_core_flops: FlopsRate,
+    memory_bandwidth: Bandwidth,
+    memory_capacity: Bytes,
+}
+
+impl GpuSpec {
+    /// Creates a GPU spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TensorCore rate is below the standard FP32 rate
+    /// (mixed precision never loses peak throughput).
+    pub fn new(
+        name: &'static str,
+        peak_flops: FlopsRate,
+        tensor_core_flops: FlopsRate,
+        memory_bandwidth: Bandwidth,
+        memory_capacity: Bytes,
+    ) -> Self {
+        assert!(
+            tensor_core_flops.as_flops_per_sec() >= peak_flops.as_flops_per_sec(),
+            "TensorCore peak must be at least the FP32 peak"
+        );
+        GpuSpec {
+            name,
+            peak_flops,
+            tensor_core_flops,
+            memory_bandwidth,
+            memory_capacity,
+        }
+    }
+
+    /// The generic cluster GPU of Table I: 11 TFLOPs, 1 TB/s memory.
+    ///
+    /// Table I does not quote a TensorCore rate or a memory capacity for
+    /// the fleet GPU; we use the V100's 8× TensorCore multiplier
+    /// (Sec. III-B cites "up to 8X higher peak FLOPS on Tesla V100")
+    /// and its 16 GB capacity.
+    pub fn pai_cluster_default() -> Self {
+        GpuSpec::new(
+            "PAI-cluster-GPU",
+            FlopsRate::from_tera_per_sec(11.0),
+            FlopsRate::from_tera_per_sec(88.0),
+            Bandwidth::from_tb_per_sec(1.0),
+            Bytes::from_gib(16.0),
+        )
+    }
+
+    /// The Tesla V100 of the Sec. IV testbed: 15 TFLOPs FP32,
+    /// 120 TFLOPs TensorCore, 1 TB/s HBM2 (rounded as in Table I),
+    /// 16 GiB capacity.
+    pub fn tesla_v100() -> Self {
+        GpuSpec::new(
+            "Tesla-V100",
+            FlopsRate::from_tera_per_sec(15.0),
+            FlopsRate::from_tera_per_sec(120.0),
+            Bandwidth::from_tb_per_sec(1.0),
+            Bytes::from_gib(16.0),
+        )
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Peak FP32 throughput (the `peak_FLOPs` of Eq. 1).
+    pub fn peak_flops(&self) -> FlopsRate {
+        self.peak_flops
+    }
+
+    /// Peak mixed-precision (TensorCore) throughput.
+    pub fn tensor_core_flops(&self) -> FlopsRate {
+        self.tensor_core_flops
+    }
+
+    /// Memory bandwidth (the `B_mem_access` of Eq. 1).
+    pub fn memory_bandwidth(&self) -> Bandwidth {
+        self.memory_bandwidth
+    }
+
+    /// Device memory capacity; bounds which models can train under the
+    /// AllReduce replica mode (Sec. III-A).
+    pub fn memory_capacity(&self) -> Bytes {
+        self.memory_capacity
+    }
+
+    /// The TensorCore-to-FP32 peak ratio (8.0 for V100).
+    pub fn tensor_core_multiplier(&self) -> f64 {
+        self.tensor_core_flops.as_flops_per_sec() / self.peak_flops.as_flops_per_sec()
+    }
+
+    /// True when a replica of `weights` bytes fits entirely in device
+    /// memory — the paper's criterion for AllReduce eligibility
+    /// (Sec. III-A: "small to medium scale models that can fit into the
+    /// GPU memory entirely").
+    pub fn fits_in_memory(&self, weights: Bytes) -> bool {
+        weights.as_f64() <= self.memory_capacity.as_f64()
+    }
+
+    /// A copy with scaled peak FLOPs (Table III sweep axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or not strictly positive.
+    pub fn with_scaled_flops(&self, factor: f64) -> GpuSpec {
+        GpuSpec {
+            peak_flops: self.peak_flops.scale(factor),
+            tensor_core_flops: self.tensor_core_flops.scale(factor),
+            ..*self
+        }
+    }
+
+    /// A copy with scaled memory bandwidth (Table III sweep axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or not strictly positive.
+    pub fn with_scaled_memory_bandwidth(&self, factor: f64) -> GpuSpec {
+        GpuSpec {
+            memory_bandwidth: self.memory_bandwidth.scale(factor),
+            ..*self
+        }
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::pai_cluster_default()
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, mem {})",
+            self.name, self.peak_flops, self.memory_bandwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_default_matches_table_i() {
+        let gpu = GpuSpec::pai_cluster_default();
+        assert_eq!(gpu.peak_flops().as_tera_per_sec(), 11.0);
+        assert!((gpu.memory_bandwidth().as_gb_per_sec() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v100_tensor_core_multiplier_is_eight() {
+        let gpu = GpuSpec::tesla_v100();
+        assert!((gpu.tensor_core_multiplier() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_fit_criterion() {
+        let gpu = GpuSpec::tesla_v100();
+        // ResNet50's 204 MB fits; Multi-Interests' 239 GB embedding does not.
+        assert!(gpu.fits_in_memory(Bytes::from_mb(204.0)));
+        assert!(!gpu.fits_in_memory(Bytes::from_gb(239.0)));
+    }
+
+    #[test]
+    fn scaling_flops_keeps_tensor_core_ratio() {
+        let gpu = GpuSpec::pai_cluster_default().with_scaled_flops(4.0);
+        assert!((gpu.peak_flops().as_tera_per_sec() - 44.0).abs() < 1e-9);
+        assert!((gpu.tensor_core_multiplier() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_memory_bandwidth() {
+        let gpu = GpuSpec::pai_cluster_default().with_scaled_memory_bandwidth(4.0);
+        assert!((gpu.memory_bandwidth().as_gb_per_sec() - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "TensorCore peak")]
+    fn rejects_tensor_core_below_fp32() {
+        let _ = GpuSpec::new(
+            "bad",
+            FlopsRate::from_tera_per_sec(10.0),
+            FlopsRate::from_tera_per_sec(5.0),
+            Bandwidth::from_tb_per_sec(1.0),
+            Bytes::from_gib(16.0),
+        );
+    }
+}

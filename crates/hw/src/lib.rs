@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Hardware models for the Alibaba-PAI workload characterization study.
+//!
+//! This crate models the hardware vocabulary of the paper
+//! *Characterizing Deep Learning Training Workloads on Alibaba-PAI*
+//! (IISWC 2019): GPUs, the interconnects between them (PCIe, NVLink,
+//! Ethernet) and between a GPU and its memory (HBM), servers with and
+//! without NVLink (Fig. 1), clusters of such servers, the baseline
+//! system settings of Table I, the hardware-variation grid of
+//! Table III, and the hardware-efficiency derating assumption of
+//! Sec. II-B / Sec. V-A.
+//!
+//! Everything downstream — the analytical model in `pai-core`, the
+//! discrete-event simulator in `pai-sim`, the collective-communication
+//! cost models in `pai-collectives` — consumes these types.
+//!
+//! # Examples
+//!
+//! ```
+//! use pai_hw::{HardwareConfig, LinkKind};
+//!
+//! let cfg = HardwareConfig::pai_default();
+//! // Table I: 25 Gbps Ethernet is 3.125 GB/s raw.
+//! let eth = cfg.link(LinkKind::Ethernet);
+//! assert!((eth.bandwidth().as_gb_per_sec() - 3.125).abs() < 1e-9);
+//! ```
+
+pub mod config;
+pub mod efficiency;
+pub mod gpu;
+pub mod link;
+pub mod quantity;
+pub mod topology;
+
+pub use config::{HardwareConfig, SweepAxis, SweepPoint};
+pub use efficiency::Efficiency;
+pub use gpu::GpuSpec;
+pub use link::{LinkKind, LinkModel};
+pub use quantity::{Bandwidth, Bytes, Flops, FlopsRate, Seconds};
+pub use topology::{ClusterSpec, ServerSpec};

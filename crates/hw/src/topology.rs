@@ -1,0 +1,269 @@
+//! Server and cluster topologies (Fig. 1).
+//!
+//! The paper's AI cluster contains two server flavors: PCIe-only
+//! (Fig. 1a) and NVLink hybrid-mesh (Fig. 1b), both with up to eight
+//! GPUs, interconnected by bi-directional 25 Gbps Ethernet. The Sec. IV
+//! testbed is 64 NVLink servers with 8× V100 each.
+
+use std::fmt;
+
+use crate::gpu::GpuSpec;
+use crate::link::{LinkKind, LinkModel};
+use crate::quantity::{Bandwidth, Bytes};
+
+/// A multi-GPU server (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerSpec {
+    gpu: GpuSpec,
+    gpus_per_server: usize,
+    has_nvlink: bool,
+    pcie: LinkModel,
+    nvlink: Option<LinkModel>,
+    cpu_cores: usize,
+    ram: Bytes,
+}
+
+impl ServerSpec {
+    /// Creates a server spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_server` is zero or `nvlink` is inconsistent
+    /// with `has_nvlink`.
+    pub fn new(
+        gpu: GpuSpec,
+        gpus_per_server: usize,
+        pcie: LinkModel,
+        nvlink: Option<LinkModel>,
+        cpu_cores: usize,
+        ram: Bytes,
+    ) -> Self {
+        assert!(gpus_per_server > 0, "a server must host at least one GPU");
+        if let Some(link) = &nvlink {
+            assert_eq!(
+                link.kind(),
+                LinkKind::NvLink,
+                "the nvlink slot must hold an NVLink link model"
+            );
+        }
+        assert_eq!(
+            pcie.kind(),
+            LinkKind::Pcie,
+            "the pcie slot must hold a PCIe link model"
+        );
+        ServerSpec {
+            gpu,
+            gpus_per_server,
+            has_nvlink: nvlink.is_some(),
+            pcie,
+            nvlink,
+            cpu_cores,
+            ram,
+        }
+    }
+
+    /// A PCIe-only server (Fig. 1a) with Table I settings.
+    pub fn pcie_only(gpu: GpuSpec, gpus_per_server: usize, efficiency: f64) -> Self {
+        ServerSpec::new(
+            gpu,
+            gpus_per_server,
+            LinkModel::new(LinkKind::Pcie, Bandwidth::from_gb_per_sec(10.0), efficiency),
+            None,
+            96,
+            Bytes::from_gib(128.0),
+        )
+    }
+
+    /// An NVLink hybrid-mesh server (Fig. 1b) with Table I settings,
+    /// matching the Sec. IV testbed (96-core CPU, 128 GB RAM,
+    /// 10 GB/s PCIe, 50 GB/s NVLink).
+    pub fn nvlink_mesh(gpu: GpuSpec, gpus_per_server: usize, efficiency: f64) -> Self {
+        ServerSpec::new(
+            gpu,
+            gpus_per_server,
+            LinkModel::new(LinkKind::Pcie, Bandwidth::from_gb_per_sec(10.0), efficiency),
+            Some(LinkModel::new(
+                LinkKind::NvLink,
+                Bandwidth::from_gb_per_sec(50.0),
+                efficiency,
+            )),
+            96,
+            Bytes::from_gib(128.0),
+        )
+    }
+
+    /// The GPU model installed in this server.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Number of GPUs per server (8 in both Fig. 1 flavors).
+    pub fn gpus_per_server(&self) -> usize {
+        self.gpus_per_server
+    }
+
+    /// True for the Fig. 1b flavor.
+    pub fn has_nvlink(&self) -> bool {
+        self.has_nvlink
+    }
+
+    /// The CPU↔GPU PCIe link.
+    pub fn pcie(&self) -> LinkModel {
+        self.pcie
+    }
+
+    /// The GPU↔GPU NVLink link, if installed.
+    pub fn nvlink(&self) -> Option<LinkModel> {
+        self.nvlink
+    }
+
+    /// The fastest intra-server GPU↔GPU medium: NVLink when installed,
+    /// PCIe otherwise. This is the link an AllReduce-Local job uses for
+    /// weight movement (Table II).
+    pub fn gpu_interconnect(&self) -> LinkModel {
+        self.nvlink.unwrap_or(self.pcie)
+    }
+
+    /// CPU core count (the testbed's Xeon Platinum 8163 has 96).
+    pub fn cpu_cores(&self) -> usize {
+        self.cpu_cores
+    }
+
+    /// Host RAM; holds PS-side variables and input pipelines.
+    pub fn ram(&self) -> Bytes {
+        self.ram
+    }
+}
+
+impl fmt::Display for ServerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x {} ({})",
+            self.gpus_per_server,
+            self.gpu.name(),
+            if self.has_nvlink { "NVLink mesh" } else { "PCIe only" }
+        )
+    }
+}
+
+/// A cluster of identical servers joined by Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    server: ServerSpec,
+    num_servers: usize,
+    ethernet: LinkModel,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_servers` is zero or `ethernet` is not an Ethernet
+    /// link model.
+    pub fn new(server: ServerSpec, num_servers: usize, ethernet: LinkModel) -> Self {
+        assert!(num_servers > 0, "a cluster must contain at least one server");
+        assert_eq!(
+            ethernet.kind(),
+            LinkKind::Ethernet,
+            "the ethernet slot must hold an Ethernet link model"
+        );
+        ClusterSpec {
+            server,
+            num_servers,
+            ethernet,
+        }
+    }
+
+    /// The Sec. IV testbed: 64 NVLink servers with 8 V100 each,
+    /// 25 Gbps bi-directional Ethernet.
+    pub fn testbed(efficiency: f64) -> Self {
+        ClusterSpec::new(
+            ServerSpec::nvlink_mesh(GpuSpec::tesla_v100(), 8, efficiency),
+            64,
+            LinkModel::new(
+                LinkKind::Ethernet,
+                Bandwidth::from_gbit_per_sec(25.0),
+                efficiency,
+            ),
+        )
+    }
+
+    /// The per-server spec.
+    pub fn server(&self) -> &ServerSpec {
+        &self.server
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// The server↔server Ethernet link.
+    pub fn ethernet(&self) -> LinkModel {
+        self.ethernet
+    }
+
+    /// Total GPU count across the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.num_servers * self.server.gpus_per_server()
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} servers of {}", self.num_servers, self.server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_server_uses_nvlink_for_gpu_interconnect() {
+        let s = ServerSpec::nvlink_mesh(GpuSpec::tesla_v100(), 8, 0.7);
+        assert!(s.has_nvlink());
+        assert_eq!(s.gpu_interconnect().kind(), LinkKind::NvLink);
+        assert!((s.gpu_interconnect().bandwidth().as_gb_per_sec() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_server_falls_back_to_pcie() {
+        let s = ServerSpec::pcie_only(GpuSpec::pai_cluster_default(), 8, 0.7);
+        assert!(!s.has_nvlink());
+        assert_eq!(s.gpu_interconnect().kind(), LinkKind::Pcie);
+    }
+
+    #[test]
+    fn testbed_matches_section_iv() {
+        let c = ClusterSpec::testbed(0.7);
+        assert_eq!(c.num_servers(), 64);
+        assert_eq!(c.server().gpus_per_server(), 8);
+        assert_eq!(c.total_gpus(), 512);
+        assert!((c.ethernet().bandwidth().as_gbit_per_sec() - 25.0).abs() < 1e-9);
+        assert_eq!(c.server().cpu_cores(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn rejects_gpuless_server() {
+        let _ = ServerSpec::pcie_only(GpuSpec::default(), 0, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ethernet link model")]
+    fn rejects_wrong_ethernet_kind() {
+        let s = ServerSpec::pcie_only(GpuSpec::default(), 8, 0.7);
+        let not_eth = LinkModel::new(LinkKind::Pcie, Bandwidth::from_gb_per_sec(10.0), 0.7);
+        let _ = ClusterSpec::new(s, 4, not_eth);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = ClusterSpec::testbed(0.7);
+        assert!(!format!("{c}").is_empty());
+        assert!(!format!("{}", c.server()).is_empty());
+    }
+}

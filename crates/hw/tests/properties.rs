@@ -1,0 +1,92 @@
+//! Property tests for the quantity algebra and configuration space.
+
+use pai_hw::{
+    Bandwidth, Bytes, Efficiency, Flops, FlopsRate, HardwareConfig, LinkKind, LinkModel,
+    Seconds, SweepAxis, SweepPoint,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    // Stay within f64's exact-integer range (2^53).
+    fn byte_addition_is_commutative_and_monotone(a in 0u64..(1u64 << 50), b in 0u64..(1u64 << 50)) {
+        let (x, y) = (Bytes::new(a), Bytes::new(b));
+        prop_assert_eq!((x + y).as_u64(), (y + x).as_u64());
+        prop_assert!((x + y).as_f64() >= x.as_f64());
+        // saturating_sub never goes negative and inverts addition.
+        prop_assert_eq!((x + y).saturating_sub(y).as_u64(), x.as_u64());
+        prop_assert_eq!(Bytes::ZERO.saturating_sub(x), Bytes::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_scales_inversely_with_bandwidth(
+        bytes in 1u64..1_000_000_000_000,
+        gb_s in 0.1f64..1000.0,
+        factor in 1.1f64..100.0,
+    ) {
+        let volume = Bytes::new(bytes);
+        let slow = volume / Bandwidth::from_gb_per_sec(gb_s);
+        let fast = volume / Bandwidth::from_gb_per_sec(gb_s * factor);
+        prop_assert!((slow.as_f64() / fast.as_f64() - factor).abs() < 1e-6 * factor);
+    }
+
+    #[test]
+    fn gbit_to_gbyte_is_factor_eight(gbit in 0.1f64..10_000.0) {
+        let bw = Bandwidth::from_gbit_per_sec(gbit);
+        prop_assert!((bw.as_gb_per_sec() * 8.0 - gbit).abs() < 1e-9 * gbit);
+    }
+
+    #[test]
+    fn link_efficiency_never_increases_bandwidth(
+        gb_s in 0.1f64..1000.0,
+        eff in 0.001f64..1.0,
+    ) {
+        let link = LinkModel::new(LinkKind::Pcie, Bandwidth::from_gb_per_sec(gb_s), eff);
+        prop_assert!(
+            link.effective_bandwidth().as_bytes_per_sec()
+                <= link.bandwidth().as_bytes_per_sec() + 1e-6
+        );
+        // Transfer time under derating is at least the raw time.
+        let v = Bytes::from_mb(100.0);
+        let raw = v / link.bandwidth();
+        prop_assert!(link.transfer_time(v).as_f64() >= raw.as_f64() - 1e-15);
+    }
+
+    #[test]
+    fn flops_division_roundtrips(fl in 1u64..u64::MAX / 2, tflops in 0.5f64..200.0) {
+        let f = Flops::from_f64(fl as f64);
+        let rate = FlopsRate::from_tera_per_sec(tflops);
+        let t = f / rate;
+        prop_assert!((t.as_f64() * rate.as_flops_per_sec() - f.as_f64()).abs() < 1e-6 * f.as_f64());
+    }
+
+    #[test]
+    fn seconds_max_min_are_lattice_ops(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (x, y) = (Seconds::from_f64(a), Seconds::from_f64(b));
+        prop_assert_eq!(x.max(y).as_f64(), a.max(b));
+        prop_assert_eq!(x.min(y).as_f64(), a.min(b));
+        prop_assert!((x.max(y) + x.min(y)).as_f64() - (a + b) < 1e-9);
+    }
+
+    #[test]
+    fn sweep_preserves_other_axes(axis_idx in 0usize..4, value_idx in 0usize..4) {
+        let axis = SweepAxis::ALL[axis_idx];
+        let candidates = axis.candidates();
+        let value = candidates[value_idx % candidates.len()];
+        let cfg = HardwareConfig::pai_default().with_resource(SweepPoint { axis, value });
+        for other in SweepAxis::ALL {
+            if other != axis {
+                prop_assert!((cfg.normalized_resource(other) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_efficiency_reports_uniformly(eff in 0.01f64..1.0) {
+        let e = Efficiency::uniform(eff);
+        for kind in LinkKind::ALL {
+            prop_assert_eq!(e.link(kind), eff);
+        }
+        prop_assert_eq!(e.compute(), eff);
+    }
+}

@@ -1,0 +1,358 @@
+//! Strategy definitions and their communication plans.
+
+use pai_collectives::{hierarchical, ps, ring, CommPlan, Transfer};
+use pai_graph::zoo::{CaseStudyArch, ModelSpec};
+use pai_hw::{Bytes, LinkKind};
+use serde::{Deserialize, Serialize};
+
+/// A model's communication-relevant volumes, decoupled from the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelComm {
+    /// Dense parameter bytes (incl. optimizer state, the Table IV
+    /// convention — momentum must move with its weight under PS).
+    pub dense_bytes: Bytes,
+    /// Full embedding-table bytes.
+    pub embedding_table_bytes: Bytes,
+    /// Embedding-row bytes actually gathered per step.
+    pub touched_embedding_bytes: Bytes,
+}
+
+impl ModelComm {
+    /// Extracts the volumes from a zoo model.
+    pub fn of(model: &ModelSpec) -> ModelComm {
+        ModelComm {
+            dense_bytes: model.params().dense_bytes(),
+            embedding_table_bytes: model.params().embedding_bytes(),
+            touched_embedding_bytes: model.touched_embedding_bytes(),
+        }
+    }
+}
+
+/// A distribution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Single worker, single GPU: no synchronization.
+    OneWorkerOneGpu,
+    /// Parameter servers + workers over Ethernet & PCIe (Table II).
+    PsWorker {
+        /// Worker count.
+        workers: usize,
+        /// Whether sparse variables move only their touched rows
+        /// (`true`, production behavior) or the whole table (`false`,
+        /// the naive baseline PEARL's design argument cites).
+        sparse_aware: bool,
+    },
+    /// Replica-mode ring AllReduce inside one NVLink server.
+    AllReduceLocal {
+        /// GPUs in the ring (≤ 8).
+        gpus: usize,
+    },
+    /// Cross-server AllReduce.
+    AllReduceCluster {
+        /// GPUs per server.
+        gpus_per_server: usize,
+        /// Server count.
+        servers: usize,
+        /// `true`: the exact hierarchical algorithm; `false`: the
+        /// paper's simple Ethernet&NVLink accounting.
+        hierarchical: bool,
+    },
+    /// PEARL: partitioned embeddings + replicated dense over NVLink
+    /// (Sec. IV-C).
+    Pearl {
+        /// GPUs holding embedding shards.
+        gpus: usize,
+    },
+}
+
+impl Strategy {
+    /// The natural strategy for a case-study model at its Table IV
+    /// architecture with `n` replicas.
+    pub fn for_model(model: &ModelSpec, n: usize) -> Strategy {
+        match model.arch() {
+            CaseStudyArch::OneWorkerOneGpu => Strategy::OneWorkerOneGpu,
+            CaseStudyArch::PsWorker => Strategy::PsWorker {
+                workers: n,
+                sparse_aware: true,
+            },
+            CaseStudyArch::AllReduceLocal => Strategy::AllReduceLocal { gpus: n.clamp(1, 8) },
+            CaseStudyArch::Pearl => Strategy::Pearl { gpus: n.clamp(1, 8) },
+        }
+    }
+
+    /// Number of replicas the strategy runs.
+    pub fn replicas(&self) -> usize {
+        match *self {
+            Strategy::OneWorkerOneGpu => 1,
+            Strategy::PsWorker { workers, .. } => workers,
+            Strategy::AllReduceLocal { gpus } => gpus,
+            Strategy::AllReduceCluster {
+                gpus_per_server,
+                servers,
+                ..
+            } => gpus_per_server * servers,
+            Strategy::Pearl { gpus } => gpus,
+        }
+    }
+
+    /// Per-GPU resident parameter bytes: replicated dense weights plus
+    /// (for PEARL) one shard of the embedding table, or (for replica
+    /// AllReduce) the entire table.
+    pub fn resident_bytes_per_gpu(&self, model: &ModelComm) -> Bytes {
+        match *self {
+            Strategy::OneWorkerOneGpu => model.dense_bytes + model.embedding_table_bytes,
+            // PS keeps variables in host memory; workers only cache the
+            // dense working set.
+            Strategy::PsWorker { .. } => model.dense_bytes,
+            Strategy::AllReduceLocal { .. } | Strategy::AllReduceCluster { .. } => {
+                model.dense_bytes + model.embedding_table_bytes
+            }
+            Strategy::Pearl { gpus } => {
+                model.dense_bytes
+                    + model
+                        .embedding_table_bytes
+                        .scale(1.0 / gpus.max(1) as f64)
+            }
+        }
+    }
+}
+
+/// The per-replica communication plan of one training step.
+///
+/// # Panics
+///
+/// Panics if the strategy has zero replicas/servers.
+pub fn comm_plan(strategy: &Strategy, model: &ModelComm) -> CommPlan {
+    let mut plan = CommPlan::new();
+    match *strategy {
+        Strategy::OneWorkerOneGpu => {}
+        Strategy::PsWorker {
+            workers,
+            sparse_aware,
+        } => {
+            assert!(workers > 0, "PS/Worker needs workers");
+            let sparse_volume = if sparse_aware {
+                ps::sparse_per_worker(model.touched_embedding_bytes)
+            } else {
+                ps::sparse_as_dense_per_worker(model.embedding_table_bytes)
+            };
+            let volume = ps::dense_per_worker(model.dense_bytes) + sparse_volume;
+            // Table II: PS traffic crosses Ethernet and the worker-side
+            // PCIe.
+            plan.push(Transfer::new("ps pull+push", LinkKind::Ethernet, volume));
+            plan.push(Transfer::new("worker pcie", LinkKind::Pcie, volume));
+        }
+        Strategy::AllReduceLocal { gpus } => {
+            plan.push(Transfer::new(
+                "dense allreduce",
+                LinkKind::NvLink,
+                ring::allreduce_per_rank(gpus, model.dense_bytes),
+            ));
+            plan.push(Transfer::new(
+                "sparse-grad allreduce",
+                LinkKind::NvLink,
+                ring::allreduce_per_rank(gpus, model.touched_embedding_bytes),
+            ));
+        }
+        Strategy::AllReduceCluster {
+            gpus_per_server,
+            servers,
+            hierarchical: exact,
+        } => {
+            let payload = model.dense_bytes + model.touched_embedding_bytes;
+            let sub = if exact {
+                hierarchical::allreduce_plan(payload, gpus_per_server, servers)
+            } else {
+                hierarchical::paper_simple_plan(payload)
+            };
+            plan.extend(sub.transfers().iter().cloned());
+        }
+        Strategy::Pearl { gpus } => {
+            plan.push(Transfer::new(
+                "dense allreduce",
+                LinkKind::NvLink,
+                ring::allreduce_per_rank(gpus, model.dense_bytes),
+            ));
+            let shards =
+                vec![model.touched_embedding_bytes.scale(1.0 / gpus.max(1) as f64); gpus];
+            plan.push(Transfer::new(
+                "embedding allgatherv",
+                LinkKind::NvLink,
+                ring::allgatherv_per_rank(&shards),
+            ));
+            plan.push(Transfer::new(
+                "embedding-grad reducescatter",
+                LinkKind::NvLink,
+                ring::reduce_scatter_per_rank(gpus, model.touched_embedding_bytes),
+            ));
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_graph::zoo;
+    use pai_hw::HardwareConfig;
+
+    #[test]
+    fn resnet_allreduce_traffic_matches_table_v() {
+        let m = ModelComm::of(&zoo::resnet50());
+        let plan = comm_plan(&Strategy::AllReduceLocal { gpus: 8 }, &m);
+        assert!((plan.bytes_on(LinkKind::NvLink).as_mb() - 357.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_interests_ps_traffic_matches_table_v() {
+        let m = ModelComm::of(&zoo::multi_interests());
+        let plan = comm_plan(
+            &Strategy::PsWorker {
+                workers: 64,
+                sparse_aware: true,
+            },
+            &m,
+        );
+        // Table V network traffic: 122 MB per worker per step.
+        let eth = plan.bytes_on(LinkKind::Ethernet).as_mb();
+        assert!((eth - 122.0).abs() / 122.0 < 0.05, "got {eth} MB");
+    }
+
+    #[test]
+    fn gcn_pearl_traffic_matches_table_v() {
+        let m = ModelComm::of(&zoo::gcn());
+        let plan = comm_plan(&Strategy::Pearl { gpus: 8 }, &m);
+        let nv = plan.bytes_on(LinkKind::NvLink).as_gb();
+        assert!((nv - 3.0).abs() / 3.0 < 0.05, "got {nv} GB");
+        assert!(plan.bytes_on(LinkKind::Ethernet).is_zero());
+    }
+
+    #[test]
+    fn pearl_beats_ps_for_gcn_by_an_order_of_magnitude() {
+        // Fig. 13d: PS/Worker spends ~95 % of the step communicating,
+        // PEARL ~25 %. The time ratio on Table I hardware is ~20x.
+        let cfg = HardwareConfig::pai_default();
+        let m = ModelComm::of(&zoo::gcn());
+        let ps_time = comm_plan(
+            &Strategy::PsWorker {
+                workers: 8,
+                sparse_aware: true,
+            },
+            &m,
+        )
+        .serialized_time(&cfg);
+        let pearl_time = comm_plan(&Strategy::Pearl { gpus: 8 }, &m).serialized_time(&cfg);
+        let ratio = ps_time.as_f64() / pearl_time.as_f64();
+        assert!(ratio > 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn naive_dense_ps_is_catastrophic_for_sparse_models() {
+        // PEARL's motivation (Sec. IV-C): treating the 239 GB table as
+        // dense moves the whole table every step.
+        let m = ModelComm::of(&zoo::multi_interests());
+        let naive = comm_plan(
+            &Strategy::PsWorker {
+                workers: 8,
+                sparse_aware: false,
+            },
+            &m,
+        );
+        let aware = comm_plan(
+            &Strategy::PsWorker {
+                workers: 8,
+                sparse_aware: true,
+            },
+            &m,
+        );
+        assert!(naive.total_bytes().as_f64() > 1000.0 * aware.total_bytes().as_f64());
+    }
+
+    #[test]
+    fn pearl_fits_where_replicas_cannot() {
+        let m = ModelComm::of(&zoo::multi_interests());
+        let replica = Strategy::AllReduceLocal { gpus: 8 }.resident_bytes_per_gpu(&m);
+        let pearl = Strategy::Pearl { gpus: 8 }.resident_bytes_per_gpu(&m);
+        let v100 = pai_hw::GpuSpec::tesla_v100();
+        assert!(!v100.fits_in_memory(replica));
+        // The 239 GB table sharded 8 ways is ~30 GB — still too big for
+        // one V100 but 8x closer; GCN's 54 GB table does fit sharded.
+        assert!(pearl.as_f64() < replica.as_f64() / 7.0);
+        let gcn = ModelComm::of(&zoo::gcn());
+        assert!(v100.fits_in_memory(Strategy::Pearl { gpus: 8 }.resident_bytes_per_gpu(&gcn)));
+        assert!(!v100.fits_in_memory(
+            Strategy::AllReduceLocal { gpus: 8 }.resident_bytes_per_gpu(&gcn)
+        ));
+    }
+
+    #[test]
+    fn one_w_one_g_is_silent() {
+        let m = ModelComm::of(&zoo::speech());
+        assert!(comm_plan(&Strategy::OneWorkerOneGpu, &m).is_empty());
+    }
+
+    #[test]
+    fn for_model_maps_table_iv_architectures() {
+        assert_eq!(
+            Strategy::for_model(&zoo::speech(), 1),
+            Strategy::OneWorkerOneGpu
+        );
+        assert_eq!(
+            Strategy::for_model(&zoo::gcn(), 8),
+            Strategy::Pearl { gpus: 8 }
+        );
+        assert_eq!(
+            Strategy::for_model(&zoo::resnet50(), 16),
+            Strategy::AllReduceLocal { gpus: 8 }
+        );
+        match Strategy::for_model(&zoo::multi_interests(), 32) {
+            Strategy::PsWorker {
+                workers,
+                sparse_aware,
+            } => {
+                assert_eq!(workers, 32);
+                assert!(sparse_aware);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_counts() {
+        assert_eq!(Strategy::OneWorkerOneGpu.replicas(), 1);
+        assert_eq!(
+            Strategy::AllReduceCluster {
+                gpus_per_server: 8,
+                servers: 4,
+                hierarchical: true
+            }
+            .replicas(),
+            32
+        );
+    }
+
+    #[test]
+    fn hierarchical_cluster_moves_less_ethernet_than_simple() {
+        let m = ModelComm::of(&zoo::resnet50());
+        let exact = comm_plan(
+            &Strategy::AllReduceCluster {
+                gpus_per_server: 8,
+                servers: 4,
+                hierarchical: true,
+            },
+            &m,
+        );
+        let simple = comm_plan(
+            &Strategy::AllReduceCluster {
+                gpus_per_server: 8,
+                servers: 4,
+                hierarchical: false,
+            },
+            &m,
+        );
+        assert!(
+            exact.bytes_on(LinkKind::Ethernet).as_f64()
+                < simple.bytes_on(LinkKind::Ethernet).as_f64()
+        );
+    }
+}

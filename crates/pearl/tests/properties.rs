@@ -1,0 +1,135 @@
+//! Property tests for distribution strategies.
+
+use pai_collectives::CommPlan;
+use pai_hw::{Bytes, HardwareConfig, LinkKind};
+use pai_pearl::{comm_plan, ModelComm, Strategy as Dist};
+use proptest::prelude::*;
+
+fn model_comm() -> impl Strategy<Value = ModelComm> {
+    (0.0f64..10.0, 0.0f64..500.0, 0.0f64..1.0).prop_map(|(dense_gb, table_gb, touched_frac)| {
+        ModelComm {
+            dense_bytes: Bytes::from_gb(dense_gb),
+            embedding_table_bytes: Bytes::from_gb(table_gb),
+            touched_embedding_bytes: Bytes::from_gb(table_gb * touched_frac),
+        }
+    })
+}
+
+fn any_strategy() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        Just(Dist::OneWorkerOneGpu),
+        (1usize..256, any::<bool>()).prop_map(|(workers, sparse_aware)| Dist::PsWorker {
+            workers,
+            sparse_aware
+        }),
+        (1usize..=8).prop_map(|gpus| Dist::AllReduceLocal { gpus }),
+        (1usize..=8, 1usize..64, any::<bool>()).prop_map(
+            |(gpus_per_server, servers, hierarchical)| Dist::AllReduceCluster {
+                gpus_per_server,
+                servers,
+                hierarchical
+            }
+        ),
+        (1usize..=8).prop_map(|gpus| Dist::Pearl { gpus }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn plans_are_finite_and_nonnegative(
+        strategy in any_strategy(),
+        model in model_comm(),
+    ) {
+        let plan: CommPlan = comm_plan(&strategy, &model);
+        let cfg = HardwareConfig::pai_default();
+        let t = plan.serialized_time(&cfg).as_f64();
+        prop_assert!(t.is_finite());
+        prop_assert!(t >= 0.0);
+        prop_assert!(plan.total_bytes().as_f64() >= 0.0);
+    }
+
+    #[test]
+    fn single_replica_strategies_move_nothing(model in model_comm()) {
+        for strategy in [
+            Dist::OneWorkerOneGpu,
+            Dist::AllReduceLocal { gpus: 1 },
+            Dist::Pearl { gpus: 1 },
+        ] {
+            let plan = comm_plan(&strategy, &model);
+            prop_assert!(
+                plan.total_bytes().as_f64() < 1e-6,
+                "{strategy:?} moved {}",
+                plan.total_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn pearl_sharding_shrinks_residency(model in model_comm(), gpus in 2usize..=8) {
+        let one = Dist::Pearl { gpus: 1 }.resident_bytes_per_gpu(&model);
+        let many = Dist::Pearl { gpus }.resident_bytes_per_gpu(&model);
+        prop_assert!(many.as_f64() <= one.as_f64() + 1e-6);
+        // Never below the dense replica.
+        prop_assert!(many.as_f64() >= model.dense_bytes.as_f64() - 1e-6);
+    }
+
+    #[test]
+    fn sparse_aware_ps_never_moves_more_than_naive(
+        model in model_comm(),
+        workers in 1usize..128,
+    ) {
+        let aware = comm_plan(
+            &Dist::PsWorker { workers, sparse_aware: true },
+            &model,
+        );
+        let naive = comm_plan(
+            &Dist::PsWorker { workers, sparse_aware: false },
+            &model,
+        );
+        prop_assert!(aware.total_bytes().as_f64() <= naive.total_bytes().as_f64() + 1e-6);
+    }
+
+    #[test]
+    fn ps_plan_loads_ethernet_and_pcie_equally(model in model_comm(), workers in 1usize..64) {
+        let plan = comm_plan(&Dist::PsWorker { workers, sparse_aware: true }, &model);
+        let eth = plan.bytes_on(LinkKind::Ethernet).as_f64();
+        let pcie = plan.bytes_on(LinkKind::Pcie).as_f64();
+        prop_assert!((eth - pcie).abs() < 1e-6 * eth.max(1.0));
+        prop_assert!(plan.bytes_on(LinkKind::NvLink).as_f64() < 1e-9);
+    }
+
+    #[test]
+    fn pearl_stays_on_nvlink(model in model_comm(), gpus in 1usize..=8) {
+        let plan = comm_plan(&Dist::Pearl { gpus }, &model);
+        prop_assert!(plan.bytes_on(LinkKind::Ethernet).as_f64() < 1e-9);
+        prop_assert!(plan.bytes_on(LinkKind::Pcie).as_f64() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_cluster_ethernet_volume_is_bounded(
+        model in model_comm(),
+        gpus in 1usize..=8,
+        servers in 1usize..32,
+    ) {
+        let exact = comm_plan(
+            &Dist::AllReduceCluster { gpus_per_server: gpus, servers, hierarchical: true },
+            &model,
+        );
+        let simple = comm_plan(
+            &Dist::AllReduceCluster { gpus_per_server: gpus, servers, hierarchical: false },
+            &model,
+        );
+        // Exact bound: each GPU ships its 1/g shard around the server
+        // ring, at most twice (reduce + gather phases).
+        let payload = model.dense_bytes.as_f64() + model.touched_embedding_bytes.as_f64();
+        let eth = exact.bytes_on(LinkKind::Ethernet).as_f64();
+        prop_assert!(eth <= 2.0 * payload / gpus as f64 + 1e-6);
+        // With >= 2 GPUs per server the hierarchy beats the paper's
+        // simple full-payload accounting; the single-GPU degenerate
+        // case is a pure Ethernet ring, which legitimately ships up to
+        // 2x (the simple model undercounts the ring factor there).
+        if gpus >= 2 {
+            prop_assert!(eth <= simple.bytes_on(LinkKind::Ethernet).as_f64() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Workload feature extraction (Fig. 4, middle stage).
+//!
+//! Turns a zoo model + distribution strategy into the
+//! [`WorkloadFeatures`] record the analytical framework consumes. The
+//! weight volume `S_w` is the per-replica synchronization payload the
+//! strategy actually moves (the paper's simple model then charges it on
+//! each medium of the Table II path).
+
+use pai_core::{Architecture, WorkloadFeatures};
+use pai_graph::zoo::{CaseStudyArch, ModelSpec};
+use pai_pearl::{comm_plan, ModelComm, Strategy};
+
+/// The Table II class a case-study architecture analyzes as.
+pub fn architecture_of(arch: CaseStudyArch, cnodes: usize) -> Architecture {
+    match arch {
+        CaseStudyArch::OneWorkerOneGpu => Architecture::OneWorkerOneGpu,
+        CaseStudyArch::PsWorker => Architecture::PsWorker,
+        // PEARL syncs over NVLink inside a server, exactly the
+        // AllReduce-Local medium profile.
+        CaseStudyArch::AllReduceLocal | CaseStudyArch::Pearl => {
+            if cnodes > 1 {
+                Architecture::AllReduceLocal
+            } else {
+                Architecture::OneWorkerOneGpu
+            }
+        }
+    }
+}
+
+/// Extracts the feature record for `model` trained on `cnodes`
+/// replicas under its Table IV strategy.
+///
+/// # Panics
+///
+/// Panics if `cnodes` is zero, or is inconsistent with the class
+/// (checked by the [`WorkloadFeatures`] builder).
+///
+/// # Examples
+///
+/// ```
+/// use pai_graph::zoo;
+/// use pai_profiler::extract_features;
+///
+/// let f = extract_features(&zoo::resnet50(), 8);
+/// assert!((f.flops().as_tera() - 1.56).abs() < 0.05);
+/// assert!((f.weight_bytes().as_mb() - 357.0).abs() < 5.0);
+/// ```
+pub fn extract_features(model: &ModelSpec, cnodes: usize) -> WorkloadFeatures {
+    assert!(cnodes > 0, "need at least one cNode");
+    let stats = model.graph().stats();
+    let strategy = Strategy::for_model(model, cnodes);
+    let plan = comm_plan(&strategy, &ModelComm::of(model));
+    let arch = architecture_of(model.arch(), cnodes);
+    // S_w: the volume on the class's primary weight medium (all media
+    // on a Table II path carry the same volume under the simple model).
+    let weight_bytes = arch
+        .weight_media()
+        .first()
+        .map(|&medium| plan.bytes_on(medium))
+        .unwrap_or(pai_hw::Bytes::ZERO);
+    WorkloadFeatures::builder(arch)
+        .cnodes(cnodes)
+        .batch_size(model.batch_size())
+        .input_bytes(stats.input_bytes)
+        .weight_bytes(weight_bytes)
+        .flops(stats.flops)
+        .mem_access_bytes(stats.mem_access_memory_bound)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_graph::zoo;
+    use pai_hw::LinkKind;
+
+    #[test]
+    fn resnet_features_match_table_v() {
+        let f = extract_features(&zoo::resnet50(), 8);
+        assert_eq!(f.arch(), Architecture::AllReduceLocal);
+        assert_eq!(f.cnodes(), 8);
+        assert_eq!(f.batch_size(), 64);
+        assert!((f.input_bytes().as_mb() - 38.5).abs() < 1.0);
+        assert!((f.mem_access_bytes().as_gb() - 31.9).abs() < 0.7);
+    }
+
+    #[test]
+    fn speech_is_1w1g_with_no_weight_volume() {
+        let f = extract_features(&zoo::speech(), 1);
+        assert_eq!(f.arch(), Architecture::OneWorkerOneGpu);
+        assert!(f.weight_bytes().is_zero());
+    }
+
+    #[test]
+    fn multi_interests_ps_weight_volume_is_the_ethernet_payload() {
+        let model = zoo::multi_interests();
+        let f = extract_features(&model, 64);
+        assert_eq!(f.arch(), Architecture::PsWorker);
+        let plan = comm_plan(
+            &Strategy::for_model(&model, 64),
+            &ModelComm::of(&model),
+        );
+        assert_eq!(f.weight_bytes(), plan.bytes_on(LinkKind::Ethernet));
+    }
+
+    #[test]
+    fn pearl_analyzes_as_allreduce_local() {
+        let f = extract_features(&zoo::gcn(), 8);
+        assert_eq!(f.arch(), Architecture::AllReduceLocal);
+        assert!((f.weight_bytes().as_gb() - 3.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn single_replica_degenerates_to_1w1g() {
+        let f = extract_features(&zoo::resnet50(), 1);
+        assert_eq!(f.arch(), Architecture::OneWorkerOneGpu);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! The characterization pipeline of Fig. 4: runtime profiling →
+//! workload feature extraction → performance breakdown.
+//!
+//! - [`runmeta`] — `RunMetadata` (per-op profiles from the simulator +
+//!   job meta information) and summarization utilities;
+//! - [`features`] — extracting a [`pai_core::WorkloadFeatures`] record
+//!   from a zoo model under a distribution strategy;
+//! - [`report`] — rendered profiling reports (the Fig. 4 output stage);
+//! - [`validate`] — the Fig. 12 harness: analytical estimate (uniform
+//!   70 % efficiency) vs simulated measurement (Table VI efficiencies +
+//!   framework overhead), per component, with the paper's
+//!   `(T_predict − T_actual) / T_actual` difference metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use pai_graph::zoo;
+//! use pai_profiler::validate::validate_model;
+//!
+//! let report = validate_model(&zoo::resnet50(), 8);
+//! // Fig. 12: ResNet50's estimate lands within ~10 % of measurement.
+//! assert!(report.difference.abs() < 0.15);
+//! ```
+
+pub mod features;
+pub mod report;
+pub mod runmeta;
+pub mod validate;
+
+pub use features::extract_features;
+pub use runmeta::{JobMeta, RunMetadata};
+pub use validate::{validate_model, ValidationReport};

@@ -1,0 +1,91 @@
+//! `characterize` — one-job characterization from a JSON spec.
+//!
+//! ```text
+//! characterize job.json          # read a spec file
+//! characterize -                 # read the spec from stdin
+//! characterize --example        # print an example spec and exit
+//! ```
+//!
+//! Spec format (sizes per training step, per replica):
+//!
+//! ```json
+//! {
+//!   "architecture": "ps_worker",
+//!   "cnodes": 32,
+//!   "batch_size": 512,
+//!   "input_mb": 20,
+//!   "weight_gb": 2,
+//!   "tflops": 0.6,
+//!   "mem_access_gb": 40
+//! }
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use pai_core::PerfModel;
+use pai_repro::characterize::{characterize, JobSpec};
+
+const EXAMPLE: &str = r#"{
+  "architecture": "ps_worker",
+  "cnodes": 32,
+  "batch_size": 512,
+  "input_mb": 20,
+  "weight_gb": 2,
+  "tflops": 0.6,
+  "mem_access_gb": 40
+}"#;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        eprintln!(
+            "usage: characterize <spec.json | -> [--example]\n\
+             characterizes one training job with the Alibaba-PAI analytical model"
+        );
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    if args.iter().any(|a| a == "--example") {
+        println!("{EXAMPLE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let body = if args[0] == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&args[0]) {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", args[0]);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let spec: JobSpec = match serde_json::from_str(&body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("invalid job spec: {e}\n\nexample spec:\n{EXAMPLE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match characterize(&spec, &PerfModel::paper_default()) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot characterize: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Case studies: Tables IV, V, VI and the Fig. 12 validation.
+
+use pai_graph::zoo;
+use pai_profiler::validate::validate_all;
+use serde_json::json;
+
+use crate::render::{ms, pct, table};
+use crate::ExperimentResult;
+
+/// Table IV: model scale.
+pub fn table4() -> ExperimentResult {
+    let mut rows = vec![vec![
+        "model".to_string(),
+        "domain".to_string(),
+        "dense".to_string(),
+        "embedding".to_string(),
+        "architecture".to_string(),
+    ]];
+    let mut payload = Vec::new();
+    for m in zoo::all() {
+        let dense = m.params().dense_bytes();
+        let emb = m.params().embedding_bytes();
+        rows.push(vec![
+            m.name().into(),
+            m.domain().into(),
+            format!("{dense}"),
+            if emb.is_zero() {
+                "0 MB".into()
+            } else {
+                format!("{emb}")
+            },
+            m.arch().label().into(),
+        ]);
+        payload.push(json!({
+            "model": m.name(),
+            "dense_mb": dense.as_mb(),
+            "embedding_mb": emb.as_mb(),
+            "architecture": m.arch().label(),
+        }));
+    }
+    ExperimentResult {
+        id: "table4",
+        title: "Table IV: model scale",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+/// Table V: basic workload features, built vs paper.
+pub fn table5() -> ExperimentResult {
+    let mut rows = vec![vec![
+        "model".to_string(),
+        "batch".to_string(),
+        "FLOPs (built/paper, G)".to_string(),
+        "mem access (GB)".to_string(),
+        "PCIe copy (MB)".to_string(),
+        "net traffic (MB)".to_string(),
+    ]];
+    let mut payload = Vec::new();
+    for m in zoo::all() {
+        let s = m.graph().stats();
+        let t = m.targets();
+        let cnodes = match m.arch() {
+            zoo::CaseStudyArch::OneWorkerOneGpu => 8, // the Table V formula row
+            _ => 8,
+        };
+        let plan = pai_profiler::validate::plan_for(&m, cnodes);
+        // Table V's network column follows the 8-rank ring volume for
+        // every model (even the 1w1g Speech row); reproduce that view.
+        let net = if plan.is_empty() {
+            pai_collectives::ring::allreduce_per_rank(8, m.params().dense_bytes())
+        } else {
+            plan.transfers()
+                .iter()
+                .map(|tr| tr.bytes)
+                .fold(pai_hw::Bytes::ZERO, |a, b| a + b)
+                .scale(if m.arch() == zoo::CaseStudyArch::PsWorker {
+                    0.5 // Ethernet and PCIe carry the same payload; count once.
+                } else {
+                    1.0
+                })
+        };
+        rows.push(vec![
+            m.name().into(),
+            format!("{}", m.batch_size()),
+            format!("{:.1} / {:.1}", s.flops.as_giga(), t.flops_g),
+            format!("{:.1} / {:.1}", s.mem_access_memory_bound.as_gb(), t.mem_gb),
+            format!("{:.2} / {:.2}", s.input_bytes.as_mb(), t.pcie_mb),
+            format!("{:.0} / {:.0}", net.as_mb(), t.network_mb),
+        ]);
+        payload.push(json!({
+            "model": m.name(),
+            "flops_g": s.flops.as_giga(),
+            "mem_gb": s.mem_access_memory_bound.as_gb(),
+            "pcie_mb": s.input_bytes.as_mb(),
+            "network_mb": net.as_mb(),
+            "paper": {
+                "flops_g": t.flops_g, "mem_gb": t.mem_gb,
+                "pcie_mb": t.pcie_mb, "network_mb": t.network_mb,
+            },
+        }));
+    }
+    ExperimentResult {
+        id: "table5",
+        title: "Table V: basic workload features (built / paper)",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+/// Fig. 12: estimated vs measured time breakdown for the six models.
+pub fn fig12() -> ExperimentResult {
+    let mut rows = vec![vec![
+        "model".to_string(),
+        "estimated".to_string(),
+        "measured".to_string(),
+        "difference".to_string(),
+        "est data/wt/cb/mb".to_string(),
+        "meas data/wt/cb/mb".to_string(),
+    ]];
+    let mut payload = Vec::new();
+    for r in validate_all() {
+        let ef = r.estimated_fractions();
+        let mf = r.measured_fractions();
+        let fmt4 = |f: [f64; 4]| {
+            f.iter()
+                .map(|&x| format!("{:.0}", x * 100.0))
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        rows.push(vec![
+            r.model.clone(),
+            ms(r.estimated_total),
+            ms(r.measured.total),
+            format!("{:+.1}%", r.difference * 100.0),
+            fmt4(ef),
+            fmt4(mf),
+        ]);
+        payload.push(json!({
+            "model": r.model,
+            "estimated_s": r.estimated_total.as_f64(),
+            "measured_s": r.measured.total.as_f64(),
+            "difference": r.difference,
+            "estimated_fractions": ef,
+            "measured_fractions": mf,
+        }));
+    }
+    ExperimentResult {
+        id: "fig12",
+        title: "Fig. 12: time-breakdown comparison (measurement vs estimation)",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+/// Table VI: hardware efficiency per workload (injected from the
+/// paper's measurements; shown alongside the resulting achieved rates).
+pub fn table6() -> ExperimentResult {
+    let mut rows = vec![vec![
+        "model".to_string(),
+        "GPU TOPS".to_string(),
+        "GDDR".to_string(),
+        "PCIe".to_string(),
+        "Network".to_string(),
+    ]];
+    let mut payload = Vec::new();
+    for m in zoo::all() {
+        let e = m.measured_efficiency();
+        rows.push(vec![
+            m.name().into(),
+            pct(e.compute()),
+            pct(e.memory()),
+            pct(e.pcie()),
+            pct(e.ethernet()),
+        ]);
+        payload.push(json!({
+            "model": m.name(),
+            "compute": e.compute(),
+            "memory": e.memory(),
+            "pcie": e.pcie(),
+            "network": e.ethernet(),
+        }));
+    }
+    ExperimentResult {
+        id: "table6",
+        title: "Table VI: resource efficiency for each workload",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_lists_six_models_with_architectures() {
+        let r = table4();
+        assert!(r.text.contains("PEARL"));
+        assert!(r.text.contains("PS/Worker"));
+        assert_eq!(r.json.as_array().expect("array").len(), 6);
+    }
+
+    #[test]
+    fn table5_built_values_track_paper() {
+        let r = table5();
+        for entry in r.json.as_array().expect("array") {
+            let built = entry["flops_g"].as_f64().expect("f64");
+            let paper = entry["paper"]["flops_g"].as_f64().expect("f64");
+            assert!(
+                (built - paper).abs() / paper < 0.02,
+                "{}: {built} vs {paper}",
+                entry["model"]
+            );
+            let net = entry["network_mb"].as_f64().expect("f64");
+            let paper_net = entry["paper"]["network_mb"].as_f64().expect("f64");
+            assert!(
+                (net - paper_net).abs() / paper_net < 0.25,
+                "{}: net {net} vs {paper_net}",
+                entry["model"]
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_difference_shape_matches_the_paper() {
+        let r = fig12();
+        let arr = r.json.as_array().expect("array");
+        let diff = |name: &str| {
+            arr.iter()
+                .find(|v| v["model"] == name)
+                .and_then(|v| v["difference"].as_f64())
+                .expect("present")
+        };
+        assert!(diff("ResNet50").abs() < 0.15);
+        assert!(diff("NMT").abs() < 0.15);
+        assert!(diff("Speech").abs() > 0.35);
+    }
+
+    #[test]
+    fn table6_reports_the_speech_anomaly() {
+        let r = table6();
+        assert!(r.text.contains("3.1%"));
+    }
+}

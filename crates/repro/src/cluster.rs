@@ -1,0 +1,353 @@
+//! Cluster-level collective behavior: Fig. 5–8 and the Sec. III-D
+//! summary.
+
+use pai_core::breakdown::mean_fractions;
+use pai_core::{Architecture, Breakdown, Ecdf};
+use pai_hw::LinkKind;
+use serde_json::json;
+
+use crate::render::{cdf_header, cdf_quantiles, pct, table};
+use crate::{Context, ExperimentResult};
+
+/// The three classes analyzed in Sec. III.
+pub const ANALYZED: [Architecture; 3] = [
+    Architecture::OneWorkerOneGpu,
+    Architecture::OneWorkerMultiGpu,
+    Architecture::PsWorker,
+];
+
+fn breakdowns(ctx: &Context, arch: Architecture) -> (Vec<Breakdown>, Vec<f64>) {
+    let jobs = ctx.population.jobs_of(arch);
+    let weights: Vec<f64> = jobs.iter().map(|j| j.cnodes() as f64).collect();
+    let b = jobs.iter().map(|j| ctx.model.breakdown(j)).collect();
+    (b, weights)
+}
+
+/// Fig. 5: constitution of workloads at job and cNode level.
+pub fn fig5(ctx: &Context) -> ExperimentResult {
+    let counts = ctx.population.class_counts();
+    let cnodes = ctx.population.cnode_totals();
+    let jobs_total: usize = counts.iter().sum();
+    let cnodes_total: usize = cnodes.iter().sum();
+    let mut rows = vec![vec![
+        "class".to_string(),
+        "job share".to_string(),
+        "cNode share".to_string(),
+    ]];
+    let mut payload = Vec::new();
+    for (i, arch) in Architecture::ALL.iter().enumerate() {
+        let job_share = counts[i] as f64 / jobs_total as f64;
+        let cnode_share = cnodes[i] as f64 / cnodes_total as f64;
+        rows.push(vec![arch.label().into(), pct(job_share), pct(cnode_share)]);
+        payload.push(json!({
+            "class": arch.label(),
+            "job_share": job_share,
+            "cnode_share": cnode_share,
+        }));
+    }
+    ExperimentResult {
+        id: "fig5",
+        title: "Fig. 5: constitution of workloads (job-level / cNode-level)",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+/// Fig. 6: CDFs of cNode counts and weight sizes per class.
+pub fn fig6(ctx: &Context) -> ExperimentResult {
+    let mut rows = vec![cdf_header("series")];
+    let mut payload = Vec::new();
+    for arch in [Architecture::OneWorkerMultiGpu, Architecture::PsWorker] {
+        let cdf = Ecdf::from_values(
+            ctx.population
+                .jobs_of(arch)
+                .iter()
+                .map(|j| j.cnodes() as f64),
+        );
+        rows.push(cdf_quantiles(&format!("{} cNodes", arch.label()), &cdf));
+        payload.push(json!({
+            "series": format!("{} cNodes", arch.label()),
+            "median": cdf.quantile(0.5),
+            "p99": cdf.quantile(0.99),
+        }));
+    }
+    for arch in ANALYZED {
+        let cdf = Ecdf::from_values(
+            ctx.population
+                .jobs_of(arch)
+                .iter()
+                .map(|j| j.weight_bytes().as_gb()),
+        );
+        rows.push(cdf_quantiles(&format!("{} weights (GB)", arch.label()), &cdf));
+        payload.push(json!({
+            "series": format!("{} weight GB", arch.label()),
+            "median": cdf.quantile(0.5),
+            "max": cdf.max(),
+        }));
+    }
+    ExperimentResult {
+        id: "fig6",
+        title: "Fig. 6: workload scale distributions (quantiles)",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+/// Fig. 7: average execution-time breakdown per class, job-level and
+/// cNode-level.
+pub fn fig7(ctx: &Context) -> ExperimentResult {
+    let mut rows = vec![vec![
+        "class / level".to_string(),
+        "data I/O".to_string(),
+        "weights".to_string(),
+        "compute-bound".to_string(),
+        "memory-bound".to_string(),
+    ]];
+    let mut payload = Vec::new();
+    let mut all_b = Vec::new();
+    let mut all_w_job = Vec::new();
+    let mut all_w_cnode = Vec::new();
+    for arch in ANALYZED {
+        let (b, weights) = breakdowns(ctx, arch);
+        let job = mean_fractions(&b, &vec![1.0; b.len()]);
+        let cnode = mean_fractions(&b, &weights);
+        rows.push(
+            std::iter::once(format!("{} (job)", arch.label()))
+                .chain(job.iter().map(|&f| pct(f)))
+                .collect(),
+        );
+        rows.push(
+            std::iter::once(format!("{} (cNode)", arch.label()))
+                .chain(cnode.iter().map(|&f| pct(f)))
+                .collect(),
+        );
+        payload.push(json!({"class": arch.label(), "job": job, "cnode": cnode}));
+        all_w_job.extend(std::iter::repeat_n(1.0, b.len()));
+        all_w_cnode.extend(weights);
+        all_b.extend(b);
+    }
+    let all_job = mean_fractions(&all_b, &all_w_job);
+    let all_cnode = mean_fractions(&all_b, &all_w_cnode);
+    rows.push(
+        std::iter::once("all (job)".to_string())
+            .chain(all_job.iter().map(|&f| pct(f)))
+            .collect(),
+    );
+    rows.push(
+        std::iter::once("all (cNode)".to_string())
+            .chain(all_cnode.iter().map(|&f| pct(f)))
+            .collect(),
+    );
+    payload.push(json!({"class": "all", "job": all_job, "cnode": all_cnode}));
+    ExperimentResult {
+        id: "fig7",
+        title: "Fig. 7: average time breakdown (order: data, weights, compute, memory)",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+/// Fig. 8: per-component CDFs per class plus the per-hardware view.
+pub fn fig8(ctx: &Context) -> ExperimentResult {
+    let mut rows = vec![cdf_header("series (job-level)")];
+    let mut payload = Vec::new();
+    for arch in ANALYZED {
+        let (b, _) = breakdowns(ctx, arch);
+        let series: [(&str, Vec<f64>); 4] = [
+            ("data", b.iter().map(|x| x.data_fraction()).collect()),
+            ("weights", b.iter().map(|x| x.weight_fraction()).collect()),
+            ("compute", b.iter().map(|x| x.compute_fraction()).collect()),
+            ("memory", b.iter().map(|x| x.memory_fraction()).collect()),
+        ];
+        for (name, values) in series {
+            let cdf = Ecdf::from_values(values);
+            rows.push(cdf_quantiles(&format!("{} {}", arch.label(), name), &cdf));
+            payload.push(json!({
+                "class": arch.label(), "component": name,
+                "mean": cdf.mean(), "p90": cdf.quantile(0.9),
+            }));
+        }
+    }
+    // Per-hardware view (Fig. 8a) over all analyzed jobs.
+    let mut hw_series: Vec<(LinkKind, Vec<f64>)> = vec![
+        (LinkKind::HbmMemory, Vec::new()),
+        (LinkKind::Pcie, Vec::new()),
+        (LinkKind::Ethernet, Vec::new()),
+    ];
+    let mut gpu_flops = Vec::new();
+    for arch in ANALYZED {
+        let (b, _) = breakdowns(ctx, arch);
+        for x in &b {
+            let hb = x.by_hardware();
+            gpu_flops.push(hb.gpu_flops_fraction());
+            for (kind, values) in hw_series.iter_mut() {
+                values.push(hb.fraction(*kind));
+            }
+        }
+    }
+    rows.push(cdf_quantiles("all GPU_FLOPs", &Ecdf::from_values(gpu_flops)));
+    for (kind, values) in hw_series {
+        rows.push(cdf_quantiles(
+            &format!("all {}", kind.label()),
+            &Ecdf::from_values(values),
+        ));
+    }
+    ExperimentResult {
+        id: "fig8",
+        title: "Fig. 8: component-share CDFs (quantiles)",
+        text: table(&rows),
+        json: json!(payload),
+    }
+}
+
+/// Sec. III-D: the headline observations.
+pub fn summary(ctx: &Context) -> ExperimentResult {
+    let ps = ctx.population.jobs_of(Architecture::PsWorker);
+    let ps_cnodes: usize = ps.iter().map(|j| j.cnodes()).sum();
+    let ps_cnode_share = ps_cnodes as f64 / ctx.population.total_cnodes() as f64;
+
+    let small = ctx
+        .population
+        .records()
+        .iter()
+        .filter(|j| j.features.weight_bytes().as_gb() < 10.0)
+        .count() as f64
+        / ctx.population.len() as f64;
+
+    let mut all_b = Vec::new();
+    let mut all_w = Vec::new();
+    for arch in ANALYZED {
+        let (b, w) = breakdowns(ctx, arch);
+        all_w.extend(w);
+        all_b.extend(b);
+    }
+    let cnode_fracs = mean_fractions(&all_b, &all_w);
+
+    let ps_over_80 = {
+        let (b, _) = breakdowns(ctx, Architecture::PsWorker);
+        b.iter().filter(|x| x.weight_fraction() > 0.8).count() as f64 / b.len() as f64
+    };
+
+    let outs = pai_core::project::project_population(
+        &ctx.model,
+        &ps,
+        pai_core::project::ProjectionTarget::AllReduceLocal,
+    );
+    let improved = outs.iter().filter(|o| o.improves_throughput()).count() as f64
+        / outs.len().max(1) as f64;
+
+    let fast = ctx.model.with_config(ctx.model.config().with_resource(pai_hw::SweepPoint {
+        axis: pai_hw::SweepAxis::Ethernet,
+        value: 100.0,
+    }));
+    let eth_speedup: f64 = ps
+        .iter()
+        .map(|j| ctx.model.total_time(j).as_f64() / fast.total_time(j).as_f64())
+        .sum::<f64>()
+        / ps.len() as f64;
+
+    let rows = vec![
+        vec!["observation".to_string(), "paper".to_string(), "reproduced".to_string()],
+        vec!["PS/Worker cNode share".into(), "81%".into(), pct(ps_cnode_share)],
+        vec!["jobs with model < 10 GB".into(), "90%".into(), pct(small)],
+        vec![
+            "weight comm share (cNode level)".into(),
+            "62%".into(),
+            pct(cnode_fracs[1]),
+        ],
+        vec![
+            "compute-bound share (cNode level)".into(),
+            "13%".into(),
+            pct(cnode_fracs[2]),
+        ],
+        vec![
+            "memory-bound share (cNode level)".into(),
+            "22%".into(),
+            pct(cnode_fracs[3]),
+        ],
+        vec![
+            "PS jobs >80% in communication".into(),
+            ">40%".into(),
+            pct(ps_over_80),
+        ],
+        vec![
+            "PS jobs improved by AllReduce-Local".into(),
+            "60%".into(),
+            pct(improved),
+        ],
+        vec![
+            "mean PS speedup, 25->100 GbE".into(),
+            "1.7x".into(),
+            format!("{eth_speedup:.2}x"),
+        ],
+        vec![
+            "Eq. 3 comm-bound speedup bound".into(),
+            "21x".into(),
+            format!("{:.1}x", pai_core::comm_bound_speedup(&ctx.model)),
+        ],
+    ];
+    ExperimentResult {
+        id: "summary",
+        title: "Sec. III-D: key observations, paper vs reproduction",
+        text: table(&rows),
+        json: json!({
+            "ps_cnode_share": ps_cnode_share,
+            "small_model_share": small,
+            "cnode_level_fractions": cnode_fracs,
+            "ps_over_80_comm": ps_over_80,
+            "arl_throughput_improved": improved,
+            "eth_100g_speedup": eth_speedup,
+            "eq3_bound": pai_core::comm_bound_speedup(&ctx.model),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::with_size(4_000)
+    }
+
+    #[test]
+    fn fig5_shares_sum_to_one() {
+        let r = fig5(&ctx());
+        let arr = r.json.as_array().expect("array");
+        let job_sum: f64 = arr.iter().map(|v| v["job_share"].as_f64().expect("f64")).sum();
+        let cnode_sum: f64 = arr
+            .iter()
+            .map(|v| v["cnode_share"].as_f64().expect("f64"))
+            .sum();
+        assert!((job_sum - 1.0).abs() < 1e-9);
+        assert!((cnode_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig7_reports_all_levels() {
+        let r = fig7(&ctx());
+        assert!(r.text.contains("1w1g (job)"));
+        assert!(r.text.contains("PS/Worker (cNode)"));
+        assert!(r.text.contains("all (cNode)"));
+    }
+
+    #[test]
+    fn fig8_covers_hardware_series() {
+        let r = fig8(&ctx());
+        for label in ["GPU_FLOPs", "GPU_memory", "PCIe", "Ethernet"] {
+            assert!(r.text.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn summary_hits_headline_targets() {
+        let r = summary(&Context::with_size(8_000));
+        let j = &r.json;
+        let comm = j["cnode_level_fractions"][1].as_f64().expect("f64");
+        assert!((comm - 0.62).abs() < 0.06, "comm share {comm}");
+        let improved = j["arl_throughput_improved"].as_f64().expect("f64");
+        assert!((improved - 0.60).abs() < 0.12, "improved {improved}");
+        let eq3 = j["eq3_bound"].as_f64().expect("f64");
+        assert!((eq3 - 21.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,161 @@
+//! Tables I, II and III — the configuration tables.
+
+use pai_core::Architecture;
+use pai_hw::{HardwareConfig, LinkKind, SweepAxis};
+use serde_json::json;
+
+use crate::render::table;
+use crate::ExperimentResult;
+
+/// Table I: system settings.
+pub fn table1() -> ExperimentResult {
+    let cfg = HardwareConfig::pai_default();
+    let rows = vec![
+        vec!["resource".to_string(), "value".to_string()],
+        vec![
+            "GPU FLOPs".into(),
+            format!("{:.0} TFLOPs", cfg.gpu().peak_flops().as_tera_per_sec()),
+        ],
+        vec![
+            "GPU memory".into(),
+            format!(
+                "{:.0} TB/s",
+                cfg.link(LinkKind::HbmMemory).bandwidth().as_gb_per_sec() / 1000.0
+            ),
+        ],
+        vec![
+            "Ethernet".into(),
+            format!(
+                "{:.0} Gb/s",
+                cfg.link(LinkKind::Ethernet).bandwidth().as_gbit_per_sec()
+            ),
+        ],
+        vec![
+            "PCIe".into(),
+            format!(
+                "{:.0} GB/s",
+                cfg.link(LinkKind::Pcie).bandwidth().as_gb_per_sec()
+            ),
+        ],
+        vec![
+            "NVLink".into(),
+            format!(
+                "{:.0} GB/s",
+                cfg.link(LinkKind::NvLink).bandwidth().as_gb_per_sec()
+            ),
+        ],
+        vec![
+            "assumed efficiency".into(),
+            format!("{:.0}%", cfg.efficiency().compute() * 100.0),
+        ],
+    ];
+    ExperimentResult {
+        id: "table1",
+        title: "Table I: system settings",
+        text: table(&rows),
+        json: json!({
+            "gpu_tflops": cfg.gpu().peak_flops().as_tera_per_sec(),
+            "memory_gb_per_s": cfg.link(LinkKind::HbmMemory).bandwidth().as_gb_per_sec(),
+            "ethernet_gbit_per_s": cfg.link(LinkKind::Ethernet).bandwidth().as_gbit_per_sec(),
+            "pcie_gb_per_s": cfg.link(LinkKind::Pcie).bandwidth().as_gb_per_sec(),
+            "nvlink_gb_per_s": cfg.link(LinkKind::NvLink).bandwidth().as_gb_per_sec(),
+            "efficiency": cfg.efficiency().compute(),
+        }),
+    }
+}
+
+/// Table II: the five workload classes.
+pub fn table2() -> ExperimentResult {
+    let mut rows = vec![vec![
+        "class".to_string(),
+        "system architecture".to_string(),
+        "configuration".to_string(),
+        "weight movement".to_string(),
+    ]];
+    for arch in Architecture::ALL {
+        let media: Vec<&str> = arch.weight_media().iter().map(|m| m.label()).collect();
+        rows.push(vec![
+            arch.label().to_string(),
+            match arch.system_architecture() {
+                Some(pai_core::arch::SystemArchitecture::Centralized) => "Centralized".into(),
+                Some(pai_core::arch::SystemArchitecture::Decentralized) => {
+                    "Decentralized".into()
+                }
+                None => "-".into(),
+            },
+            format!("{:?}", arch.placement()),
+            if media.is_empty() {
+                "-".into()
+            } else {
+                media.join(" & ")
+            },
+        ]);
+    }
+    ExperimentResult {
+        id: "table2",
+        title: "Table II: summary of the five workload classes",
+        text: table(&rows),
+        json: json!(Architecture::ALL
+            .iter()
+            .map(|a| json!({
+                "class": a.label(),
+                "media": a.weight_media().iter().map(|m| m.label()).collect::<Vec<_>>(),
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+/// Table III: the hardware variation grid.
+pub fn table3() -> ExperimentResult {
+    let mut rows = vec![vec!["axis".to_string(), "candidates".to_string()]];
+    for axis in SweepAxis::ALL {
+        rows.push(vec![
+            format!("{} ({})", axis.label(), axis.unit()),
+            axis.candidates()
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+    }
+    ExperimentResult {
+        id: "table3",
+        title: "Table III: hardware configuration variations",
+        text: table(&rows),
+        json: json!(SweepAxis::ALL
+            .iter()
+            .map(|a| json!({"axis": a.label(), "unit": a.unit(), "candidates": a.candidates()}))
+            .collect::<Vec<_>>()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reports_table_i_values() {
+        let r = table1();
+        assert!(r.text.contains("11 TFLOPs"));
+        assert!(r.text.contains("25 Gb/s"));
+        assert!(r.text.contains("50 GB/s"));
+        assert_eq!(r.json["pcie_gb_per_s"], 10.0);
+    }
+
+    #[test]
+    fn table2_lists_all_classes() {
+        let r = table2();
+        for label in ["1w1g", "1wng", "PS/Worker", "AllReduce-Local", "AllReduce-Cluster"] {
+            assert!(r.text.contains(label), "missing {label}");
+        }
+        assert!(r.text.contains("Ethernet & PCIe"));
+    }
+
+    #[test]
+    fn table3_has_twelve_candidates() {
+        let r = table3();
+        let total: usize = SweepAxis::ALL.iter().map(|a| a.candidates().len()).sum();
+        assert_eq!(total, 12);
+        assert!(r.text.contains("10, 25, 100"));
+    }
+}

@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Every experiment returns an [`ExperimentResult`] — a human-readable
+//! text block plus a machine-readable JSON value — and is reachable
+//! through the `repro` binary (`repro fig9`, `repro all`, …). The
+//! DESIGN.md experiment index maps each paper artifact to its function
+//! here.
+
+pub mod case_studies;
+pub mod characterize;
+pub mod extensions;
+pub mod cluster;
+pub mod config_tables;
+pub mod optimizations;
+pub mod projection;
+pub mod render;
+pub mod scorecard;
+pub mod sensitivity_x;
+pub mod sweeps;
+
+use pai_core::PerfModel;
+use pai_trace::{Population, PopulationConfig};
+use serde_json::Value;
+
+/// Seed used for every population in the reproduction (the paper's
+/// arXiv number).
+pub const SEED: u64 = 1_905_930;
+
+/// Default population size for the Sec. III collective analyses.
+pub const POPULATION: usize = 20_000;
+
+/// One regenerated artifact.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Identifier ("fig9", "table5", …).
+    pub id: &'static str,
+    /// What the artifact is.
+    pub title: &'static str,
+    /// The rendered text block.
+    pub text: String,
+    /// Machine-readable payload.
+    pub json: Value,
+}
+
+/// Shared context: the synthetic population and the paper-default
+/// analytical model.
+pub struct Context {
+    /// The calibrated synthetic population.
+    pub population: Population,
+    /// The Sec. III analytical model (Table I, 70 %, non-overlap).
+    pub model: PerfModel,
+}
+
+impl Context {
+    /// Builds the default context (20k jobs, fixed seed).
+    pub fn new() -> Context {
+        Context::with_size(POPULATION)
+    }
+
+    /// Builds a context with a custom population size (tests use small
+    /// ones).
+    pub fn with_size(jobs: usize) -> Context {
+        Context {
+            population: Population::generate(&PopulationConfig::paper_scale(jobs), SEED),
+            model: PerfModel::paper_default(),
+        }
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+/// Every paper experiment id, in paper order.
+pub const PAPER_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "fig11",
+    "table4", "table5", "fig12", "table6", "fig13a", "fig13b", "fig13c", "fig13d", "fig15",
+    "fig16", "summary",
+];
+
+/// Extensions beyond the paper (future work and Sec. VI implications).
+pub const EXTENSION_EXPERIMENTS: &[&str] =
+    &["ext-inference", "ext-cluster", "ext-upgrade", "ext-scaling", "ext-adoption"];
+
+/// Paper experiments followed by the extensions.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "fig11",
+    "table4", "table5", "fig12", "table6", "fig13a", "fig13b", "fig13c", "fig13d", "fig15",
+    "fig16", "summary", "scorecard", "ext-inference", "ext-cluster", "ext-upgrade",
+    "ext-scaling", "ext-adoption",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics if the id is unknown.
+pub fn run_experiment(id: &str, ctx: &Context) -> ExperimentResult {
+    match id {
+        "table1" => config_tables::table1(),
+        "table2" => config_tables::table2(),
+        "fig5" => cluster::fig5(ctx),
+        "fig6" => cluster::fig6(ctx),
+        "fig7" => cluster::fig7(ctx),
+        "fig8" => cluster::fig8(ctx),
+        "fig9" => projection::fig9(ctx),
+        "fig10" => projection::fig10(ctx),
+        "table3" => config_tables::table3(),
+        "fig11" => sweeps::fig11(ctx),
+        "table4" => case_studies::table4(),
+        "table5" => case_studies::table5(),
+        "fig12" => case_studies::fig12(),
+        "table6" => case_studies::table6(),
+        "fig13a" => optimizations::fig13a(),
+        "fig13b" => optimizations::fig13b(),
+        "fig13c" => optimizations::fig13c(),
+        "fig13d" => optimizations::fig13d(),
+        "fig15" => sensitivity_x::fig15(ctx),
+        "fig16" => projection::fig16(ctx),
+        "summary" => cluster::summary(ctx),
+        "scorecard" => scorecard::scorecard(ctx),
+        "ext-inference" => extensions::inference(),
+        "ext-cluster" => extensions::cluster_mix(ctx),
+        "ext-upgrade" => extensions::cluster_upgrade(ctx),
+        "ext-scaling" => extensions::scaling(),
+        "ext-adoption" => extensions::adoption(ctx),
+        other => panic!("unknown experiment id '{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_are_unique() {
+        let mut ids: Vec<&str> = ALL_EXPERIMENTS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let ctx = Context::with_size(10);
+        let _ = run_experiment("fig99", &ctx);
+    }
+}

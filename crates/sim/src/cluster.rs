@@ -1,0 +1,385 @@
+//! Cluster-level placement and NIC-contention simulation.
+//!
+//! The paper's Sec. VI draws provisioning implications — interconnect
+//! bandwidth is the scarce resource, and "busy CPU/GPU clusters with a
+//! mixture of workloads deployed" inflate framework overheads. This
+//! module models the cluster-operations side the per-step simulator
+//! cannot: placing a mix of jobs onto the 64-server testbed and
+//! computing the slowdown each job suffers when co-located replicas
+//! share a server's Ethernet NIC.
+//!
+//! The contention model is max-min fair sharing at steady state: on a
+//! server hosting `k` communicating replicas, each gets `1/k` of the
+//! NIC, so a job's communication phase dilates by the worst
+//! oversubscription among the servers it touches. Compute phases never
+//! contend (each replica owns its GPU).
+
+use std::fmt;
+
+use pai_hw::{Bytes, ClusterSpec, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One job's placement-relevant demands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterJob {
+    /// Caller-chosen identifier.
+    pub id: usize,
+    /// Replica count (GPUs requested).
+    pub cnodes: usize,
+    /// Per-step time outside Ethernet communication (compute + I/O +
+    /// any NVLink traffic, which stays inside the server).
+    pub local_time: Seconds,
+    /// Per-step Ethernet volume per replica (zero for local jobs).
+    pub ethernet_bytes: Bytes,
+}
+
+impl ClusterJob {
+    /// Solo (uncontended) step time on the given cluster.
+    pub fn solo_step(&self, cluster: &ClusterSpec) -> Seconds {
+        self.local_time + cluster.ethernet().transfer_time(self.ethernet_bytes)
+    }
+
+    /// True when the job uses the network at all.
+    pub fn communicates(&self) -> bool {
+        !self.ethernet_bytes.is_zero()
+    }
+}
+
+/// Why a job mix cannot be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Total GPU demand exceeds the cluster.
+    InsufficientGpus {
+        /// GPUs requested by all jobs together.
+        requested: usize,
+        /// GPUs the cluster has.
+        available: usize,
+    },
+    /// A job requests zero replicas.
+    EmptyJob {
+        /// The offending job id.
+        id: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::InsufficientGpus {
+                requested,
+                available,
+            } => write!(
+                f,
+                "jobs request {requested} GPUs but the cluster has {available}"
+            ),
+            PlacementError::EmptyJob { id } => write!(f, "job {id} requests zero replicas"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The result of placing a job mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    cluster: ClusterSpec,
+    jobs: Vec<ClusterJob>,
+    /// `servers[s]` lists `(job index, replicas on this server)`.
+    servers: Vec<Vec<(usize, usize)>>,
+}
+
+/// Places jobs onto the cluster first-fit-decreasing by replica count
+/// (big jobs first, so 8-replica jobs land on whole servers), then
+/// evaluates the NIC contention each job experiences.
+///
+/// # Errors
+///
+/// Returns [`PlacementError`] when the mix cannot be placed.
+///
+/// # Examples
+///
+/// ```
+/// use pai_hw::{Bytes, ClusterSpec, Seconds};
+/// use pai_sim::cluster::{place, ClusterJob};
+///
+/// let cluster = ClusterSpec::testbed(0.7);
+/// let jobs = vec![ClusterJob {
+///     id: 0,
+///     cnodes: 16,
+///     local_time: Seconds::from_millis(100.0),
+///     ethernet_bytes: Bytes::from_mb(200.0),
+/// }];
+/// let placement = place(&cluster, &jobs)?;
+/// assert!(placement.job_step_time(0) >= jobs[0].solo_step(&cluster));
+/// # Ok::<(), pai_sim::cluster::PlacementError>(())
+/// ```
+pub fn place(cluster: &ClusterSpec, jobs: &[ClusterJob]) -> Result<Placement, PlacementError> {
+    for job in jobs {
+        if job.cnodes == 0 {
+            return Err(PlacementError::EmptyJob { id: job.id });
+        }
+    }
+    let requested: usize = jobs.iter().map(|j| j.cnodes).sum();
+    if requested > cluster.total_gpus() {
+        return Err(PlacementError::InsufficientGpus {
+            requested,
+            available: cluster.total_gpus(),
+        });
+    }
+
+    let per_server = cluster.server().gpus_per_server();
+    let mut free = vec![per_server; cluster.num_servers()];
+    let mut servers = vec![Vec::new(); cluster.num_servers()];
+
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[b].cnodes.cmp(&jobs[a].cnodes).then(a.cmp(&b)));
+
+    for &ji in &order {
+        let mut remaining = jobs[ji].cnodes;
+        // First fit: fill servers left to right.
+        for (s, capacity) in free.iter_mut().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if *capacity == 0 {
+                continue;
+            }
+            let take = remaining.min(*capacity);
+            servers[s].push((ji, take));
+            *capacity -= take;
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0, "capacity was checked up front");
+    }
+
+    Ok(Placement {
+        cluster: *cluster,
+        jobs: jobs.to_vec(),
+        servers,
+    })
+}
+
+impl Placement {
+    /// Communicating replicas sharing server `s`'s NIC.
+    fn nic_sharers(&self, s: usize) -> usize {
+        self.servers[s]
+            .iter()
+            .filter(|&&(ji, _)| self.jobs[ji].communicates())
+            .map(|&(_, count)| count)
+            .sum()
+    }
+
+    /// The NIC oversubscription a job experiences: the worst sharer
+    /// count among the servers hosting its replicas (1 = uncontended).
+    pub fn nic_oversubscription(&self, id: usize) -> usize {
+        let ji = self.index_of(id);
+        if !self.jobs[ji].communicates() {
+            return 1;
+        }
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, assigned)| assigned.iter().any(|&(j, _)| j == ji))
+            .map(|(s, _)| self.nic_sharers(s))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Per-step time of a job including NIC contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn job_step_time(&self, id: usize) -> Seconds {
+        let ji = self.index_of(id);
+        let job = &self.jobs[ji];
+        let sharers = self.nic_oversubscription(id);
+        let comm = self
+            .cluster
+            .ethernet()
+            .transfer_time(job.ethernet_bytes)
+            .scale(sharers as f64);
+        job.local_time + comm
+    }
+
+    /// The job's slowdown relative to running alone (≥ 1).
+    pub fn slowdown(&self, id: usize) -> f64 {
+        let ji = self.index_of(id);
+        let solo = self.jobs[ji].solo_step(&self.cluster);
+        if solo.is_zero() {
+            1.0
+        } else {
+            self.job_step_time(id).ratio(solo)
+        }
+    }
+
+    /// GPUs in use over GPUs available.
+    pub fn gpu_utilization(&self) -> f64 {
+        let used: usize = self.jobs.iter().map(|j| j.cnodes).sum();
+        used as f64 / self.cluster.total_gpus() as f64
+    }
+
+    /// Number of servers hosting at least one replica.
+    pub fn servers_used(&self) -> usize {
+        self.servers.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Number of distinct servers hosting a job's replicas.
+    pub fn spread(&self, id: usize) -> usize {
+        let ji = self.index_of(id);
+        self.servers
+            .iter()
+            .filter(|assigned| assigned.iter().any(|&(j, _)| j == ji))
+            .count()
+    }
+
+    fn index_of(&self, id: usize) -> usize {
+        self.jobs
+            .iter()
+            .position(|j| j.id == id)
+            .unwrap_or_else(|| panic!("unknown job id {id}"))
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs on {}/{} servers ({:.0}% GPU utilization)",
+            self.jobs.len(),
+            self.servers_used(),
+            self.cluster.num_servers(),
+            self.gpu_utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::testbed(0.7)
+    }
+
+    fn job(id: usize, cnodes: usize, eth_mb: f64) -> ClusterJob {
+        ClusterJob {
+            id,
+            cnodes,
+            local_time: Seconds::from_millis(100.0),
+            ethernet_bytes: Bytes::from_mb(eth_mb),
+        }
+    }
+
+    #[test]
+    fn lone_job_runs_uncontended() {
+        let p = place(&cluster(), &[job(0, 16, 200.0)]).expect("fits");
+        assert_eq!(p.nic_oversubscription(0), 8); // 8 own replicas share each NIC
+        // A one-replica-per-server job has no contention at all.
+        let p1 = place(&cluster(), &[job(1, 1, 200.0)]).expect("fits");
+        assert_eq!(p1.nic_oversubscription(1), 1);
+        assert!((p1.slowdown(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colocated_jobs_share_the_nic() {
+        // Two 4-replica jobs land on one server: 8 sharers each.
+        let p = place(&cluster(), &[job(0, 4, 100.0), job(1, 4, 100.0)]).expect("fits");
+        assert_eq!(p.servers_used(), 1);
+        assert_eq!(p.nic_oversubscription(0), 8);
+        assert!(p.slowdown(0) > 1.0);
+        assert_eq!(p.job_step_time(0), p.job_step_time(1));
+    }
+
+    #[test]
+    fn local_jobs_neither_suffer_nor_cause_contention() {
+        let silent = ClusterJob {
+            id: 0,
+            cnodes: 4,
+            local_time: Seconds::from_millis(50.0),
+            ethernet_bytes: Bytes::ZERO,
+        };
+        let chatty = job(1, 4, 100.0);
+        let p = place(&cluster(), &[silent, chatty]).expect("fits");
+        assert_eq!(p.nic_oversubscription(0), 1);
+        assert!((p.slowdown(0) - 1.0).abs() < 1e-12);
+        // The chatty job only shares with its own replicas.
+        assert_eq!(p.nic_oversubscription(1), 4);
+    }
+
+    #[test]
+    fn big_jobs_placed_first_get_whole_servers() {
+        let p = place(&cluster(), &[job(0, 3, 10.0), job(1, 8, 10.0)]).expect("fits");
+        // The 8-replica job fills server 0 alone; the 3-replica job
+        // lands on server 1.
+        assert_eq!(p.spread(1), 1);
+        assert_eq!(p.nic_oversubscription(1), 8);
+        assert_eq!(p.nic_oversubscription(0), 3);
+    }
+
+    #[test]
+    fn utilization_and_spread() {
+        let p = place(&cluster(), &[job(0, 64, 10.0)]).expect("fits");
+        assert_eq!(p.spread(0), 8);
+        assert_eq!(p.servers_used(), 8);
+        assert!((p.gpu_utilization() - 64.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_overcommit() {
+        let err = place(&cluster(), &[job(0, 513, 1.0)]).expect_err("too big");
+        assert_eq!(
+            err,
+            PlacementError::InsufficientGpus {
+                requested: 513,
+                available: 512
+            }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_job() {
+        let err = place(&cluster(), &[job(7, 0, 1.0)]).expect_err("empty");
+        assert_eq!(err, PlacementError::EmptyJob { id: 7 });
+    }
+
+    #[test]
+    fn exact_fill_succeeds() {
+        let jobs: Vec<ClusterJob> = (0..64).map(|i| job(i, 8, 10.0)).collect();
+        let p = place(&cluster(), &jobs).expect("perfect fit");
+        assert!((p.gpu_utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(p.servers_used(), 64);
+        // Every job owns a full server: 8 sharers, all its own.
+        for i in 0..64 {
+            assert_eq!(p.nic_oversubscription(i), 8);
+            assert_eq!(p.spread(i), 1);
+        }
+    }
+
+    #[test]
+    fn faster_ethernet_shrinks_contended_slowdown() {
+        // Sec. VI-B1: high-bandwidth interconnects help communication-
+        // bound co-located mixes.
+        let jobs = [job(0, 4, 500.0), job(1, 4, 500.0)];
+        let slow = place(&cluster(), &jobs).expect("fits");
+        let fast_cluster = ClusterSpec::new(
+            *cluster().server(),
+            64,
+            pai_hw::LinkModel::new(
+                pai_hw::LinkKind::Ethernet,
+                pai_hw::Bandwidth::from_gbit_per_sec(100.0),
+                0.7,
+            ),
+        );
+        let fast = place(&fast_cluster, &jobs).expect("fits");
+        assert!(fast.job_step_time(0).as_f64() < slow.job_step_time(0).as_f64());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = place(&cluster(), &[job(0, 8, 1.0)]).expect("fits");
+        assert!(!p.to_string().is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! A deterministic resource-constrained event engine.
+//!
+//! Tasks declare a duration, one serial resource, and dependencies.
+//! The engine assigns each task the earliest start compatible with both
+//! (dependencies finished, resource free) by releasing tasks in
+//! dependency order — classic list scheduling, which for this workload
+//! (static DAGs, serial resources, FIFO within a resource) is exactly
+//! the discrete-event fixed point.
+
+use std::fmt;
+
+use pai_hw::Seconds;
+
+/// Identifies a serial resource (a GPU, a PCIe bus, a NIC…).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub usize);
+
+/// Identifies a scheduled task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    resource: ResourceId,
+    duration: Seconds,
+    deps: Vec<TaskId>,
+    start: Option<Seconds>,
+}
+
+/// The engine: add resources and tasks, then [`Engine::run`].
+///
+/// # Examples
+///
+/// ```
+/// use pai_sim::engine::Engine;
+/// use pai_hw::Seconds;
+///
+/// let mut e = Engine::new();
+/// let gpu = e.add_resource("gpu");
+/// let a = e.add_task(gpu, Seconds::from_f64(1.0), &[]);
+/// let b = e.add_task(gpu, Seconds::from_f64(2.0), &[a]);
+/// let schedule = e.run();
+/// assert_eq!(schedule.makespan().as_f64(), 3.0);
+/// assert_eq!(schedule.start(b).as_f64(), 1.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    resources: Vec<&'static str>,
+    tasks: Vec<Task>,
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Registers a serial resource.
+    pub fn add_resource(&mut self, name: &'static str) -> ResourceId {
+        self.resources.push(name);
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Adds a task on `resource` with `deps` (which must already be
+    /// added — the DAG is therefore acyclic by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource or any dependency is unknown.
+    pub fn add_task(&mut self, resource: ResourceId, duration: Seconds, deps: &[TaskId]) -> TaskId {
+        assert!(
+            resource.0 < self.resources.len(),
+            "unknown resource {resource:?}"
+        );
+        for d in deps {
+            assert!(d.0 < self.tasks.len(), "dependency {d:?} not yet added");
+        }
+        self.tasks.push(Task {
+            resource,
+            duration,
+            deps: deps.to_vec(),
+            start: None,
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Number of tasks added.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks were added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Runs the simulation and returns the schedule.
+    ///
+    /// Tasks are released in insertion order, which is a valid
+    /// topological order because dependencies must precede dependents
+    /// at insertion; within a resource tasks run FIFO in release order.
+    pub fn run(mut self) -> Schedule {
+        let mut resource_free = vec![Seconds::ZERO; self.resources.len()];
+        let mut finish = vec![Seconds::ZERO; self.tasks.len()];
+        let mut busy = vec![Seconds::ZERO; self.resources.len()];
+        for i in 0..self.tasks.len() {
+            let ready = self.tasks[i]
+                .deps
+                .iter()
+                .map(|d| finish[d.0])
+                .fold(Seconds::ZERO, Seconds::max);
+            let r = self.tasks[i].resource.0;
+            let start = ready.max(resource_free[r]);
+            let end = start + self.tasks[i].duration;
+            self.tasks[i].start = Some(start);
+            finish[i] = end;
+            resource_free[r] = end;
+            busy[r] += self.tasks[i].duration;
+        }
+        Schedule {
+            tasks: self.tasks,
+            finish,
+            busy,
+            resources: self.resources,
+        }
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug)]
+pub struct Schedule {
+    tasks: Vec<Task>,
+    finish: Vec<Seconds>,
+    busy: Vec<Seconds>,
+    resources: Vec<&'static str>,
+}
+
+impl Schedule {
+    /// Completion time of the whole DAG.
+    pub fn makespan(&self) -> Seconds {
+        self.finish
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Start time of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn start(&self, id: TaskId) -> Seconds {
+        self.tasks[id.0].start.expect("scheduled")
+    }
+
+    /// Finish time of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn finish(&self, id: TaskId) -> Seconds {
+        self.finish[id.0]
+    }
+
+    /// Total busy time of a resource.
+    pub fn busy(&self, resource: ResourceId) -> Seconds {
+        self.busy[resource.0]
+    }
+
+    /// Utilization of a resource over the makespan, in `[0, 1]`.
+    pub fn utilization(&self, resource: ResourceId) -> f64 {
+        let span = self.makespan();
+        if span.is_zero() {
+            0.0
+        } else {
+            self.busy(resource).as_f64() / span.as_f64()
+        }
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Length of the critical dependency path — the makespan an
+    /// infinitely parallel machine would still need. The gap between
+    /// this and [`Schedule::makespan`] is pure resource contention.
+    pub fn critical_path(&self) -> Seconds {
+        let mut longest = vec![Seconds::ZERO; self.tasks.len()];
+        for (i, task) in self.tasks.iter().enumerate() {
+            let ready = task
+                .deps
+                .iter()
+                .map(|d| longest[d.0])
+                .fold(Seconds::ZERO, Seconds::max);
+            longest[i] = ready + task.duration;
+        }
+        longest.into_iter().fold(Seconds::ZERO, Seconds::max)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule: {} tasks on {} resources, makespan {}",
+            self.tasks.len(),
+            self.resources.len(),
+            self.makespan()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> Seconds {
+        Seconds::from_f64(x)
+    }
+
+    #[test]
+    fn serial_chain_sums() {
+        let mut e = Engine::new();
+        let r = e.add_resource("gpu");
+        let a = e.add_task(r, s(1.0), &[]);
+        let b = e.add_task(r, s(2.0), &[a]);
+        let c = e.add_task(r, s(3.0), &[b]);
+        let sched = e.run();
+        assert_eq!(sched.makespan().as_f64(), 6.0);
+        assert_eq!(sched.start(c).as_f64(), 3.0);
+        assert_eq!(sched.busy(r).as_f64(), 6.0);
+        assert_eq!(sched.utilization(r), 1.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_distinct_resources_overlap() {
+        let mut e = Engine::new();
+        let gpu = e.add_resource("gpu");
+        let nic = e.add_resource("nic");
+        e.add_task(gpu, s(2.0), &[]);
+        e.add_task(nic, s(3.0), &[]);
+        let sched = e.run();
+        assert_eq!(sched.makespan().as_f64(), 3.0);
+        assert!((sched.utilization(gpu) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_serializes_independent_tasks() {
+        let mut e = Engine::new();
+        let gpu = e.add_resource("gpu");
+        e.add_task(gpu, s(2.0), &[]);
+        e.add_task(gpu, s(3.0), &[]);
+        let sched = e.run();
+        assert_eq!(sched.makespan().as_f64(), 5.0);
+    }
+
+    #[test]
+    fn dependency_across_resources_delays_start() {
+        let mut e = Engine::new();
+        let pcie = e.add_resource("pcie");
+        let gpu = e.add_resource("gpu");
+        let load = e.add_task(pcie, s(1.5), &[]);
+        let compute = e.add_task(gpu, s(1.0), &[load]);
+        let sched = e.run();
+        assert_eq!(sched.start(compute).as_f64(), 1.5);
+        assert_eq!(sched.makespan().as_f64(), 2.5);
+    }
+
+    #[test]
+    fn diamond_joins_on_slowest_parent() {
+        let mut e = Engine::new();
+        let a_r = e.add_resource("a");
+        let b_r = e.add_resource("b");
+        let root = e.add_task(a_r, s(1.0), &[]);
+        let fast = e.add_task(a_r, s(1.0), &[root]);
+        let slow = e.add_task(b_r, s(5.0), &[root]);
+        let join = e.add_task(a_r, s(1.0), &[fast, slow]);
+        let sched = e.run();
+        assert_eq!(sched.start(join).as_f64(), 6.0);
+    }
+
+    #[test]
+    fn empty_engine_has_zero_makespan() {
+        let mut e = Engine::new();
+        e.add_resource("gpu");
+        assert!(e.is_empty());
+        let sched = e.run();
+        assert!(sched.makespan().is_zero());
+        assert_eq!(sched.resource_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet added")]
+    fn rejects_forward_dependency() {
+        let mut e = Engine::new();
+        let r = e.add_resource("gpu");
+        let _ = e.add_task(r, s(1.0), &[TaskId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn rejects_unknown_resource() {
+        let mut e = Engine::new();
+        let _ = e.add_task(ResourceId(3), s(1.0), &[]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut e = Engine::new();
+        e.add_resource("gpu");
+        assert!(!e.run().to_string().is_empty());
+    }
+
+    #[test]
+    fn critical_path_ignores_resource_contention() {
+        // Two independent tasks on one resource: makespan 5, critical
+        // path only 3.
+        let mut e = Engine::new();
+        let r = e.add_resource("gpu");
+        e.add_task(r, s(2.0), &[]);
+        e.add_task(r, s(3.0), &[]);
+        let sched = e.run();
+        assert_eq!(sched.makespan().as_f64(), 5.0);
+        assert_eq!(sched.critical_path().as_f64(), 3.0);
+    }
+
+    #[test]
+    fn critical_path_equals_makespan_for_chains() {
+        let mut e = Engine::new();
+        let r = e.add_resource("gpu");
+        let a = e.add_task(r, s(1.0), &[]);
+        let b = e.add_task(r, s(2.0), &[a]);
+        e.add_task(r, s(3.0), &[b]);
+        let sched = e.run();
+        assert_eq!(sched.critical_path().as_f64(), sched.makespan().as_f64());
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! A discrete-event training-step simulator — the stand-in for the
+//! paper's 64-server × 8-V100 testbed (Sec. IV).
+//!
+//! The paper validates its analytical model against *measured* step
+//! times (Fig. 12) that include everything the closed form ignores:
+//! per-component hardware efficiencies that differ from the uniform
+//! 70 % assumption (Table VI) and framework overhead — "mostly due to
+//! CPU runtime scheduling and GPU kernel launch time". This crate
+//! reproduces the measurement side:
+//!
+//! - [`engine`] — a deterministic resource-constrained event engine
+//!   (tasks with dependencies claim serial resources; the makespan is
+//!   the step time);
+//! - [`config`] — simulator knobs: hardware, per-component efficiency
+//!   (inject Table VI here), kernel-launch overhead, overlap policy,
+//!   TensorCore effective efficiency;
+//! - [`executor`] — runs one training step of a [`pai_graph::Graph`]
+//!   plus a [`pai_collectives::CommPlan`], op by op;
+//! - [`measure`] — [`measure::StepMeasurement`] (per-component busy
+//!   times) and per-op profile records (the `tf.RunMetadata` analog);
+//! - [`cluster`] — job placement and NIC-contention modeling for the
+//!   whole testbed (the Sec. VI cluster-operations view).
+//!
+//! # Examples
+//!
+//! ```
+//! use pai_sim::{SimConfig, StepSimulator};
+//! use pai_collectives::CommPlan;
+//! use pai_graph::zoo;
+//!
+//! let resnet = zoo::resnet50();
+//! let sim = StepSimulator::new(SimConfig::testbed());
+//! let m = sim.run(resnet.graph(), &CommPlan::new(), 1);
+//! assert!(m.total.as_f64() > 0.0);
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod engine;
+pub mod executor;
+pub mod measure;
+
+pub use config::{OverlapPolicy, SimConfig};
+pub use executor::StepSimulator;
+pub use measure::{OpProfile, StepMeasurement};

@@ -1,0 +1,128 @@
+//! Measurement records produced by a simulated step.
+
+use std::fmt;
+
+use pai_hw::{LinkKind, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One op's profile record — the `tf.RunMetadata` analog (device
+/// placement, kernel timing, op attributes; Sec. II-B1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Op name from the graph.
+    pub name: String,
+    /// Kind label ("MatMul", "ElementWise"…).
+    pub kind: String,
+    /// "compute-bound" / "memory-bound" / "io".
+    pub class: String,
+    /// Scheduled start time within the step.
+    pub start: Seconds,
+    /// Occupancy duration (kernel time or launch-gap floor).
+    pub duration: Seconds,
+    /// Pure kernel time before the launch-gap floor was applied.
+    pub kernel_time: Seconds,
+}
+
+/// Per-component measurement of one training step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepMeasurement {
+    /// End-to-end step time (engine makespan).
+    pub total: Seconds,
+    /// Input data I/O time on PCIe.
+    pub data_io: Seconds,
+    /// Occupancy of compute-bound ops on the GPU.
+    pub compute_bound: Seconds,
+    /// Occupancy of memory-bound ops on the GPU.
+    pub memory_bound: Seconds,
+    /// Communication time per medium.
+    pub comm_by_link: Vec<(LinkKind, Seconds)>,
+    /// Total time ops spent stalled on the kernel-launch gap (the
+    /// framework-overhead share of the GPU occupancy).
+    pub launch_stall: Seconds,
+    /// Number of kernels launched.
+    pub kernels: usize,
+    /// Per-op records.
+    pub ops: Vec<OpProfile>,
+}
+
+impl StepMeasurement {
+    /// Total communication time across media.
+    pub fn comm_total(&self) -> Seconds {
+        self.comm_by_link.iter().map(|&(_, t)| t).sum()
+    }
+
+    /// Communication time on one medium.
+    pub fn comm_on(&self, link: LinkKind) -> Seconds {
+        self.comm_by_link
+            .iter()
+            .filter(|&&(k, _)| k == link)
+            .map(|&(_, t)| t)
+            .sum()
+    }
+
+    /// GPU computation time (both classes).
+    pub fn computation(&self) -> Seconds {
+        self.compute_bound + self.memory_bound
+    }
+
+    /// Fraction of the step spent in a named component, in `[0, 1]`.
+    pub fn fraction(&self, part: Seconds) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            part.as_f64() / self.total.as_f64()
+        }
+    }
+}
+
+impl fmt::Display for StepMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}: io {}, compute {}, memory {}, comm {}, stall {} ({} kernels)",
+            self.total,
+            self.data_io,
+            self.compute_bound,
+            self.memory_bound,
+            self.comm_total(),
+            self.launch_stall,
+            self.kernels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StepMeasurement {
+        StepMeasurement {
+            total: Seconds::from_f64(1.0),
+            data_io: Seconds::from_f64(0.1),
+            compute_bound: Seconds::from_f64(0.3),
+            memory_bound: Seconds::from_f64(0.2),
+            comm_by_link: vec![
+                (LinkKind::Ethernet, Seconds::from_f64(0.3)),
+                (LinkKind::Pcie, Seconds::from_f64(0.1)),
+            ],
+            launch_stall: Seconds::from_f64(0.05),
+            kernels: 42,
+            ops: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert!((m.comm_total().as_f64() - 0.4).abs() < 1e-12);
+        assert!((m.comm_on(LinkKind::Ethernet).as_f64() - 0.3).abs() < 1e-12);
+        assert!(m.comm_on(LinkKind::NvLink).is_zero());
+        assert!((m.computation().as_f64() - 0.5).abs() < 1e-12);
+        assert!((m.fraction(m.data_io) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!sample().to_string().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the event engine and step executor.
+
+use pai_collectives::{CommPlan, Transfer};
+use pai_graph::op::{elementwise, matmul, Op};
+use pai_graph::{Graph, OpKind};
+use pai_hw::{Bytes, LinkKind, Seconds};
+use pai_sim::cluster::{place, ClusterJob};
+use pai_sim::engine::Engine;
+use pai_sim::{OverlapPolicy, SimConfig, StepSimulator};
+use proptest::prelude::*;
+
+/// Random durations for a chain of tasks on one resource.
+fn durations() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, 1..50)
+}
+
+proptest! {
+    #[test]
+    fn serial_chain_makespan_is_the_sum(durs in durations()) {
+        let mut e = Engine::new();
+        let r = e.add_resource("gpu");
+        let mut prev = None;
+        for &d in &durs {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(e.add_task(r, Seconds::from_f64(d), &deps));
+        }
+        let sched = e.run();
+        let sum: f64 = durs.iter().sum();
+        prop_assert!((sched.makespan().as_f64() - sum).abs() < 1e-9 * sum.max(1.0));
+        let expected_util = if sum > 0.0 { 1.0 } else { 0.0 };
+        prop_assert!((sched.utilization(r) - expected_util).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_resources_take_the_maximum(durs in durations()) {
+        let mut e = Engine::new();
+        let resources: Vec<_> = (0..durs.len()).map(|_| e.add_resource("r")).collect();
+        for (r, &d) in resources.iter().zip(&durs) {
+            e.add_task(*r, Seconds::from_f64(d), &[]);
+        }
+        let sched = e.run();
+        let max = durs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((sched.makespan().as_f64() - max).abs() < 1e-12 + 1e-9 * max);
+    }
+
+    #[test]
+    fn makespan_lower_bounds(
+        durs in durations(),
+        split in 0usize..4,
+    ) {
+        // Makespan >= busy time of every resource, and >= any task.
+        let mut e = Engine::new();
+        let resources: Vec<_> = (0..(split + 1)).map(|_| e.add_resource("r")).collect();
+        for (i, &d) in durs.iter().enumerate() {
+            e.add_task(resources[i % resources.len()], Seconds::from_f64(d), &[]);
+        }
+        let sched = e.run();
+        for r in &resources {
+            prop_assert!(sched.makespan().as_f64() >= sched.busy(*r).as_f64() - 1e-9);
+        }
+        let longest = durs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(sched.makespan().as_f64() >= longest - 1e-9);
+    }
+
+    #[test]
+    fn overlapped_never_slower_and_bounded_below(
+        mm in 64usize..1024,
+        numel in 1_000usize..50_000_000,
+        comm_mb in 0.1f64..5_000.0,
+    ) {
+        let mut g = Graph::new("p");
+        let a = g.add(Op::new("in", OpKind::DataLoad { bytes: 1_000_000 }));
+        let b = g.add(Op::new("mm", matmul(mm, mm, mm)));
+        let c = g.add(Op::new("ew", elementwise(1, numel, 1)));
+        g.connect(a, b);
+        g.connect(b, c);
+        let mut comm = CommPlan::new();
+        comm.push(Transfer::new("sync", LinkKind::NvLink, Bytes::from_mb(comm_mb)));
+
+        let ser = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1);
+        let ovl = StepSimulator::new(
+            SimConfig::testbed().with_overlap(OverlapPolicy::Overlapped),
+        )
+        .run(&g, &comm, 1);
+        prop_assert!(ovl.total.as_f64() <= ser.total.as_f64() + 1e-12);
+        // Ideal-overlap floor: the longest phase.
+        let floor = ser
+            .data_io
+            .max(ser.computation())
+            .max(ser.comm_total());
+        prop_assert!(ovl.total.as_f64() >= floor.as_f64() - 1e-9);
+    }
+
+    #[test]
+    fn step_time_is_monotone_in_launch_overhead(
+        ops in 1usize..200,
+        gap_us in 0.0f64..50.0,
+    ) {
+        let mut g = Graph::new("tiny");
+        for i in 0..ops {
+            g.add(Op::new(format!("ew{i}"), elementwise(1, 128, 1)));
+        }
+        let base = StepSimulator::new(
+            SimConfig::testbed().with_launch_overhead(Seconds::ZERO),
+        )
+        .run(&g, &CommPlan::new(), 1);
+        let gapped = StepSimulator::new(
+            SimConfig::testbed().with_launch_overhead(Seconds::from_micros(gap_us)),
+        )
+        .run(&g, &CommPlan::new(), 1);
+        prop_assert!(gapped.total.as_f64() >= base.total.as_f64() - 1e-15);
+        // With a gap, each op takes at least the gap.
+        prop_assert!(gapped.total.as_f64() >= ops as f64 * gap_us * 1e-6 - 1e-12);
+    }
+
+    #[test]
+    fn measurement_partitions_the_serialized_step(
+        numel in 1_000usize..10_000_000,
+        comm_mb in 0.0f64..1_000.0,
+    ) {
+        let mut g = Graph::new("p");
+        let a = g.add(Op::new("in", OpKind::DataLoad { bytes: 5_000_000 }));
+        let b = g.add(Op::new("ew", elementwise(2, numel, 1)));
+        g.connect(a, b);
+        let mut comm = CommPlan::new();
+        comm.push(Transfer::new("sync", LinkKind::Ethernet, Bytes::from_mb(comm_mb)));
+        let m = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1);
+        let parts = m.data_io + m.computation() + m.comm_total();
+        prop_assert!((m.total.as_f64() - parts.as_f64()).abs() < 1e-9 * parts.as_f64().max(1e-9));
+    }
+
+    #[test]
+    fn placement_respects_capacity_and_places_everyone(
+        sizes in proptest::collection::vec(1usize..64, 1..40),
+    ) {
+        let cluster = pai_hw::ClusterSpec::testbed(0.7);
+        let total: usize = sizes.iter().sum();
+        let jobs: Vec<ClusterJob> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ClusterJob {
+                id: i,
+                cnodes: n,
+                local_time: Seconds::from_millis(10.0),
+                ethernet_bytes: Bytes::from_mb(10.0),
+            })
+            .collect();
+        match place(&cluster, &jobs) {
+            Ok(p) => {
+                prop_assert!(total <= cluster.total_gpus());
+                prop_assert!((p.gpu_utilization() - total as f64 / 512.0).abs() < 1e-9);
+                for job in &jobs {
+                    // Every job experiences at least its solo time and at
+                    // most full-server NIC sharing.
+                    prop_assert!(p.slowdown(job.id) >= 1.0 - 1e-12);
+                    prop_assert!(p.nic_oversubscription(job.id) <= 8.max(job.cnodes.min(8)));
+                    prop_assert!(p.spread(job.id) >= job.cnodes.div_ceil(8));
+                }
+            }
+            Err(_) => prop_assert!(total > cluster.total_gpus()),
+        }
+    }
+
+    #[test]
+    fn critical_path_never_exceeds_makespan(
+        durs in proptest::collection::vec(0.0f64..5.0, 1..40),
+        resources in 1usize..4,
+    ) {
+        let mut e = Engine::new();
+        let rs: Vec<_> = (0..resources).map(|_| e.add_resource("r")).collect();
+        let mut prev = None;
+        for (i, &d) in durs.iter().enumerate() {
+            let deps: Vec<_> = if i % 3 == 0 { Vec::new() } else { prev.into_iter().collect() };
+            prev = Some(e.add_task(rs[i % resources], Seconds::from_f64(d), &deps));
+        }
+        let sched = e.run();
+        prop_assert!(sched.critical_path().as_f64() <= sched.makespan().as_f64() + 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Calibration constants for the synthetic population.
+//!
+//! Every constant cites the published marginal it targets. Integration
+//! tests in the workspace root assert that populations generated from
+//! [`PopulationConfig::paper_scale`] reproduce the paper's headline
+//! statistics within tolerance.
+
+use serde::{Deserialize, Serialize};
+
+/// Class mix and per-class distribution parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+
+    /// Job-level class shares (Fig. 5a): `[1w1g, 1wng, PS/Worker,
+    /// AllReduce-Local]`. The paper reports ~29 % PS/Worker, <1 %
+    /// AllReduce, with 1w1g dominating the remainder. Must sum to 1.
+    pub class_mix: [f64; 4],
+
+    /// 1wng cNode exponent range: counts are `2^k`, k uniform in
+    /// `[lo, hi]` (Fig. 6a: 1wng never exceeds 8 cNodes).
+    pub onewng_cnode_exp: (u32, u32),
+
+    /// PS/Worker cNode count: `round(2^Normal(mu, sigma))` clamped to
+    /// `[2, max]`. Calibrated so the median is ≈8 ("about half of
+    /// PS/Worker workloads are placed on more than 8 cNodes") and
+    /// ~2.4 % of PS jobs (0.7 % of all jobs) exceed 128 cNodes
+    /// (Sec. III-A).
+    pub ps_cnode_log2: (f64, f64),
+    /// Upper clamp on PS cNode counts.
+    pub ps_cnode_max: usize,
+
+    /// Per-class weight-size (GB) marginals (Fig. 6b), as log-uniform
+    /// ranges for the small/medium regimes.
+    /// 1w1g spans tiny embeddings to ~1 GB.
+    pub w1g_weight_gb: (f64, f64),
+    /// 1wng slightly larger.
+    pub wng_weight_gb: (f64, f64),
+    /// PS/Worker small-model regime (the bulk).
+    pub ps_weight_small_gb: (f64, f64),
+    /// PS/Worker medium regime, 10–100 GB.
+    pub ps_weight_medium_gb: (f64, f64),
+    /// PS/Worker large regime, 100–300 GB (the commodity-embedding
+    /// giants of Sec. III-D).
+    pub ps_weight_large_gb: (f64, f64),
+    /// Probabilities of the PS weight regimes `[small, medium, large]`.
+    /// Calibrated so ~90 % of *all* jobs stay under 10 GB (Sec. III-D).
+    pub ps_weight_regime_mix: [f64; 3],
+
+    /// PS/Worker communication share: logit-normal around a median that
+    /// grows with log2(cNodes) (larger jobs are more communication-
+    /// bound, Fig. 8d): `median = clamp(base + slope*log2(n), lo, hi)`.
+    /// Calibrated so >40 % of PS jobs spend >80 % of time in
+    /// communication and the cNode-weighted overall share is ≈62 %
+    /// (Sec. III-D).
+    pub ps_comm_median_base: f64,
+    /// Slope of the communication-share median in log2(cNodes).
+    pub ps_comm_median_slope: f64,
+    /// Clamp range for the communication-share median.
+    pub ps_comm_median_range: (f64, f64),
+    /// Logit-space spread of the PS communication share.
+    pub ps_comm_sigma: f64,
+
+    /// 1wng communication share: logit-normal (median, sigma). PCIe is
+    /// 3.2× faster than Ethernet so 1wng jobs are less comm-bound
+    /// (Fig. 8c).
+    pub wng_comm: (f64, f64),
+
+    /// Input-I/O share for 1w1g: logit-normal (median, sigma) for the
+    /// bulk plus `w1g_io_heavy_prob` of jobs uniform in
+    /// `w1g_io_heavy_range` — "about 5% of the workloads spending more
+    /// than 50% time on input data movement" with a ~10 % mean (Fig. 8b).
+    pub w1g_io: (f64, f64),
+    /// Probability of an I/O-heavy 1w1g job.
+    pub w1g_io_heavy_prob: f64,
+    /// I/O share range for the I/O-heavy cohort.
+    pub w1g_io_heavy_range: (f64, f64),
+
+    /// Input-I/O appetite of distributed classes, expressed as the
+    /// share `q_d` of the job's *non-communication* time spent on input
+    /// I/O (so `Td = q_d (1 - p_w) T`). A two-component mixture: a bulk
+    /// cohort with tiny input volumes and a data-pipeline-heavy cohort
+    /// (wide tables, large samples). Calibrated jointly so the mean I/O
+    /// share is ≈3 % (Sec. III-B) while the Fig. 9 projection produces
+    /// the published loser cohorts (22.6 % not sped up on
+    /// AllReduce-Local, 32.1 % not sped up on AllReduce-Cluster) — the
+    /// losers are exactly the I/O-appetite tail that the 8-way PCIe
+    /// input contention punishes.
+    pub dist_io_bulk: (f64, f64),
+    /// Probability of the data-pipeline-heavy cohort.
+    pub dist_io_heavy_prob: f64,
+    /// Logit-normal (median, sigma) of `q_d` for the heavy cohort.
+    pub dist_io_heavy: (f64, f64),
+
+    /// Memory-bound share *of the computation part*: logit-normal
+    /// (median, sigma). Calibrated so memory-bound time exceeds
+    /// compute-bound on average (22 % vs 13 % of total, Sec. III-D).
+    pub mem_share_of_compute: (f64, f64),
+
+    /// Absolute step-time scale (seconds) for jobs whose scale is not
+    /// pinned by a weight volume (1w1g), log-uniform.
+    pub free_step_time_s: (f64, f64),
+
+    /// Batch-size exponent range: `2^k`, k uniform.
+    pub batch_exp: (u32, u32),
+}
+
+impl PopulationConfig {
+    /// The calibration used throughout the reproduction, at a chosen
+    /// population size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn paper_scale(jobs: usize) -> Self {
+        assert!(jobs > 0, "a population needs at least one job");
+        PopulationConfig {
+            jobs,
+            // Fig. 5a: 1w1g dominates job counts; 29 % PS; <1 % AllReduce.
+            class_mix: [0.59, 0.114, 0.29, 0.006],
+            onewng_cnode_exp: (1, 3), // 2..8
+            // Median 2^3 = 8; sigma 2.0 puts ~2.3 % above 2^7 = 128.
+            ps_cnode_log2: (3.0, 2.1),
+            ps_cnode_max: 2048,
+            w1g_weight_gb: (1e-5, 1.0),
+            wng_weight_gb: (1e-4, 5.0),
+            ps_weight_small_gb: (1e-2, 10.0),
+            ps_weight_medium_gb: (10.0, 100.0),
+            ps_weight_large_gb: (100.0, 300.0),
+            // ~66 % of PS jobs under 10 GB keeps ~90 % of ALL jobs under
+            // 10 GB once the (always-small) 1w1g/1wng majority is mixed in.
+            ps_weight_regime_mix: [0.66, 0.26, 0.08],
+            ps_comm_median_base: 0.53,
+            ps_comm_median_slope: 0.055,
+            ps_comm_median_range: (0.10, 0.90),
+            ps_comm_sigma: 2.3,
+            wng_comm: (0.35, 1.0),
+            w1g_io: (0.07, 0.9),
+            w1g_io_heavy_prob: 0.05,
+            w1g_io_heavy_range: (0.5, 0.9),
+            dist_io_bulk: (0.015, 1.0),
+            dist_io_heavy_prob: 0.36,
+            dist_io_heavy: (0.40, 1.1),
+            mem_share_of_compute: (0.63, 0.7),
+            free_step_time_s: (0.05, 2.0),
+            batch_exp: (5, 12),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class mix does not sum to 1 (±1e-9) or any share
+    /// parameter is outside `(0, 1)`.
+    pub fn validate(&self) {
+        let mix_sum: f64 = self.class_mix.iter().sum();
+        assert!(
+            (mix_sum - 1.0).abs() < 1e-9,
+            "class mix must sum to 1, got {mix_sum}"
+        );
+        let regime_sum: f64 = self.ps_weight_regime_mix.iter().sum();
+        assert!(
+            (regime_sum - 1.0).abs() < 1e-9,
+            "PS weight regime mix must sum to 1, got {regime_sum}"
+        );
+        for &(m, _) in &[
+            self.wng_comm,
+            self.w1g_io,
+            self.dist_io_bulk,
+            self.dist_io_heavy,
+            self.mem_share_of_compute,
+        ] {
+            assert!(m > 0.0 && m < 1.0, "share medians must be in (0,1), got {m}");
+        }
+        assert!(self.jobs > 0, "a population needs at least one job");
+    }
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig::paper_scale(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_internally_consistent() {
+        PopulationConfig::paper_scale(100).validate();
+        PopulationConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn rejects_empty_population() {
+        let _ = PopulationConfig::paper_scale(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class mix must sum to 1")]
+    fn validate_rejects_bad_mix() {
+        let mut cfg = PopulationConfig::paper_scale(10);
+        cfg.class_mix = [0.5, 0.5, 0.5, 0.0];
+        cfg.validate();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = PopulationConfig::paper_scale(10);
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: PopulationConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, cfg);
+    }
+}

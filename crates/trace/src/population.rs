@@ -1,0 +1,478 @@
+//! The population generator.
+//!
+//! For each job the generator samples the class, scale (cNodes, batch),
+//! weight size and *time-share targets*, then inverts the shares
+//! through the paper's analytical model
+//! ([`PerfModel::paper_default`]) into physical features. See the
+//! crate-level docs for why this calibration strategy is sound.
+
+use pai_core::{Architecture, PerfModel, WorkloadFeatures};
+use pai_hw::{Bytes, Flops, LinkKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::PopulationConfig;
+use crate::sampler;
+
+/// One synthetic job: an identifier plus its feature record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Stable id within the population.
+    pub id: usize,
+    /// The per-step, per-cNode feature record.
+    pub features: WorkloadFeatures,
+}
+
+/// A generated population of synthetic jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    jobs: Vec<JobRecord>,
+}
+
+impl Population {
+    /// Generates a population deterministically from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PopulationConfig::validate`].
+    pub fn generate(config: &PopulationConfig, seed: u64) -> Population {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = PerfModel::paper_default();
+        let jobs = (0..config.jobs)
+            .map(|id| JobRecord {
+                id,
+                features: sample_job(&mut rng, config, &model),
+            })
+            .collect();
+        Population { jobs }
+    }
+
+    /// Rebuilds a population from previously exported records (e.g.
+    /// deserialized from the JSON a [`Population::records`] dump
+    /// produced) — the load half of trace sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty or contains duplicate ids.
+    pub fn from_records<I: IntoIterator<Item = JobRecord>>(records: I) -> Population {
+        let jobs: Vec<JobRecord> = records.into_iter().collect();
+        assert!(!jobs.is_empty(), "a population needs at least one job");
+        let mut ids: Vec<usize> = jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len(), "duplicate job ids in the records");
+        Population { jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs were generated (never, per config validation).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// All feature records.
+    pub fn features(&self) -> Vec<WorkloadFeatures> {
+        self.jobs.iter().map(|j| j.features).collect()
+    }
+
+    /// Feature records of one class.
+    pub fn jobs_of(&self, arch: Architecture) -> Vec<WorkloadFeatures> {
+        self.jobs
+            .iter()
+            .map(|j| j.features)
+            .filter(|f| f.arch() == arch)
+            .collect()
+    }
+
+    /// Job count per class, in [`Architecture::ALL`] order.
+    pub fn class_counts(&self) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        for j in &self.jobs {
+            let idx = Architecture::ALL
+                .iter()
+                .position(|&a| a == j.features.arch())
+                .expect("known architecture");
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Total cNodes per class, in [`Architecture::ALL`] order — the
+    /// denominator of Fig. 5b's resource-consumption view.
+    pub fn cnode_totals(&self) -> [usize; 5] {
+        let mut totals = [0usize; 5];
+        for j in &self.jobs {
+            let idx = Architecture::ALL
+                .iter()
+                .position(|&a| a == j.features.arch())
+                .expect("known architecture");
+            totals[idx] += j.features.cnodes();
+        }
+        totals
+    }
+
+    /// Total cNodes across the population.
+    pub fn total_cnodes(&self) -> usize {
+        self.jobs.iter().map(|j| j.features.cnodes()).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Population {
+    type Item = &'a JobRecord;
+    type IntoIter = std::slice::Iter<'a, JobRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.iter()
+    }
+}
+
+fn sample_class(rng: &mut StdRng, config: &PopulationConfig) -> Architecture {
+    let classes = [
+        Architecture::OneWorkerOneGpu,
+        Architecture::OneWorkerMultiGpu,
+        Architecture::PsWorker,
+        Architecture::AllReduceLocal,
+    ];
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (share, &arch) in config.class_mix.iter().zip(&classes) {
+        acc += share;
+        if u < acc {
+            return arch;
+        }
+    }
+    *classes.last().expect("non-empty class list")
+}
+
+fn sample_cnodes(rng: &mut StdRng, config: &PopulationConfig, arch: Architecture) -> usize {
+    match arch {
+        Architecture::OneWorkerOneGpu => 1,
+        Architecture::OneWorkerMultiGpu | Architecture::AllReduceLocal => {
+            sampler::pow2(rng, config.onewng_cnode_exp.0, config.onewng_cnode_exp.1)
+        }
+        Architecture::PsWorker => {
+            let (mu, sigma) = config.ps_cnode_log2;
+            let n = sampler::normal(rng, mu, sigma).exp2().round() as i64;
+            (n.max(2) as usize).min(config.ps_cnode_max)
+        }
+        Architecture::AllReduceCluster => unreachable!("not generated in the default mix"),
+    }
+}
+
+fn sample_weight_gb(rng: &mut StdRng, config: &PopulationConfig, arch: Architecture) -> f64 {
+    match arch {
+        Architecture::OneWorkerOneGpu => {
+            sampler::log_uniform(rng, config.w1g_weight_gb.0, config.w1g_weight_gb.1)
+        }
+        Architecture::OneWorkerMultiGpu | Architecture::AllReduceLocal => {
+            sampler::log_uniform(rng, config.wng_weight_gb.0, config.wng_weight_gb.1)
+        }
+        Architecture::PsWorker => {
+            let u: f64 = rng.gen();
+            let [small, medium, _] = config.ps_weight_regime_mix;
+            let range = if u < small {
+                config.ps_weight_small_gb
+            } else if u < small + medium {
+                config.ps_weight_medium_gb
+            } else {
+                config.ps_weight_large_gb
+            };
+            sampler::log_uniform(rng, range.0, range.1)
+        }
+        Architecture::AllReduceCluster => unreachable!("not generated in the default mix"),
+    }
+}
+
+/// Communication-time share target for a communicating class.
+fn sample_comm_share(
+    rng: &mut StdRng,
+    config: &PopulationConfig,
+    arch: Architecture,
+    cnodes: usize,
+) -> f64 {
+    let p = match arch {
+        Architecture::PsWorker => {
+            let median = (config.ps_comm_median_base
+                + config.ps_comm_median_slope * (cnodes as f64).log2())
+            .clamp(config.ps_comm_median_range.0, config.ps_comm_median_range.1);
+            sampler::logit_normal(rng, median, config.ps_comm_sigma)
+        }
+        Architecture::OneWorkerMultiGpu | Architecture::AllReduceLocal => {
+            sampler::logit_normal(rng, config.wng_comm.0, config.wng_comm.1)
+        }
+        _ => unreachable!("non-communicating class"),
+    };
+    sampler::clamp_share(p, 0.02, 0.98)
+}
+
+/// Input-I/O share target. For 1w1g this is the share of total time;
+/// for communicating classes it is the share `q_d` of *non-
+/// communication* time (see [`PopulationConfig::dist_io_bulk`]).
+fn sample_io_share(rng: &mut StdRng, config: &PopulationConfig, arch: Architecture) -> f64 {
+    let p = match arch {
+        Architecture::OneWorkerOneGpu => {
+            if rng.gen::<f64>() < config.w1g_io_heavy_prob {
+                rng.gen_range(config.w1g_io_heavy_range.0..=config.w1g_io_heavy_range.1)
+            } else {
+                sampler::logit_normal(rng, config.w1g_io.0, config.w1g_io.1)
+            }
+        }
+        _ => {
+            if rng.gen::<f64>() < config.dist_io_heavy_prob {
+                sampler::logit_normal(rng, config.dist_io_heavy.0, config.dist_io_heavy.1)
+            } else {
+                sampler::logit_normal(rng, config.dist_io_bulk.0, config.dist_io_bulk.1)
+            }
+        }
+    };
+    sampler::clamp_share(p, 0.001, 0.95)
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Inverts time-share targets into physical features through the
+/// analytical model: given the target total step time and the shares,
+/// the byte/FLOP volumes that produce exactly those component times
+/// under `model`.
+fn invert_features(
+    model: &PerfModel,
+    arch: Architecture,
+    cnodes: usize,
+    batch: usize,
+    weight_gb: f64,
+    total_s: f64,
+    p_d: f64,
+    p_cc: f64,
+    p_cm: f64,
+) -> WorkloadFeatures {
+    let cfg = model.config();
+    let contention = arch.input_contention_factor(cnodes, pai_core::model::GPUS_PER_SERVER);
+    let pcie_eff = cfg.link(LinkKind::Pcie).effective_bandwidth().as_bytes_per_sec();
+    let mem_eff = cfg
+        .link(LinkKind::HbmMemory)
+        .effective_bandwidth()
+        .as_bytes_per_sec();
+    let peak_eff =
+        cfg.gpu().peak_flops().as_flops_per_sec() * cfg.efficiency().compute();
+
+    let sd = p_d * total_s * pcie_eff / contention as f64;
+    let flops = p_cc * total_s * peak_eff;
+    let smem = p_cm * total_s * mem_eff;
+
+    WorkloadFeatures::builder(arch)
+        .cnodes(cnodes)
+        .batch_size(batch)
+        .input_bytes(Bytes::from_f64(sd))
+        .weight_bytes(Bytes::from_gb(weight_gb))
+        .flops(Flops::from_f64(flops))
+        .mem_access_bytes(Bytes::from_f64(smem))
+        .build()
+}
+
+fn sample_job(
+    rng: &mut StdRng,
+    config: &PopulationConfig,
+    model: &PerfModel,
+) -> WorkloadFeatures {
+    let arch = sample_class(rng, config);
+    let cnodes = sample_cnodes(rng, config, arch);
+    let batch = sampler::pow2(rng, config.batch_exp.0, config.batch_exp.1);
+    let weight_gb = sample_weight_gb(rng, config, arch);
+    let p_d_raw = sample_io_share(rng, config, arch);
+    let mem_share = sampler::logit_normal(
+        rng,
+        config.mem_share_of_compute.0,
+        config.mem_share_of_compute.1,
+    );
+
+    let (total_s, p_d) = if arch.communicates() {
+        let p_w = sample_comm_share(rng, config, arch, cnodes);
+        // Anchor the absolute scale on the weight-transfer time the
+        // model assigns to this class's Table II media path.
+        let probe = WorkloadFeatures::builder(arch)
+            .cnodes(cnodes.max(2))
+            .weight_bytes(Bytes::from_gb(weight_gb))
+            .build();
+        let tw = model.weight_traffic_time(&probe).as_f64();
+        let total = tw / p_w;
+        // q_d is the share of the non-communication remainder.
+        let p_d = p_d_raw * (1.0 - p_w);
+        (total, p_d)
+    } else {
+        let total = sampler::log_uniform(rng, config.free_step_time_s.0, config.free_step_time_s.1);
+        (total, p_d_raw)
+    };
+
+    let p_w_actual = if arch.communicates() {
+        let probe = WorkloadFeatures::builder(arch)
+            .cnodes(cnodes.max(2))
+            .weight_bytes(Bytes::from_gb(weight_gb))
+            .build();
+        model.weight_traffic_time(&probe).as_f64() / total_s
+    } else {
+        0.0
+    };
+    let p_c = (1.0 - p_w_actual - p_d).max(0.0);
+    let p_cm = p_c * mem_share;
+    let p_cc = p_c * (1.0 - mem_share);
+
+    invert_features(
+        model, arch, cnodes, batch, weight_gb, total_s, p_d, p_cc, p_cm,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pop() -> Population {
+        Population::generate(&PopulationConfig::paper_scale(3_000), 1905930)
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let pop = Population::generate(&PopulationConfig::paper_scale(50), 3);
+        let body = serde_json::to_string(pop.records()).expect("serialize");
+        let back: Vec<JobRecord> = serde_json::from_str(&body).expect("deserialize");
+        assert_eq!(Population::from_records(back), pop);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job ids")]
+    fn from_records_rejects_duplicates() {
+        let pop = Population::generate(&PopulationConfig::paper_scale(2), 3);
+        let mut records = pop.records().to_vec();
+        records[1].id = records[0].id;
+        let _ = Population::from_records(records);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn from_records_rejects_empty() {
+        let _ = Population::from_records(std::iter::empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PopulationConfig::paper_scale(200);
+        let a = Population::generate(&cfg, 7);
+        let b = Population::generate(&cfg, 7);
+        assert_eq!(a, b);
+        let c = Population::generate(&cfg, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn class_mix_tracks_fig5a() {
+        let pop = small_pop();
+        let counts = pop.class_counts();
+        let n = pop.len() as f64;
+        // [1w1g, 1wng, PS, ARL, ARC]
+        assert!((counts[0] as f64 / n - 0.59).abs() < 0.04, "1w1g {}", counts[0]);
+        assert!((counts[2] as f64 / n - 0.29).abs() < 0.04, "PS {}", counts[2]);
+        assert!(counts[3] as f64 / n < 0.02, "AllReduce {}", counts[3]);
+        assert_eq!(counts[4], 0, "no AllReduce-Cluster in the default mix");
+    }
+
+    #[test]
+    fn ps_consumes_the_lions_share_of_cnodes() {
+        // Fig. 5b: PS/Worker jobs consume ~81 % of cNodes.
+        let pop = small_pop();
+        let totals = pop.cnode_totals();
+        let ps_share = totals[2] as f64 / pop.total_cnodes() as f64;
+        assert!(
+            (0.70..0.92).contains(&ps_share),
+            "PS cNode share {ps_share}"
+        );
+    }
+
+    #[test]
+    fn onewng_stays_within_a_server() {
+        let pop = small_pop();
+        for f in pop.jobs_of(Architecture::OneWorkerMultiGpu) {
+            assert!((2..=8).contains(&f.cnodes()));
+        }
+    }
+
+    #[test]
+    fn ps_cnode_median_is_about_eight() {
+        let pop = small_pop();
+        let mut counts: Vec<usize> = pop
+            .jobs_of(Architecture::PsWorker)
+            .iter()
+            .map(|f| f.cnodes())
+            .collect();
+        counts.sort_unstable();
+        let median = counts[counts.len() / 2];
+        assert!((4..=16).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn extreme_jobs_exist_and_are_rare() {
+        // Sec. III-A: ~0.7 % of jobs exceed 128 cNodes yet consume >16 %
+        // of resources.
+        let pop = Population::generate(&PopulationConfig::paper_scale(20_000), 1905930);
+        let big: Vec<&JobRecord> = pop
+            .records()
+            .iter()
+            .filter(|j| j.features.cnodes() > 128)
+            .collect();
+        let frac = big.len() as f64 / pop.len() as f64;
+        assert!((0.001..0.02).contains(&frac), "big-job fraction {frac}");
+        let big_cnodes: usize = big.iter().map(|j| j.features.cnodes()).sum();
+        let share = big_cnodes as f64 / pop.total_cnodes() as f64;
+        assert!(share > 0.10, "big-job resource share {share}");
+    }
+
+    #[test]
+    fn ninety_percent_of_jobs_are_small_models() {
+        // Sec. III-D: "90% jobs train small-scale models, i.e., model
+        // size less than 10GB".
+        let pop = small_pop();
+        let under = pop
+            .records()
+            .iter()
+            .filter(|j| j.features.weight_bytes().as_gb() < 10.0)
+            .count();
+        let frac = under as f64 / pop.len() as f64;
+        assert!((0.85..0.95).contains(&frac), "small-model fraction {frac}");
+    }
+
+    #[test]
+    fn features_reproduce_target_shares() {
+        // The inversion must round-trip: analyzing the generated
+        // features with the same model yields self-consistent fractions.
+        let pop = small_pop();
+        let model = PerfModel::paper_default();
+        for f in pop.features().iter().take(100) {
+            let b = model.breakdown(f);
+            let sum: f64 = b.fractions().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_w_one_g_io_has_a_heavy_tail() {
+        // Fig. 8b: ~5 % of 1w1g jobs spend >50 % of time on input I/O.
+        let pop = small_pop();
+        let model = PerfModel::paper_default();
+        let io: Vec<f64> = pop
+            .jobs_of(Architecture::OneWorkerOneGpu)
+            .iter()
+            .map(|f| model.breakdown(f).data_fraction())
+            .collect();
+        let heavy = io.iter().filter(|&&p| p > 0.5).count() as f64 / io.len() as f64;
+        assert!((0.02..0.10).contains(&heavy), "heavy-I/O fraction {heavy}");
+        let mean = io.iter().sum::<f64>() / io.len() as f64;
+        assert!((0.05..0.15).contains(&mean), "mean 1w1g I/O share {mean}");
+    }
+}

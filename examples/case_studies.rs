@@ -1,0 +1,55 @@
+//! The Sec. IV case studies: run the six production models through the
+//! simulated testbed and compare against the analytical estimates
+//! (Fig. 12), including the Speech anomaly.
+//!
+//! Run with: `cargo run --release --example case_studies`
+
+use alibaba_pai_workloads::graph::zoo;
+use alibaba_pai_workloads::profiler::validate::validate_all;
+
+fn main() {
+    println!("model inventory (Table IV):");
+    for m in zoo::all() {
+        println!(
+            "  {:<16} {:<18} dense {:>10}  embedding {:>10}  ({})",
+            m.name(),
+            m.domain(),
+            format!("{}", m.params().dense_bytes()),
+            format!("{}", m.params().embedding_bytes()),
+            m.arch()
+        );
+    }
+
+    println!("\nvalidation: analytical estimate (70% assumption) vs simulated testbed");
+    println!("(Table VI efficiencies + kernel-launch overhead), per step:\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}   [data/weights/compute/memory]",
+        "model", "estimated", "measured", "diff"
+    );
+    for r in validate_all() {
+        let ef = r.estimated_fractions();
+        let mf = r.measured_fractions();
+        let fmt = |f: [f64; 4]| {
+            f.iter()
+                .map(|x| format!("{:.0}", x * 100.0))
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        println!(
+            "{:<16} {:>9.1} ms {:>9.1} ms {:>8.1}%   est {}  meas {}",
+            r.model,
+            r.estimated_total.as_millis(),
+            r.measured.total.as_millis(),
+            r.difference * 100.0,
+            fmt(ef),
+            fmt(mf),
+        );
+    }
+
+    println!(
+        "\nthe Speech row diverges on purpose: its unrolled recurrence runs\n\
+         thousands of tiny kernels at 3.1% memory-bandwidth efficiency\n\
+         (Table VI), which the uniform-70% analytical assumption cannot see\n\
+         — exactly the failure mode the paper reports (>66.7% difference)."
+    );
+}

@@ -1,0 +1,83 @@
+//! PEARL in action (Sec. IV-C, Fig. 13d, Fig. 14): train the GCN's
+//! 54 GB-embedding model under PS/Worker vs PEARL and watch the
+//! communication bottleneck collapse; then scale GPUs to see PEARL's
+//! throughput scalability claim.
+//!
+//! Run with: `cargo run --release --example pearl_training`
+
+use alibaba_pai_workloads::graph::zoo;
+use alibaba_pai_workloads::hw::GpuSpec;
+use alibaba_pai_workloads::pearl::memory::{recommend, Recommendation};
+use alibaba_pai_workloads::pearl::{comm_plan, ModelComm, Strategy};
+use alibaba_pai_workloads::sim::{SimConfig, StepSimulator};
+
+fn main() {
+    let model = zoo::gcn();
+    let comm = ModelComm::of(&model);
+    let v100 = GpuSpec::tesla_v100();
+
+    println!(
+        "GCN: dense {}, embedding table {}, {} embedding rows touched per step",
+        model.params().dense_bytes(),
+        model.params().embedding_bytes(),
+        model.touched_embedding_rows()
+    );
+    let rec = recommend(&comm, &v100, 8, 0.3);
+    println!(
+        "architecture advisor on 8x V100: {:?} (replica mode impossible: table > GPU memory)",
+        rec
+    );
+    assert_eq!(rec, Recommendation::Pearl);
+
+    let sim = StepSimulator::new(
+        SimConfig::testbed().with_efficiency(*model.measured_efficiency()),
+    );
+
+    println!("\nstep time and communication share per strategy (8 replicas):");
+    let strategies = [
+        (
+            "PS/Worker (sparse-aware)",
+            Strategy::PsWorker {
+                workers: 8,
+                sparse_aware: true,
+            },
+        ),
+        (
+            "PS/Worker (naive dense)",
+            Strategy::PsWorker {
+                workers: 8,
+                sparse_aware: false,
+            },
+        ),
+        ("PEARL", Strategy::Pearl { gpus: 8 }),
+    ];
+    for (label, strategy) in strategies {
+        let plan = comm_plan(&strategy, &comm);
+        let contention = match strategy {
+            Strategy::Pearl { gpus } => gpus,
+            _ => 1,
+        };
+        let m = sim.run(model.graph(), &plan, contention);
+        println!(
+            "  {:<26} step {:>10.1} ms  comm {:>5.1}%  volume {}",
+            label,
+            m.total.as_millis(),
+            m.fraction(m.comm_total()) * 100.0,
+            plan.total_bytes()
+        );
+    }
+
+    println!("\nPEARL throughput scaling (Eq. 2, batch 512/replica):");
+    let mut base = None;
+    for gpus in [2usize, 4, 8] {
+        let plan = comm_plan(&Strategy::Pearl { gpus }, &comm);
+        let m = sim.run(model.graph(), &plan, gpus);
+        let throughput = gpus as f64 / m.total.as_f64() * model.batch_size() as f64;
+        let base_t = *base.get_or_insert(throughput / gpus as f64 * 2.0);
+        println!(
+            "  {gpus} GPUs: {:>9.0} samples/s  (scaling efficiency {:.0}%)",
+            throughput,
+            throughput / (base_t / 2.0 * gpus as f64) * 100.0
+        );
+    }
+}

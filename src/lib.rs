@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Facade crate for the reproduction of *Characterizing Deep Learning
+//! Training Workloads on Alibaba-PAI* (IISWC 2019).
+//!
+//! Re-exports every layer of the stack under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! - [`hw`] — hardware models (Table I, Table III, Fig. 1)
+//! - [`graph`] — computation-graph framework and the six-model zoo (Tables IV/V)
+//! - [`collectives`] — communication primitive cost models (NCCL analog)
+//! - [`sim`] — discrete-event execution simulator (the "testbed")
+//! - [`trace`] — calibrated synthetic cluster workload population
+//! - [`core`] — the paper's analytical characterization framework
+//! - [`profiler`] — run-metadata capture and feature extraction (Fig. 4)
+//! - [`pearl`] — PS/Worker, AllReduce and PEARL distribution strategies (Fig. 14)
+//!
+//! # Examples
+//!
+//! ```
+//! use alibaba_pai_workloads::core::{PerfModel, WorkloadFeatures, Architecture};
+//! use alibaba_pai_workloads::hw::{Bytes, Flops};
+//!
+//! let features = WorkloadFeatures::builder(Architecture::PsWorker)
+//!     .cnodes(16)
+//!     .batch_size(512)
+//!     .input_bytes(Bytes::from_mb(10.0))
+//!     .weight_bytes(Bytes::from_gb(1.0))
+//!     .flops(Flops::from_tera(0.5))
+//!     .mem_access_bytes(Bytes::from_gb(20.0))
+//!     .build();
+//! let breakdown = PerfModel::paper_default().breakdown(&features);
+//! assert!(breakdown.total().as_f64() > 0.0);
+//! ```
+
+pub use pai_collectives as collectives;
+pub use pai_core as core;
+pub use pai_graph as graph;
+pub use pai_hw as hw;
+pub use pai_pearl as pearl;
+pub use pai_profiler as profiler;
+pub use pai_sim as sim;
+pub use pai_trace as trace;
