@@ -44,7 +44,7 @@ fn ablation_pearl_shards(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("ablation_pearl_shards");
     for gpus in [2usize, 4, 8] {
-        group.bench_function(format!("gpus_{gpus}"), |b| {
+        group.bench_function(&format!("gpus_{gpus}"), |b| {
             b.iter(|| black_box(comm_plan(&Strategy::Pearl { gpus }, &gcn)))
         });
     }
@@ -120,9 +120,13 @@ fn ablation_xla_fusion(c: &mut Criterion) {
     use pai_sim::{SimConfig, StepSimulator};
     let model = zoo::speech();
     let sim = StepSimulator::new(SimConfig::testbed());
-    let base = sim.run(model.graph(), &CommPlan::new(), 1);
+    let base = sim
+        .run(model.graph(), &CommPlan::new(), 1)
+        .expect("a contention factor of 1 is always valid");
     let fused_graph = fuse_elementwise(model.graph());
-    let fused = sim.run(&fused_graph, &CommPlan::new(), 1);
+    let fused = sim
+        .run(&fused_graph, &CommPlan::new(), 1)
+        .expect("a contention factor of 1 is always valid");
     println!(
         "[ablation_xla_fusion] Speech kernels {} -> {}, step {} -> {}",
         base.kernels, fused.kernels, base.total, fused.total
@@ -150,9 +154,7 @@ fn ablation_alpha_beta(c: &mut Criterion) {
         let payload = Bytes::from_kb(kb);
         let bw = ring::allreduce_time(8, payload, &link);
         let ab = allreduce_time(8, payload, &link, lat);
-        println!(
-            "[ablation_alpha_beta] {kb:>8.0} KB: bandwidth-only {bw}, alpha-beta {ab}"
-        );
+        println!("[ablation_alpha_beta] {kb:>8.0} KB: bandwidth-only {bw}, alpha-beta {ab}");
     }
     let mut group = c.benchmark_group("ablation_alpha_beta");
     group.bench_function("alpha_beta_eval", |b| {

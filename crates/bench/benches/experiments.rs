@@ -27,8 +27,8 @@ fn bench_population_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace");
     group.sample_size(10);
     group.bench_function("generate_2k_jobs", |b| {
-        let cfg = PopulationConfig::paper_scale(2_000);
-        b.iter(|| black_box(Population::generate(&cfg, 1_905_930)));
+        let cfg = PopulationConfig::paper_scale(2_000).unwrap();
+        b.iter(|| black_box(Population::generate(&cfg, 1_905_930).unwrap()));
     });
     group.finish();
 }

@@ -66,8 +66,7 @@ pub fn allgather_time(n: usize, payload: Bytes, link: &LinkModel, latency: Laten
     if n == 1 {
         return Seconds::ZERO;
     }
-    latency.alpha().scale((n - 1) as f64)
-        + link.transfer_time(ring::allgather_per_rank(n, payload))
+    latency.alpha().scale((n - 1) as f64) + link.transfer_time(ring::allgather_per_rank(n, payload))
 }
 
 /// The payload size at which latency and bandwidth terms are equal for

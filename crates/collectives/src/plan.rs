@@ -153,7 +153,11 @@ mod tests {
     fn plan() -> CommPlan {
         [
             Transfer::new("dense allreduce", LinkKind::NvLink, Bytes::from_mb(357.0)),
-            Transfer::new("cross-server ring", LinkKind::Ethernet, Bytes::from_mb(100.0)),
+            Transfer::new(
+                "cross-server ring",
+                LinkKind::Ethernet,
+                Bytes::from_mb(100.0),
+            ),
             Transfer::new("extra nvlink", LinkKind::NvLink, Bytes::from_mb(43.0)),
         ]
         .into_iter()
@@ -174,11 +178,7 @@ mod tests {
         let cfg = HardwareConfig::pai_default();
         let p = plan();
         let total = p.serialized_time(&cfg).as_f64();
-        let by_link: f64 = p
-            .time_by_link(&cfg)
-            .iter()
-            .map(|(_, t)| t.as_f64())
-            .sum();
+        let by_link: f64 = p.time_by_link(&cfg).iter().map(|(_, t)| t.as_f64()).sum();
         assert!((total - by_link).abs() < 1e-12);
         // NVLink: 400 MB / 35 GB/s; Ethernet: 100 MB / 2.1875 GB/s.
         let expected = 0.4 / 35.0 + 0.1 / 2.1875;

@@ -14,9 +14,7 @@ use pai_hw::LinkKind;
 use serde::{Deserialize, Serialize};
 
 /// The training architecture of a job (Table II).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Architecture {
     /// Single worker, single GPU — no weight movement.
     OneWorkerOneGpu,
@@ -211,7 +209,10 @@ mod tests {
         // PS workers each own a server: no contention.
         assert_eq!(Architecture::PsWorker.input_contention_factor(64, 8), 1);
         // 1w1g trivially 1.
-        assert_eq!(Architecture::OneWorkerOneGpu.input_contention_factor(1, 8), 1);
+        assert_eq!(
+            Architecture::OneWorkerOneGpu.input_contention_factor(1, 8),
+            1
+        );
         // Local classes contend across all replicas.
         assert_eq!(
             Architecture::AllReduceLocal.input_contention_factor(8, 8),
@@ -235,10 +236,7 @@ mod tests {
     #[test]
     fn only_1w1g_is_silent() {
         for arch in Architecture::ALL {
-            assert_eq!(
-                arch.communicates(),
-                arch != Architecture::OneWorkerOneGpu
-            );
+            assert_eq!(arch.communicates(), arch != Architecture::OneWorkerOneGpu);
             assert_eq!(arch.communicates(), !arch.weight_media().is_empty());
         }
     }

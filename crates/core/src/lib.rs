@@ -25,6 +25,8 @@
 //! - [`sweep`] — the Table III hardware-variation study (Fig. 11)
 //! - [`scaling`] — strong-scaling curves behind the PEARL scalability
 //!   claim (Sec. IV-C)
+//! - [`resilience`] — closed-form degraded-regime models (straggler
+//!   barrier dilation, checkpoint/restart goodput, Young's interval)
 //! - [`sensitivity`] — the Sec. V-A efficiency-assumption study (Fig. 15)
 //! - [`overlap`] — the Sec. V-B overlap-assumption study (Fig. 16)
 //! - [`stats`] — empirical CDFs and weighted means used by all figures
@@ -57,6 +59,7 @@ pub mod features;
 pub mod model;
 pub mod overlap;
 pub mod project;
+pub mod resilience;
 pub mod scaling;
 pub mod sensitivity;
 pub mod stats;

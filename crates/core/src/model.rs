@@ -127,14 +127,16 @@ impl PerfModel {
     /// `Tw` split by medium: the weight volume crosses every medium on
     /// its class's Table II path once per step. 1w1g communicates
     /// nothing regardless of the recorded weight volume.
-    pub fn weight_traffic_by_medium(
-        &self,
-        job: &WorkloadFeatures,
-    ) -> Vec<(LinkKind, Seconds)> {
+    pub fn weight_traffic_by_medium(&self, job: &WorkloadFeatures) -> Vec<(LinkKind, Seconds)> {
         job.arch()
             .weight_media()
             .iter()
-            .map(|&kind| (kind, self.config.link(kind).transfer_time(job.weight_bytes())))
+            .map(|&kind| {
+                (
+                    kind,
+                    self.config.link(kind).transfer_time(job.weight_bytes()),
+                )
+            })
             .collect()
     }
 
@@ -283,8 +285,7 @@ mod tests {
     #[test]
     fn efficiency_override_shifts_weight_time() {
         let base = PerfModel::paper_default();
-        let slow_comm =
-            base.with_efficiency(Efficiency::paper_default().with_communication(0.35));
+        let slow_comm = base.with_efficiency(Efficiency::paper_default().with_communication(0.35));
         let job = ps_job(1.0);
         let ratio = slow_comm
             .weight_traffic_time(&job)

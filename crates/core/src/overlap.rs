@@ -14,9 +14,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// How the three execution-time components combine into `T_total`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum OverlapMode {
     /// No overlap: `T_total = Td + Tc + Tw` (the paper's framework).
     #[default]

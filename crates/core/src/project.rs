@@ -198,16 +198,20 @@ mod tests {
     #[test]
     fn local_projection_keeps_small_jobs() {
         let m = PerfModel::paper_default();
-        let out = project(&m, &ps_job(4, 1.0, 0.1), ProjectionTarget::AllReduceLocal)
-            .expect("eligible");
+        let out =
+            project(&m, &ps_job(4, 1.0, 0.1), ProjectionTarget::AllReduceLocal).expect("eligible");
         assert_eq!(out.projected.cnodes(), 4);
     }
 
     #[test]
     fn cluster_projection_retains_cnodes() {
         let m = PerfModel::paper_default();
-        let out = project(&m, &ps_job(128, 1.0, 0.1), ProjectionTarget::AllReduceCluster)
-            .expect("eligible");
+        let out = project(
+            &m,
+            &ps_job(128, 1.0, 0.1),
+            ProjectionTarget::AllReduceCluster,
+        )
+        .expect("eligible");
         assert_eq!(out.projected.cnodes(), 128);
         assert_eq!(out.projected.arch(), Architecture::AllReduceCluster);
     }
@@ -216,10 +220,18 @@ mod tests {
     fn oversized_models_are_ineligible() {
         // Multi-Interests: 239 GB of embeddings cannot replicate on a GPU.
         let m = PerfModel::paper_default();
-        assert!(project(&m, &ps_job(64, 239.0, 0.1), ProjectionTarget::AllReduceLocal).is_none());
-        assert!(
-            project(&m, &ps_job(64, 239.0, 0.1), ProjectionTarget::AllReduceCluster).is_none()
-        );
+        assert!(project(
+            &m,
+            &ps_job(64, 239.0, 0.1),
+            ProjectionTarget::AllReduceLocal
+        )
+        .is_none());
+        assert!(project(
+            &m,
+            &ps_job(64, 239.0, 0.1),
+            ProjectionTarget::AllReduceCluster
+        )
+        .is_none());
     }
 
     #[test]
@@ -258,7 +270,11 @@ mod tests {
         let job = ps_job(64, 10.0, 1e-6);
         let out = project(&m, &job, ProjectionTarget::AllReduceCluster).expect("eligible");
         assert!(out.single_cnode_speedup > 1.0);
-        assert!(out.single_cnode_speedup < 1.25, "got {}", out.single_cnode_speedup);
+        assert!(
+            out.single_cnode_speedup < 1.25,
+            "got {}",
+            out.single_cnode_speedup
+        );
     }
 
     #[test]
@@ -275,7 +291,11 @@ mod tests {
             .mem_access_bytes(Bytes::from_mb(100.0))
             .build();
         let out = project(&m, &job, ProjectionTarget::AllReduceLocal).expect("eligible");
-        assert!(out.single_cnode_speedup < 1.0, "got {}", out.single_cnode_speedup);
+        assert!(
+            out.single_cnode_speedup < 1.0,
+            "got {}",
+            out.single_cnode_speedup
+        );
         assert!(!out.improves_throughput());
     }
 

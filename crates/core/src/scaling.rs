@@ -63,7 +63,10 @@ pub fn scaling_curve(
     base: &WorkloadFeatures,
     counts: &[usize],
 ) -> Vec<ScalingPoint> {
-    assert!(!counts.is_empty(), "a scaling curve needs at least one point");
+    assert!(
+        !counts.is_empty(),
+        "a scaling curve needs at least one point"
+    );
     let first = counts[0];
     let first_job = base.remapped(base.arch(), first);
     let first_throughput = model.throughput(&first_job);

@@ -53,9 +53,7 @@ impl EfficiencyScenario {
             EfficiencyScenario::AllSeventy => base,
             EfficiencyScenario::CommunicationFifty => base.with_communication(0.5),
             EfficiencyScenario::ComputationFifty => base.with_compute(0.5).with_memory(0.5),
-            EfficiencyScenario::ComputationTwentyFive => {
-                base.with_compute(0.25).with_memory(0.25)
-            }
+            EfficiencyScenario::ComputationTwentyFive => base.with_compute(0.25).with_memory(0.25),
         }
     }
 }

@@ -106,7 +106,10 @@ impl Ecdf {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         let target = q * self.total_weight;
         let mut acc = 0.0;
         for &(v, w) in &self.samples {

@@ -98,10 +98,7 @@ pub fn sweep_class(
     for job in jobs {
         assert_eq!(job.arch(), arch, "all jobs must belong to the swept class");
     }
-    let base_times: Vec<f64> = jobs
-        .iter()
-        .map(|j| model.total_time(j).as_f64())
-        .collect();
+    let base_times: Vec<f64> = jobs.iter().map(|j| model.total_time(j).as_f64()).collect();
     let mut samples = Vec::new();
     for axis in relevant_axes(arch) {
         for &value in axis.candidates() {

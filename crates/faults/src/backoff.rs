@@ -1,0 +1,136 @@
+//! Exponential backoff for transient PS push/pull failures.
+
+use crate::FaultError;
+use pai_hw::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A capped exponential retry-delay policy.
+///
+/// Attempt `k` (0-based) waits `base * factor^k`, capped at `cap`.
+/// This is the delay a worker spends before re-issuing a failed
+/// parameter-server push or pull.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialBackoff {
+    base_secs: f64,
+    factor: f64,
+    cap_secs: f64,
+}
+
+impl ExponentialBackoff {
+    /// A policy with the given initial delay, growth factor, and cap.
+    ///
+    /// Rejects non-finite or negative delays, factors below 1, and a
+    /// cap below the base.
+    pub fn new(base: Seconds, factor: f64, cap: Seconds) -> Result<Self, FaultError> {
+        let policy = ExponentialBackoff {
+            base_secs: base.as_f64(),
+            factor,
+            cap_secs: cap.as_f64(),
+        };
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Re-checks the policy's invariants (a policy may arrive through
+    /// deserialization, bypassing [`ExponentialBackoff::new`]).
+    pub fn validate(&self) -> Result<(), FaultError> {
+        if !self.base_secs.is_finite() || self.base_secs < 0.0 {
+            return Err(FaultError::InvalidBackoff {
+                what: "base",
+                value: self.base_secs,
+            });
+        }
+        if !self.factor.is_finite() || self.factor < 1.0 {
+            return Err(FaultError::InvalidBackoff {
+                what: "factor",
+                value: self.factor,
+            });
+        }
+        if !self.cap_secs.is_finite() || self.cap_secs < self.base_secs {
+            return Err(FaultError::InvalidBackoff {
+                what: "cap",
+                value: self.cap_secs,
+            });
+        }
+        Ok(())
+    }
+
+    /// A policy matching common PS-client defaults: 10 ms initial
+    /// delay doubling up to 1 s.
+    pub fn ps_default() -> Self {
+        ExponentialBackoff {
+            base_secs: 0.010,
+            factor: 2.0,
+            cap_secs: 1.0,
+        }
+    }
+
+    /// The delay before retry `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Seconds {
+        let raw = self.base_secs * self.factor.powi(attempt as i32);
+        Seconds::from_f64(raw.min(self.cap_secs))
+    }
+
+    /// The total time spent waiting across `attempts` retries.
+    pub fn total_delay(&self, attempts: u32) -> Seconds {
+        let mut total = 0.0;
+        for attempt in 0..attempts {
+            total += self.delay(attempt).as_f64();
+        }
+        Seconds::from_f64(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let b = ExponentialBackoff::new(Seconds::from_millis(10.0), 2.0, Seconds::from_f64(0.1))
+            .unwrap();
+        assert!((b.delay(0).as_f64() - 0.010).abs() < 1e-12);
+        assert!((b.delay(1).as_f64() - 0.020).abs() < 1e-12);
+        assert!((b.delay(10).as_f64() - 0.1).abs() < 1e-12);
+        let total = b.total_delay(3).as_f64();
+        assert!((total - (0.010 + 0.020 + 0.040)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let base = Seconds::from_millis(10.0);
+        let cap = Seconds::from_f64(1.0);
+        assert!(matches!(
+            ExponentialBackoff::new(base, 0.5, cap),
+            Err(FaultError::InvalidBackoff { what: "factor", .. })
+        ));
+        assert!(matches!(
+            ExponentialBackoff::new(base, f64::NAN, cap),
+            Err(FaultError::InvalidBackoff { what: "factor", .. })
+        ));
+        assert!(matches!(
+            ExponentialBackoff::new(base, 2.0, Seconds::from_millis(1.0)),
+            Err(FaultError::InvalidBackoff { what: "cap", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_base_from_deserialized_input() {
+        // `Seconds::from_f64` forbids negatives, so a bad base can only
+        // arrive through deserialization — validate() must catch it.
+        use serde::Deserialize as _;
+        let value =
+            serde_json::from_str(r#"{"base_secs": -0.5, "factor": 2.0, "cap_secs": 1.0}"#).unwrap();
+        let policy = ExponentialBackoff::from_value(&value).unwrap();
+        assert!(matches!(
+            policy.validate(),
+            Err(FaultError::InvalidBackoff { what: "base", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_attempts_zero_delay() {
+        let b = ExponentialBackoff::ps_default();
+        assert!(b.total_delay(0).is_zero());
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed errors for invalid fault-plan input.
+
+use std::fmt;
+
+/// Why a fault plan or backoff policy was rejected.
+///
+/// Every variant is caller error — invalid input to a public
+/// constructor — surfaced as a value instead of a panic so callers
+/// (CLI layers, samplers, experiment drivers) can report or recover.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A plan must cover at least one replica.
+    NoReplicas,
+    /// A fault referenced a replica index outside the plan.
+    ReplicaOutOfRange {
+        /// The offending replica index.
+        replica: usize,
+        /// The number of replicas the plan covers.
+        replicas: usize,
+    },
+    /// A straggler slowdown multiplier must be finite and >= 1.
+    InvalidSlowdown {
+        /// The rejected multiplier.
+        value: f64,
+    },
+    /// A NIC degradation factor must be finite and >= 1 (it multiplies
+    /// communication time).
+    InvalidNicFactor {
+        /// The rejected factor.
+        value: f64,
+    },
+    /// A crash restart cost must be finite and non-negative.
+    InvalidRestartCost {
+        /// The rejected cost in seconds.
+        value: f64,
+    },
+    /// A retry count or probability parameter is out of range.
+    InvalidRetry {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A backoff policy parameter is out of range.
+    InvalidBackoff {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::NoReplicas => {
+                write!(f, "fault plan must cover at least one replica")
+            }
+            FaultError::ReplicaOutOfRange { replica, replicas } => write!(
+                f,
+                "fault references replica {replica}, but the plan covers {replicas} replicas"
+            ),
+            FaultError::InvalidSlowdown { value } => write!(
+                f,
+                "straggler slowdown must be a finite multiplier >= 1, got {value}"
+            ),
+            FaultError::InvalidNicFactor { value } => write!(
+                f,
+                "NIC degradation factor must be finite and >= 1, got {value}"
+            ),
+            FaultError::InvalidRestartCost { value } => write!(
+                f,
+                "crash restart cost must be finite and >= 0 seconds, got {value}"
+            ),
+            FaultError::InvalidRetry { what, value } => {
+                write!(f, "retry parameter `{what}` out of range: {value}")
+            }
+            FaultError::InvalidBackoff { what, value } => {
+                write!(f, "backoff parameter `{what}` out of range: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}

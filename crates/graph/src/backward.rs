@@ -157,7 +157,10 @@ mod tests {
         let mut fwd = Graph::new("f");
         fwd.add(Op::new("mm", matmul(4, 8, 16)));
         let train = augment(&fwd);
-        assert_eq!(train.stats().flops.as_f64(), 3.0 * fwd.stats().flops.as_f64());
+        assert_eq!(
+            train.stats().flops.as_f64(),
+            3.0 * fwd.stats().flops.as_f64()
+        );
         assert_eq!(train.len(), 3);
     }
 
@@ -179,7 +182,10 @@ mod tests {
             },
         ));
         let train = augment(&fwd);
-        assert_eq!(train.stats().flops.as_f64(), 3.0 * fwd.stats().flops.as_f64());
+        assert_eq!(
+            train.stats().flops.as_f64(),
+            3.0 * fwd.stats().flops.as_f64()
+        );
     }
 
     #[test]

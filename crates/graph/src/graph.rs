@@ -251,7 +251,9 @@ impl Graph {
             }
         }
         for (id, _) in self.nodes() {
-            let Some(a) = new_id[id.index()] else { continue };
+            let Some(a) = new_id[id.index()] else {
+                continue;
+            };
             for succ in self.successors(id) {
                 if let Some(b) = new_id[succ.index()] {
                     out.connect(a, b);

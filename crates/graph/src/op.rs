@@ -290,8 +290,13 @@ impl OpKind {
     pub fn uses_tensor_core(&self) -> bool {
         matches!(
             self,
-            OpKind::MatMul { tensor_core: true, .. }
-                | OpKind::Conv2d { tensor_core: true, .. }
+            OpKind::MatMul {
+                tensor_core: true,
+                ..
+            } | OpKind::Conv2d {
+                tensor_core: true,
+                ..
+            }
         )
     }
 
@@ -418,10 +423,7 @@ mod tests {
             tensor_core: false,
         };
         assert_eq!(op.class(), OpClass::ComputeBound);
-        assert_eq!(
-            op.flops().as_f64(),
-            2.0 * 2.0 * 8.0 * 100.0 * 3.0 * 9.0
-        );
+        assert_eq!(op.flops().as_f64(), 2.0 * 2.0 * 8.0 * 100.0 * 3.0 * 9.0);
     }
 
     #[test]

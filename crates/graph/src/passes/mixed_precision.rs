@@ -100,7 +100,10 @@ mod tests {
         let (twice, r2) = apply_mixed_precision(&once);
         assert_eq!(r1, 1);
         assert_eq!(r2, 0);
-        assert_eq!(once.stats().tensor_core_flops, twice.stats().tensor_core_flops);
+        assert_eq!(
+            once.stats().tensor_core_flops,
+            twice.stats().tensor_core_flops
+        );
     }
 
     #[test]
@@ -109,7 +112,9 @@ mod tests {
         let id = g.add(Op::new("fc", matmul(8, 8, 8)));
         let (mp, _) = apply_mixed_precision(&g);
         match mp.node(id).kind() {
-            OpKind::MatMul { dtype, tensor_core, .. } => {
+            OpKind::MatMul {
+                dtype, tensor_core, ..
+            } => {
                 assert_eq!(*dtype, DType::F16);
                 assert!(tensor_core);
             }

@@ -20,22 +20,22 @@
 //! | GCN | recommender | PEARL | 512 |
 
 mod bert;
+mod gcn;
 pub mod inference;
 pub(crate) mod layers;
-mod gcn;
 mod multi_interests;
 mod nmt;
 mod resnet50;
-mod speech;
 mod spec;
+mod speech;
 
 pub use bert::bert;
 pub use gcn::gcn;
 pub use multi_interests::{multi_interests, multi_interests_with, MultiInterestsConfig};
 pub use nmt::nmt;
 pub use resnet50::resnet50;
-pub use speech::speech;
 pub use spec::{CaseStudyArch, FeatureTargets, ModelSpec};
+pub use speech::speech;
 
 /// All six case-study models, in Table IV order.
 pub fn all() -> Vec<ModelSpec> {
@@ -60,7 +60,14 @@ mod tests {
         let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            ["ResNet50", "NMT", "BERT", "Speech", "Multi-Interests", "GCN"]
+            [
+                "ResNet50",
+                "NMT",
+                "BERT",
+                "Speech",
+                "Multi-Interests",
+                "GCN"
+            ]
         );
     }
 

@@ -72,10 +72,11 @@ impl InferenceSpec {
 /// assert!(ratio < 0.45);
 /// ```
 pub fn inference_variant(model: &ModelSpec) -> InferenceSpec {
-    let graph = model.graph().retain(
-        format!("{}/inference", model.graph().name()),
-        |op| !op.name().starts_with("grad/") && !op.name().starts_with("calibration/"),
-    );
+    let graph = model
+        .graph()
+        .retain(format!("{}/inference", model.graph().name()), |op| {
+            !op.name().starts_with("grad/") && !op.name().starts_with("calibration/")
+        });
     let resident: Bytes = model
         .params()
         .groups()
@@ -114,8 +115,7 @@ mod tests {
     fn inference_flops_are_about_a_third_of_training() {
         for m in zoo::all() {
             let serve = inference_variant(&m);
-            let ratio = serve.graph().stats().flops.as_f64()
-                / m.graph().stats().flops.as_f64();
+            let ratio = serve.graph().stats().flops.as_f64() / m.graph().stats().flops.as_f64();
             assert!(
                 (0.05..0.45).contains(&ratio),
                 "{}: forward/training ratio {ratio}",

@@ -88,7 +88,10 @@ pub fn multi_interests() -> ModelSpec {
 /// the measured (2048, 2) point.
 pub fn multi_interests_with(cfg: MultiInterestsConfig) -> ModelSpec {
     assert!(cfg.batch > 0, "batch size must be positive");
-    assert!(cfg.attention_layers > 0, "need at least one attention layer");
+    assert!(
+        cfg.attention_layers > 0,
+        "need at least one attention layer"
+    );
     let training = backward::augment(&forward(cfg));
     let mut params = ParamInventory::new();
     // 148.8K dense weights, momentum: 1.19 MB (Table IV).
@@ -158,8 +161,7 @@ mod tests {
     fn embedding_dwarfs_dense() {
         let m = multi_interests();
         assert!(
-            m.params().embedding_bytes().as_f64()
-                > 100_000.0 * m.params().dense_bytes().as_f64()
+            m.params().embedding_bytes().as_f64() > 100_000.0 * m.params().dense_bytes().as_f64()
         );
     }
 
@@ -172,7 +174,10 @@ mod tests {
         let base = multi_interests();
         let ratio = big.graph().stats().flops.as_f64() / base.graph().stats().flops.as_f64();
         assert!((ratio - 2.0).abs() < 0.1, "flops ratio {ratio}");
-        assert_eq!(big.touched_embedding_rows(), 2 * base.touched_embedding_rows());
+        assert_eq!(
+            big.touched_embedding_rows(),
+            2 * base.touched_embedding_rows()
+        );
     }
 
     #[test]

@@ -54,10 +54,7 @@ fn forward() -> Graph {
     // Max-pool to 56x56.
     p = g.add_chain(
         p,
-        vec![Op::new(
-            "pool1",
-            elementwise(1, BATCH * 64 * 56 * 56, 1),
-        )],
+        vec![Op::new("pool1", elementwise(1, BATCH * 64 * 56 * 56, 1))],
     );
     // (blocks, mid, out, spatial)
     let stages: [(usize, usize, usize, usize); 4] = [

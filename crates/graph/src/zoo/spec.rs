@@ -268,7 +268,12 @@ fn calibrate(mut graph: Graph, targets: &FeatureTargets) -> (Graph, Flops, Bytes
         const PAD_CHAIN: usize = 4;
         let numel = (mem_deficit / (2.0 * 4.0 * PAD_CHAIN as f64)).ceil() as usize;
         let ops: Vec<Op> = (0..PAD_CHAIN)
-            .map(|i| Op::new(format!("calibration/memory{i}"), elementwise(1, numel.max(1), 1)))
+            .map(|i| {
+                Op::new(
+                    format!("calibration/memory{i}"),
+                    elementwise(1, numel.max(1), 1),
+                )
+            })
             .collect();
         mem_pad = ops.iter().map(|op| op.kind().mem_bytes()).sum();
         prev = graph.add_chain(prev, ops);

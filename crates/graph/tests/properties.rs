@@ -12,8 +12,7 @@ fn chain_graph() -> impl Strategy<Value = Graph> {
     proptest::collection::vec(
         prop_oneof![
             (1usize..64, 1usize..64, 1usize..64).prop_map(|(m, k, n)| matmul(m, k, n)),
-            (1usize..3, 1usize..100_000, 1usize..4)
-                .prop_map(|(a, n, f)| elementwise(a, n, f)),
+            (1usize..3, 1usize..100_000, 1usize..4).prop_map(|(a, n, f)| elementwise(a, n, f)),
         ],
         1..40,
     )

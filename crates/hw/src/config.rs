@@ -121,8 +121,7 @@ impl HardwareConfig {
                 out.gpu = out.gpu.with_scaled_flops(factor);
             }
             SweepAxis::GpuMemory => {
-                let factor =
-                    point.value * 1000.0 / out.gpu.memory_bandwidth().as_gb_per_sec();
+                let factor = point.value * 1000.0 / out.gpu.memory_bandwidth().as_gb_per_sec();
                 out.gpu = out.gpu.with_scaled_memory_bandwidth(factor);
             }
         }
@@ -141,8 +140,7 @@ impl HardwareConfig {
             }
             SweepAxis::Pcie => self.pcie.as_gb_per_sec() / base.pcie.as_gb_per_sec(),
             SweepAxis::GpuFlops => {
-                self.gpu.peak_flops().as_tera_per_sec()
-                    / base.gpu.peak_flops().as_tera_per_sec()
+                self.gpu.peak_flops().as_tera_per_sec() / base.gpu.peak_flops().as_tera_per_sec()
             }
             SweepAxis::GpuMemory => {
                 self.gpu.memory_bandwidth().as_gb_per_sec()
@@ -274,9 +272,7 @@ mod tests {
         assert!((cfg.link(LinkKind::Pcie).bandwidth().as_gb_per_sec() - 10.0).abs() < 1e-9);
         assert!((cfg.link(LinkKind::Ethernet).bandwidth().as_gbit_per_sec() - 25.0).abs() < 1e-9);
         assert!((cfg.link(LinkKind::NvLink).bandwidth().as_gb_per_sec() - 50.0).abs() < 1e-9);
-        assert!(
-            (cfg.link(LinkKind::HbmMemory).bandwidth().as_gb_per_sec() - 1000.0).abs() < 1e-6
-        );
+        assert!((cfg.link(LinkKind::HbmMemory).bandwidth().as_gb_per_sec() - 1000.0).abs() < 1e-6);
         assert_eq!(cfg.efficiency().compute(), 0.70);
     }
 

@@ -71,13 +71,7 @@ impl Efficiency {
     /// # Panics
     ///
     /// Panics if any fraction is not in `(0, 1]`.
-    pub fn per_component(
-        compute: f64,
-        memory: f64,
-        pcie: f64,
-        ethernet: f64,
-        nvlink: f64,
-    ) -> Self {
+    pub fn per_component(compute: f64, memory: f64, pcie: f64, ethernet: f64, nvlink: f64) -> Self {
         Efficiency {
             compute: check("compute", compute),
             memory: check("memory", memory),

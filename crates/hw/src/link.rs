@@ -118,10 +118,7 @@ impl LinkModel {
 
     /// A copy with a different raw bandwidth (hardware sweep, Table III).
     pub fn with_bandwidth(&self, bandwidth: Bandwidth) -> LinkModel {
-        LinkModel {
-            bandwidth,
-            ..*self
-        }
+        LinkModel { bandwidth, ..*self }
     }
 
     /// A copy with a different efficiency (sensitivity study, Sec. V-A).

@@ -142,7 +142,11 @@ impl fmt::Display for ServerSpec {
             "{}x {} ({})",
             self.gpus_per_server,
             self.gpu.name(),
-            if self.has_nvlink { "NVLink mesh" } else { "PCIe only" }
+            if self.has_nvlink {
+                "NVLink mesh"
+            } else {
+                "PCIe only"
+            }
         )
     }
 }
@@ -163,7 +167,10 @@ impl ClusterSpec {
     /// Panics if `num_servers` is zero or `ethernet` is not an Ethernet
     /// link model.
     pub fn new(server: ServerSpec, num_servers: usize, ethernet: LinkModel) -> Self {
-        assert!(num_servers > 0, "a cluster must contain at least one server");
+        assert!(
+            num_servers > 0,
+            "a cluster must contain at least one server"
+        );
         assert_eq!(
             ethernet.kind(),
             LinkKind::Ethernet,

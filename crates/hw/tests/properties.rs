@@ -1,8 +1,8 @@
 //! Property tests for the quantity algebra and configuration space.
 
 use pai_hw::{
-    Bandwidth, Bytes, Efficiency, Flops, FlopsRate, HardwareConfig, LinkKind, LinkModel,
-    Seconds, SweepAxis, SweepPoint,
+    Bandwidth, Bytes, Efficiency, Flops, FlopsRate, HardwareConfig, LinkKind, LinkModel, Seconds,
+    SweepAxis, SweepPoint,
 };
 use proptest::prelude::*;
 

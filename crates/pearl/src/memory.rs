@@ -73,8 +73,12 @@ pub fn recommend(
 /// The strategy a recommendation denotes at `n` replicas.
 pub fn to_strategy(rec: Recommendation, n: usize) -> Strategy {
     match rec {
-        Recommendation::AllReduceLocal => Strategy::AllReduceLocal { gpus: n.clamp(1, 8) },
-        Recommendation::Pearl => Strategy::Pearl { gpus: n.clamp(1, 8) },
+        Recommendation::AllReduceLocal => Strategy::AllReduceLocal {
+            gpus: n.clamp(1, 8),
+        },
+        Recommendation::Pearl => Strategy::Pearl {
+            gpus: n.clamp(1, 8),
+        },
         Recommendation::PsWorker => Strategy::PsWorker {
             workers: n,
             sparse_aware: true,
@@ -95,12 +99,21 @@ mod tests {
     fn table_iv_architectures_are_recovered() {
         // The rule reproduces the paper's own Table IV choices.
         let cases: Vec<(ModelComm, Recommendation)> = vec![
-            (ModelComm::of(&zoo::resnet50()), Recommendation::AllReduceLocal),
+            (
+                ModelComm::of(&zoo::resnet50()),
+                Recommendation::AllReduceLocal,
+            ),
             (ModelComm::of(&zoo::nmt()), Recommendation::AllReduceLocal),
             (ModelComm::of(&zoo::bert()), Recommendation::AllReduceLocal),
-            (ModelComm::of(&zoo::speech()), Recommendation::AllReduceLocal),
+            (
+                ModelComm::of(&zoo::speech()),
+                Recommendation::AllReduceLocal,
+            ),
             (ModelComm::of(&zoo::gcn()), Recommendation::Pearl),
-            (ModelComm::of(&zoo::multi_interests()), Recommendation::PsWorker),
+            (
+                ModelComm::of(&zoo::multi_interests()),
+                Recommendation::PsWorker,
+            ),
         ];
         for (model, expected) in cases {
             assert_eq!(recommend(&model, &v100(), 8, 0.3), expected);

@@ -75,8 +75,12 @@ impl Strategy {
                 workers: n,
                 sparse_aware: true,
             },
-            CaseStudyArch::AllReduceLocal => Strategy::AllReduceLocal { gpus: n.clamp(1, 8) },
-            CaseStudyArch::Pearl => Strategy::Pearl { gpus: n.clamp(1, 8) },
+            CaseStudyArch::AllReduceLocal => Strategy::AllReduceLocal {
+                gpus: n.clamp(1, 8),
+            },
+            CaseStudyArch::Pearl => Strategy::Pearl {
+                gpus: n.clamp(1, 8),
+            },
         }
     }
 
@@ -108,10 +112,7 @@ impl Strategy {
                 model.dense_bytes + model.embedding_table_bytes
             }
             Strategy::Pearl { gpus } => {
-                model.dense_bytes
-                    + model
-                        .embedding_table_bytes
-                        .scale(1.0 / gpus.max(1) as f64)
+                model.dense_bytes + model.embedding_table_bytes.scale(1.0 / gpus.max(1) as f64)
             }
         }
     }
@@ -173,8 +174,12 @@ pub fn comm_plan(strategy: &Strategy, model: &ModelComm) -> CommPlan {
                 LinkKind::NvLink,
                 ring::allreduce_per_rank(gpus, model.dense_bytes),
             ));
-            let shards =
-                vec![model.touched_embedding_bytes.scale(1.0 / gpus.max(1) as f64); gpus];
+            let shards = vec![
+                model
+                    .touched_embedding_bytes
+                    .scale(1.0 / gpus.max(1) as f64);
+                gpus
+            ];
             plan.push(Transfer::new(
                 "embedding allgatherv",
                 LinkKind::NvLink,
@@ -280,9 +285,9 @@ mod tests {
         assert!(pearl.as_f64() < replica.as_f64() / 7.0);
         let gcn = ModelComm::of(&zoo::gcn());
         assert!(v100.fits_in_memory(Strategy::Pearl { gpus: 8 }.resident_bytes_per_gpu(&gcn)));
-        assert!(!v100.fits_in_memory(
-            Strategy::AllReduceLocal { gpus: 8 }.resident_bytes_per_gpu(&gcn)
-        ));
+        assert!(
+            !v100.fits_in_memory(Strategy::AllReduceLocal { gpus: 8 }.resident_bytes_per_gpu(&gcn))
+        );
     }
 
     #[test]

@@ -96,10 +96,7 @@ mod tests {
         let model = zoo::multi_interests();
         let f = extract_features(&model, 64);
         assert_eq!(f.arch(), Architecture::PsWorker);
-        let plan = comm_plan(
-            &Strategy::for_model(&model, 64),
-            &ModelComm::of(&model),
-        );
+        let plan = comm_plan(&Strategy::for_model(&model, 64), &ModelComm::of(&model));
         assert_eq!(f.weight_bytes(), plan.bytes_on(LinkKind::Ethernet));
     }
 

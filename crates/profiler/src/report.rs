@@ -51,13 +51,14 @@ fn pct_of(part: Seconds, total: Seconds) -> f64 {
 ///
 /// let model = zoo::resnet50();
 /// let step = StepSimulator::new(SimConfig::testbed())
-///     .run(model.graph(), &CommPlan::new(), 1);
+///     .run(model.graph(), &CommPlan::new(), 1)?;
 /// let meta = RunMetadata::new(
 ///     JobMeta { arch: Architecture::OneWorkerOneGpu, cnodes: 1, batch_size: 64 },
 ///     step,
 /// );
 /// let report = render(&meta, &ReportOptions::default());
 /// assert!(report.contains("hottest ops"));
+/// # Ok::<(), pai_sim::SimError>(())
 /// ```
 pub fn render(meta: &RunMetadata, options: &ReportOptions) -> String {
     let m = &meta.step;
@@ -70,11 +71,7 @@ pub fn render(meta: &RunMetadata, options: &ReportOptions) -> String {
         ("memory-bound", m.memory_bound),
         ("communication", m.comm_total()),
     ] {
-        let _ = writeln!(
-            out,
-            "  {label:<16} {part}  ({:.1}%)",
-            pct_of(part, m.total)
-        );
+        let _ = writeln!(out, "  {label:<16} {part}  ({:.1}%)", pct_of(part, m.total));
     }
     let _ = writeln!(
         out,
@@ -98,11 +95,7 @@ pub fn render(meta: &RunMetadata, options: &ReportOptions) -> String {
     if options.top_ops > 0 {
         let _ = writeln!(out, "\nhottest ops:");
         for op in meta.top_ops(options.top_ops) {
-            let _ = writeln!(
-                out,
-                "  {:<40} {}  ({})",
-                op.name, op.duration, op.kind
-            );
+            let _ = writeln!(out, "  {:<40} {}  ({})", op.name, op.duration, op.kind);
         }
     }
     out
@@ -123,7 +116,9 @@ mod tests {
         let a = g.add(Op::new("big_matmul", matmul(2048, 2048, 2048)));
         let b = g.add(Op::new("activation", elementwise(1, 1 << 20, 1)));
         g.connect(a, b);
-        let step = StepSimulator::new(SimConfig::testbed()).run(&g, &CommPlan::new(), 1);
+        let step = StepSimulator::new(SimConfig::testbed())
+            .run(&g, &CommPlan::new(), 1)
+            .unwrap();
         RunMetadata::new(
             JobMeta {
                 arch: Architecture::OneWorkerOneGpu,

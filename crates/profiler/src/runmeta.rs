@@ -96,7 +96,9 @@ mod tests {
         let a = g.add(Op::new("mm", matmul(1024, 1024, 1024)));
         let b = g.add(Op::new("relu", elementwise(1, 1024 * 1024, 1)));
         g.connect(a, b);
-        let step = StepSimulator::new(SimConfig::testbed()).run(&g, &CommPlan::new(), 1);
+        let step = StepSimulator::new(SimConfig::testbed())
+            .run(&g, &CommPlan::new(), 1)
+            .unwrap();
         RunMetadata::new(
             JobMeta {
                 arch: Architecture::OneWorkerOneGpu,

@@ -70,13 +70,13 @@ pub fn validate_model(model: &ModelSpec, cnodes: usize) -> ValidationReport {
 
     let arch = architecture_of(model.arch(), cnodes);
     let contention = arch.input_contention_factor(cnodes, pai_core::model::GPUS_PER_SERVER);
-    let sim = StepSimulator::new(
-        SimConfig::testbed().with_efficiency(*model.measured_efficiency()),
-    );
-    let measured = sim.run(model.graph(), &plan_for(model, cnodes), contention);
+    let sim =
+        StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()));
+    let measured = sim
+        .run(model.graph(), &plan_for(model, cnodes), contention)
+        .expect("contention factor is at least 1 for nonzero cnodes");
 
-    let difference = (estimated_total.as_f64() - measured.total.as_f64())
-        / measured.total.as_f64();
+    let difference = (estimated_total.as_f64() - measured.total.as_f64()) / measured.total.as_f64();
     ValidationReport {
         model: model.name().to_string(),
         cnodes,
@@ -164,9 +164,8 @@ mod tests {
         assert!(pearl_share < 0.85, "PEARL comm share {pearl_share}");
 
         // The same model forced onto PS/Worker.
-        let sim = StepSimulator::new(
-            SimConfig::testbed().with_efficiency(*model.measured_efficiency()),
-        );
+        let sim =
+            StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()));
         let ps_plan = comm_plan(
             &Strategy::PsWorker {
                 workers: 8,
@@ -174,7 +173,7 @@ mod tests {
             },
             &ModelComm::of(&model),
         );
-        let ps = sim.run(model.graph(), &ps_plan, 1);
+        let ps = sim.run(model.graph(), &ps_plan, 1).unwrap();
         let ps_share = ps.fraction(ps.comm_total());
         assert!(ps_share > 0.90, "PS comm share {ps_share}");
         assert!(ps_share > pearl_share + 0.15);

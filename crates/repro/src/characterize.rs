@@ -134,8 +134,16 @@ pub fn characterize(spec: &JobSpec, model: &PerfModel) -> Result<String, SpecErr
     out.push_str(&format!("job: {job}\n\n"));
 
     out.push_str(&table(&[
-        vec!["component".to_string(), "time".to_string(), "share".to_string()],
-        vec!["input data I/O".into(), format!("{}", b.data_io()), pct(b.data_fraction())],
+        vec![
+            "component".to_string(),
+            "time".to_string(),
+            "share".to_string(),
+        ],
+        vec![
+            "input data I/O".into(),
+            format!("{}", b.data_io()),
+            pct(b.data_fraction()),
+        ],
         vec![
             "weight traffic".into(),
             format!("{}", b.weight_traffic()),
@@ -170,7 +178,11 @@ pub fn characterize(spec: &JobSpec, model: &PerfModel) -> Result<String, SpecErr
                     target,
                     p.single_cnode_speedup,
                     p.throughput_speedup,
-                    if p.improves_throughput() { "port it" } else { "keep PS" }
+                    if p.improves_throughput() {
+                        "port it"
+                    } else {
+                        "keep PS"
+                    }
                 )),
                 None => out.push_str(&format!(
                     "  {target:?}: ineligible (weights exceed GPU memory)\n"
@@ -224,7 +236,10 @@ mod tests {
             parse_architecture("allreduce-local").expect("ok"),
             Architecture::AllReduceLocal
         );
-        assert_eq!(parse_architecture("1w1g").expect("ok"), Architecture::OneWorkerOneGpu);
+        assert_eq!(
+            parse_architecture("1w1g").expect("ok"),
+            Architecture::OneWorkerOneGpu
+        );
         assert!(parse_architecture("banana").is_err());
     }
 

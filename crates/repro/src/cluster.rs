@@ -78,7 +78,10 @@ pub fn fig6(ctx: &Context) -> ExperimentResult {
                 .iter()
                 .map(|j| j.weight_bytes().as_gb()),
         );
-        rows.push(cdf_quantiles(&format!("{} weights (GB)", arch.label()), &cdf));
+        rows.push(cdf_quantiles(
+            &format!("{} weights (GB)", arch.label()),
+            &cdf,
+        ));
         payload.push(json!({
             "series": format!("{} weight GB", arch.label()),
             "median": cdf.quantile(0.5),
@@ -185,7 +188,10 @@ pub fn fig8(ctx: &Context) -> ExperimentResult {
             }
         }
     }
-    rows.push(cdf_quantiles("all GPU_FLOPs", &Ecdf::from_values(gpu_flops)));
+    rows.push(cdf_quantiles(
+        "all GPU_FLOPs",
+        &Ecdf::from_values(gpu_flops),
+    ));
     for (kind, values) in hw_series {
         rows.push(cdf_quantiles(
             &format!("all {}", kind.label()),
@@ -233,13 +239,15 @@ pub fn summary(ctx: &Context) -> ExperimentResult {
         &ps,
         pai_core::project::ProjectionTarget::AllReduceLocal,
     );
-    let improved = outs.iter().filter(|o| o.improves_throughput()).count() as f64
-        / outs.len().max(1) as f64;
+    let improved =
+        outs.iter().filter(|o| o.improves_throughput()).count() as f64 / outs.len().max(1) as f64;
 
-    let fast = ctx.model.with_config(ctx.model.config().with_resource(pai_hw::SweepPoint {
-        axis: pai_hw::SweepAxis::Ethernet,
-        value: 100.0,
-    }));
+    let fast = ctx
+        .model
+        .with_config(ctx.model.config().with_resource(pai_hw::SweepPoint {
+            axis: pai_hw::SweepAxis::Ethernet,
+            value: 100.0,
+        }));
     let eth_speedup: f64 = ps
         .iter()
         .map(|j| ctx.model.total_time(j).as_f64() / fast.total_time(j).as_f64())
@@ -247,8 +255,16 @@ pub fn summary(ctx: &Context) -> ExperimentResult {
         / ps.len() as f64;
 
     let rows = vec![
-        vec!["observation".to_string(), "paper".to_string(), "reproduced".to_string()],
-        vec!["PS/Worker cNode share".into(), "81%".into(), pct(ps_cnode_share)],
+        vec![
+            "observation".to_string(),
+            "paper".to_string(),
+            "reproduced".to_string(),
+        ],
+        vec![
+            "PS/Worker cNode share".into(),
+            "81%".into(),
+            pct(ps_cnode_share),
+        ],
         vec!["jobs with model < 10 GB".into(), "90%".into(), pct(small)],
         vec![
             "weight comm share (cNode level)".into(),
@@ -314,7 +330,10 @@ mod tests {
     fn fig5_shares_sum_to_one() {
         let r = fig5(&ctx());
         let arr = r.json.as_array().expect("array");
-        let job_sum: f64 = arr.iter().map(|v| v["job_share"].as_f64().expect("f64")).sum();
+        let job_sum: f64 = arr
+            .iter()
+            .map(|v| v["job_share"].as_f64().expect("f64"))
+            .sum();
         let cnode_sum: f64 = arr
             .iter()
             .map(|v| v["cnode_share"].as_f64().expect("f64"))

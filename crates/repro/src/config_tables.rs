@@ -78,9 +78,7 @@ pub fn table2() -> ExperimentResult {
             arch.label().to_string(),
             match arch.system_architecture() {
                 Some(pai_core::arch::SystemArchitecture::Centralized) => "Centralized".into(),
-                Some(pai_core::arch::SystemArchitecture::Decentralized) => {
-                    "Decentralized".into()
-                }
+                Some(pai_core::arch::SystemArchitecture::Decentralized) => "Decentralized".into(),
                 None => "-".into(),
             },
             format!("{:?}", arch.placement()),
@@ -145,7 +143,13 @@ mod tests {
     #[test]
     fn table2_lists_all_classes() {
         let r = table2();
-        for label in ["1w1g", "1wng", "PS/Worker", "AllReduce-Local", "AllReduce-Cluster"] {
+        for label in [
+            "1w1g",
+            "1wng",
+            "PS/Worker",
+            "AllReduce-Local",
+            "AllReduce-Cluster",
+        ] {
             assert!(r.text.contains(label), "missing {label}");
         }
         assert!(r.text.contains("Ethernet & PCIe"));

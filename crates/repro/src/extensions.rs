@@ -42,7 +42,9 @@ pub fn inference() -> ExperimentResult {
             .mem_access_bytes(stats.mem_access_memory_bound)
             .build();
         let estimated = model.breakdown(&features);
-        let measured = sim.run(spec.graph(), &pai_collectives::CommPlan::new(), 1);
+        let measured = sim
+            .run(spec.graph(), &pai_collectives::CommPlan::new(), 1)
+            .expect("serving replica uses a valid contention factor of 1");
         rows.push(vec![
             spec.name().to_string(),
             format!("{}", spec.resident_bytes()),
@@ -102,13 +104,16 @@ pub fn cluster_mix(ctx: &Context) -> ExperimentResult {
     }
     let placement = place(&cluster, &jobs).expect("mix fits by construction");
 
-    let slowdowns: Vec<f64> = jobs.iter().map(|j| placement.slowdown(j.id)).collect();
+    let slowdowns: Vec<f64> = jobs
+        .iter()
+        .map(|j| placement.slowdown(j.id).expect("job was just placed"))
+        .collect();
     let mean = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
     let worst = slowdowns.iter().cloned().fold(1.0, f64::max);
     let eth_bound = jobs
         .iter()
         .filter(|j| {
-            let t = placement.job_step_time(j.id);
+            let t = placement.job_step_time(j.id).expect("job was just placed");
             let comm = t - j.local_time;
             comm.as_f64() > 0.5 * t.as_f64()
         })
@@ -119,7 +124,10 @@ pub fn cluster_mix(ctx: &Context) -> ExperimentResult {
         vec!["metric".to_string(), "value".to_string()],
         vec!["jobs placed".into(), format!("{}", jobs.len())],
         vec!["GPU utilization".into(), pct(placement.gpu_utilization())],
-        vec!["servers used".into(), format!("{}", placement.servers_used())],
+        vec![
+            "servers used".into(),
+            format!("{}", placement.servers_used()),
+        ],
         vec!["mean contention slowdown".into(), format!("{mean:.2}x")],
         vec!["worst contention slowdown".into(), format!("{worst:.2}x")],
         vec![
@@ -188,12 +196,16 @@ pub fn cluster_upgrade(ctx: &Context) -> ExperimentResult {
     for gbit in [25.0, 100.0] {
         let cluster = mk_cluster(gbit);
         let placement =
-            place(&cluster, &jobs.iter().map(|(j, _)| *j).collect::<Vec<_>>())
-                .expect("fits");
+            place(&cluster, &jobs.iter().map(|(j, _)| *j).collect::<Vec<_>>()).expect("fits");
         let total: f64 = jobs
             .iter()
             .map(|(j, batch)| {
-                j.cnodes as f64 / placement.job_step_time(j.id).as_f64() * *batch as f64
+                j.cnodes as f64
+                    / placement
+                        .job_step_time(j.id)
+                        .expect("job was just placed")
+                        .as_f64()
+                    * *batch as f64
             })
             .sum();
         rows.push(vec![format!("{gbit:.0} Gb/s"), format!("{total:.0}")]);
@@ -328,8 +340,16 @@ pub fn scaling() -> ExperimentResult {
             .build()
     };
     for (label, arch, counts) in [
-        ("PS/Worker", Architecture::PsWorker, vec![2usize, 8, 32, 128]),
-        ("AllReduce-Local", Architecture::AllReduceLocal, vec![2, 4, 8]),
+        (
+            "PS/Worker",
+            Architecture::PsWorker,
+            vec![2usize, 8, 32, 128],
+        ),
+        (
+            "AllReduce-Local",
+            Architecture::AllReduceLocal,
+            vec![2, 4, 8],
+        ),
     ] {
         let curve = scaling_curve(&model, &profile(arch), &counts);
         for p in &curve {
@@ -348,16 +368,16 @@ pub fn scaling() -> ExperimentResult {
 
     // PEARL GCN scalability through the simulator.
     let gcn = zoo::gcn();
-    let sim = StepSimulator::new(
-        SimConfig::testbed().with_efficiency(*gcn.measured_efficiency()),
-    );
+    let sim = StepSimulator::new(SimConfig::testbed().with_efficiency(*gcn.measured_efficiency()));
     let mut base_throughput = None;
     for gpus in [2usize, 4, 8] {
         let plan = pai_pearl::comm_plan(
             &pai_pearl::Strategy::Pearl { gpus },
             &pai_pearl::ModelComm::of(&gcn),
         );
-        let m = sim.run(gcn.graph(), &plan, gpus);
+        let m = sim
+            .run(gcn.graph(), &plan, gpus)
+            .expect("PEARL scalability sweep uses nonzero GPU counts");
         let throughput = gpus as f64 / m.total.as_f64() * gcn.batch_size() as f64;
         let base = *base_throughput.get_or_insert(throughput / 2.0);
         rows.push(vec![

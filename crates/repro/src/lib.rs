@@ -9,12 +9,13 @@
 
 pub mod case_studies;
 pub mod characterize;
-pub mod extensions;
 pub mod cluster;
 pub mod config_tables;
+pub mod extensions;
 pub mod optimizations;
 pub mod projection;
 pub mod render;
+pub mod resilience;
 pub mod scorecard;
 pub mod sensitivity_x;
 pub mod sweeps;
@@ -62,7 +63,11 @@ impl Context {
     /// ones).
     pub fn with_size(jobs: usize) -> Context {
         Context {
-            population: Population::generate(&PopulationConfig::paper_scale(jobs), SEED),
+            population: Population::generate(
+                &PopulationConfig::paper_scale(jobs).expect("experiment scales are nonzero"),
+                SEED,
+            )
+            .expect("the calibrated config is valid"),
             model: PerfModel::paper_default(),
         }
     }
@@ -82,15 +87,45 @@ pub const PAPER_EXPERIMENTS: &[&str] = &[
 ];
 
 /// Extensions beyond the paper (future work and Sec. VI implications).
-pub const EXTENSION_EXPERIMENTS: &[&str] =
-    &["ext-inference", "ext-cluster", "ext-upgrade", "ext-scaling", "ext-adoption"];
+pub const EXTENSION_EXPERIMENTS: &[&str] = &[
+    "ext-inference",
+    "ext-cluster",
+    "ext-upgrade",
+    "ext-scaling",
+    "ext-adoption",
+    "resilience",
+];
 
 /// Paper experiments followed by the extensions.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "fig11",
-    "table4", "table5", "fig12", "table6", "fig13a", "fig13b", "fig13c", "fig13d", "fig15",
-    "fig16", "summary", "scorecard", "ext-inference", "ext-cluster", "ext-upgrade",
-    "ext-scaling", "ext-adoption",
+    "table1",
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table3",
+    "fig11",
+    "table4",
+    "table5",
+    "fig12",
+    "table6",
+    "fig13a",
+    "fig13b",
+    "fig13c",
+    "fig13d",
+    "fig15",
+    "fig16",
+    "summary",
+    "scorecard",
+    "ext-inference",
+    "ext-cluster",
+    "ext-upgrade",
+    "ext-scaling",
+    "ext-adoption",
+    "resilience",
 ];
 
 /// Runs one experiment by id.
@@ -127,6 +162,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> ExperimentResult {
         "ext-upgrade" => extensions::cluster_upgrade(ctx),
         "ext-scaling" => extensions::scaling(),
         "ext-adoption" => extensions::adoption(ctx),
+        "resilience" => resilience::resilience(ctx),
         other => panic!("unknown experiment id '{other}'"),
     }
 }

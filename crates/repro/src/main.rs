@@ -67,7 +67,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    eprintln!("generating population of {jobs} jobs (seed {})...", pai_repro::SEED);
+    eprintln!(
+        "generating population of {jobs} jobs (seed {})...",
+        pai_repro::SEED
+    );
     let ctx = Context::with_size(jobs);
 
     for id in &ids {

@@ -30,7 +30,9 @@ fn run_variant(model: &ModelSpec, graph: &Graph, cnodes: usize) -> StepMeasureme
         zoo::CaseStudyArch::AllReduceLocal | zoo::CaseStudyArch::Pearl => cnodes,
         _ => 1,
     };
-    sim_for(model).run(graph, &plan_for(model, cnodes), contention)
+    sim_for(model)
+        .run(graph, &plan_for(model, cnodes), contention)
+        .expect("case-study models use valid contention factors")
 }
 
 /// Times of matmul-kind ops within a measurement.
@@ -142,9 +144,27 @@ pub fn fig13b() -> ExperimentResult {
 /// Fig. 13c: Multi-Interests under three configurations.
 pub fn fig13c() -> ExperimentResult {
     let configs = [
-        ("batch 2048, 2 attn layers", MultiInterestsConfig { batch: 2048, attention_layers: 2 }),
-        ("batch 8192, 2 attn layers", MultiInterestsConfig { batch: 8192, attention_layers: 2 }),
-        ("batch 512, 1 attn layer", MultiInterestsConfig { batch: 512, attention_layers: 1 }),
+        (
+            "batch 2048, 2 attn layers",
+            MultiInterestsConfig {
+                batch: 2048,
+                attention_layers: 2,
+            },
+        ),
+        (
+            "batch 8192, 2 attn layers",
+            MultiInterestsConfig {
+                batch: 8192,
+                attention_layers: 2,
+            },
+        ),
+        (
+            "batch 512, 1 attn layer",
+            MultiInterestsConfig {
+                batch: 512,
+                attention_layers: 1,
+            },
+        ),
     ];
     let mut rows = vec![vec![
         "configuration".to_string(),
@@ -191,13 +211,18 @@ pub fn fig13d() -> ExperimentResult {
         },
         &ModelComm::of(&model),
     );
-    let ps = sim_for(&model).run(model.graph(), &ps_plan, 1);
+    let ps = sim_for(&model)
+        .run(model.graph(), &ps_plan, 1)
+        .expect("PS variant uses a valid contention factor of 1");
     let mut rows = vec![vec![
         "strategy".to_string(),
         "step".to_string(),
         "communication share".to_string(),
     ]];
-    for (label, m) in [("PEARL (NVLink)", &pearl), ("PS/Worker (Ethernet & PCIe)", &ps)] {
+    for (label, m) in [
+        ("PEARL (NVLink)", &pearl),
+        ("PS/Worker (Ethernet & PCIe)", &ps),
+    ] {
         rows.push(vec![
             label.to_string(),
             ms(m.total),
@@ -206,7 +231,8 @@ pub fn fig13d() -> ExperimentResult {
     }
     ExperimentResult {
         id: "fig13d",
-        title: "Fig. 13d: GCN time breakdown, PEARL vs PS/Worker (paper: 25% vs ~95% communication)",
+        title:
+            "Fig. 13d: GCN time breakdown, PEARL vs PS/Worker (paper: 25% vs ~95% communication)",
         text: table(&rows),
         json: json!({
             "pearl_comm_share": pearl.fraction(pearl.comm_total()),

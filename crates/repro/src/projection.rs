@@ -143,9 +143,11 @@ pub fn fig16(ctx: &Context) -> ExperimentResult {
         let outs = project_population(model, &ps, ProjectionTarget::AllReduceLocal);
         let cdf = Ecdf::from_values(outs.iter().map(|o| o.single_cnode_speedup));
         rows.push(cdf_quantiles(&format!("ARL speedup, {label}"), &cdf));
-        let not_sped =
-            outs.iter().filter(|o| o.single_cnode_speedup <= 1.0).count() as f64
-                / outs.len().max(1) as f64;
+        let not_sped = outs
+            .iter()
+            .filter(|o| o.single_cnode_speedup <= 1.0)
+            .count() as f64
+            / outs.len().max(1) as f64;
         let bound = comm_bound_speedup(model);
         let at_bound = outs
             .iter()

@@ -143,8 +143,8 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
         reproduced: losers,
         tolerance: 0.06,
     });
-    let improved = local.iter().filter(|o| o.improves_throughput()).count() as f64
-        / local.len().max(1) as f64;
+    let improved =
+        local.iter().filter(|o| o.improves_throughput()).count() as f64 / local.len().max(1) as f64;
     out.push(Claim {
         source: "Sec. III-D",
         statement: "PS jobs with throughput improved by AllReduce-Local",
@@ -281,12 +281,14 @@ mod tests {
             claims.len()
         );
         // The exact claims must always pass.
-        assert!(claims
-            .iter()
-            .find(|c| c.source == "Eq. 3")
-            .expect("present")
-            .verdict()
-            == "PASS");
+        assert!(
+            claims
+                .iter()
+                .find(|c| c.source == "Eq. 3")
+                .expect("present")
+                .verdict()
+                == "PASS"
+        );
     }
 
     #[test]

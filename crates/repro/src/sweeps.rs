@@ -48,14 +48,18 @@ pub fn fig11(ctx: &Context) -> ExperimentResult {
     // I/O-bound, which would otherwise let the PCIe axis dominate the
     // arithmetic-mean speedup through a few extreme outliers).
     let ps = ctx.population.jobs_of(Architecture::PsWorker);
-    let projected: Vec<_> =
-        project_population(&ctx.model, &ps, ProjectionTarget::AllReduceLocal)
-            .into_iter()
-            .filter(|o| o.improves_throughput())
-            .map(|o| o.projected)
-            .collect();
+    let projected: Vec<_> = project_population(&ctx.model, &ps, ProjectionTarget::AllReduceLocal)
+        .into_iter()
+        .filter(|o| o.improves_throughput())
+        .map(|o| o.projected)
+        .collect();
     let weights = vec![1.0; projected.len()];
-    let curves = sweep_class(&ctx.model, Architecture::AllReduceLocal, &projected, &weights);
+    let curves = sweep_class(
+        &ctx.model,
+        Architecture::AllReduceLocal,
+        &projected,
+        &weights,
+    );
     curves_rows(&curves, &mut rows);
     payload.push(json!({
         "class": "AllReduce-Local (projected)",
@@ -73,8 +77,8 @@ pub fn fig11(ctx: &Context) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pai_hw::SweepAxis;
     use pai_core::sweep::sweep_class;
+    use pai_hw::SweepAxis;
 
     fn ctx() -> Context {
         Context::with_size(5_000)

@@ -16,6 +16,7 @@
 
 use std::fmt;
 
+use pai_faults::FaultInjector;
 use pai_hw::{Bytes, ClusterSpec, Seconds};
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +61,11 @@ pub enum PlacementError {
         /// The offending job id.
         id: usize,
     },
+    /// A query referenced a job id that was never placed.
+    UnknownJob {
+        /// The offending job id.
+        id: usize,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -73,6 +79,7 @@ impl fmt::Display for PlacementError {
                 "jobs request {requested} GPUs but the cluster has {available}"
             ),
             PlacementError::EmptyJob { id } => write!(f, "job {id} requests zero replicas"),
+            PlacementError::UnknownJob { id } => write!(f, "unknown job id {id}"),
         }
     }
 }
@@ -110,7 +117,7 @@ pub struct Placement {
 ///     ethernet_bytes: Bytes::from_mb(200.0),
 /// }];
 /// let placement = place(&cluster, &jobs)?;
-/// assert!(placement.job_step_time(0) >= jobs[0].solo_step(&cluster));
+/// assert!(placement.job_step_time(0)? >= jobs[0].solo_step(&cluster));
 /// # Ok::<(), pai_sim::cluster::PlacementError>(())
 /// ```
 pub fn place(cluster: &ClusterSpec, jobs: &[ClusterJob]) -> Result<Placement, PlacementError> {
@@ -171,8 +178,13 @@ impl Placement {
 
     /// The NIC oversubscription a job experiences: the worst sharer
     /// count among the servers hosting its replicas (1 = uncontended).
-    pub fn nic_oversubscription(&self, id: usize) -> usize {
-        let ji = self.index_of(id);
+    ///
+    /// Returns [`PlacementError::UnknownJob`] for an unplaced id.
+    pub fn nic_oversubscription(&self, id: usize) -> Result<usize, PlacementError> {
+        Ok(self.oversubscription_of(self.index_of(id)?))
+    }
+
+    fn oversubscription_of(&self, ji: usize) -> usize {
         if !self.jobs[ji].communicates() {
             return 1;
         }
@@ -188,13 +200,14 @@ impl Placement {
 
     /// Per-step time of a job including NIC contention.
     ///
-    /// # Panics
-    ///
-    /// Panics if `id` is unknown.
-    pub fn job_step_time(&self, id: usize) -> Seconds {
-        let ji = self.index_of(id);
+    /// Returns [`PlacementError::UnknownJob`] for an unplaced id.
+    pub fn job_step_time(&self, id: usize) -> Result<Seconds, PlacementError> {
+        Ok(self.step_time_of(self.index_of(id)?))
+    }
+
+    fn step_time_of(&self, ji: usize) -> Seconds {
         let job = &self.jobs[ji];
-        let sharers = self.nic_oversubscription(id);
+        let sharers = self.oversubscription_of(ji);
         let comm = self
             .cluster
             .ethernet()
@@ -203,15 +216,43 @@ impl Placement {
         job.local_time + comm
     }
 
+    /// Per-step time of a job when the cluster is degraded by a fault
+    /// realization, at synchronous step `step`: the job's compute
+    /// phase stretches to its slowest replica, its (already
+    /// NIC-contended) communication stretches by the worst NIC
+    /// degradation, and failed PS RPCs add their retry backoff.
+    ///
+    /// Returns [`PlacementError::UnknownJob`] for an unplaced id.
+    pub fn degraded_job_step_time(
+        &self,
+        id: usize,
+        injector: &FaultInjector,
+        step: usize,
+    ) -> Result<Seconds, PlacementError> {
+        let ji = self.index_of(id)?;
+        let job = &self.jobs[ji];
+        let faults = injector.step_faults(step);
+        let sharers = self.oversubscription_of(ji);
+        let comm = self
+            .cluster
+            .ethernet()
+            .transfer_time(job.ethernet_bytes)
+            .scale(sharers as f64)
+            .scale(faults.comm_dilation);
+        Ok(job.local_time.scale(faults.compute_dilation) + comm + faults.retry_delay)
+    }
+
     /// The job's slowdown relative to running alone (≥ 1).
-    pub fn slowdown(&self, id: usize) -> f64 {
-        let ji = self.index_of(id);
+    ///
+    /// Returns [`PlacementError::UnknownJob`] for an unplaced id.
+    pub fn slowdown(&self, id: usize) -> Result<f64, PlacementError> {
+        let ji = self.index_of(id)?;
         let solo = self.jobs[ji].solo_step(&self.cluster);
-        if solo.is_zero() {
+        Ok(if solo.is_zero() {
             1.0
         } else {
-            self.job_step_time(id).ratio(solo)
-        }
+            self.step_time_of(ji).ratio(solo)
+        })
     }
 
     /// GPUs in use over GPUs available.
@@ -226,19 +267,22 @@ impl Placement {
     }
 
     /// Number of distinct servers hosting a job's replicas.
-    pub fn spread(&self, id: usize) -> usize {
-        let ji = self.index_of(id);
-        self.servers
+    ///
+    /// Returns [`PlacementError::UnknownJob`] for an unplaced id.
+    pub fn spread(&self, id: usize) -> Result<usize, PlacementError> {
+        let ji = self.index_of(id)?;
+        Ok(self
+            .servers
             .iter()
             .filter(|assigned| assigned.iter().any(|&(j, _)| j == ji))
-            .count()
+            .count())
     }
 
-    fn index_of(&self, id: usize) -> usize {
+    fn index_of(&self, id: usize) -> Result<usize, PlacementError> {
         self.jobs
             .iter()
             .position(|j| j.id == id)
-            .unwrap_or_else(|| panic!("unknown job id {id}"))
+            .ok_or(PlacementError::UnknownJob { id })
     }
 }
 
@@ -275,11 +319,11 @@ mod tests {
     #[test]
     fn lone_job_runs_uncontended() {
         let p = place(&cluster(), &[job(0, 16, 200.0)]).expect("fits");
-        assert_eq!(p.nic_oversubscription(0), 8); // 8 own replicas share each NIC
-        // A one-replica-per-server job has no contention at all.
+        assert_eq!(p.nic_oversubscription(0).unwrap(), 8); // 8 own replicas share each NIC
+                                                           // A one-replica-per-server job has no contention at all.
         let p1 = place(&cluster(), &[job(1, 1, 200.0)]).expect("fits");
-        assert_eq!(p1.nic_oversubscription(1), 1);
-        assert!((p1.slowdown(1) - 1.0).abs() < 1e-12);
+        assert_eq!(p1.nic_oversubscription(1).unwrap(), 1);
+        assert!((p1.slowdown(1).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -287,9 +331,9 @@ mod tests {
         // Two 4-replica jobs land on one server: 8 sharers each.
         let p = place(&cluster(), &[job(0, 4, 100.0), job(1, 4, 100.0)]).expect("fits");
         assert_eq!(p.servers_used(), 1);
-        assert_eq!(p.nic_oversubscription(0), 8);
-        assert!(p.slowdown(0) > 1.0);
-        assert_eq!(p.job_step_time(0), p.job_step_time(1));
+        assert_eq!(p.nic_oversubscription(0).unwrap(), 8);
+        assert!(p.slowdown(0).unwrap() > 1.0);
+        assert_eq!(p.job_step_time(0).unwrap(), p.job_step_time(1).unwrap());
     }
 
     #[test]
@@ -302,10 +346,10 @@ mod tests {
         };
         let chatty = job(1, 4, 100.0);
         let p = place(&cluster(), &[silent, chatty]).expect("fits");
-        assert_eq!(p.nic_oversubscription(0), 1);
-        assert!((p.slowdown(0) - 1.0).abs() < 1e-12);
+        assert_eq!(p.nic_oversubscription(0).unwrap(), 1);
+        assert!((p.slowdown(0).unwrap() - 1.0).abs() < 1e-12);
         // The chatty job only shares with its own replicas.
-        assert_eq!(p.nic_oversubscription(1), 4);
+        assert_eq!(p.nic_oversubscription(1).unwrap(), 4);
     }
 
     #[test]
@@ -313,15 +357,15 @@ mod tests {
         let p = place(&cluster(), &[job(0, 3, 10.0), job(1, 8, 10.0)]).expect("fits");
         // The 8-replica job fills server 0 alone; the 3-replica job
         // lands on server 1.
-        assert_eq!(p.spread(1), 1);
-        assert_eq!(p.nic_oversubscription(1), 8);
-        assert_eq!(p.nic_oversubscription(0), 3);
+        assert_eq!(p.spread(1).unwrap(), 1);
+        assert_eq!(p.nic_oversubscription(1).unwrap(), 8);
+        assert_eq!(p.nic_oversubscription(0).unwrap(), 3);
     }
 
     #[test]
     fn utilization_and_spread() {
         let p = place(&cluster(), &[job(0, 64, 10.0)]).expect("fits");
-        assert_eq!(p.spread(0), 8);
+        assert_eq!(p.spread(0).unwrap(), 8);
         assert_eq!(p.servers_used(), 8);
         assert!((p.gpu_utilization() - 64.0 / 512.0).abs() < 1e-12);
     }
@@ -353,8 +397,8 @@ mod tests {
         assert_eq!(p.servers_used(), 64);
         // Every job owns a full server: 8 sharers, all its own.
         for i in 0..64 {
-            assert_eq!(p.nic_oversubscription(i), 8);
-            assert_eq!(p.spread(i), 1);
+            assert_eq!(p.nic_oversubscription(i).unwrap(), 8);
+            assert_eq!(p.spread(i).unwrap(), 1);
         }
     }
 
@@ -374,7 +418,41 @@ mod tests {
             ),
         );
         let fast = place(&fast_cluster, &jobs).expect("fits");
-        assert!(fast.job_step_time(0).as_f64() < slow.job_step_time(0).as_f64());
+        assert!(fast.job_step_time(0).unwrap().as_f64() < slow.job_step_time(0).unwrap().as_f64());
+    }
+
+    #[test]
+    fn unknown_job_ids_are_typed_errors() {
+        let p = place(&cluster(), &[job(0, 8, 1.0)]).expect("fits");
+        assert_eq!(
+            p.job_step_time(99).unwrap_err(),
+            PlacementError::UnknownJob { id: 99 }
+        );
+        assert!(p.slowdown(99).is_err());
+        assert!(p.nic_oversubscription(99).is_err());
+        assert!(p.spread(99).is_err());
+        assert!(!PlacementError::UnknownJob { id: 99 }.to_string().is_empty());
+    }
+
+    #[test]
+    fn degraded_step_time_folds_in_faults() {
+        use pai_faults::FaultPlan;
+        let p = place(&cluster(), &[job(0, 8, 100.0)]).expect("fits");
+        let healthy_inj = FaultInjector::new(FaultPlan::healthy(8).unwrap()).unwrap();
+        let healthy = p.degraded_job_step_time(0, &healthy_inj, 0).unwrap();
+        assert_eq!(healthy, p.job_step_time(0).unwrap());
+
+        let plan = FaultPlan::builder(8)
+            .straggler(3, 2.0)
+            .nic_degradation(5, 4.0)
+            .ps_retry(1, 2)
+            .build()
+            .unwrap();
+        let inj = FaultInjector::new(plan).unwrap();
+        let degraded = p.degraded_job_step_time(0, &inj, 0).unwrap();
+        assert!(degraded > healthy);
+        // Unknown ids still error under faults.
+        assert!(p.degraded_job_step_time(42, &inj, 0).is_err());
     }
 
     #[test]

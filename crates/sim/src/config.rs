@@ -1,6 +1,30 @@
 //! Simulator configuration.
 
+use std::fmt;
+
 use pai_hw::{Efficiency, HardwareConfig, Seconds};
+
+/// Why a configuration value was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// TensorCore efficiency must be a fraction in `(0, 1]`.
+    TensorCoreEfficiency {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TensorCoreEfficiency { value } => {
+                write!(f, "TensorCore efficiency must be in (0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How phases of a step may overlap (Sec. V-B's spectrum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -101,18 +125,16 @@ impl SimConfig {
 
     /// A copy with a different TensorCore efficiency.
     ///
-    /// # Panics
-    ///
-    /// Panics if `fraction` is not in `(0, 1]`.
-    pub fn with_tensor_core_efficiency(&self, fraction: f64) -> SimConfig {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "TensorCore efficiency must be in (0, 1], got {fraction}"
-        );
-        SimConfig {
+    /// Returns [`ConfigError::TensorCoreEfficiency`] unless `fraction`
+    /// is in `(0, 1]` (NaN included).
+    pub fn with_tensor_core_efficiency(&self, fraction: f64) -> Result<SimConfig, ConfigError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(ConfigError::TensorCoreEfficiency { value: fraction });
+        }
+        Ok(SimConfig {
             tensor_core_efficiency: fraction,
             ..*self
-        }
+        })
     }
 
     /// A copy with a different overlap policy.
@@ -154,6 +176,7 @@ mod tests {
         let c = SimConfig::testbed()
             .with_launch_overhead(Seconds::from_micros(10.0))
             .with_tensor_core_efficiency(0.5)
+            .unwrap()
             .with_overlap(OverlapPolicy::Overlapped);
         assert!((c.kernel_launch_overhead().as_f64() - 1e-5).abs() < 1e-15);
         assert_eq!(c.tensor_core_efficiency(), 0.5);
@@ -161,8 +184,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be in (0, 1]")]
     fn rejects_bad_tensor_core_efficiency() {
-        let _ = SimConfig::testbed().with_tensor_core_efficiency(0.0);
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let err = SimConfig::testbed()
+                .with_tensor_core_efficiency(bad)
+                .unwrap_err();
+            assert!(matches!(err, ConfigError::TensorCoreEfficiency { .. }));
+            assert!(!err.to_string().is_empty());
+        }
     }
 }

@@ -6,10 +6,17 @@
 //! dependency order — classic list scheduling, which for this workload
 //! (static DAGs, serial resources, FIFO within a resource) is exactly
 //! the discrete-event fixed point.
+//!
+//! Fault injection hooks: [`Engine::dilate_resource`] stretches the
+//! duration of subsequently added tasks on a resource (stragglers,
+//! degraded NICs), and [`Engine::add_delay`] inserts a pure wall-clock
+//! wait that ignores dilation (retry backoff).
 
 use std::fmt;
 
 use pai_hw::Seconds;
+
+use crate::error::SimError;
 
 /// Identifies a serial resource (a GPU, a PCIe bus, a NIC…).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,15 +51,17 @@ struct Task {
 ///
 /// let mut e = Engine::new();
 /// let gpu = e.add_resource("gpu");
-/// let a = e.add_task(gpu, Seconds::from_f64(1.0), &[]);
-/// let b = e.add_task(gpu, Seconds::from_f64(2.0), &[a]);
+/// let a = e.add_task(gpu, Seconds::from_f64(1.0), &[])?;
+/// let b = e.add_task(gpu, Seconds::from_f64(2.0), &[a])?;
 /// let schedule = e.run();
 /// assert_eq!(schedule.makespan().as_f64(), 3.0);
 /// assert_eq!(schedule.start(b).as_f64(), 1.0);
+/// # Ok::<(), pai_sim::SimError>(())
 /// ```
 #[derive(Debug, Default)]
 pub struct Engine {
     resources: Vec<&'static str>,
+    dilation: Vec<f64>,
     tasks: Vec<Task>,
 }
 
@@ -65,30 +74,92 @@ impl Engine {
     /// Registers a serial resource.
     pub fn add_resource(&mut self, name: &'static str) -> ResourceId {
         self.resources.push(name);
+        self.dilation.push(1.0);
         ResourceId(self.resources.len() - 1)
     }
 
-    /// Adds a task on `resource` with `deps` (which must already be
-    /// added — the DAG is therefore acyclic by construction).
+    /// Dilates every task *subsequently* added on `resource` by
+    /// `factor` (a straggler's slow GPU, a degraded NIC). Factors
+    /// compose multiplicatively; already-added tasks keep their
+    /// durations.
     ///
-    /// # Panics
-    ///
-    /// Panics if the resource or any dependency is unknown.
-    pub fn add_task(&mut self, resource: ResourceId, duration: Seconds, deps: &[TaskId]) -> TaskId {
-        assert!(
-            resource.0 < self.resources.len(),
-            "unknown resource {resource:?}"
-        );
-        for d in deps {
-            assert!(d.0 < self.tasks.len(), "dependency {d:?} not yet added");
+    /// Rejects unknown resources and non-finite or non-positive
+    /// factors.
+    pub fn dilate_resource(&mut self, resource: ResourceId, factor: f64) -> Result<(), SimError> {
+        if resource.0 >= self.resources.len() {
+            return Err(SimError::UnknownResource {
+                resource: resource.0,
+                resources: self.resources.len(),
+            });
         }
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(SimError::InvalidDilation { value: factor });
+        }
+        self.dilation[resource.0] *= factor;
+        Ok(())
+    }
+
+    /// Adds a task on `resource` with `deps` (which must already be
+    /// added — the DAG is therefore acyclic by construction). The
+    /// duration is stretched by the resource's current dilation.
+    ///
+    /// Returns [`SimError::UnknownResource`] or
+    /// [`SimError::UnknownDependency`] on invalid references.
+    pub fn add_task(
+        &mut self,
+        resource: ResourceId,
+        duration: Seconds,
+        deps: &[TaskId],
+    ) -> Result<TaskId, SimError> {
+        let dilation = self.check_refs(resource, deps)?;
+        self.push_task(resource, duration.scale(dilation), deps)
+    }
+
+    /// Adds a pure wall-clock delay on `resource` (retry backoff, a
+    /// restart wait): unlike [`Engine::add_task`], the duration is NOT
+    /// subject to resource dilation, because a timer does not run
+    /// slower on a degraded node.
+    pub fn add_delay(
+        &mut self,
+        resource: ResourceId,
+        duration: Seconds,
+        deps: &[TaskId],
+    ) -> Result<TaskId, SimError> {
+        self.check_refs(resource, deps)?;
+        self.push_task(resource, duration, deps)
+    }
+
+    fn check_refs(&self, resource: ResourceId, deps: &[TaskId]) -> Result<f64, SimError> {
+        if resource.0 >= self.resources.len() {
+            return Err(SimError::UnknownResource {
+                resource: resource.0,
+                resources: self.resources.len(),
+            });
+        }
+        for d in deps {
+            if d.0 >= self.tasks.len() {
+                return Err(SimError::UnknownDependency {
+                    dependency: d.0,
+                    tasks: self.tasks.len(),
+                });
+            }
+        }
+        Ok(self.dilation[resource.0])
+    }
+
+    fn push_task(
+        &mut self,
+        resource: ResourceId,
+        duration: Seconds,
+        deps: &[TaskId],
+    ) -> Result<TaskId, SimError> {
         self.tasks.push(Task {
             resource,
             duration,
             deps: deps.to_vec(),
             start: None,
         });
-        TaskId(self.tasks.len() - 1)
+        Ok(TaskId(self.tasks.len() - 1))
     }
 
     /// Number of tasks added.
@@ -230,9 +301,9 @@ mod tests {
     fn serial_chain_sums() {
         let mut e = Engine::new();
         let r = e.add_resource("gpu");
-        let a = e.add_task(r, s(1.0), &[]);
-        let b = e.add_task(r, s(2.0), &[a]);
-        let c = e.add_task(r, s(3.0), &[b]);
+        let a = e.add_task(r, s(1.0), &[]).unwrap();
+        let b = e.add_task(r, s(2.0), &[a]).unwrap();
+        let c = e.add_task(r, s(3.0), &[b]).unwrap();
         let sched = e.run();
         assert_eq!(sched.makespan().as_f64(), 6.0);
         assert_eq!(sched.start(c).as_f64(), 3.0);
@@ -245,8 +316,8 @@ mod tests {
         let mut e = Engine::new();
         let gpu = e.add_resource("gpu");
         let nic = e.add_resource("nic");
-        e.add_task(gpu, s(2.0), &[]);
-        e.add_task(nic, s(3.0), &[]);
+        e.add_task(gpu, s(2.0), &[]).unwrap();
+        e.add_task(nic, s(3.0), &[]).unwrap();
         let sched = e.run();
         assert_eq!(sched.makespan().as_f64(), 3.0);
         assert!((sched.utilization(gpu) - 2.0 / 3.0).abs() < 1e-12);
@@ -256,8 +327,8 @@ mod tests {
     fn resource_serializes_independent_tasks() {
         let mut e = Engine::new();
         let gpu = e.add_resource("gpu");
-        e.add_task(gpu, s(2.0), &[]);
-        e.add_task(gpu, s(3.0), &[]);
+        e.add_task(gpu, s(2.0), &[]).unwrap();
+        e.add_task(gpu, s(3.0), &[]).unwrap();
         let sched = e.run();
         assert_eq!(sched.makespan().as_f64(), 5.0);
     }
@@ -267,8 +338,8 @@ mod tests {
         let mut e = Engine::new();
         let pcie = e.add_resource("pcie");
         let gpu = e.add_resource("gpu");
-        let load = e.add_task(pcie, s(1.5), &[]);
-        let compute = e.add_task(gpu, s(1.0), &[load]);
+        let load = e.add_task(pcie, s(1.5), &[]).unwrap();
+        let compute = e.add_task(gpu, s(1.0), &[load]).unwrap();
         let sched = e.run();
         assert_eq!(sched.start(compute).as_f64(), 1.5);
         assert_eq!(sched.makespan().as_f64(), 2.5);
@@ -279,10 +350,10 @@ mod tests {
         let mut e = Engine::new();
         let a_r = e.add_resource("a");
         let b_r = e.add_resource("b");
-        let root = e.add_task(a_r, s(1.0), &[]);
-        let fast = e.add_task(a_r, s(1.0), &[root]);
-        let slow = e.add_task(b_r, s(5.0), &[root]);
-        let join = e.add_task(a_r, s(1.0), &[fast, slow]);
+        let root = e.add_task(a_r, s(1.0), &[]).unwrap();
+        let fast = e.add_task(a_r, s(1.0), &[root]).unwrap();
+        let slow = e.add_task(b_r, s(5.0), &[root]).unwrap();
+        let join = e.add_task(a_r, s(1.0), &[fast, slow]).unwrap();
         let sched = e.run();
         assert_eq!(sched.start(join).as_f64(), 6.0);
     }
@@ -298,18 +369,80 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not yet added")]
     fn rejects_forward_dependency() {
         let mut e = Engine::new();
         let r = e.add_resource("gpu");
-        let _ = e.add_task(r, s(1.0), &[TaskId(5)]);
+        let good = e.add_task(r, s(1.0), &[]).unwrap();
+        let mut e2 = Engine::new();
+        let r2 = e2.add_resource("gpu");
+        let err = e2.add_task(r2, s(1.0), &[good]);
+        // `good` has index 0 and e2 has no tasks yet, so the forward
+        // reference is caught.
+        assert_eq!(
+            err.unwrap_err(),
+            SimError::UnknownDependency {
+                dependency: 0,
+                tasks: 0
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unknown resource")]
     fn rejects_unknown_resource() {
         let mut e = Engine::new();
-        let _ = e.add_task(ResourceId(3), s(1.0), &[]);
+        assert_eq!(
+            e.add_task(ResourceId(3), s(1.0), &[]).unwrap_err(),
+            SimError::UnknownResource {
+                resource: 3,
+                resources: 0
+            }
+        );
+        assert_eq!(
+            e.add_delay(ResourceId(3), s(1.0), &[]).unwrap_err(),
+            SimError::UnknownResource {
+                resource: 3,
+                resources: 0
+            }
+        );
+    }
+
+    #[test]
+    fn dilation_stretches_subsequent_tasks_only() {
+        let mut e = Engine::new();
+        let gpu = e.add_resource("gpu");
+        let before = e.add_task(gpu, s(1.0), &[]).unwrap();
+        e.dilate_resource(gpu, 2.0).unwrap();
+        let after = e.add_task(gpu, s(1.0), &[before]).unwrap();
+        let delay = e.add_delay(gpu, s(1.0), &[after]).unwrap();
+        let sched = e.run();
+        // 1.0 (undilated) + 2.0 (dilated) + 1.0 (delay ignores
+        // dilation) = 4.0
+        assert_eq!(sched.finish(before).as_f64(), 1.0);
+        assert_eq!(sched.finish(after).as_f64(), 3.0);
+        assert_eq!(sched.finish(delay).as_f64(), 4.0);
+    }
+
+    #[test]
+    fn dilation_composes_and_rejects_bad_factors() {
+        let mut e = Engine::new();
+        let gpu = e.add_resource("gpu");
+        e.dilate_resource(gpu, 2.0).unwrap();
+        e.dilate_resource(gpu, 1.5).unwrap();
+        e.add_task(gpu, s(1.0), &[]).unwrap();
+        assert_eq!(
+            e.dilate_resource(gpu, 0.0).unwrap_err(),
+            SimError::InvalidDilation { value: 0.0 }
+        );
+        assert!(matches!(
+            e.dilate_resource(gpu, f64::NAN),
+            Err(SimError::InvalidDilation { .. })
+        ));
+        assert!(matches!(
+            e.dilate_resource(ResourceId(9), 2.0),
+            Err(SimError::UnknownResource { .. })
+        ));
+        let sched = e.run();
+        assert!((sched.makespan().as_f64() - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -325,8 +458,8 @@ mod tests {
         // path only 3.
         let mut e = Engine::new();
         let r = e.add_resource("gpu");
-        e.add_task(r, s(2.0), &[]);
-        e.add_task(r, s(3.0), &[]);
+        e.add_task(r, s(2.0), &[]).unwrap();
+        e.add_task(r, s(3.0), &[]).unwrap();
         let sched = e.run();
         assert_eq!(sched.makespan().as_f64(), 5.0);
         assert_eq!(sched.critical_path().as_f64(), 3.0);
@@ -336,9 +469,9 @@ mod tests {
     fn critical_path_equals_makespan_for_chains() {
         let mut e = Engine::new();
         let r = e.add_resource("gpu");
-        let a = e.add_task(r, s(1.0), &[]);
-        let b = e.add_task(r, s(2.0), &[a]);
-        e.add_task(r, s(3.0), &[b]);
+        let a = e.add_task(r, s(1.0), &[]).unwrap();
+        let b = e.add_task(r, s(2.0), &[a]).unwrap();
+        e.add_task(r, s(3.0), &[b]).unwrap();
         let sched = e.run();
         assert_eq!(sched.critical_path().as_f64(), sched.makespan().as_f64());
     }

@@ -1,12 +1,14 @@
 //! Executes one training step op-by-op on the simulated machine.
 
 use pai_collectives::CommPlan;
+use pai_faults::FaultInjector;
 use pai_graph::{Graph, OpClass, OpKind};
 use pai_hw::{LinkKind, Seconds};
 
 use crate::config::{OverlapPolicy, SimConfig};
 use crate::engine::{Engine, TaskId};
-use crate::measure::{OpProfile, StepMeasurement};
+use crate::error::SimError;
+use crate::measure::{FaultAttribution, OpProfile, StepMeasurement};
 
 /// Simulates training steps of a graph + communication plan.
 ///
@@ -23,8 +25,9 @@ use crate::measure::{OpProfile, StepMeasurement};
 /// g.add(Op::new("fc", matmul(1024, 1024, 1024)));
 /// let mut comm = CommPlan::new();
 /// comm.push(Transfer::new("sync", LinkKind::NvLink, Bytes::from_mb(100.0)));
-/// let m = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1);
+/// let m = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1)?;
 /// assert!(m.comm_total().as_f64() > 0.0);
+/// # Ok::<(), pai_sim::SimError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct StepSimulator {
@@ -64,9 +67,7 @@ impl StepSimulator {
                 };
                 kind.flops() / rate
             }
-            OpClass::MemoryBound => {
-                hw.link(LinkKind::HbmMemory).transfer_time(kind.mem_bytes())
-            }
+            OpClass::MemoryBound => hw.link(LinkKind::HbmMemory).transfer_time(kind.mem_bytes()),
             OpClass::Io => Seconds::ZERO,
         }
     }
@@ -77,11 +78,17 @@ impl StepSimulator {
     /// server's PCIe complex for input loading (1 for PS workers and
     /// 1w1g, the local GPU count for 1wng/AllReduce placements).
     ///
-    /// # Panics
-    ///
-    /// Panics if `pcie_contention` is zero.
-    pub fn run(&self, graph: &Graph, comm: &CommPlan, pcie_contention: usize) -> StepMeasurement {
-        assert!(pcie_contention > 0, "contention factor must be at least 1");
+    /// Returns [`SimError::ZeroContention`] if `pcie_contention` is
+    /// zero.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        comm: &CommPlan,
+        pcie_contention: usize,
+    ) -> Result<StepMeasurement, SimError> {
+        if pcie_contention == 0 {
+            return Err(SimError::ZeroContention);
+        }
         let hw = self.config.hardware();
         let launch_gap = self.config.kernel_launch_overhead();
         let overlapped = self.config.overlap() == OverlapPolicy::Overlapped;
@@ -117,7 +124,7 @@ impl StepSimulator {
                     let volume = op.kind().pcie_bytes().scale(pcie_contention as f64);
                     let dur = hw.link(LinkKind::Pcie).transfer_time(volume);
                     durations[id.index()] = dur;
-                    let t = engine.add_task(pcie, dur, &deps);
+                    let t = engine.add_task(pcie, dur, &deps)?;
                     io_tasks.push(t);
                     t
                 }
@@ -132,7 +139,7 @@ impl StepSimulator {
                     let dur = kernel.max(launch_gap);
                     durations[id.index()] = dur;
                     kernel_times[id.index()] = kernel;
-                    engine.add_task(gpu, dur, &deps)
+                    engine.add_task(gpu, dur, &deps)?
                 }
             };
             task_of[id.index()] = Some(task);
@@ -158,7 +165,7 @@ impl StepSimulator {
                 .into_iter()
                 .chain(graph_tail.iter().copied())
                 .collect();
-            let t = engine.add_task(link_resource(transfer.link), dur, &deps);
+            let t = engine.add_task(link_resource(transfer.link), dur, &deps)?;
             comm_tasks.push((transfer.link, dur));
             prev_comm = Some(t);
         }
@@ -206,7 +213,7 @@ impl StepSimulator {
             }
         }
 
-        StepMeasurement {
+        Ok(StepMeasurement {
             total: schedule.makespan(),
             data_io,
             compute_bound,
@@ -215,7 +222,8 @@ impl StepSimulator {
             launch_stall,
             kernels,
             ops: profiles,
-        }
+            faults: FaultAttribution::default(),
+        })
     }
 }
 
@@ -232,18 +240,77 @@ impl StepSimulator {
     /// compute/communication components are replica 0's (replicas are
     /// symmetric).
     ///
-    /// # Panics
-    ///
-    /// Panics if `replicas` is zero.
+    /// Returns [`SimError::ZeroReplicas`] if `replicas` is zero.
     pub fn run_replicas(
         &self,
         graph: &Graph,
         comm: &CommPlan,
         replicas: usize,
-    ) -> StepMeasurement {
-        assert!(replicas > 0, "need at least one replica");
+    ) -> Result<StepMeasurement, SimError> {
+        self.run_replicas_inner(graph, comm, replicas, None)
+    }
+
+    /// Simulates one synchronous step of a replica group under an
+    /// injected fault realization: per-replica compute dilation
+    /// (stragglers + jitter) and communication dilation (degraded
+    /// NICs) stretch that replica's resources, and failed PS RPCs add
+    /// retry backoff on its port. The step completes when the slowest
+    /// replica does — exactly the sync-barrier semantics the fault
+    /// model aggregates by.
+    ///
+    /// The replica count is the injector's; the reported components
+    /// are the *slowest* replica's (it defines the barrier), and
+    /// `faults` attributes the extra time to straggling, NIC
+    /// degradation, and retries. Crash recovery is charged by
+    /// [`StepSimulator::run_steps_faulted`], not here.
+    pub fn run_replicas_faulted(
+        &self,
+        graph: &Graph,
+        comm: &CommPlan,
+        injector: &FaultInjector,
+        step: usize,
+    ) -> Result<StepMeasurement, SimError> {
+        self.run_replicas_inner(graph, comm, injector.replicas(), Some((injector, step)))
+    }
+
+    fn run_replicas_inner(
+        &self,
+        graph: &Graph,
+        comm: &CommPlan,
+        replicas: usize,
+        faults: Option<(&FaultInjector, usize)>,
+    ) -> Result<StepMeasurement, SimError> {
+        if replicas == 0 {
+            return Err(SimError::ZeroReplicas);
+        }
         let hw = self.config.hardware();
         let launch_gap = self.config.kernel_launch_overhead();
+
+        // Per-replica fault realization (all identity when healthy).
+        let compute_dilation: Vec<f64> = (0..replicas)
+            .map(|r| faults.map_or(1.0, |(inj, step)| inj.compute_dilation(r, step)))
+            .collect();
+        let comm_dilation: Vec<f64> = (0..replicas)
+            .map(|r| faults.map_or(1.0, |(inj, _)| inj.comm_multiplier(r)))
+            .collect();
+        let retry_delay: Vec<Seconds> = (0..replicas)
+            .map(|r| faults.map_or(Seconds::ZERO, |(inj, _)| inj.retry_delay(r)))
+            .collect();
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(i, _)| i)
+        };
+        // The barrier waits for the slowest compute path and the most
+        // degraded communication path; report those replicas'
+        // components.
+        let slowest = argmax(&compute_dilation);
+        let worst_comm = argmax(&comm_dilation);
+        let worst_retry = retry_delay
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max);
 
         let mut engine = Engine::new();
         let pcie = engine.add_resource("pcie");
@@ -253,13 +320,17 @@ impl StepSimulator {
         let order = graph.topo_order();
         let preds = graph.predecessor_lists();
 
-        let mut rep0_compute = Seconds::ZERO;
-        let mut rep0_memory = Seconds::ZERO;
-        let mut rep0_stall = Seconds::ZERO;
-        let mut rep0_kernels = 0usize;
+        let mut healthy_compute = Seconds::ZERO;
+        let mut slow_compute = Seconds::ZERO;
+        let mut slow_memory = Seconds::ZERO;
+        let mut slow_stall = Seconds::ZERO;
+        let mut slow_kernels = 0usize;
+        let mut healthy_comm = Seconds::ZERO;
         let mut comm_by_link: Vec<(LinkKind, Seconds)> = Vec::new();
 
         for (r, (&gpu, &port)) in gpus.iter().zip(&ports).enumerate() {
+            engine.dilate_resource(gpu, compute_dilation[r])?;
+            engine.dilate_resource(port, comm_dilation[r])?;
             let mut task_of = vec![None::<TaskId>; graph.len()];
             for id in &order {
                 let op = graph.node(*id);
@@ -270,52 +341,75 @@ impl StepSimulator {
                 let task = match op.class() {
                     OpClass::Io => {
                         // Unscaled volume on the SHARED bus.
-                        let dur = hw.link(LinkKind::Pcie).transfer_time(op.kind().pcie_bytes());
-                        engine.add_task(pcie, dur, &deps)
+                        let dur = hw
+                            .link(LinkKind::Pcie)
+                            .transfer_time(op.kind().pcie_bytes());
+                        engine.add_task(pcie, dur, &deps)?
                     }
                     OpClass::ComputeBound | OpClass::MemoryBound => {
                         let kernel = self.kernel_time(op.kind());
                         let dur = kernel.max(launch_gap);
                         if r == 0 {
+                            healthy_compute += dur;
+                        }
+                        if r == slowest {
+                            let stretched = dur.scale(compute_dilation[r]);
                             match op.class() {
-                                OpClass::ComputeBound => rep0_compute += dur,
-                                OpClass::MemoryBound => rep0_memory += dur,
+                                OpClass::ComputeBound => slow_compute += stretched,
+                                OpClass::MemoryBound => slow_memory += stretched,
                                 OpClass::Io => unreachable!(),
                             }
-                            rep0_stall += dur - kernel;
-                            rep0_kernels += 1;
+                            slow_stall += stretched - kernel.scale(compute_dilation[r]);
+                            slow_kernels += 1;
                         }
-                        engine.add_task(gpu, dur, &deps)
+                        engine.add_task(gpu, dur, &deps)?
                     }
                 };
                 task_of[id.index()] = Some(task);
             }
-            // Per-replica synchronization on this replica's ports.
+            // Per-replica synchronization on this replica's ports,
+            // followed by any retry backoff its failed PS RPCs cost.
             let mut prev = order.last().and_then(|id| task_of[id.index()]);
             for transfer in comm.transfers() {
                 let dur = hw.link(transfer.link).transfer_time(transfer.bytes);
                 let deps: Vec<TaskId> = prev.into_iter().collect();
-                prev = Some(engine.add_task(port, dur, &deps));
+                prev = Some(engine.add_task(port, dur, &deps)?);
                 if r == 0 {
+                    healthy_comm += dur;
+                }
+                if r == worst_comm {
+                    let stretched = dur.scale(comm_dilation[r]);
                     match comm_by_link.iter_mut().find(|(k, _)| *k == transfer.link) {
-                        Some((_, t)) => *t += dur,
-                        None => comm_by_link.push((transfer.link, dur)),
+                        Some((_, t)) => *t += stretched,
+                        None => comm_by_link.push((transfer.link, stretched)),
                     }
                 }
+            }
+            if !retry_delay[r].is_zero() {
+                let deps: Vec<TaskId> = prev.into_iter().collect();
+                engine.add_delay(port, retry_delay[r], &deps)?;
             }
         }
 
         let schedule = engine.run();
-        StepMeasurement {
+        let attribution = FaultAttribution {
+            straggler: healthy_compute.scale(compute_dilation[slowest] - 1.0),
+            nic: healthy_comm.scale(comm_dilation[worst_comm] - 1.0),
+            retry: worst_retry,
+            restart: Seconds::ZERO,
+            lost_steps: 0,
+        };
+        Ok(StepMeasurement {
             total: schedule.makespan(),
             data_io: schedule.busy(pcie),
-            compute_bound: rep0_compute,
-            memory_bound: rep0_memory,
+            compute_bound: slow_compute,
+            memory_bound: slow_memory,
             comm_by_link,
-            launch_stall: rep0_stall,
-            kernels: rep0_kernels,
+            launch_stall: slow_stall,
+            kernels: slow_kernels,
             ops: Vec::new(),
-        }
+            faults: attribution,
+        })
     }
 }
 
@@ -323,6 +417,7 @@ impl StepSimulator {
 mod tests {
     use super::*;
     use pai_collectives::Transfer;
+    use pai_faults::FaultPlan;
     use pai_graph::op::{elementwise, matmul};
     use pai_graph::Op;
     use pai_hw::Bytes;
@@ -341,11 +436,16 @@ mod tests {
     fn serialized_step_sums_phases() {
         let sim = StepSimulator::new(SimConfig::testbed());
         let mut comm = CommPlan::new();
-        comm.push(Transfer::new("sync", LinkKind::NvLink, Bytes::from_mb(350.0)));
-        let m = sim.run(&toy_graph(), &comm, 1);
+        comm.push(Transfer::new(
+            "sync",
+            LinkKind::NvLink,
+            Bytes::from_mb(350.0),
+        ));
+        let m = sim.run(&toy_graph(), &comm, 1).unwrap();
         let parts = m.data_io + m.computation() + m.comm_total();
         assert!((m.total.as_f64() - parts.as_f64()).abs() < 1e-9);
         assert_eq!(m.kernels, 2);
+        assert!(m.faults.is_clean());
     }
 
     #[test]
@@ -353,9 +453,12 @@ mod tests {
         let g = toy_graph();
         let mut comm = CommPlan::new();
         comm.push(Transfer::new("sync", LinkKind::NvLink, Bytes::from_gb(2.0)));
-        let ser = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1);
+        let ser = StepSimulator::new(SimConfig::testbed())
+            .run(&g, &comm, 1)
+            .unwrap();
         let ovl = StepSimulator::new(SimConfig::testbed().with_overlap(OverlapPolicy::Overlapped))
-            .run(&g, &comm, 1);
+            .run(&g, &comm, 1)
+            .unwrap();
         assert!(ovl.total.as_f64() < ser.total.as_f64());
         // Ideal bound: no shorter than the longest phase.
         assert!(ovl.total.as_f64() >= ser.comm_total().as_f64() - 1e-12);
@@ -365,8 +468,8 @@ mod tests {
     fn pcie_contention_scales_input_time() {
         let g = toy_graph();
         let sim = StepSimulator::new(SimConfig::testbed());
-        let one = sim.run(&g, &CommPlan::new(), 1);
-        let eight = sim.run(&g, &CommPlan::new(), 8);
+        let one = sim.run(&g, &CommPlan::new(), 1).unwrap();
+        let eight = sim.run(&g, &CommPlan::new(), 8).unwrap();
         assert!((eight.data_io.as_f64() / one.data_io.as_f64() - 8.0).abs() < 1e-9);
     }
 
@@ -377,7 +480,7 @@ mod tests {
             g.add(Op::new(format!("ew{i}"), elementwise(1, 16, 1)));
         }
         let sim = StepSimulator::new(SimConfig::testbed());
-        let m = sim.run(&g, &CommPlan::new(), 1);
+        let m = sim.run(&g, &CommPlan::new(), 1).unwrap();
         // Every kernel is stalled to the 4.5 us launch gap.
         assert!((m.total.as_f64() - 100.0 * 4.5e-6).abs() < 1e-9);
         assert!(m.launch_stall.as_f64() > 0.9 * m.total.as_f64());
@@ -389,8 +492,8 @@ mod tests {
         fp32.add(Op::new("mm", matmul(4096, 4096, 4096)));
         let (mp, _) = pai_graph::passes::apply_mixed_precision(&fp32);
         let sim = StepSimulator::new(SimConfig::testbed());
-        let slow = sim.run(&fp32, &CommPlan::new(), 1);
-        let fast = sim.run(&mp, &CommPlan::new(), 1);
+        let slow = sim.run(&fp32, &CommPlan::new(), 1).unwrap();
+        let fast = sim.run(&mp, &CommPlan::new(), 1).unwrap();
         let speedup = slow.total.as_f64() / fast.total.as_f64();
         // 8x peak at 29 % TC efficiency vs FP32 at the default 70 %:
         // the ratio is 8 x 0.29 / 0.7 = 3.31.
@@ -418,7 +521,7 @@ mod tests {
         comm.push(Transfer::new("b", LinkKind::NvLink, Bytes::from_gb(1.0)));
         let g = Graph::new("empty");
         let sim = StepSimulator::new(SimConfig::testbed());
-        let m = sim.run(&g, &comm, 1);
+        let m = sim.run(&g, &comm, 1).unwrap();
         let analytic = comm.serialized_time(sim.config().hardware());
         assert!((m.total.as_f64() - analytic.as_f64()).abs() < 1e-12);
     }
@@ -426,7 +529,9 @@ mod tests {
     #[test]
     fn profiles_cover_every_op() {
         let g = toy_graph();
-        let m = StepSimulator::new(SimConfig::testbed()).run(&g, &CommPlan::new(), 1);
+        let m = StepSimulator::new(SimConfig::testbed())
+            .run(&g, &CommPlan::new(), 1)
+            .unwrap();
         assert_eq!(m.ops.len(), g.len());
         assert!(m.ops.iter().all(|p| !p.name.is_empty()));
         // Starts are non-decreasing along the chain.
@@ -437,8 +542,8 @@ mod tests {
     fn run_replicas_matches_single_replica_run() {
         let g = toy_graph();
         let sim = StepSimulator::new(SimConfig::testbed());
-        let single = sim.run(&g, &CommPlan::new(), 1);
-        let multi = sim.run_replicas(&g, &CommPlan::new(), 1);
+        let single = sim.run(&g, &CommPlan::new(), 1).unwrap();
+        let multi = sim.run_replicas(&g, &CommPlan::new(), 1).unwrap();
         assert!((single.total.as_f64() - multi.total.as_f64()).abs() < 1e-12);
         assert_eq!(single.kernels, multi.kernels);
     }
@@ -449,12 +554,12 @@ mod tests {
         // contention factor: total PCIe window = n x single load.
         let g = toy_graph();
         let sim = StepSimulator::new(SimConfig::testbed());
-        let one = sim.run_replicas(&g, &CommPlan::new(), 1);
-        let eight = sim.run_replicas(&g, &CommPlan::new(), 8);
+        let one = sim.run_replicas(&g, &CommPlan::new(), 1).unwrap();
+        let eight = sim.run_replicas(&g, &CommPlan::new(), 8).unwrap();
         let ratio = eight.data_io.as_f64() / one.data_io.as_f64();
         assert!((ratio - 8.0).abs() < 1e-9, "emergent contention {ratio}");
         // And it agrees with the closed-form factor `run` applies.
-        let analytical = sim.run(&g, &CommPlan::new(), 8);
+        let analytical = sim.run(&g, &CommPlan::new(), 8).unwrap();
         assert!((analytical.data_io.as_f64() - eight.data_io.as_f64()).abs() < 1e-12);
     }
 
@@ -467,8 +572,8 @@ mod tests {
         let mm = g.add(Op::new("mm", matmul(4096, 4096, 4096)));
         g.connect(load, mm);
         let sim = StepSimulator::new(SimConfig::testbed());
-        let one = sim.run_replicas(&g, &CommPlan::new(), 1);
-        let eight = sim.run_replicas(&g, &CommPlan::new(), 8);
+        let one = sim.run_replicas(&g, &CommPlan::new(), 1).unwrap();
+        let eight = sim.run_replicas(&g, &CommPlan::new(), 8).unwrap();
         assert!(eight.total.as_f64() < 1.01 * one.total.as_f64());
     }
 
@@ -478,24 +583,109 @@ mod tests {
         // not dilate with the replica count.
         let g = toy_graph();
         let mut comm = CommPlan::new();
-        comm.push(Transfer::new("sync", LinkKind::NvLink, Bytes::from_mb(350.0)));
+        comm.push(Transfer::new(
+            "sync",
+            LinkKind::NvLink,
+            Bytes::from_mb(350.0),
+        ));
         let sim = StepSimulator::new(SimConfig::testbed());
-        let one = sim.run_replicas(&g, &comm, 1);
-        let eight = sim.run_replicas(&g, &comm, 8);
+        let one = sim.run_replicas(&g, &comm, 1).unwrap();
+        let eight = sim.run_replicas(&g, &comm, 8).unwrap();
         assert!((one.comm_total().as_f64() - eight.comm_total().as_f64()).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "at least one replica")]
     fn run_replicas_rejects_zero() {
         let g = Graph::new("empty");
-        let _ = StepSimulator::new(SimConfig::testbed()).run_replicas(&g, &CommPlan::new(), 0);
+        let err = StepSimulator::new(SimConfig::testbed())
+            .run_replicas(&g, &CommPlan::new(), 0)
+            .unwrap_err();
+        assert_eq!(err, SimError::ZeroReplicas);
     }
 
     #[test]
-    #[should_panic(expected = "contention factor")]
     fn rejects_zero_contention() {
         let g = Graph::new("empty");
-        let _ = StepSimulator::new(SimConfig::testbed()).run(&g, &CommPlan::new(), 0);
+        let err = StepSimulator::new(SimConfig::testbed())
+            .run(&g, &CommPlan::new(), 0)
+            .unwrap_err();
+        assert_eq!(err, SimError::ZeroContention);
+    }
+
+    #[test]
+    fn healthy_fault_plan_matches_plain_replicas() {
+        let g = toy_graph();
+        let mut comm = CommPlan::new();
+        comm.push(Transfer::new(
+            "sync",
+            LinkKind::NvLink,
+            Bytes::from_mb(350.0),
+        ));
+        let sim = StepSimulator::new(SimConfig::testbed());
+        let inj = FaultInjector::new(FaultPlan::healthy(4).unwrap()).unwrap();
+        let plain = sim.run_replicas(&g, &comm, 4).unwrap();
+        let faulted = sim.run_replicas_faulted(&g, &comm, &inj, 0).unwrap();
+        assert_eq!(plain.total, faulted.total);
+        assert_eq!(plain.comm_by_link, faulted.comm_by_link);
+        assert!(faulted.faults.is_clean());
+    }
+
+    #[test]
+    fn straggler_stretches_the_barrier() {
+        // Compute-dominant graph: the straggling GPU, not the shared
+        // PCIe bus, must set the barrier.
+        let mut g = Graph::new("compute");
+        let load = g.add(Op::new("in", OpKind::DataLoad { bytes: 1_000 }));
+        let mm = g.add(Op::new("mm", matmul(2048, 2048, 2048)));
+        g.connect(load, mm);
+        let sim = StepSimulator::new(SimConfig::testbed());
+        let healthy = sim.run_replicas(&g, &CommPlan::new(), 4).unwrap();
+        let plan = FaultPlan::builder(4).straggler(2, 2.0).build().unwrap();
+        let inj = FaultInjector::new(plan).unwrap();
+        let slow = sim
+            .run_replicas_faulted(&g, &CommPlan::new(), &inj, 0)
+            .unwrap();
+        assert!(slow.total.as_f64() > healthy.total.as_f64());
+        // The extra compute is attributed to the straggler.
+        assert!((slow.faults.straggler.as_f64() - healthy.computation().as_f64()).abs() < 1e-9);
+        assert!((slow.computation().as_f64() - 2.0 * healthy.computation().as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nic_degradation_stretches_comm_only() {
+        let g = toy_graph();
+        let mut comm = CommPlan::new();
+        comm.push(Transfer::new(
+            "sync",
+            LinkKind::Ethernet,
+            Bytes::from_mb(350.0),
+        ));
+        let sim = StepSimulator::new(SimConfig::testbed());
+        let healthy = sim.run_replicas(&g, &comm, 4).unwrap();
+        let plan = FaultPlan::builder(4)
+            .nic_degradation(1, 3.0)
+            .build()
+            .unwrap();
+        let inj = FaultInjector::new(plan).unwrap();
+        let slow = sim.run_replicas_faulted(&g, &comm, &inj, 0).unwrap();
+        assert!((slow.comm_total().as_f64() - 3.0 * healthy.comm_total().as_f64()).abs() < 1e-9);
+        assert_eq!(slow.computation(), healthy.computation());
+        assert!((slow.faults.nic.as_f64() - 2.0 * healthy.comm_total().as_f64()).abs() < 1e-9);
+        assert!(slow.faults.straggler.is_zero());
+    }
+
+    #[test]
+    fn ps_retries_add_backoff_delay() {
+        let g = toy_graph();
+        let sim = StepSimulator::new(SimConfig::testbed());
+        let healthy = sim.run_replicas(&g, &CommPlan::new(), 2).unwrap();
+        let plan = FaultPlan::builder(2).ps_retry(1, 3).build().unwrap();
+        let inj = FaultInjector::new(plan).unwrap();
+        let slow = sim
+            .run_replicas_faulted(&g, &CommPlan::new(), &inj, 0)
+            .unwrap();
+        let expected = inj.retry_delay(1);
+        assert!((slow.total.as_f64() - healthy.total.as_f64() - expected.as_f64()).abs() < 1e-9);
+        assert_eq!(slow.faults.retry, expected);
     }
 }

@@ -20,7 +20,12 @@
 //! - [`measure`] — [`measure::StepMeasurement`] (per-component busy
 //!   times) and per-op profile records (the `tf.RunMetadata` analog);
 //! - [`cluster`] — job placement and NIC-contention modeling for the
-//!   whole testbed (the Sec. VI cluster-operations view).
+//!   whole testbed (the Sec. VI cluster-operations view);
+//! - [`faulted`] — multi-step degraded runs under a
+//!   [`pai_faults::FaultPlan`]: stragglers, degraded NICs, PS retry
+//!   backoff, and crash/restart recovery with lost-work accounting;
+//! - [`error`] — [`SimError`], the typed rejection every public API
+//!   returns instead of panicking on invalid caller input.
 //!
 //! # Examples
 //!
@@ -31,16 +36,42 @@
 //!
 //! let resnet = zoo::resnet50();
 //! let sim = StepSimulator::new(SimConfig::testbed());
-//! let m = sim.run(resnet.graph(), &CommPlan::new(), 1);
+//! let m = sim.run(resnet.graph(), &CommPlan::new(), 1)?;
 //! assert!(m.total.as_f64() > 0.0);
+//! # Ok::<(), pai_sim::SimError>(())
+//! ```
+//!
+//! Degraded run with a straggler and a crash:
+//!
+//! ```
+//! use pai_faults::FaultPlan;
+//! use pai_hw::Seconds;
+//! use pai_sim::{SimConfig, StepSimulator};
+//! use pai_collectives::CommPlan;
+//! use pai_graph::zoo;
+//!
+//! let plan = FaultPlan::builder(4)
+//!     .straggler(2, 1.5)
+//!     .crash(0, 3, Seconds::from_f64(30.0), 2)
+//!     .build()?;
+//! let sim = StepSimulator::new(SimConfig::testbed());
+//! let resnet = zoo::resnet50();
+//! let run = sim.run_steps_faulted(resnet.graph(), &CommPlan::new(), 8, &plan)?;
+//! assert_eq!(run.lost_steps, 2);
+//! assert!(run.stats()?.goodput > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod cluster;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod executor;
+pub mod faulted;
 pub mod measure;
 
-pub use config::{OverlapPolicy, SimConfig};
+pub use config::{ConfigError, OverlapPolicy, SimConfig};
+pub use error::SimError;
 pub use executor::StepSimulator;
-pub use measure::{OpProfile, StepMeasurement};
+pub use faulted::FaultedRun;
+pub use measure::{FaultAttribution, OpProfile, StepMeasurement, StepStats};

@@ -1,6 +1,7 @@
 //! Property tests for the event engine and step executor.
 
 use pai_collectives::{CommPlan, Transfer};
+use pai_faults::FaultPlan;
 use pai_graph::op::{elementwise, matmul, Op};
 use pai_graph::{Graph, OpKind};
 use pai_hw::{Bytes, LinkKind, Seconds};
@@ -22,7 +23,7 @@ proptest! {
         let mut prev = None;
         for &d in &durs {
             let deps: Vec<_> = prev.into_iter().collect();
-            prev = Some(e.add_task(r, Seconds::from_f64(d), &deps));
+            prev = Some(e.add_task(r, Seconds::from_f64(d), &deps).unwrap());
         }
         let sched = e.run();
         let sum: f64 = durs.iter().sum();
@@ -36,7 +37,7 @@ proptest! {
         let mut e = Engine::new();
         let resources: Vec<_> = (0..durs.len()).map(|_| e.add_resource("r")).collect();
         for (r, &d) in resources.iter().zip(&durs) {
-            e.add_task(*r, Seconds::from_f64(d), &[]);
+            e.add_task(*r, Seconds::from_f64(d), &[]).unwrap();
         }
         let sched = e.run();
         let max = durs.iter().cloned().fold(0.0, f64::max);
@@ -52,7 +53,7 @@ proptest! {
         let mut e = Engine::new();
         let resources: Vec<_> = (0..(split + 1)).map(|_| e.add_resource("r")).collect();
         for (i, &d) in durs.iter().enumerate() {
-            e.add_task(resources[i % resources.len()], Seconds::from_f64(d), &[]);
+            e.add_task(resources[i % resources.len()], Seconds::from_f64(d), &[]).unwrap();
         }
         let sched = e.run();
         for r in &resources {
@@ -77,11 +78,12 @@ proptest! {
         let mut comm = CommPlan::new();
         comm.push(Transfer::new("sync", LinkKind::NvLink, Bytes::from_mb(comm_mb)));
 
-        let ser = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1);
+        let ser = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1).unwrap();
         let ovl = StepSimulator::new(
             SimConfig::testbed().with_overlap(OverlapPolicy::Overlapped),
         )
-        .run(&g, &comm, 1);
+        .run(&g, &comm, 1)
+        .unwrap();
         prop_assert!(ovl.total.as_f64() <= ser.total.as_f64() + 1e-12);
         // Ideal-overlap floor: the longest phase.
         let floor = ser
@@ -103,11 +105,13 @@ proptest! {
         let base = StepSimulator::new(
             SimConfig::testbed().with_launch_overhead(Seconds::ZERO),
         )
-        .run(&g, &CommPlan::new(), 1);
+        .run(&g, &CommPlan::new(), 1)
+        .unwrap();
         let gapped = StepSimulator::new(
             SimConfig::testbed().with_launch_overhead(Seconds::from_micros(gap_us)),
         )
-        .run(&g, &CommPlan::new(), 1);
+        .run(&g, &CommPlan::new(), 1)
+        .unwrap();
         prop_assert!(gapped.total.as_f64() >= base.total.as_f64() - 1e-15);
         // With a gap, each op takes at least the gap.
         prop_assert!(gapped.total.as_f64() >= ops as f64 * gap_us * 1e-6 - 1e-12);
@@ -124,7 +128,7 @@ proptest! {
         g.connect(a, b);
         let mut comm = CommPlan::new();
         comm.push(Transfer::new("sync", LinkKind::Ethernet, Bytes::from_mb(comm_mb)));
-        let m = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1);
+        let m = StepSimulator::new(SimConfig::testbed()).run(&g, &comm, 1).unwrap();
         let parts = m.data_io + m.computation() + m.comm_total();
         prop_assert!((m.total.as_f64() - parts.as_f64()).abs() < 1e-9 * parts.as_f64().max(1e-9));
     }
@@ -152,9 +156,10 @@ proptest! {
                 for job in &jobs {
                     // Every job experiences at least its solo time and at
                     // most full-server NIC sharing.
-                    prop_assert!(p.slowdown(job.id) >= 1.0 - 1e-12);
-                    prop_assert!(p.nic_oversubscription(job.id) <= 8.max(job.cnodes.min(8)));
-                    prop_assert!(p.spread(job.id) >= job.cnodes.div_ceil(8));
+                    prop_assert!(p.slowdown(job.id).unwrap() >= 1.0 - 1e-12);
+                    // A server NIC is shared by at most its 8 GPU slots.
+                    prop_assert!(p.nic_oversubscription(job.id).unwrap() <= 8);
+                    prop_assert!(p.spread(job.id).unwrap() >= job.cnodes.div_ceil(8));
                 }
             }
             Err(_) => prop_assert!(total > cluster.total_gpus()),
@@ -171,9 +176,101 @@ proptest! {
         let mut prev = None;
         for (i, &d) in durs.iter().enumerate() {
             let deps: Vec<_> = if i % 3 == 0 { Vec::new() } else { prev.into_iter().collect() };
-            prev = Some(e.add_task(rs[i % resources], Seconds::from_f64(d), &deps));
+            prev = Some(e.add_task(rs[i % resources], Seconds::from_f64(d), &deps).unwrap());
         }
         let sched = e.run();
         prop_assert!(sched.critical_path().as_f64() <= sched.makespan().as_f64() + 1e-12);
+    }
+}
+
+/// A small three-op training step for the fault properties.
+fn fault_graph() -> Graph {
+    let mut g = Graph::new("fault-prop");
+    let load = g.add(Op::new("in", OpKind::DataLoad { bytes: 10_000_000 }));
+    let mm = g.add(Op::new("mm", matmul(512, 512, 512)));
+    let ew = g.add(Op::new("ew", elementwise(1, 5_000_000, 1)));
+    g.connect(load, mm);
+    g.connect(mm, ew);
+    g
+}
+
+fn sync_comm() -> CommPlan {
+    let mut comm = CommPlan::new();
+    comm.push(Transfer::new(
+        "sync",
+        LinkKind::Ethernet,
+        Bytes::from_mb(50.0),
+    ));
+    comm
+}
+
+proptest! {
+    /// ISSUE acceptance: the same fault seed must produce bit-identical
+    /// simulation output.
+    #[test]
+    fn same_fault_plan_reproduces_measurements_exactly(
+        seed in 0u64..1_000_000,
+        jitter in 0.0f64..0.5,
+        slowdown in 1.0f64..4.0,
+        replica in 0usize..3,
+        failures in 0u32..4,
+    ) {
+        let g = fault_graph();
+        let comm = sync_comm();
+        let plan = FaultPlan::builder(3)
+            .seed(seed)
+            .jitter(jitter)
+            .straggler(replica, slowdown)
+            .ps_retry((replica + 1) % 3, failures)
+            .build()
+            .unwrap();
+        let sim = StepSimulator::new(SimConfig::testbed());
+        let a = sim.run_steps_faulted(&g, &comm, 6, &plan).unwrap();
+        let b = sim.run_steps_faulted(&g, &comm, 6, &plan).unwrap();
+        prop_assert_eq!(&a.steps, &b.steps);
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            prop_assert!(x.total.as_f64().to_bits() == y.total.as_f64().to_bits());
+        }
+        prop_assert!(a.wall_clock.as_f64().to_bits() == b.wall_clock.as_f64().to_bits());
+    }
+
+    /// ISSUE acceptance: injecting a fault can never make the run
+    /// finish sooner.
+    #[test]
+    fn adding_a_fault_never_decreases_makespan(
+        kind in 0usize..4,
+        magnitude in 1.0f64..3.0,
+        replica in 0usize..3,
+        at_step in 0usize..6,
+        lost in 0usize..5,
+    ) {
+        let g = fault_graph();
+        let comm = sync_comm();
+        let sim = StepSimulator::new(SimConfig::testbed());
+        let healthy = sim
+            .run_steps_faulted(&g, &comm, 6, &FaultPlan::healthy(3).unwrap())
+            .unwrap();
+        let builder = FaultPlan::builder(3);
+        let plan = match kind {
+            0 => builder.straggler(replica, magnitude),
+            1 => builder.nic_degradation(replica, magnitude),
+            2 => builder.crash(replica, at_step, Seconds::from_f64(magnitude), lost),
+            _ => builder.ps_retry(replica, 3),
+        }
+        .build()
+        .unwrap();
+        let faulted = sim.run_steps_faulted(&g, &comm, 6, &plan).unwrap();
+        prop_assert!(
+            faulted.wall_clock.as_f64() >= healthy.wall_clock.as_f64() - 1e-12,
+            "faulted wall clock {} < healthy {}",
+            faulted.wall_clock,
+            healthy.wall_clock
+        );
+        for (h, f) in healthy.steps.iter().zip(&faulted.steps) {
+            prop_assert!(f.total.as_f64() >= h.total.as_f64() - 1e-12);
+        }
+        let hs = healthy.stats().unwrap();
+        let fs = faulted.stats().unwrap();
+        prop_assert!(fs.goodput <= hs.goodput + 1e-12);
     }
 }

@@ -5,7 +5,80 @@
 //! [`PopulationConfig::paper_scale`] reproduce the paper's headline
 //! statistics within tolerance.
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// A configuration parameter rejected by validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The population size is zero.
+    EmptyPopulation,
+    /// A probability mix does not sum to 1.
+    MixSum {
+        /// Which mix failed.
+        name: &'static str,
+        /// The offending sum.
+        sum: f64,
+    },
+    /// A share median escaped the open unit interval.
+    ShareMedian {
+        /// The offending median.
+        value: f64,
+    },
+    /// A probability escaped `[0, 1]`.
+    Probability {
+        /// Which parameter failed.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive and finite was not.
+    Positive {
+        /// Which parameter failed.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A multiplicative magnitude range is invalid (needs
+    /// `1 <= lo <= hi`, all finite).
+    MagnitudeRange {
+        /// Which parameter failed.
+        name: &'static str,
+        /// Range lower bound.
+        lo: f64,
+        /// Range upper bound.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyPopulation => {
+                write!(f, "a population needs at least one job")
+            }
+            ConfigError::MixSum { name, sum } => {
+                write!(f, "{name} must sum to 1, got {sum}")
+            }
+            ConfigError::ShareMedian { value } => {
+                write!(f, "share medians must be in (0, 1), got {value}")
+            }
+            ConfigError::Probability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            ConfigError::Positive { name, value } => {
+                write!(f, "{name} must be positive and finite, got {value}")
+            }
+            ConfigError::MagnitudeRange { name, lo, hi } => {
+                write!(f, "{name} needs 1 <= lo <= hi, got [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Class mix and per-class distribution parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,12 +183,14 @@ impl PopulationConfig {
     /// The calibration used throughout the reproduction, at a chosen
     /// population size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `jobs` is zero.
-    pub fn paper_scale(jobs: usize) -> Self {
-        assert!(jobs > 0, "a population needs at least one job");
-        PopulationConfig {
+    /// Returns [`ConfigError::EmptyPopulation`] if `jobs` is zero.
+    pub fn paper_scale(jobs: usize) -> Result<Self, ConfigError> {
+        if jobs == 0 {
+            return Err(ConfigError::EmptyPopulation);
+        }
+        Ok(PopulationConfig {
             jobs,
             // Fig. 5a: 1w1g dominates job counts; 29 % PS; <1 % AllReduce.
             class_mix: [0.59, 0.114, 0.29, 0.006],
@@ -145,26 +220,31 @@ impl PopulationConfig {
             mem_share_of_compute: (0.63, 0.7),
             free_step_time_s: (0.05, 2.0),
             batch_exp: (5, 12),
-        }
+        })
     }
 
     /// Validates internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the class mix does not sum to 1 (±1e-9) or any share
-    /// parameter is outside `(0, 1)`.
-    pub fn validate(&self) {
+    /// Returns a [`ConfigError`] if the class mix does not sum to 1
+    /// (±1e-9), any share parameter is outside `(0, 1)`, or the
+    /// population is empty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         let mix_sum: f64 = self.class_mix.iter().sum();
-        assert!(
-            (mix_sum - 1.0).abs() < 1e-9,
-            "class mix must sum to 1, got {mix_sum}"
-        );
+        if (mix_sum - 1.0).abs() >= 1e-9 {
+            return Err(ConfigError::MixSum {
+                name: "class mix",
+                sum: mix_sum,
+            });
+        }
         let regime_sum: f64 = self.ps_weight_regime_mix.iter().sum();
-        assert!(
-            (regime_sum - 1.0).abs() < 1e-9,
-            "PS weight regime mix must sum to 1, got {regime_sum}"
-        );
+        if (regime_sum - 1.0).abs() >= 1e-9 {
+            return Err(ConfigError::MixSum {
+                name: "PS weight regime mix",
+                sum: regime_sum,
+            });
+        }
         for &(m, _) in &[
             self.wng_comm,
             self.w1g_io,
@@ -172,15 +252,20 @@ impl PopulationConfig {
             self.dist_io_heavy,
             self.mem_share_of_compute,
         ] {
-            assert!(m > 0.0 && m < 1.0, "share medians must be in (0,1), got {m}");
+            if !(m > 0.0 && m < 1.0) {
+                return Err(ConfigError::ShareMedian { value: m });
+            }
         }
-        assert!(self.jobs > 0, "a population needs at least one job");
+        if self.jobs == 0 {
+            return Err(ConfigError::EmptyPopulation);
+        }
+        Ok(())
     }
 }
 
 impl Default for PopulationConfig {
     fn default() -> Self {
-        PopulationConfig::paper_scale(10_000)
+        PopulationConfig::paper_scale(10_000).expect("the default population size is nonzero")
     }
 }
 
@@ -190,27 +275,67 @@ mod tests {
 
     #[test]
     fn paper_scale_is_internally_consistent() {
-        PopulationConfig::paper_scale(100).validate();
-        PopulationConfig::default().validate();
+        PopulationConfig::paper_scale(100)
+            .unwrap()
+            .validate()
+            .unwrap();
+        PopulationConfig::default().validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "at least one job")]
     fn rejects_empty_population() {
-        let _ = PopulationConfig::paper_scale(0);
+        assert_eq!(
+            PopulationConfig::paper_scale(0),
+            Err(ConfigError::EmptyPopulation)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "class mix must sum to 1")]
     fn validate_rejects_bad_mix() {
-        let mut cfg = PopulationConfig::paper_scale(10);
+        let mut cfg = PopulationConfig::paper_scale(10).unwrap();
         cfg.class_mix = [0.5, 0.5, 0.5, 0.0];
-        cfg.validate();
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::MixSum {
+                name: "class mix",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_share_median() {
+        let mut cfg = PopulationConfig::paper_scale(10).unwrap();
+        cfg.wng_comm = (1.5, 1.0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ShareMedian { value: 1.5 }));
+    }
+
+    #[test]
+    fn config_errors_render() {
+        for err in [
+            ConfigError::EmptyPopulation,
+            ConfigError::MixSum {
+                name: "class mix",
+                sum: 1.5,
+            },
+            ConfigError::ShareMedian { value: 2.0 },
+            ConfigError::Probability {
+                name: "straggler probability",
+                value: -0.1,
+            },
+            ConfigError::MagnitudeRange {
+                name: "slowdown",
+                lo: 0.5,
+                hi: 0.2,
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
     }
 
     #[test]
     fn serde_roundtrip() {
-        let cfg = PopulationConfig::paper_scale(10);
+        let cfg = PopulationConfig::paper_scale(10).unwrap();
         let json = serde_json::to_string(&cfg).expect("serialize");
         let back: PopulationConfig = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, cfg);

@@ -1,0 +1,87 @@
+//! Typed errors for population generation and failure sampling.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::config::ConfigError;
+use pai_faults::FaultError;
+
+/// Errors returned by the population and failure-sampling APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The population or failure configuration failed validation.
+    Config(ConfigError),
+    /// A population was rebuilt from an empty record set.
+    EmptyPopulation,
+    /// Two records in a rebuilt population share an id.
+    DuplicateJobId {
+        /// The repeated id.
+        id: usize,
+    },
+    /// A sampled fault plan failed its own validation.
+    Fault(FaultError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Config(e) => write!(f, "invalid configuration: {e}"),
+            TraceError::EmptyPopulation => {
+                write!(f, "a population needs at least one job record")
+            }
+            TraceError::DuplicateJobId { id } => {
+                write!(f, "duplicate job id {id} in the records")
+            }
+            TraceError::Fault(e) => write!(f, "invalid sampled fault plan: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Config(e) => Some(e),
+            TraceError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for TraceError {
+    fn from(e: ConfigError) -> Self {
+        TraceError::Config(e)
+    }
+}
+
+impl From<FaultError> for TraceError {
+    fn from(e: FaultError) -> Self {
+        TraceError::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (
+                TraceError::Config(ConfigError::EmptyPopulation),
+                "invalid configuration",
+            ),
+            (TraceError::EmptyPopulation, "at least one job"),
+            (TraceError::DuplicateJobId { id: 7 }, "duplicate job id 7"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn config_errors_convert_and_chain() {
+        let e: TraceError = ConfigError::EmptyPopulation.into();
+        assert!(matches!(e, TraceError::Config(_)));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,417 @@
+//! Calibrated failure-arrival sampling per job class.
+//!
+//! The paper characterizes healthy steps; production fleets also
+//! fail. This module turns a [`JobRecord`] into a deterministic
+//! [`FaultPlan`] for the simulator, with per-class exposure that
+//! follows the trace's structure:
+//!
+//! - crash hazard is per *replica* per step (exponential arrivals), so
+//!   wide PS/Worker jobs — the 0.7 %-of-jobs giants spanning >128
+//!   cNodes (Sec. III-A) — see proportionally more crashes than 1w1g;
+//! - NIC degradation only strikes classes whose weight traffic rides
+//!   Ethernet (PS/Worker and AllReduce-Cluster, Table II); 1wng and
+//!   AllReduce-Local synchronize over intra-machine PCIe/NVLink;
+//! - transient PS RPC retries only exist for PS/Worker;
+//! - stragglers can hit any multi-replica class.
+//!
+//! Sampling is deterministic in `(job id, seed)`: regenerating the
+//! plan for the same job reproduces it bit-for-bit, so degraded-run
+//! experiments inherit the same reproducibility as the population
+//! itself.
+
+use pai_core::Architecture;
+use pai_faults::FaultPlan;
+use pai_hw::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ConfigError;
+use crate::error::TraceError;
+use crate::population::JobRecord;
+use crate::sampler;
+
+/// Per-class failure rates and magnitude distributions.
+///
+/// Probabilities are per replica over one simulated run; magnitude
+/// ranges are sampled log-uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureConfig {
+    /// Mean steps between crashes of one replica (exponential
+    /// inter-arrival). The fleet-level rate scales with job width.
+    pub node_mtbf_steps: f64,
+    /// Probability that a replica is a persistent straggler.
+    pub straggler_prob: f64,
+    /// Log-uniform compute-slowdown range for stragglers (`>= 1`).
+    pub straggler_slowdown: (f64, f64),
+    /// Probability that a replica's NIC is degraded (Ethernet classes
+    /// only).
+    pub nic_prob: f64,
+    /// Log-uniform bandwidth-loss factor range (`>= 1`).
+    pub nic_factor: (f64, f64),
+    /// Uniform restart-cost range in seconds (reschedule + checkpoint
+    /// load).
+    pub restart_s: (f64, f64),
+    /// Checkpoint cadence in steps; a crash loses at most this much
+    /// progress.
+    pub checkpoint_interval: usize,
+    /// Mean failed PS push/pull RPCs per replica per step (Poisson),
+    /// PS/Worker only.
+    pub ps_retry_mean: f64,
+    /// Per-step compute jitter amplitude handed to the plan, in
+    /// `[0, 1)`.
+    pub jitter: f64,
+}
+
+impl FailureConfig {
+    /// Rates for a plausibly unhealthy production slice: stragglers
+    /// are the common case, crashes the rare tail — consistent with
+    /// the fail-slow literature on large fleets.
+    pub fn paper_calibrated() -> Self {
+        FailureConfig {
+            node_mtbf_steps: 20_000.0,
+            straggler_prob: 0.02,
+            straggler_slowdown: (1.1, 2.5),
+            nic_prob: 0.01,
+            nic_factor: (1.5, 4.0),
+            restart_s: (30.0, 180.0),
+            checkpoint_interval: 100,
+            ps_retry_mean: 0.02,
+            jitter: 0.02,
+        }
+    }
+
+    /// Validates every rate and range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, value) in [
+            ("straggler probability", self.straggler_prob),
+            ("NIC degradation probability", self.nic_prob),
+        ] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(ConfigError::Probability { name, value });
+            }
+        }
+        if !self.jitter.is_finite() || !(0.0..1.0).contains(&self.jitter) {
+            return Err(ConfigError::Probability {
+                name: "jitter amplitude",
+                value: self.jitter,
+            });
+        }
+        for (name, (lo, hi)) in [
+            ("straggler slowdown range", self.straggler_slowdown),
+            ("NIC factor range", self.nic_factor),
+        ] {
+            if !lo.is_finite() || !hi.is_finite() || lo < 1.0 || hi < lo {
+                return Err(ConfigError::MagnitudeRange { name, lo, hi });
+            }
+        }
+        let (rlo, rhi) = self.restart_s;
+        if !rlo.is_finite() || !rhi.is_finite() || rlo < 0.0 || rhi < rlo {
+            return Err(ConfigError::MagnitudeRange {
+                name: "restart cost range",
+                lo: rlo,
+                hi: rhi,
+            });
+        }
+        for (name, value) in [
+            ("node MTBF", self.node_mtbf_steps),
+            ("checkpoint interval", self.checkpoint_interval as f64),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(ConfigError::Positive { name, value });
+            }
+        }
+        if !self.ps_retry_mean.is_finite() || self.ps_retry_mean < 0.0 {
+            return Err(ConfigError::Positive {
+                name: "PS retry mean",
+                value: self.ps_retry_mean,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig::paper_calibrated()
+    }
+}
+
+/// Draws deterministic [`FaultPlan`]s for population jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureSampler {
+    config: FailureConfig,
+}
+
+/// True when the class's weight traffic crosses machine boundaries on
+/// Ethernet (Table II) and a degraded NIC can therefore hurt it.
+fn rides_ethernet(arch: Architecture) -> bool {
+    matches!(
+        arch,
+        Architecture::PsWorker | Architecture::AllReduceCluster
+    )
+}
+
+impl FailureSampler {
+    /// Builds a sampler after validating `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ConfigError`] when validation fails.
+    pub fn new(config: FailureConfig) -> Result<FailureSampler, TraceError> {
+        config.validate()?;
+        Ok(FailureSampler { config })
+    }
+
+    /// A sampler at the [`FailureConfig::paper_calibrated`] rates.
+    pub fn paper_calibrated() -> FailureSampler {
+        FailureSampler::new(FailureConfig::paper_calibrated())
+            .expect("the calibrated rates are valid")
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FailureConfig {
+        &self.config
+    }
+
+    /// Samples the fault plan for `job` over a run of `steps` steps.
+    ///
+    /// Deterministic in `(job.id, seed)` and independent of any other
+    /// job's draw, so plans can be sampled lazily in any order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Fault`] if the assembled plan fails its
+    /// own validation (unreachable for a validated config — kept typed
+    /// rather than asserted away).
+    pub fn sample_plan(
+        &self,
+        job: &JobRecord,
+        steps: usize,
+        seed: u64,
+    ) -> Result<FaultPlan, TraceError> {
+        let cfg = &self.config;
+        let job_seed = seed ^ (job.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(job_seed);
+        let arch = job.features.arch();
+        let replicas = job.features.cnodes();
+        let mut plan = FaultPlan::builder(replicas)
+            .seed(job_seed)
+            .jitter(cfg.jitter);
+
+        for replica in 0..replicas {
+            // Persistent stragglers: any class, any replica.
+            if rng.gen::<f64>() < cfg.straggler_prob {
+                let slowdown = sampler::log_uniform(
+                    &mut rng,
+                    cfg.straggler_slowdown.0,
+                    cfg.straggler_slowdown.1,
+                );
+                plan = plan.straggler(replica, slowdown);
+            }
+            // Degraded NICs: Ethernet classes only.
+            if rides_ethernet(arch) && rng.gen::<f64>() < cfg.nic_prob {
+                let factor = sampler::log_uniform(&mut rng, cfg.nic_factor.0, cfg.nic_factor.1);
+                plan = plan.nic_degradation(replica, factor);
+            }
+            // Crashes: exponential arrival with the per-replica MTBF.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let arrival = -cfg.node_mtbf_steps * u.ln();
+            if arrival < steps as f64 {
+                let at_step = arrival as usize;
+                let restart = rng.gen_range(cfg.restart_s.0..=cfg.restart_s.1.max(cfg.restart_s.0));
+                let lost = at_step % cfg.checkpoint_interval;
+                plan = plan.crash(replica, at_step, Seconds::from_f64(restart), lost);
+            }
+            // Transient PS RPC failures: PS/Worker only.
+            if arch == Architecture::PsWorker && cfg.ps_retry_mean > 0.0 {
+                let failures = poisson(&mut rng, cfg.ps_retry_mean).min(64) as u32;
+                if failures > 0 {
+                    plan = plan.ps_retry(replica, failures);
+                }
+            }
+        }
+        Ok(plan.build()?)
+    }
+}
+
+/// A Poisson draw via Knuth's product method — fine for the small
+/// means used here.
+fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut product: f64 = 1.0;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Population, PopulationConfig};
+    use pai_faults::FaultKind;
+
+    fn jobs_of_class(arch: Architecture) -> Vec<JobRecord> {
+        let pop =
+            Population::generate(&PopulationConfig::paper_scale(2_000).unwrap(), 1905930).unwrap();
+        pop.records()
+            .iter()
+            .filter(|j| j.features.arch() == arch)
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn calibrated_config_validates() {
+        FailureConfig::paper_calibrated().validate().unwrap();
+        let _ = FailureSampler::paper_calibrated();
+    }
+
+    #[test]
+    fn bad_rates_are_typed_errors() {
+        let mut cfg = FailureConfig::paper_calibrated();
+        cfg.straggler_prob = 1.5;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::Probability {
+                name: "straggler probability",
+                value: 1.5
+            })
+        );
+        let mut cfg = FailureConfig::paper_calibrated();
+        cfg.nic_factor = (0.5, 2.0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::MagnitudeRange {
+                name: "NIC factor range",
+                ..
+            })
+        ));
+        let mut cfg = FailureConfig::paper_calibrated();
+        cfg.node_mtbf_steps = 0.0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::Positive {
+                name: "node MTBF",
+                ..
+            })
+        ));
+        assert!(FailureSampler::new(cfg).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_job_and_seed() {
+        let sampler = FailureSampler::paper_calibrated();
+        let jobs = jobs_of_class(Architecture::PsWorker);
+        for job in jobs.iter().take(50) {
+            let a = sampler.sample_plan(job, 500, 42).unwrap();
+            let b = sampler.sample_plan(job, 500, 42).unwrap();
+            assert_eq!(a, b);
+        }
+        let a = sampler.sample_plan(&jobs[0], 500, 42).unwrap();
+        let c = sampler.sample_plan(&jobs[0], 500, 43).unwrap();
+        assert_ne!(a.seed(), c.seed());
+    }
+
+    #[test]
+    fn single_gpu_jobs_never_see_network_faults() {
+        let mut cfg = FailureConfig::paper_calibrated();
+        cfg.nic_prob = 1.0;
+        cfg.ps_retry_mean = 5.0;
+        let sampler = FailureSampler::new(cfg).unwrap();
+        for job in jobs_of_class(Architecture::OneWorkerOneGpu)
+            .iter()
+            .take(100)
+        {
+            let plan = sampler.sample_plan(job, 1_000, 7).unwrap();
+            for fault in plan.faults() {
+                assert!(
+                    matches!(fault, FaultKind::Straggler { .. } | FaultKind::Crash { .. }),
+                    "1w1g drew a network fault: {fault:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ps_jobs_draw_every_fault_kind_at_forced_rates() {
+        let mut cfg = FailureConfig::paper_calibrated();
+        cfg.straggler_prob = 1.0;
+        cfg.nic_prob = 1.0;
+        cfg.ps_retry_mean = 3.0;
+        cfg.node_mtbf_steps = 1.0;
+        let sampler = FailureSampler::new(cfg).unwrap();
+        let jobs = jobs_of_class(Architecture::PsWorker);
+        let plan = sampler.sample_plan(&jobs[0], 1_000, 7).unwrap();
+        let has = |pred: fn(&FaultKind) -> bool| plan.faults().iter().any(pred);
+        assert!(has(|f| matches!(f, FaultKind::Straggler { .. })));
+        assert!(has(|f| matches!(f, FaultKind::NicDegradation { .. })));
+        assert!(has(|f| matches!(f, FaultKind::Crash { .. })));
+        assert!(has(|f| matches!(f, FaultKind::PsRetry { .. })));
+    }
+
+    #[test]
+    fn crashes_lose_at_most_one_checkpoint_interval() {
+        let mut cfg = FailureConfig::paper_calibrated();
+        cfg.node_mtbf_steps = 50.0;
+        let interval = cfg.checkpoint_interval;
+        let sampler = FailureSampler::new(cfg).unwrap();
+        for job in jobs_of_class(Architecture::PsWorker).iter().take(50) {
+            let plan = sampler.sample_plan(job, 2_000, 11).unwrap();
+            for fault in plan.faults() {
+                if let FaultKind::Crash {
+                    at_step,
+                    lost_steps,
+                    ..
+                } = fault
+                {
+                    assert!(*lost_steps < interval);
+                    assert!(lost_steps <= at_step);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_jobs_crash_more() {
+        let mut cfg = FailureConfig::paper_calibrated();
+        cfg.node_mtbf_steps = 5_000.0;
+        cfg.straggler_prob = 0.0;
+        cfg.nic_prob = 0.0;
+        cfg.ps_retry_mean = 0.0;
+        let sampler = FailureSampler::new(cfg).unwrap();
+        let jobs = jobs_of_class(Architecture::PsWorker);
+        let crash_rate = |min_width: usize, max_width: usize| {
+            let cohort: Vec<&JobRecord> = jobs
+                .iter()
+                .filter(|j| (min_width..max_width).contains(&j.features.cnodes()))
+                .collect();
+            let crashed = cohort
+                .iter()
+                .filter(|j| {
+                    sampler
+                        .sample_plan(j, 1_000, 3)
+                        .unwrap()
+                        .faults()
+                        .iter()
+                        .any(|f| matches!(f, FaultKind::Crash { .. }))
+                })
+                .count();
+            crashed as f64 / cohort.len().max(1) as f64
+        };
+        let narrow = crash_rate(2, 8);
+        let wide = crash_rate(32, usize::MAX);
+        assert!(
+            wide > narrow,
+            "wide jobs must crash more: narrow {narrow}, wide {wide}"
+        );
+    }
+}

@@ -27,20 +27,36 @@
 //! Generation is deterministic per seed (xoshiro-free: plain
 //! [`rand::rngs::StdRng`]).
 //!
+//! Invalid caller input is rejected with typed errors
+//! ([`ConfigError`], [`TraceError`]) rather than panics, and
+//! [`failures`] extends the population with per-class calibrated
+//! failure-arrival sampling: every job can be paired with a
+//! deterministic [`pai_faults::FaultPlan`] for degraded-run studies.
+//!
 //! # Examples
 //!
 //! ```
-//! use pai_trace::{Population, PopulationConfig};
+//! use pai_trace::{FailureSampler, Population, PopulationConfig};
 //!
-//! let pop = Population::generate(&PopulationConfig::paper_scale(2_000), 1905930);
+//! let pop = Population::generate(&PopulationConfig::paper_scale(2_000)?, 1905930)?;
 //! assert_eq!(pop.len(), 2_000);
 //! let ps = pop.jobs_of(pai_core::Architecture::PsWorker);
 //! assert!(!ps.is_empty());
+//!
+//! // Pair a job with its sampled fault plan.
+//! let faults = FailureSampler::paper_calibrated();
+//! let plan = faults.sample_plan(&pop.records()[0], 1_000, 7)?;
+//! assert_eq!(plan.replicas(), pop.records()[0].features.cnodes());
+//! # Ok::<(), pai_trace::TraceError>(())
 //! ```
 
 pub mod config;
+pub mod error;
+pub mod failures;
 pub mod population;
 pub mod sampler;
 
-pub use config::PopulationConfig;
+pub use config::{ConfigError, PopulationConfig};
+pub use error::TraceError;
+pub use failures::{FailureConfig, FailureSampler};
 pub use population::{JobRecord, Population};

@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::config::PopulationConfig;
+use crate::error::TraceError;
 use crate::sampler;
 
 /// One synthetic job: an identifier plus its feature record.
@@ -33,11 +34,13 @@ pub struct Population {
 impl Population {
     /// Generates a population deterministically from a seed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` fails [`PopulationConfig::validate`].
-    pub fn generate(config: &PopulationConfig, seed: u64) -> Population {
-        config.validate();
+    /// Returns the [`crate::config::ConfigError`] (wrapped in
+    /// [`TraceError::Config`]) when `config` fails
+    /// [`PopulationConfig::validate`].
+    pub fn generate(config: &PopulationConfig, seed: u64) -> Result<Population, TraceError> {
+        config.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let model = PerfModel::paper_default();
         let jobs = (0..config.jobs)
@@ -46,24 +49,30 @@ impl Population {
                 features: sample_job(&mut rng, config, &model),
             })
             .collect();
-        Population { jobs }
+        Ok(Population { jobs })
     }
 
     /// Rebuilds a population from previously exported records (e.g.
     /// deserialized from the JSON a [`Population::records`] dump
     /// produced) — the load half of trace sharing.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `records` is empty or contains duplicate ids.
-    pub fn from_records<I: IntoIterator<Item = JobRecord>>(records: I) -> Population {
+    /// Returns [`TraceError::EmptyPopulation`] when `records` is empty
+    /// and [`TraceError::DuplicateJobId`] when two records share an id.
+    pub fn from_records<I: IntoIterator<Item = JobRecord>>(
+        records: I,
+    ) -> Result<Population, TraceError> {
         let jobs: Vec<JobRecord> = records.into_iter().collect();
-        assert!(!jobs.is_empty(), "a population needs at least one job");
+        if jobs.is_empty() {
+            return Err(TraceError::EmptyPopulation);
+        }
         let mut ids: Vec<usize> = jobs.iter().map(|j| j.id).collect();
         ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), jobs.len(), "duplicate job ids in the records");
-        Population { jobs }
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(TraceError::DuplicateJobId { id: dup[0] });
+        }
+        Ok(Population { jobs })
     }
 
     /// Number of jobs.
@@ -256,13 +265,15 @@ fn invert_features(
 ) -> WorkloadFeatures {
     let cfg = model.config();
     let contention = arch.input_contention_factor(cnodes, pai_core::model::GPUS_PER_SERVER);
-    let pcie_eff = cfg.link(LinkKind::Pcie).effective_bandwidth().as_bytes_per_sec();
+    let pcie_eff = cfg
+        .link(LinkKind::Pcie)
+        .effective_bandwidth()
+        .as_bytes_per_sec();
     let mem_eff = cfg
         .link(LinkKind::HbmMemory)
         .effective_bandwidth()
         .as_bytes_per_sec();
-    let peak_eff =
-        cfg.gpu().peak_flops().as_flops_per_sec() * cfg.efficiency().compute();
+    let peak_eff = cfg.gpu().peak_flops().as_flops_per_sec() * cfg.efficiency().compute();
 
     let sd = p_d * total_s * pcie_eff / contention as f64;
     let flops = p_cc * total_s * peak_eff;
@@ -278,11 +289,7 @@ fn invert_features(
         .build()
 }
 
-fn sample_job(
-    rng: &mut StdRng,
-    config: &PopulationConfig,
-    model: &PerfModel,
-) -> WorkloadFeatures {
+fn sample_job(rng: &mut StdRng, config: &PopulationConfig, model: &PerfModel) -> WorkloadFeatures {
     let arch = sample_class(rng, config);
     let cnodes = sample_cnodes(rng, config, arch);
     let batch = sampler::pow2(rng, config.batch_exp.0, config.batch_exp.1);
@@ -335,39 +342,53 @@ mod tests {
     use super::*;
 
     fn small_pop() -> Population {
-        Population::generate(&PopulationConfig::paper_scale(3_000), 1905930)
+        Population::generate(&PopulationConfig::paper_scale(3_000).unwrap(), 1905930).unwrap()
     }
 
     #[test]
     fn records_roundtrip_through_json() {
-        let pop = Population::generate(&PopulationConfig::paper_scale(50), 3);
+        let pop = Population::generate(&PopulationConfig::paper_scale(50).unwrap(), 3).unwrap();
         let body = serde_json::to_string(pop.records()).expect("serialize");
         let back: Vec<JobRecord> = serde_json::from_str(&body).expect("deserialize");
-        assert_eq!(Population::from_records(back), pop);
+        assert_eq!(Population::from_records(back).unwrap(), pop);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate job ids")]
     fn from_records_rejects_duplicates() {
-        let pop = Population::generate(&PopulationConfig::paper_scale(2), 3);
+        let pop = Population::generate(&PopulationConfig::paper_scale(2).unwrap(), 3).unwrap();
         let mut records = pop.records().to_vec();
         records[1].id = records[0].id;
-        let _ = Population::from_records(records);
+        assert_eq!(
+            Population::from_records(records),
+            Err(TraceError::DuplicateJobId { id: 0 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one job")]
     fn from_records_rejects_empty() {
-        let _ = Population::from_records(std::iter::empty());
+        assert_eq!(
+            Population::from_records(std::iter::empty()),
+            Err(TraceError::EmptyPopulation)
+        );
+    }
+
+    #[test]
+    fn generate_rejects_invalid_configs() {
+        let mut cfg = PopulationConfig::paper_scale(10).unwrap();
+        cfg.class_mix = [1.0, 1.0, 0.0, 0.0];
+        assert!(matches!(
+            Population::generate(&cfg, 1),
+            Err(TraceError::Config(_))
+        ));
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = PopulationConfig::paper_scale(200);
-        let a = Population::generate(&cfg, 7);
-        let b = Population::generate(&cfg, 7);
+        let cfg = PopulationConfig::paper_scale(200).unwrap();
+        let a = Population::generate(&cfg, 7).unwrap();
+        let b = Population::generate(&cfg, 7).unwrap();
         assert_eq!(a, b);
-        let c = Population::generate(&cfg, 8);
+        let c = Population::generate(&cfg, 8).unwrap();
         assert_ne!(a, c);
     }
 
@@ -377,8 +398,16 @@ mod tests {
         let counts = pop.class_counts();
         let n = pop.len() as f64;
         // [1w1g, 1wng, PS, ARL, ARC]
-        assert!((counts[0] as f64 / n - 0.59).abs() < 0.04, "1w1g {}", counts[0]);
-        assert!((counts[2] as f64 / n - 0.29).abs() < 0.04, "PS {}", counts[2]);
+        assert!(
+            (counts[0] as f64 / n - 0.59).abs() < 0.04,
+            "1w1g {}",
+            counts[0]
+        );
+        assert!(
+            (counts[2] as f64 / n - 0.29).abs() < 0.04,
+            "PS {}",
+            counts[2]
+        );
         assert!(counts[3] as f64 / n < 0.02, "AllReduce {}", counts[3]);
         assert_eq!(counts[4], 0, "no AllReduce-Cluster in the default mix");
     }
@@ -420,7 +449,8 @@ mod tests {
     fn extreme_jobs_exist_and_are_rare() {
         // Sec. III-A: ~0.7 % of jobs exceed 128 cNodes yet consume >16 %
         // of resources.
-        let pop = Population::generate(&PopulationConfig::paper_scale(20_000), 1905930);
+        let pop =
+            Population::generate(&PopulationConfig::paper_scale(20_000).unwrap(), 1905930).unwrap();
         let big: Vec<&JobRecord> = pop
             .records()
             .iter()

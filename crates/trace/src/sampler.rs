@@ -61,10 +61,7 @@ pub fn sigmoid(x: f64) -> f64 {
 ///
 /// Panics unless `p` is strictly inside `(0, 1)`.
 pub fn logit(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "logit is defined on (0, 1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "logit is defined on (0, 1), got {p}");
     (p / (1.0 - p)).ln()
 }
 

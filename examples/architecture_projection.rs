@@ -12,7 +12,11 @@ use alibaba_pai_workloads::core::{comm_bound_speedup, Architecture, Ecdf, PerfMo
 use alibaba_pai_workloads::trace::{Population, PopulationConfig};
 
 fn main() {
-    let pop = Population::generate(&PopulationConfig::paper_scale(10_000), 1_905_930);
+    let pop = Population::generate(
+        &PopulationConfig::paper_scale(10_000).expect("nonzero"),
+        1_905_930,
+    )
+    .expect("the calibrated config is valid");
     let model = PerfModel::paper_default();
     let ps = pop.jobs_of(Architecture::PsWorker);
     println!("{} PS/Worker jobs", ps.len());
@@ -56,9 +60,16 @@ fn main() {
         let curves = sweep_class(&model, arch, &jobs, &vec![1.0; jobs.len()]);
         print!("  {:<10}", arch.label());
         for axis in alibaba_pai_workloads::core::sweep::relevant_axes(arch) {
-            let top = curves.curve(axis).last().map(|s| s.mean_speedup).unwrap_or(1.0);
+            let top = curves
+                .curve(axis)
+                .last()
+                .map(|s| s.mean_speedup)
+                .unwrap_or(1.0);
             print!("  {}: {:.2}x", axis.label(), top);
         }
-        println!("  => most sensitive: {}", curves.most_sensitive_axis().label());
+        println!(
+            "  => most sensitive: {}",
+            curves.most_sensitive_axis().label()
+        );
     }
 }

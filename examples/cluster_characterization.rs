@@ -14,7 +14,11 @@ use alibaba_pai_workloads::core::{Architecture, Ecdf, PerfModel};
 use alibaba_pai_workloads::trace::{Population, PopulationConfig};
 
 fn main() {
-    let pop = Population::generate(&PopulationConfig::paper_scale(10_000), 1_905_930);
+    let pop = Population::generate(
+        &PopulationConfig::paper_scale(10_000).expect("nonzero"),
+        1_905_930,
+    )
+    .expect("the calibrated config is valid");
     let model = PerfModel::paper_default();
 
     println!(

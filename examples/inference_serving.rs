@@ -19,8 +19,12 @@ fn main() {
     );
     for model in zoo::all() {
         let serve = inference_variant(&model);
-        let train_step = sim.run(model.graph(), &CommPlan::new(), 1);
-        let serve_step = sim.run(serve.graph(), &CommPlan::new(), 1);
+        let train_step = sim
+            .run(model.graph(), &CommPlan::new(), 1)
+            .expect("contention factor of 1 is always valid");
+        let serve_step = sim
+            .run(serve.graph(), &CommPlan::new(), 1)
+            .expect("contention factor of 1 is always valid");
         println!(
             "{:<16} {:>9.1} ms {:>9.1} ms {:>7.1}x {:>12}",
             model.name(),
@@ -33,7 +37,9 @@ fn main() {
 
     // Deep-dive into one serving profile with the report renderer.
     let bert = inference_variant(&zoo::bert());
-    let step = sim.run(bert.graph(), &CommPlan::new(), 1);
+    let step = sim
+        .run(bert.graph(), &CommPlan::new(), 1)
+        .expect("contention factor of 1 is always valid");
     let meta = RunMetadata::new(
         JobMeta {
             arch: alibaba_pai_workloads::core::Architecture::OneWorkerOneGpu,

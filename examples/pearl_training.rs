@@ -29,9 +29,8 @@ fn main() {
     );
     assert_eq!(rec, Recommendation::Pearl);
 
-    let sim = StepSimulator::new(
-        SimConfig::testbed().with_efficiency(*model.measured_efficiency()),
-    );
+    let sim =
+        StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()));
 
     println!("\nstep time and communication share per strategy (8 replicas):");
     let strategies = [
@@ -57,7 +56,9 @@ fn main() {
             Strategy::Pearl { gpus } => gpus,
             _ => 1,
         };
-        let m = sim.run(model.graph(), &plan, contention);
+        let m = sim
+            .run(model.graph(), &plan, contention)
+            .expect("PEARL strategies use nonzero contention factors");
         println!(
             "  {:<26} step {:>10.1} ms  comm {:>5.1}%  volume {}",
             label,
@@ -71,7 +72,9 @@ fn main() {
     let mut base = None;
     for gpus in [2usize, 4, 8] {
         let plan = comm_plan(&Strategy::Pearl { gpus }, &comm);
-        let m = sim.run(model.graph(), &plan, gpus);
+        let m = sim
+            .run(model.graph(), &plan, gpus)
+            .expect("scaling sweep uses nonzero GPU counts");
         let throughput = gpus as f64 / m.total.as_f64() * model.batch_size() as f64;
         let base_t = *base.get_or_insert(throughput / gpus as f64 * 2.0);
         println!(

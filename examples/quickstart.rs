@@ -28,7 +28,11 @@ fn main() {
 
     println!("workload: {job}");
     println!("predicted step breakdown ({}):", model.overlap());
-    println!("  input data I/O : {}  ({:.1}%)", b.data_io(), b.data_fraction() * 100.0);
+    println!(
+        "  input data I/O : {}  ({:.1}%)",
+        b.data_io(),
+        b.data_fraction() * 100.0
+    );
     println!(
         "  weight traffic : {}  ({:.1}%)",
         b.weight_traffic(),
@@ -45,11 +49,17 @@ fn main() {
         b.memory_fraction() * 100.0
     );
     println!("  total          : {}", b.total());
-    println!("  throughput     : {:.0} samples/s (Eq. 2)", model.throughput(&job));
+    println!(
+        "  throughput     : {:.0} samples/s (Eq. 2)",
+        model.throughput(&job)
+    );
 
     match project(&model, &job, ProjectionTarget::AllReduceLocal) {
         Some(out) => {
-            println!("\nprojected to AllReduce-Local ({} cNodes):", out.projected.cnodes());
+            println!(
+                "\nprojected to AllReduce-Local ({} cNodes):",
+                out.projected.cnodes()
+            );
             println!("  step-time speedup : {:.2}x", out.single_cnode_speedup);
             println!("  throughput ratio  : {:.2}x", out.throughput_speedup);
             println!(

@@ -9,6 +9,7 @@
 //! - [`graph`] — computation-graph framework and the six-model zoo (Tables IV/V)
 //! - [`collectives`] — communication primitive cost models (NCCL analog)
 //! - [`sim`] — discrete-event execution simulator (the "testbed")
+//! - [`faults`] — deterministic fault plans for degraded-run studies
 //! - [`trace`] — calibrated synthetic cluster workload population
 //! - [`core`] — the paper's analytical characterization framework
 //! - [`profiler`] — run-metadata capture and feature extraction (Fig. 4)
@@ -34,6 +35,7 @@
 
 pub use pai_collectives as collectives;
 pub use pai_core as core;
+pub use pai_faults as faults;
 pub use pai_graph as graph;
 pub use pai_hw as hw;
 pub use pai_pearl as pearl;

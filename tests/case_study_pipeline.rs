@@ -6,8 +6,8 @@ use alibaba_pai_workloads::core::PerfModel;
 use alibaba_pai_workloads::graph::passes::{apply_mixed_precision, fuse_elementwise};
 use alibaba_pai_workloads::graph::zoo;
 use alibaba_pai_workloads::pearl::{comm_plan, ModelComm, Strategy};
-use alibaba_pai_workloads::profiler::validate::{validate_all, validate_model};
 use alibaba_pai_workloads::profiler::extract_features;
+use alibaba_pai_workloads::profiler::validate::{validate_all, validate_model};
 use alibaba_pai_workloads::sim::{SimConfig, StepSimulator};
 
 #[test]
@@ -46,11 +46,9 @@ fn analytical_and_simulated_agree_under_identical_assumptions() {
     let analytical = PerfModel::testbed_default();
     let predicted = analytical.total_time(&features);
 
-    let sim = StepSimulator::new(
-        SimConfig::testbed().with_launch_overhead(pai_hw::Seconds::ZERO),
-    );
+    let sim = StepSimulator::new(SimConfig::testbed().with_launch_overhead(pai_hw::Seconds::ZERO));
     let plan = alibaba_pai_workloads::profiler::validate::plan_for(&model, 8);
-    let measured = sim.run(model.graph(), &plan, 8);
+    let measured = sim.run(model.graph(), &plan, 8).unwrap();
     let ratio = predicted.as_f64() / measured.total.as_f64();
     assert!(
         (ratio - 1.0).abs() < 0.02,
@@ -63,11 +61,11 @@ fn analytical_and_simulated_agree_under_identical_assumptions() {
 fn optimization_passes_compose_across_crates() {
     let model = zoo::bert();
     let sim = StepSimulator::new(SimConfig::testbed());
-    let base = sim.run(model.graph(), &CommPlan::new(), 1);
+    let base = sim.run(model.graph(), &CommPlan::new(), 1).unwrap();
     let (mp, routed) = apply_mixed_precision(model.graph());
     assert!(routed > 100, "BERT has hundreds of GEMMs, routed {routed}");
     let fused = fuse_elementwise(&mp);
-    let optimized = sim.run(&fused, &CommPlan::new(), 1);
+    let optimized = sim.run(&fused, &CommPlan::new(), 1).unwrap();
     let speedup = base.total.as_f64() / optimized.total.as_f64();
     assert!(speedup > 1.5, "MP+XLA compute speedup {speedup}");
     // FLOPs conserved through both passes.
@@ -83,30 +81,33 @@ fn pearl_is_the_only_viable_nvlink_strategy_for_gcn() {
     let comm = ModelComm::of(&model);
     let v100 = pai_hw::GpuSpec::tesla_v100();
     // Replica mode cannot hold the table; PEARL's shard fits.
-    assert!(!v100.fits_in_memory(
-        Strategy::AllReduceLocal { gpus: 8 }.resident_bytes_per_gpu(&comm)
-    ));
+    assert!(
+        !v100.fits_in_memory(Strategy::AllReduceLocal { gpus: 8 }.resident_bytes_per_gpu(&comm))
+    );
     assert!(v100.fits_in_memory(Strategy::Pearl { gpus: 8 }.resident_bytes_per_gpu(&comm)));
     // And it is an order of magnitude faster than PS end-to-end.
-    let sim = StepSimulator::new(
-        SimConfig::testbed().with_efficiency(*model.measured_efficiency()),
-    );
-    let pearl = sim.run(
-        model.graph(),
-        &comm_plan(&Strategy::Pearl { gpus: 8 }, &comm),
-        8,
-    );
-    let ps = sim.run(
-        model.graph(),
-        &comm_plan(
-            &Strategy::PsWorker {
-                workers: 8,
-                sparse_aware: true,
-            },
-            &comm,
-        ),
-        1,
-    );
+    let sim =
+        StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()));
+    let pearl = sim
+        .run(
+            model.graph(),
+            &comm_plan(&Strategy::Pearl { gpus: 8 }, &comm),
+            8,
+        )
+        .unwrap();
+    let ps = sim
+        .run(
+            model.graph(),
+            &comm_plan(
+                &Strategy::PsWorker {
+                    workers: 8,
+                    sparse_aware: true,
+                },
+                &comm,
+            ),
+            1,
+        )
+        .unwrap();
     assert!(ps.total.as_f64() / pearl.total.as_f64() > 5.0);
 }
 
@@ -125,7 +126,7 @@ fn speech_anomaly_comes_from_tiny_kernels() {
     // framework-overhead effect of Sec. VI-A3.
     let healthy = StepSimulator::new(SimConfig::testbed());
     let model = zoo::speech();
-    let h = healthy.run(model.graph(), &CommPlan::new(), 1);
+    let h = healthy.run(model.graph(), &CommPlan::new(), 1).unwrap();
     assert!(
         h.launch_stall.as_f64() > 0.1 * h.memory_bound.as_f64(),
         "stall {} vs memory occupancy {}",
@@ -144,7 +145,11 @@ fn every_zoo_model_flows_through_feature_extraction() {
         let f = extract_features(&m, cnodes);
         assert_eq!(f.batch_size(), m.batch_size());
         let b = PerfModel::testbed_default().breakdown(&f);
-        assert!(b.total().as_f64() > 0.0, "{} has a zero-time step", m.name());
+        assert!(
+            b.total().as_f64() > 0.0,
+            "{} has a zero-time step",
+            m.name()
+        );
         let frac_sum: f64 = b.fractions().iter().sum();
         assert!((frac_sum - 1.0).abs() < 1e-9);
     }

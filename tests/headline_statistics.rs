@@ -11,7 +11,7 @@ use alibaba_pai_workloads::trace::{Population, PopulationConfig};
 const SEED: u64 = 1_905_930;
 
 fn population() -> Population {
-    Population::generate(&PopulationConfig::paper_scale(20_000), SEED)
+    Population::generate(&PopulationConfig::paper_scale(20_000).unwrap(), SEED).unwrap()
 }
 
 fn model() -> PerfModel {
@@ -64,7 +64,11 @@ fn weight_communication_is_62_percent_at_the_cnode_level() {
     assert!(fractions[3] > fractions[2]);
     // Job-level communication sits near 22%.
     let job_fracs = mean_fractions(&breakdowns, &vec![1.0; breakdowns.len()]);
-    assert!((job_fracs[1] - 0.22).abs() < 0.05, "job-level {}", job_fracs[1]);
+    assert!(
+        (job_fracs[1] - 0.22).abs() < 0.05,
+        "job-level {}",
+        job_fracs[1]
+    );
 }
 
 #[test]
@@ -126,11 +130,8 @@ fn allreduce_cluster_helps_about_two_thirds() {
     let m = model();
     let ps = pop.jobs_of(Architecture::PsWorker);
     let outs = project_population(&m, &ps, ProjectionTarget::AllReduceCluster);
-    let sped = outs
-        .iter()
-        .filter(|o| o.single_cnode_speedup > 1.0)
-        .count() as f64
-        / outs.len() as f64;
+    let sped =
+        outs.iter().filter(|o| o.single_cnode_speedup > 1.0).count() as f64 / outs.len() as f64;
     assert!((sped - 0.679).abs() < 0.10, "ARC sped-up share {sped}");
     // And never beyond the 1.23x medium-swap bound.
     assert!(outs.iter().all(|o| o.single_cnode_speedup < 1.24));

@@ -21,11 +21,11 @@ fn arch_and_cnodes() -> impl Strategy<Value = (Architecture, usize)> {
 fn features() -> impl Strategy<Value = WorkloadFeatures> {
     (
         arch_and_cnodes(),
-        1u64..1_000_000_000,       // input bytes
-        0u64..50_000_000_000,      // weight bytes
-        1u64..10_000_000_000_000,  // flops
-        1u64..200_000_000_000,     // mem access bytes
-        1usize..4096,              // batch
+        1u64..1_000_000_000,      // input bytes
+        0u64..50_000_000_000,     // weight bytes
+        1u64..10_000_000_000_000, // flops
+        1u64..200_000_000_000,    // mem access bytes
+        1usize..4096,             // batch
     )
         .prop_map(|((arch, cnodes), sd, sw, fl, sm, batch)| {
             WorkloadFeatures::builder(arch)

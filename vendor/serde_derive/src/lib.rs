@@ -1,0 +1,516 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros that parse the item's token stream directly (the build
+//! environment has no crates.io access, so `syn`/`quote` are
+//! unavailable) and emit impls of the sibling serde shim's
+//! Value-based traits.
+//!
+//! Supported shapes — the full set used by this workspace:
+//!
+//! - named-field structs, with `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes;
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! - unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! Unsupported: generics, lifetimes, unions, and every other serde
+//! attribute. The macros fail loudly (compile error) on those.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model.
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing.
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generics (deriving for `{name}`)"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects `#[serde(...)]` default info from the attributes ahead of
+/// a field, advancing past all attributes and visibility.
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<Option<String>> {
+    let mut default = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(attr)) = tokens.get(*i) {
+                    *i += 1;
+                    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+                    if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                    {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            default = parse_serde_default(args.stream()).or(default);
+                        }
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Parses the inside of `#[serde(...)]`, returning the default spec if
+/// present.
+fn parse_serde_default(args: TokenStream) -> Option<Option<String>> {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "default" {
+                if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                        let raw = lit.to_string();
+                        return Some(Some(raw.trim_matches('"').to_string()));
+                    }
+                }
+                return Some(None);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let default = take_field_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip any discriminant (`= expr`) and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream).
+// ---------------------------------------------------------------------
+
+fn field_pairs_ser(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({a})),",
+                n = f.name,
+                a = access(&f.name)
+            )
+        })
+        .collect()
+}
+
+fn field_inits_de(fields: &[Field], obj: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = match &f.default {
+                None => format!(
+                    "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\"))",
+                    f.name
+                ),
+                Some(None) => "::std::default::Default::default()".to_string(),
+                Some(Some(path)) => format!("{path}()"),
+            };
+            format!(
+                "{n}: match {obj}.iter().find(|__kv| __kv.0 == \"{n}\") {{ \
+                    ::std::option::Option::Some(__kv) => ::serde::Deserialize::from_value(&__kv.1)?, \
+                    ::std::option::Option::None => {fallback}, \
+                 }},",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs = field_pairs_ser(fields, &|n| format!("&self.{n}"));
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Shape::TupleStruct(0) | Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{elems}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![\
+                            (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),",
+                        v = v.name
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(::std::vec![\
+                                (::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(::std::vec![{elems}]))]),",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs = field_pairs_ser(fields, &|n| n.to_string());
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                                (::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+            fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = field_inits_de(fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"an object\", __v))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(0) | Shape::UnitStruct => {
+            format!("::std::result::Result::Ok({name} {{}})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"an array\", __v))?; \
+                 if __items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected {n} elements, found {{}}\", __items.len()))); \
+                 }} \
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                            ::serde::Deserialize::from_value(__inner)?)),",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: String = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ \
+                                let __items = __inner.as_array().ok_or_else(|| \
+                                    ::serde::DeError::expected(\"an array\", __inner))?; \
+                                if __items.len() != {n} {{ \
+                                    return ::std::result::Result::Err(::serde::DeError::custom(\
+                                        \"wrong tuple-variant arity\")); \
+                                }} \
+                                ::std::result::Result::Ok({name}::{v}({elems})) \
+                            }},",
+                            v = v.name
+                        ))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits = field_inits_de(fields, "__fields");
+                        Some(format!(
+                            "\"{v}\" => {{ \
+                                let __fields = __inner.as_object().ok_or_else(|| \
+                                    ::serde::DeError::expected(\"an object\", __inner))?; \
+                                ::std::result::Result::Ok({name}::{v} {{ {inits} }}) \
+                            }},",
+                            v = v.name
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                    ::serde::Value::String(__s) => match __s.as_str() {{ \
+                        {unit_arms} \
+                        __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                            ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                    }}, \
+                    ::serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                        let (__tag, __inner) = &__o[0]; \
+                        match __tag.as_str() {{ \
+                            {data_arms} \
+                            __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                        }} \
+                    }}, \
+                    __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                        \"a variant of {name}\", __other)), \
+                }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("derive codegen failed: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

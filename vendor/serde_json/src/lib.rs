@@ -1,0 +1,571 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the subset of the serde_json API the workspace uses:
+//! [`from_str`], [`to_string`], [`to_string_pretty`], [`to_value`],
+//! [`Value`] (re-exported from the serde shim), and the [`json!`]
+//! macro.
+//!
+//! Floats print via Rust's `{}` `Display` for `f64`, which is
+//! shortest-roundtrip — so parse(print(x)) == x, the property the
+//! `float_roundtrip` feature of real serde_json guarantees.
+
+#![warn(missing_docs)]
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A JSON parse or conversion error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// The `Result` alias of this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/// Deserializes `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(Error::new(format!(
+                "expected `{}`, found `{}` at byte {}",
+                b as char,
+                got as char,
+                self.pos - 1
+            )));
+        }
+        Ok(())
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("invalid token at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.eat_keyword("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.eat_keyword("null").map(|_| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(Value::Object(members)),
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        c as char,
+                        self.pos - 1
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(Value::Array(items)),
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        c as char,
+                        self.pos - 1
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let cp = self.hex4()?;
+                        // Surrogate pairs.
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let low = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(c).ok_or_else(|| Error::new("invalid code point"))?
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| Error::new("invalid code point"))?
+                        };
+                        out.push(ch);
+                    }
+                    c => return Err(Error::new(format!("invalid escape `\\{}`", c as char))),
+                },
+                c if c < 0x20 => return Err(Error::new("control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Multi-byte UTF-8: count continuation bytes.
+                    let extra = match c {
+                        0xC0..=0xDF => 1,
+                        0xE0..=0xEF => 2,
+                        0xF0..=0xF7 => 3,
+                        _ => return Err(Error::new("invalid UTF-8 in string")),
+                    };
+                    let start = self.pos - 1;
+                    for _ in 0..extra {
+                        self.bump()?;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = (self.bump()? as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::new("invalid \\u escape"))?;
+            cp = cp * 16 + d;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printing.
+// ---------------------------------------------------------------------
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed (2-space-indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserializes `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Rust's `{}` for f64 is shortest-roundtrip; mirror serde_json
+        // by keeping a `.0` on integral values.
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // serde_json emits null for non-finite floats.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// json! macro.
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($items:tt)* ]) => {
+        $crate::Value::Array($crate::json_array_internal!([] $($items)*))
+    };
+    ({ $($members:tt)* }) => {
+        $crate::Value::Object($crate::json_object_internal!([] $($members)*))
+    };
+    ($other:expr) => {
+        $crate::to_value($other).expect("json! value")
+    };
+}
+
+/// Internal: accumulates array elements. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // Done.
+    ([ $($done:expr,)* ]) => { ::std::vec![$($done,)*] };
+    // Nested containers and keywords must be matched as tt before the
+    // expr fallback (`{ "a": 1 }` is not a valid Rust expression).
+    ([ $($done:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!(null), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] true $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!(true), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] false $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!(false), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!($next), ] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulates object members. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // Done.
+    ([ $($done:expr,)* ]) => { ::std::vec![$($done,)*] };
+    ([ $($done:expr,)* ] $key:tt : null $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (::std::string::String::from($key), $crate::json!(null)), ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr,)* ] $key:tt : true $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (::std::string::String::from($key), $crate::json!(true)), ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr,)* ] $key:tt : false $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (::std::string::String::from($key), $crate::json!(false)), ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr,)* ] $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (::std::string::String::from($key), $crate::json!([ $($inner)* ])), ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr,)* ] $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (::std::string::String::from($key), $crate::json!({ $($inner)* })), ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr,)* ] $key:tt : $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (::std::string::String::from($key), $crate::json!($value)), ]
+            $($($rest)*)?
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let src = r#"{"a": 1, "b": [true, null, -2, 1.5], "c": {"d": "x\ny"}}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][0].as_bool(), Some(true));
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2].as_i64(), Some(-2));
+        assert_eq!(v["b"][3].as_f64(), Some(1.5));
+        assert_eq!(v["c"]["d"].as_str(), Some("x\ny"));
+
+        let printed = to_string(&v).unwrap();
+        let back: Value = from_str(&printed).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_roundtrip_shortest() {
+        for &f in &[0.1, 1.0 / 3.0, 123_456.789, 1e-12, 2.0f64.powi(60)] {
+            let printed = to_string(&f).unwrap();
+            let back: f64 = from_str(&printed).unwrap();
+            assert_eq!(back, f, "roundtrip failed for {f}");
+        }
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({"k": [1, 2]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"k\": [\n    1,\n    2\n  ]\n"));
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        let v = json!({
+            "s": "text",
+            "n": 3,
+            "f": 2.5,
+            "b": true,
+            "nil": null,
+            "arr": [1, {"inner": false}, [2]],
+            "obj": {"nested": {"deep": 1}},
+        });
+        assert_eq!(v["s"].as_str(), Some("text"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["f"].as_f64(), Some(2.5));
+        assert_eq!(v["b"].as_bool(), Some(true));
+        assert!(v["nil"].is_null());
+        assert_eq!(v["arr"][1]["inner"].as_bool(), Some(false));
+        assert_eq!(v["obj"]["nested"]["deep"].as_u64(), Some(1));
+        let computed = 6usize;
+        assert_eq!(json!(computed).as_u64(), Some(6));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("42 junk").is_err());
+    }
+}
