@@ -258,6 +258,30 @@ impl HardwareBreakdown {
     }
 }
 
+/// Evaluates the per-step breakdown of every job, in input order —
+/// the serial oracle of [`breakdown_population_par`].
+pub fn breakdown_population(
+    model: &crate::model::PerfModel,
+    jobs: &[crate::features::WorkloadFeatures],
+) -> Vec<Breakdown> {
+    breakdown_population_par(model, jobs, pai_par::Threads::SERIAL)
+}
+
+/// [`breakdown_population`] on `threads` workers.
+///
+/// Per-job model evaluation is a pure function of the job, so the
+/// chunked map is bit-for-bit identical to the serial pass at every
+/// thread count.
+pub fn breakdown_population_par(
+    model: &crate::model::PerfModel,
+    jobs: &[crate::features::WorkloadFeatures],
+    threads: pai_par::Threads,
+) -> Vec<Breakdown> {
+    pai_par::map_items(jobs, pai_par::DEFAULT_CHUNK_SIZE, threads, |job| {
+        model.breakdown(job)
+    })
+}
+
 /// Averages Fig.-7-style component shares over a population.
 ///
 /// `weights` supplies the per-job weight; pass all-ones for the

@@ -67,7 +67,7 @@ pub mod sweep;
 pub mod throughput;
 
 pub use arch::Architecture;
-pub use breakdown::{Breakdown, HardwareBreakdown};
+pub use breakdown::{breakdown_population, breakdown_population_par, Breakdown, HardwareBreakdown};
 pub use features::{WorkloadFeatures, WorkloadFeaturesBuilder};
 pub use model::PerfModel;
 pub use overlap::OverlapMode;

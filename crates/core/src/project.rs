@@ -140,6 +140,30 @@ pub fn project_population(
         .collect()
 }
 
+/// [`project_population`] on `threads` workers.
+///
+/// Each chunk filter-maps its own index range, and chunks concatenate
+/// in input order, so the outcome sequence is identical to the serial
+/// pass at every thread count.
+pub fn project_population_par(
+    model: &PerfModel,
+    jobs: &[WorkloadFeatures],
+    target: ProjectionTarget,
+    threads: pai_par::Threads,
+) -> Vec<ProjectionOutcome> {
+    pai_par::scatter_gather(
+        jobs.len(),
+        pai_par::DEFAULT_CHUNK_SIZE,
+        threads,
+        |_, range| {
+            jobs[range]
+                .iter()
+                .filter_map(|job| project(model, job, target))
+                .collect()
+        },
+    )
+}
+
 /// The Eq. 3 speedup bound for communication-bound workloads mapped
 /// from PS/Worker to AllReduce-Local:
 ///

@@ -93,22 +93,47 @@ pub fn sweep_class(
     jobs: &[WorkloadFeatures],
     weights: &[f64],
 ) -> SweepCurves {
+    sweep_class_par(model, arch, jobs, weights, pai_par::Threads::SERIAL)
+}
+
+/// [`sweep_class`] on `threads` workers.
+///
+/// The per-job base times and the per-job speedups at each sweep point
+/// are chunked maps gathered in input order, so the speedup vector —
+/// and therefore the weighted mean, which folds it in the same order —
+/// is bit-for-bit identical to the serial pass at every thread count.
+///
+/// # Panics
+///
+/// Same contract as [`sweep_class`].
+pub fn sweep_class_par(
+    model: &PerfModel,
+    arch: Architecture,
+    jobs: &[WorkloadFeatures],
+    weights: &[f64],
+    threads: pai_par::Threads,
+) -> SweepCurves {
     assert!(!jobs.is_empty(), "sweep needs at least one job");
     assert_eq!(jobs.len(), weights.len(), "one weight per job required");
     for job in jobs {
         assert_eq!(job.arch(), arch, "all jobs must belong to the swept class");
     }
-    let base_times: Vec<f64> = jobs.iter().map(|j| model.total_time(j).as_f64()).collect();
+    let chunk = pai_par::DEFAULT_CHUNK_SIZE;
+    let base_times: Vec<f64> =
+        pai_par::map_items(jobs, chunk, threads, |j| model.total_time(j).as_f64());
     let mut samples = Vec::new();
     for axis in relevant_axes(arch) {
         for &value in axis.candidates() {
             let point = SweepPoint { axis, value };
             let varied = model.with_config(model.config().with_resource(point));
-            let speedups: Vec<f64> = jobs
-                .iter()
-                .zip(&base_times)
-                .map(|(j, &base)| base / varied.total_time(j).as_f64())
-                .collect();
+            let speedups: Vec<f64> =
+                pai_par::scatter_gather(jobs.len(), chunk, threads, |_, range| {
+                    jobs[range.clone()]
+                        .iter()
+                        .zip(&base_times[range])
+                        .map(|(j, &base)| base / varied.total_time(j).as_f64())
+                        .collect()
+                });
             samples.push(SweepSample {
                 axis,
                 value,

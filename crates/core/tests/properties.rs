@@ -107,3 +107,46 @@ proptest! {
             <= 1e-9 * b.total().as_f64().max(1e-12));
     }
 }
+
+proptest! {
+    // Population-level equivalence runs four thread counts per case;
+    // keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// ISSUE acceptance: per-job model evaluation, architecture
+    /// projection and the Table III sweep are bit-for-bit identical at
+    /// every worker-thread count.
+    #[test]
+    fn characterization_is_thread_count_invariant(
+        jobs in proptest::collection::vec(ps_job(), 1..400),
+    ) {
+        use pai_core::project::{project_population, project_population_par};
+        use pai_core::sweep::{sweep_class, sweep_class_par};
+        use pai_core::{breakdown_population, breakdown_population_par};
+        use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
+
+        let m = PerfModel::paper_default();
+        let b = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |t| {
+            breakdown_population_par(&m, &jobs, t)
+        });
+        prop_assert_eq!(b.len(), jobs.len());
+        prop_assert_eq!(b, breakdown_population(&m, &jobs));
+
+        let outs = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |t| {
+            project_population_par(&m, &jobs, ProjectionTarget::AllReduceLocal, t)
+        });
+        prop_assert_eq!(
+            outs,
+            project_population(&m, &jobs, ProjectionTarget::AllReduceLocal)
+        );
+
+        let weights = vec![1.0; jobs.len()];
+        let curves = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |t| {
+            sweep_class_par(&m, Architecture::PsWorker, &jobs, &weights, t)
+        });
+        prop_assert_eq!(
+            curves,
+            sweep_class(&m, Architecture::PsWorker, &jobs, &weights)
+        );
+    }
+}

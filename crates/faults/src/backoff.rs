@@ -65,17 +65,41 @@ impl ExponentialBackoff {
         }
     }
 
-    /// The delay before retry `attempt` (0-based).
+    /// The delay before retry `attempt` (0-based), saturating at the
+    /// cap: the exponent is clamped before `powi` so attempt counts
+    /// past `i32::MAX` cannot wrap negative and shrink the delay, and
+    /// an overflowed power (`inf`) still lands on the cap.
     pub fn delay(&self, attempt: u32) -> Seconds {
-        let raw = self.base_secs * self.factor.powi(attempt as i32);
+        if self.base_secs == 0.0 {
+            // 0 × factor^k is 0 for every k; skip the power, whose
+            // overflow to inf would turn the product into NaN.
+            return Seconds::ZERO;
+        }
+        let exponent = attempt.min(i32::MAX as u32) as i32;
+        let raw = self.base_secs * self.factor.powi(exponent);
         Seconds::from_f64(raw.min(self.cap_secs))
     }
 
     /// The total time spent waiting across `attempts` retries.
+    ///
+    /// Runs in O(retries until the cap), not O(`attempts`): once a
+    /// delay saturates, every later retry waits exactly the cap.
     pub fn total_delay(&self, attempts: u32) -> Seconds {
+        if self.base_secs == 0.0 {
+            return Seconds::ZERO;
+        }
+        if self.factor == 1.0 {
+            // The exponential never grows; every retry waits the base.
+            return Seconds::from_f64(self.base_secs.min(self.cap_secs) * attempts as f64);
+        }
         let mut total = 0.0;
         for attempt in 0..attempts {
-            total += self.delay(attempt).as_f64();
+            let d = self.delay(attempt).as_f64();
+            total += d;
+            if d >= self.cap_secs {
+                total += self.cap_secs * (attempts - attempt - 1) as f64;
+                break;
+            }
         }
         Seconds::from_f64(total)
     }

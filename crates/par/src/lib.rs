@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! Deterministic scatter/gather parallelism for population-scale
+//! passes.
+//!
+//! The paper's collective results (Sec. III) come from evaluating the
+//! analytical model over tens of thousands of jobs — work that is
+//! embarrassingly parallel per job, but easy to parallelize *wrong*:
+//! a shared RNG stream or a first-come gather order makes the output
+//! depend on the thread count, and every downstream "reproduced"
+//! number silently stops being reproducible.
+//!
+//! This crate fixes the contract instead of the call sites:
+//!
+//! 1. **Fixed chunking** ([`chunk`]) — inputs are split into
+//!    index-ordered chunks of a *fixed* size chosen by the call site,
+//!    never by the thread count. The decomposition is a pure function
+//!    of the input length.
+//! 2. **Per-chunk RNG streams** ([`chunk::derive_seed`]) — a stochastic
+//!    pass seeds one generator per chunk from `(seed, chunk_id)`.
+//!    No stream crosses a chunk boundary, so no draw depends on which
+//!    thread ran the chunk or in what order.
+//! 3. **In-order gather** ([`scatter_gather`]) — results are placed in
+//!    chunk-index slots and concatenated in chunk order, regardless of
+//!    completion order.
+//!
+//! Under these three rules a run with N threads is bit-for-bit
+//! identical to the serial run and to any other thread count — a
+//! property the [`testkit`] harness makes cheap to *prove* per call
+//! site rather than assume.
+//!
+//! The thread count comes from [`Threads`]: explicit, or from the
+//! `PAI_THREADS` environment variable ([`Threads::from_env`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pai_par::{scatter_gather, Threads};
+//!
+//! // A stochastic pass: one RNG stream per chunk, keyed by chunk id.
+//! let run = |threads: Threads| {
+//!     scatter_gather(10_000, 1024, threads, |chunk, range| {
+//!         let mut state = pai_par::derive_seed(42, chunk as u64);
+//!         range
+//!             .map(|i| {
+//!                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+//!                 (i, state)
+//!             })
+//!             .collect::<Vec<_>>()
+//!     })
+//! };
+//! assert_eq!(run(Threads::SERIAL), run(Threads::new(4)));
+//! ```
+
+pub mod chunk;
+pub mod executor;
+pub mod testkit;
+
+pub use chunk::{chunk_count, chunk_range, derive_seed, DEFAULT_CHUNK_SIZE};
+pub use executor::{map_items, scatter_gather, Threads, THREADS_ENV};
+pub use testkit::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};

@@ -1,0 +1,77 @@
+//! The serial≡parallel equivalence harness.
+//!
+//! Every call site that grows a `_par` path registers against this:
+//! run the computation once with [`Threads::SERIAL`] as the oracle,
+//! then assert bit-for-bit equality at each parallel thread count.
+//! Because equality is on the final value (which derives `PartialEq`
+//! down to `f64` bits for the workspace's result types), any drift —
+//! a shared RNG stream, a first-come gather, a float reassociation —
+//! fails the harness immediately.
+
+use std::fmt::Debug;
+
+use crate::executor::Threads;
+
+/// The thread counts every equivalence registration exercises beyond
+/// the serial oracle. Includes counts above any CI machine's core
+/// count on purpose: oversubscription must not change output either.
+pub const EQUIVALENCE_THREADS: [usize; 3] = [2, 4, 8];
+
+/// Asserts that `run` produces an identical value at every thread
+/// count in `thread_counts` as it does at [`Threads::SERIAL`], and
+/// returns the oracle value for further assertions.
+///
+/// `run` receives the thread count as its only varying input; the
+/// computation under test must route it into [`crate::scatter_gather`]
+/// / [`crate::map_items`] (or an API that does).
+///
+/// # Panics
+///
+/// Panics with the offending thread count when any parallel run
+/// diverges from the serial oracle.
+pub fn assert_serial_parallel_identical<R, F>(thread_counts: &[usize], mut run: F) -> R
+where
+    R: PartialEq + Debug,
+    F: FnMut(Threads) -> R,
+{
+    let oracle = run(Threads::SERIAL);
+    for &t in thread_counts {
+        let parallel = run(Threads::new(t));
+        assert!(
+            parallel == oracle,
+            "parallel run with {t} threads diverged from the serial oracle:\n \
+             serial:   {oracle:?}\n {t}-thread: {parallel:?}"
+        );
+    }
+    oracle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::derive_seed;
+    use crate::executor::scatter_gather;
+
+    #[test]
+    fn accepts_a_thread_invariant_computation() {
+        let oracle = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
+            scatter_gather(997, 64, threads, |chunk, range| {
+                let mut state = derive_seed(3, chunk as u64);
+                range
+                    .map(|_| {
+                        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+                        state
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert_eq!(oracle.len(), 997);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from the serial oracle")]
+    fn rejects_a_thread_dependent_computation() {
+        // Deliberately broken: the output depends on the thread count.
+        let _ = assert_serial_parallel_identical(&[4], |threads| threads.get());
+    }
+}

@@ -19,7 +19,7 @@ pub const ANALYZED: [Architecture; 3] = [
 fn breakdowns(ctx: &Context, arch: Architecture) -> (Vec<Breakdown>, Vec<f64>) {
     let jobs = ctx.population.jobs_of(arch);
     let weights: Vec<f64> = jobs.iter().map(|j| j.cnodes() as f64).collect();
-    let b = jobs.iter().map(|j| ctx.model.breakdown(j)).collect();
+    let b = pai_core::breakdown_population_par(&ctx.model, &jobs, ctx.threads);
     (b, weights)
 }
 
@@ -234,10 +234,11 @@ pub fn summary(ctx: &Context) -> ExperimentResult {
         b.iter().filter(|x| x.weight_fraction() > 0.8).count() as f64 / b.len() as f64
     };
 
-    let outs = pai_core::project::project_population(
+    let outs = pai_core::project::project_population_par(
         &ctx.model,
         &ps,
         pai_core::project::ProjectionTarget::AllReduceLocal,
+        ctx.threads,
     );
     let improved =
         outs.iter().filter(|o| o.improves_throughput()).count() as f64 / outs.len().max(1) as f64;
@@ -248,11 +249,12 @@ pub fn summary(ctx: &Context) -> ExperimentResult {
             axis: pai_hw::SweepAxis::Ethernet,
             value: 100.0,
         }));
-    let eth_speedup: f64 = ps
-        .iter()
-        .map(|j| ctx.model.total_time(j).as_f64() / fast.total_time(j).as_f64())
-        .sum::<f64>()
-        / ps.len() as f64;
+    // Ratios are computed per chunk and summed in input order, so the
+    // mean is bit-identical to the serial fold at any thread count.
+    let ratios = pai_par::map_items(&ps, pai_par::DEFAULT_CHUNK_SIZE, ctx.threads, |j| {
+        ctx.model.total_time(j).as_f64() / fast.total_time(j).as_f64()
+    });
+    let eth_speedup: f64 = ratios.iter().sum::<f64>() / ps.len() as f64;
 
     let rows = vec![
         vec![

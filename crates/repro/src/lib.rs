@@ -21,6 +21,7 @@ pub mod sensitivity_x;
 pub mod sweeps;
 
 use pai_core::PerfModel;
+use pai_par::Threads;
 use pai_trace::{Population, PopulationConfig};
 use serde_json::Value;
 
@@ -51,24 +52,38 @@ pub struct Context {
     pub population: Population,
     /// The Sec. III analytical model (Table I, 70 %, non-overlap).
     pub model: PerfModel,
+    /// Worker threads for the chunked passes (population sampling,
+    /// per-job model evaluation, projections, sweeps, faulted runs).
+    /// Every experiment output is bit-for-bit identical at any value —
+    /// the `PAI_THREADS` knob only changes wall-clock time.
+    pub threads: Threads,
 }
 
 impl Context {
-    /// Builds the default context (20k jobs, fixed seed).
+    /// Builds the default context (20k jobs, fixed seed, `PAI_THREADS`
+    /// workers).
     pub fn new() -> Context {
         Context::with_size(POPULATION)
     }
 
     /// Builds a context with a custom population size (tests use small
-    /// ones).
+    /// ones) and the `PAI_THREADS` worker count.
     pub fn with_size(jobs: usize) -> Context {
+        Context::with_size_threads(jobs, Threads::from_env())
+    }
+
+    /// Builds a context with an explicit worker count — the
+    /// equivalence suites pin this to compare thread counts directly.
+    pub fn with_size_threads(jobs: usize, threads: Threads) -> Context {
         Context {
-            population: Population::generate(
+            population: Population::generate_par(
                 &PopulationConfig::paper_scale(jobs).expect("experiment scales are nonzero"),
                 SEED,
+                threads,
             )
             .expect("the calibrated config is valid"),
             model: PerfModel::paper_default(),
+            threads,
         }
     }
 }

@@ -2,7 +2,7 @@
 //! Fig. 16.
 
 use pai_core::breakdown::mean_fractions;
-use pai_core::project::{project_population, ProjectionOutcome, ProjectionTarget};
+use pai_core::project::{project_population_par, ProjectionOutcome, ProjectionTarget};
 use pai_core::{comm_bound_speedup, Architecture, Ecdf, OverlapMode};
 use serde_json::json;
 
@@ -16,8 +16,18 @@ fn ps_jobs(ctx: &Context) -> Vec<pai_core::WorkloadFeatures> {
 /// Fig. 9: speedups from mapping PS/Worker jobs to AllReduce.
 pub fn fig9(ctx: &Context) -> ExperimentResult {
     let ps = ps_jobs(ctx);
-    let local = project_population(&ctx.model, &ps, ProjectionTarget::AllReduceLocal);
-    let cluster = project_population(&ctx.model, &ps, ProjectionTarget::AllReduceCluster);
+    let local = project_population_par(
+        &ctx.model,
+        &ps,
+        ProjectionTarget::AllReduceLocal,
+        ctx.threads,
+    );
+    let cluster = project_population_par(
+        &ctx.model,
+        &ps,
+        ProjectionTarget::AllReduceCluster,
+        ctx.threads,
+    );
 
     let frac_not = |outs: &[ProjectionOutcome], f: fn(&ProjectionOutcome) -> f64| {
         outs.iter().filter(|o| f(o) <= 1.0).count() as f64 / outs.len().max(1) as f64
@@ -33,7 +43,12 @@ pub fn fig9(ctx: &Context) -> ExperimentResult {
         .filter(|o| !o.improves_throughput())
         .map(|o| o.original)
         .collect();
-    let rescue = project_population(&ctx.model, &losers, ProjectionTarget::AllReduceCluster);
+    let rescue = project_population_par(
+        &ctx.model,
+        &losers,
+        ProjectionTarget::AllReduceCluster,
+        ctx.threads,
+    );
     let rescue_not = frac_not(&rescue, |o| o.single_cnode_speedup);
 
     let mut rows = vec![cdf_header("series")];
@@ -85,15 +100,18 @@ pub fn fig9(ctx: &Context) -> ExperimentResult {
 /// AllReduce-Local — the bottleneck-shift picture.
 pub fn fig10(ctx: &Context) -> ExperimentResult {
     let ps = ps_jobs(ctx);
-    let outs = project_population(&ctx.model, &ps, ProjectionTarget::AllReduceLocal);
-    let breakdowns: Vec<_> = outs
-        .iter()
-        .map(|o| ctx.model.breakdown(&o.projected))
-        .collect();
-    let before: Vec<_> = outs
-        .iter()
-        .map(|o| ctx.model.breakdown(&o.original))
-        .collect();
+    let outs = project_population_par(
+        &ctx.model,
+        &ps,
+        ProjectionTarget::AllReduceLocal,
+        ctx.threads,
+    );
+    let breakdowns = pai_par::map_items(&outs, pai_par::DEFAULT_CHUNK_SIZE, ctx.threads, |o| {
+        ctx.model.breakdown(&o.projected)
+    });
+    let before = pai_par::map_items(&outs, pai_par::DEFAULT_CHUNK_SIZE, ctx.threads, |o| {
+        ctx.model.breakdown(&o.original)
+    });
     let ones = vec![1.0; breakdowns.len()];
     let after_mean = mean_fractions(&breakdowns, &ones);
     let before_mean = mean_fractions(&before, &ones);
@@ -140,7 +158,8 @@ pub fn fig16(ctx: &Context) -> ExperimentResult {
 
     let mut speed_stats = Vec::new();
     for (label, model) in [("non-overlap", &ctx.model), ("ideal overlap", &ideal)] {
-        let outs = project_population(model, &ps, ProjectionTarget::AllReduceLocal);
+        let outs =
+            project_population_par(model, &ps, ProjectionTarget::AllReduceLocal, ctx.threads);
         let cdf = Ecdf::from_values(outs.iter().map(|o| o.single_cnode_speedup));
         rows.push(cdf_quantiles(&format!("ARL speedup, {label}"), &cdf));
         let not_sped = outs

@@ -51,12 +51,12 @@ fn degraded_plan(ps: bool) -> FaultPlan {
         .expect("the scorecard fault plan is statically valid")
 }
 
-fn run_config(strategy: &Strategy, plan: &FaultPlan) -> FaultedRun {
+fn run_config(strategy: &Strategy, plan: &FaultPlan, threads: pai_par::Threads) -> FaultedRun {
     let model = zoo::resnet50();
     let comm = comm_plan(strategy, &ModelComm::of(&model));
     let sim =
         StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()));
-    sim.run_steps_faulted(model.graph(), &comm, STEPS, plan)
+    sim.run_steps_faulted_par(model.graph(), &comm, STEPS, plan, threads)
         .expect("the scorecard run parameters are statically valid")
 }
 
@@ -88,7 +88,7 @@ fn stats_json(s: &StepStats) -> serde_json::Value {
 }
 
 /// The resilience scorecard experiment.
-pub fn resilience(_ctx: &Context) -> ExperimentResult {
+pub fn resilience(ctx: &Context) -> ExperimentResult {
     let configs = [
         (
             "PS/Worker",
@@ -119,8 +119,9 @@ pub fn resilience(_ctx: &Context) -> ExperimentResult {
         let healthy = run_config(
             &strategy,
             &FaultPlan::healthy(REPLICAS).expect("8 replicas is a valid group"),
+            ctx.threads,
         );
-        let degraded = run_config(&strategy, &degraded_plan(ps));
+        let degraded = run_config(&strategy, &degraded_plan(ps), ctx.threads);
         let hs = stats_of(&healthy);
         let ds = stats_of(&degraded);
         rows.push(row(&format!("{label} (healthy)"), &hs));

@@ -5,7 +5,7 @@
 //! `repro scorecard` to audit the whole reproduction in one shot.
 
 use pai_core::breakdown::mean_fractions;
-use pai_core::project::{project_population, ProjectionTarget};
+use pai_core::project::{project_population_par, ProjectionTarget};
 use pai_core::{comm_bound_speedup, Architecture};
 use pai_hw::{SweepAxis, SweepPoint};
 use pai_profiler::validate::validate_all;
@@ -78,10 +78,13 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
     let mut breakdowns = Vec::new();
     let mut weights = Vec::new();
     for arch in ANALYZED {
-        for job in pop.jobs_of(arch) {
-            breakdowns.push(model.breakdown(&job));
-            weights.push(job.cnodes() as f64);
-        }
+        let jobs = pop.jobs_of(arch);
+        breakdowns.extend(pai_core::breakdown_population_par(
+            model,
+            &jobs,
+            ctx.threads,
+        ));
+        weights.extend(jobs.iter().map(|j| j.cnodes() as f64));
     }
     let cnode = mean_fractions(&breakdowns, &weights);
     let job_level = mean_fractions(&breakdowns, &vec![1.0; breakdowns.len()]);
@@ -116,11 +119,10 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
 
     // PS tail.
     let ps = pop.jobs_of(Architecture::PsWorker);
-    let over80 = ps
-        .iter()
-        .filter(|j| model.breakdown(j).weight_fraction() > 0.8)
-        .count() as f64
-        / ps.len() as f64;
+    let comm_shares = pai_par::map_items(&ps, pai_par::DEFAULT_CHUNK_SIZE, ctx.threads, |j| {
+        model.breakdown(j).weight_fraction()
+    });
+    let over80 = comm_shares.iter().filter(|&&f| f > 0.8).count() as f64 / ps.len() as f64;
     out.push(Claim {
         source: "Sec. III-B / Fig. 8d",
         statement: "PS jobs with >80% communication",
@@ -130,7 +132,7 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
     });
 
     // Projections.
-    let local = project_population(model, &ps, ProjectionTarget::AllReduceLocal);
+    let local = project_population_par(model, &ps, ProjectionTarget::AllReduceLocal, ctx.threads);
     let losers = local
         .iter()
         .filter(|o| o.single_cnode_speedup <= 1.0)
@@ -152,7 +154,8 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
         reproduced: improved,
         tolerance: 0.08,
     });
-    let cluster = project_population(model, &ps, ProjectionTarget::AllReduceCluster);
+    let cluster =
+        project_population_par(model, &ps, ProjectionTarget::AllReduceCluster, ctx.threads);
     let arc_sped = cluster
         .iter()
         .filter(|o| o.single_cnode_speedup > 1.0)
@@ -171,11 +174,10 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
         axis: SweepAxis::Ethernet,
         value: 100.0,
     }));
-    let eth_speedup = ps
-        .iter()
-        .map(|j| model.total_time(j).as_f64() / fast.total_time(j).as_f64())
-        .sum::<f64>()
-        / ps.len() as f64;
+    let ratios = pai_par::map_items(&ps, pai_par::DEFAULT_CHUNK_SIZE, ctx.threads, |j| {
+        model.total_time(j).as_f64() / fast.total_time(j).as_f64()
+    });
+    let eth_speedup = ratios.iter().sum::<f64>() / ps.len() as f64;
     out.push(Claim {
         source: "Abstract / Sec. III-D",
         statement: "mean PS speedup from 25 to 100 GbE",

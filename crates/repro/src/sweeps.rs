@@ -1,8 +1,8 @@
 //! Fig. 11: speedup under the Table III hardware variations, per class
 //! — including the projected AllReduce-Local panel.
 
-use pai_core::project::{project_population, ProjectionTarget};
-use pai_core::sweep::{sweep_class, SweepCurves};
+use pai_core::project::{project_population_par, ProjectionTarget};
+use pai_core::sweep::{sweep_class_par, SweepCurves};
 use pai_core::Architecture;
 use serde_json::json;
 
@@ -34,7 +34,7 @@ pub fn fig11(ctx: &Context) -> ExperimentResult {
     for arch in ANALYZED {
         let jobs = ctx.population.jobs_of(arch);
         let weights = vec![1.0; jobs.len()];
-        let curves = sweep_class(&ctx.model, arch, &jobs, &weights);
+        let curves = sweep_class_par(&ctx.model, arch, &jobs, &weights, ctx.threads);
         curves_rows(&curves, &mut rows);
         payload.push(json!({
             "class": arch.label(),
@@ -48,17 +48,23 @@ pub fn fig11(ctx: &Context) -> ExperimentResult {
     // I/O-bound, which would otherwise let the PCIe axis dominate the
     // arithmetic-mean speedup through a few extreme outliers).
     let ps = ctx.population.jobs_of(Architecture::PsWorker);
-    let projected: Vec<_> = project_population(&ctx.model, &ps, ProjectionTarget::AllReduceLocal)
-        .into_iter()
-        .filter(|o| o.improves_throughput())
-        .map(|o| o.projected)
-        .collect();
+    let projected: Vec<_> = project_population_par(
+        &ctx.model,
+        &ps,
+        ProjectionTarget::AllReduceLocal,
+        ctx.threads,
+    )
+    .into_iter()
+    .filter(|o| o.improves_throughput())
+    .map(|o| o.projected)
+    .collect();
     let weights = vec![1.0; projected.len()];
-    let curves = sweep_class(
+    let curves = sweep_class_par(
         &ctx.model,
         Architecture::AllReduceLocal,
         &projected,
         &weights,
+        ctx.threads,
     );
     curves_rows(&curves, &mut rows);
     payload.push(json!({

@@ -1,0 +1,103 @@
+//! Golden snapshot of the Sec. III headline statistics.
+//!
+//! The fixture pins the exact numbers the summary experiment produced
+//! at the pinned seed and population when the snapshot was taken,
+//! each with an explicit tolerance. A failure here means the
+//! reproduction's headline numbers moved — either an intentional
+//! generator/model change (regenerate the fixture, see its comment)
+//! or an accidental determinism break (fix the code).
+
+use pai_repro::cluster::summary;
+use pai_repro::scorecard::claims;
+use pai_repro::{Context, POPULATION, SEED};
+
+fn fixture() -> serde_json::Value {
+    serde_json::from_str(include_str!("fixtures/headline_golden.json"))
+        .expect("the committed fixture is valid JSON")
+}
+
+fn check(golden: &serde_json::Value, key: &str, actual: f64) {
+    let entry = &golden["headline"][key];
+    let value = entry["value"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("fixture has {key}.value"));
+    let tolerance = entry["tolerance"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("fixture has {key}.tolerance"));
+    assert!(
+        (actual - value).abs() <= tolerance,
+        "{key}: reproduced {actual} drifted from golden {value} (tolerance {tolerance})"
+    );
+}
+
+#[test]
+fn summary_matches_the_golden_snapshot() {
+    let golden = fixture();
+    assert_eq!(
+        golden["seed"].as_u64(),
+        Some(SEED),
+        "fixture seed matches the harness"
+    );
+    assert_eq!(
+        golden["population"].as_u64().map(|p| p as usize),
+        Some(POPULATION),
+        "fixture population matches the harness"
+    );
+
+    let j = summary(&Context::new()).json;
+    check(
+        &golden,
+        "ps_cnode_share",
+        j["ps_cnode_share"].as_f64().expect("f64"),
+    );
+    check(
+        &golden,
+        "small_model_share",
+        j["small_model_share"].as_f64().expect("f64"),
+    );
+    check(
+        &golden,
+        "comm_share_cnode",
+        j["cnode_level_fractions"][1].as_f64().expect("f64"),
+    );
+    check(
+        &golden,
+        "compute_share_cnode",
+        j["cnode_level_fractions"][2].as_f64().expect("f64"),
+    );
+    check(
+        &golden,
+        "memory_share_cnode",
+        j["cnode_level_fractions"][3].as_f64().expect("f64"),
+    );
+    check(
+        &golden,
+        "ps_over_80_comm",
+        j["ps_over_80_comm"].as_f64().expect("f64"),
+    );
+    check(
+        &golden,
+        "arl_win_rate",
+        j["arl_throughput_improved"].as_f64().expect("f64"),
+    );
+    check(
+        &golden,
+        "eth_100g_speedup",
+        j["eth_100g_speedup"].as_f64().expect("f64"),
+    );
+    check(&golden, "eq3_bound", j["eq3_bound"].as_f64().expect("f64"));
+}
+
+#[test]
+fn every_scorecard_claim_passes_at_the_golden_scale() {
+    // The snapshot was taken with 17/17 claims PASS; the golden state
+    // must not regress to CLOSE or MISS on any of them.
+    let all = claims(&Context::new());
+    assert!(all.len() >= 17, "only {} claims", all.len());
+    let failing: Vec<String> = all
+        .iter()
+        .filter(|c| c.verdict() != "PASS")
+        .map(|c| format!("{}: {} vs paper {}", c.statement, c.reproduced, c.paper))
+        .collect();
+    assert!(failing.is_empty(), "non-PASS claims: {failing:?}");
+}

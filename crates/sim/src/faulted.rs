@@ -5,10 +5,17 @@ use pai_collectives::CommPlan;
 use pai_faults::{FaultInjector, FaultPlan};
 use pai_graph::Graph;
 use pai_hw::Seconds;
+use pai_par::Threads;
 
 use crate::error::SimError;
 use crate::executor::StepSimulator;
 use crate::measure::{StepMeasurement, StepStats};
+
+/// Chunk size for parallel step simulation. Much smaller than
+/// [`pai_par::DEFAULT_CHUNK_SIZE`]: degraded runs are typically tens
+/// to hundreds of steps, and each step is orders of magnitude more
+/// work than sampling one trace job.
+pub const STEP_CHUNK: usize = 16;
 
 /// The outcome of simulating many synchronous steps under a fault
 /// plan.
@@ -17,7 +24,7 @@ use crate::measure::{StepMeasurement, StepStats};
 /// crash recovery (the failed attempt, the restart cost, and the
 /// re-execution of steps since the last checkpoint) is charged to
 /// `lost_time` and folded into `wall_clock`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultedRun {
     /// Per-step measurements, in step order.
     pub steps: Vec<StepMeasurement>,
@@ -66,30 +73,56 @@ impl StepSimulator {
         steps: usize,
         plan: &FaultPlan,
     ) -> Result<FaultedRun, SimError> {
+        self.run_steps_faulted_par(graph, comm, steps, plan, Threads::SERIAL)
+    }
+
+    /// [`Self::run_steps_faulted`] on `threads` workers.
+    ///
+    /// Each step's measurement is a pure function of
+    /// `(graph, comm, plan, step)` — the fault realization is drawn
+    /// from counter-free per-step streams — so steps simulate
+    /// concurrently and gather in step order. Crash accounting only
+    /// reads the finalized `total` of earlier measurements, so the
+    /// sequential fold over the gathered vector reproduces the serial
+    /// run bit for bit at every thread count.
+    pub fn run_steps_faulted_par(
+        &self,
+        graph: &Graph,
+        comm: &CommPlan,
+        steps: usize,
+        plan: &FaultPlan,
+        threads: Threads,
+    ) -> Result<FaultedRun, SimError> {
         if steps == 0 {
             return Err(SimError::ZeroSteps);
         }
         let injector = FaultInjector::new(plan.clone())?;
-        let mut measured: Vec<StepMeasurement> = Vec::with_capacity(steps);
+        let results: Vec<Result<StepMeasurement, SimError>> =
+            pai_par::scatter_gather(steps, STEP_CHUNK, threads, |_, range| {
+                range
+                    .map(|step| self.run_replicas_faulted(graph, comm, &injector, step))
+                    .collect()
+            });
+        // In-order gather means the first error here is the same one
+        // the serial loop would have stopped at.
+        let mut measured = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         let mut lost_time = Seconds::ZERO;
         let mut lost_steps = 0usize;
         for step in 0..steps {
-            let mut m = self.run_replicas_faulted(graph, comm, &injector, step)?;
             if let Some(crash) = injector.crash_at(step) {
                 // The attempt that died, plus re-execution of the
                 // completed steps since the last checkpoint.
                 let rolled_back = crash.lost_steps.min(step);
-                let redo: Seconds = measured[step - rolled_back..]
+                let redo: Seconds = measured[step - rolled_back..step]
                     .iter()
                     .map(|prev| prev.total)
                     .sum();
-                let overhead = m.total + crash.restart + redo;
-                m.faults.restart = crash.restart;
-                m.faults.lost_steps = rolled_back;
+                let overhead = measured[step].total + crash.restart + redo;
+                measured[step].faults.restart = crash.restart;
+                measured[step].faults.lost_steps = rolled_back;
                 lost_time += overhead;
                 lost_steps += rolled_back;
             }
-            measured.push(m);
         }
         let useful: Seconds = measured.iter().map(|m| m.total).sum();
         Ok(FaultedRun {

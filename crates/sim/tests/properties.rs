@@ -5,6 +5,7 @@ use pai_faults::FaultPlan;
 use pai_graph::op::{elementwise, matmul, Op};
 use pai_graph::{Graph, OpKind};
 use pai_hw::{Bytes, LinkKind, Seconds};
+use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
 use pai_sim::cluster::{place, ClusterJob};
 use pai_sim::engine::Engine;
 use pai_sim::{OverlapPolicy, SimConfig, StepSimulator};
@@ -234,6 +235,44 @@ proptest! {
         prop_assert!(a.wall_clock.as_f64().to_bits() == b.wall_clock.as_f64().to_bits());
     }
 
+    /// ISSUE acceptance: a faulted multi-step run is bit-for-bit
+    /// identical at every worker-thread count, across random seeds and
+    /// fault plans mixing jitter, stragglers, NIC degradation, crashes
+    /// and PS retries. Step counts straddle the 16-step chunk size so
+    /// single-chunk, exact-tile and short-tail decompositions are all
+    /// exercised.
+    #[test]
+    fn faulted_run_is_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        jitter in 0.0f64..0.3,
+        slowdown in 1.0f64..3.0,
+        replica in 0usize..4,
+        at_step in 0usize..40,
+        lost in 0usize..6,
+        steps in 1usize..40,
+    ) {
+        let g = fault_graph();
+        let comm = sync_comm();
+        let plan = FaultPlan::builder(4)
+            .seed(seed)
+            .jitter(jitter)
+            .straggler(replica, slowdown)
+            .nic_degradation((replica + 1) % 4, slowdown)
+            .crash(replica, at_step, Seconds::from_f64(10.0), lost)
+            .ps_retry((replica + 2) % 4, 2)
+            .build()
+            .unwrap();
+        let sim = StepSimulator::new(SimConfig::testbed());
+        let oracle = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
+            sim.run_steps_faulted_par(&g, &comm, steps, &plan, threads).unwrap()
+        });
+        // The public serial entry point is the same oracle, down to
+        // the float bits of the wall clock.
+        let serial = sim.run_steps_faulted(&g, &comm, steps, &plan).unwrap();
+        prop_assert!(oracle.wall_clock.as_f64().to_bits() == serial.wall_clock.as_f64().to_bits());
+        prop_assert_eq!(oracle, serial);
+    }
+
     /// ISSUE acceptance: injecting a fault can never make the run
     /// finish sooner.
     #[test]
@@ -272,5 +311,53 @@ proptest! {
         let hs = healthy.stats().unwrap();
         let fs = faulted.stats().unwrap();
         prop_assert!(fs.goodput <= hs.goodput + 1e-12);
+    }
+}
+
+/// Edge plans through the parallel path: an empty (healthy) plan and a
+/// zero-failure retry plan must behave identically to serial at every
+/// thread count and inject nothing.
+#[test]
+fn degenerate_plans_through_the_parallel_path() {
+    let g = fault_graph();
+    let comm = sync_comm();
+    let sim = StepSimulator::new(SimConfig::testbed());
+    for plan in [
+        FaultPlan::healthy(3).unwrap(),
+        FaultPlan::builder(3).ps_retry(1, 0).build().unwrap(),
+    ] {
+        let run = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
+            sim.run_steps_faulted_par(&g, &comm, 20, &plan, threads)
+                .unwrap()
+        });
+        assert_eq!(run.steps.len(), 20);
+        assert!(run.lost_time.is_zero());
+        assert_eq!(run.lost_steps, 0);
+        // Nothing injected: every step costs the same as the first.
+        for step in &run.steps {
+            assert_eq!(step.total, run.steps[0].total);
+        }
+    }
+}
+
+/// A single-step run (fewer steps than one chunk) and a run whose step
+/// count tiles the chunk size exactly must both be thread-invariant.
+#[test]
+fn chunk_boundary_step_counts_are_thread_invariant() {
+    let g = fault_graph();
+    let comm = sync_comm();
+    let sim = StepSimulator::new(SimConfig::testbed());
+    let plan = FaultPlan::builder(3)
+        .seed(7)
+        .jitter(0.05)
+        .crash(0, 2, Seconds::from_f64(3.0), 2)
+        .build()
+        .unwrap();
+    for steps in [1usize, 16, 32] {
+        let run = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
+            sim.run_steps_faulted_par(&g, &comm, steps, &plan, threads)
+                .unwrap()
+        });
+        assert_eq!(run.steps.len(), steps);
     }
 }

@@ -8,6 +8,7 @@
 
 use pai_core::{Architecture, PerfModel, WorkloadFeatures};
 use pai_hw::{Bytes, Flops, LinkKind};
+use pai_par::Threads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -15,6 +16,11 @@ use serde::{Deserialize, Serialize};
 use crate::config::PopulationConfig;
 use crate::error::TraceError;
 use crate::sampler;
+
+/// Jobs per sampling chunk. Fixed — never derived from the thread
+/// count — so the chunk decomposition, and with it every RNG stream,
+/// is a pure function of `(jobs, seed)`.
+pub const JOB_CHUNK: usize = pai_par::DEFAULT_CHUNK_SIZE;
 
 /// One synthetic job: an identifier plus its feature record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,21 +40,49 @@ pub struct Population {
 impl Population {
     /// Generates a population deterministically from a seed.
     ///
+    /// Sampling is chunked ([`JOB_CHUNK`] jobs per chunk) with one RNG
+    /// stream per chunk derived from `(seed, chunk_id)`, so the result
+    /// is a pure function of `(config, seed)` — and bit-for-bit
+    /// identical to [`Population::generate_par`] at any thread count.
+    /// This serial path is the oracle the equivalence tests compare
+    /// against.
+    ///
     /// # Errors
     ///
     /// Returns the [`crate::config::ConfigError`] (wrapped in
     /// [`TraceError::Config`]) when `config` fails
     /// [`PopulationConfig::validate`].
     pub fn generate(config: &PopulationConfig, seed: u64) -> Result<Population, TraceError> {
+        Population::generate_par(config, seed, Threads::SERIAL)
+    }
+
+    /// [`Population::generate`] scattered over `threads` worker
+    /// threads.
+    ///
+    /// The chunk decomposition and per-chunk seeds do not depend on
+    /// `threads`, and chunks gather in index order, so every thread
+    /// count (including the serial oracle) produces identical records.
+    /// Pass [`Threads::from_env`] to honor the `PAI_THREADS` knob.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Population::generate`].
+    pub fn generate_par(
+        config: &PopulationConfig,
+        seed: u64,
+        threads: Threads,
+    ) -> Result<Population, TraceError> {
         config.validate()?;
-        let mut rng = StdRng::seed_from_u64(seed);
         let model = PerfModel::paper_default();
-        let jobs = (0..config.jobs)
-            .map(|id| JobRecord {
-                id,
-                features: sample_job(&mut rng, config, &model),
-            })
-            .collect();
+        let jobs = pai_par::scatter_gather(config.jobs, JOB_CHUNK, threads, |chunk, range| {
+            let mut rng = StdRng::seed_from_u64(pai_par::derive_seed(seed, chunk as u64));
+            range
+                .map(|id| JobRecord {
+                    id,
+                    features: sample_job(&mut rng, config, &model),
+                })
+                .collect::<Vec<_>>()
+        });
         Ok(Population { jobs })
     }
 

@@ -10,6 +10,7 @@
 //! - [`collectives`] — communication primitive cost models (NCCL analog)
 //! - [`sim`] — discrete-event execution simulator (the "testbed")
 //! - [`faults`] — deterministic fault plans for degraded-run studies
+//! - [`par`] — deterministic chunked scatter/gather parallelism
 //! - [`trace`] — calibrated synthetic cluster workload population
 //! - [`core`] — the paper's analytical characterization framework
 //! - [`profiler`] — run-metadata capture and feature extraction (Fig. 4)
@@ -38,6 +39,7 @@ pub use pai_core as core;
 pub use pai_faults as faults;
 pub use pai_graph as graph;
 pub use pai_hw as hw;
+pub use pai_par as par;
 pub use pai_pearl as pearl;
 pub use pai_profiler as profiler;
 pub use pai_sim as sim;
