@@ -180,19 +180,21 @@ impl Breakdown {
         let mut pcie = self.td;
         let mut ethernet = Seconds::ZERO;
         let mut nvlink = Seconds::ZERO;
+        let mut hbm = Seconds::ZERO;
         for &(kind, t) in &self.tw_by_medium {
             match kind {
                 LinkKind::Pcie => pcie += t,
                 LinkKind::Ethernet => ethernet += t,
                 LinkKind::NvLink => nvlink += t,
-                LinkKind::HbmMemory => {
-                    unreachable!("weight traffic never crosses HBM in Table II")
-                }
+                // Weight traffic never crosses HBM in Table II; should
+                // a caller ever tag some, charge it to the GPU-memory
+                // bucket rather than abort the breakdown.
+                LinkKind::HbmMemory => hbm += t,
             }
         }
         HardwareBreakdown {
             gpu_flops: self.tc_compute,
-            gpu_memory: self.tc_memory,
+            gpu_memory: self.tc_memory + hbm,
             pcie,
             ethernet,
             nvlink,

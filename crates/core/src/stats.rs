@@ -51,7 +51,7 @@ impl Ecdf {
                 "ECDF weights must be positive and finite, got {w}"
             );
         }
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values compare"));
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total_weight = samples.iter().map(|&(_, w)| w).sum();
         Ecdf {
             samples,
@@ -118,7 +118,9 @@ impl Ecdf {
                 return v;
             }
         }
-        self.samples.last().expect("non-empty").0
+        // Unreachable fallback: construction rejects empty inputs, and
+        // the cumulative weight reaches `target` at the last sample.
+        self.samples.last().map_or(0.0, |&(v, _)| v)
     }
 
     /// The weighted mean of the samples.
@@ -128,12 +130,13 @@ impl Ecdf {
 
     /// Minimum sample value.
     pub fn min(&self) -> f64 {
-        self.samples.first().expect("non-empty").0
+        // Construction rejects empty inputs; 0.0 is unreachable.
+        self.samples.first().map_or(0.0, |&(v, _)| v)
     }
 
     /// Maximum sample value.
     pub fn max(&self) -> f64 {
-        self.samples.last().expect("non-empty").0
+        self.samples.last().map_or(0.0, |&(v, _)| v)
     }
 
     /// Evaluates the CDF at evenly spaced points between min and max —

@@ -44,12 +44,13 @@ impl SweepCurves {
             .copied()
             .filter(|s| s.axis == axis)
             .collect();
-        points.sort_by(|a, b| a.normalized.partial_cmp(&b.normalized).expect("finite"));
+        points.sort_by(|a, b| a.normalized.total_cmp(&b.normalized));
         points
     }
 
     /// The axis with the largest speedup at its top candidate — the
     /// "most sensitive" resource the paper reads off each panel.
+    /// Falls back to the GPU axis when the panel has no samples.
     pub fn most_sensitive_axis(&self) -> SweepAxis {
         SweepAxis::ALL
             .into_iter()
@@ -57,9 +58,9 @@ impl SweepCurves {
             .max_by(|&a, &b| {
                 let sa = self.curve(a).last().map(|s| s.mean_speedup).unwrap_or(0.0);
                 let sb = self.curve(b).last().map(|s| s.mean_speedup).unwrap_or(0.0);
-                sa.partial_cmp(&sb).expect("finite speedups")
+                sa.total_cmp(&sb)
             })
-            .expect("at least one axis has samples")
+            .unwrap_or(SweepAxis::ALL[0])
     }
 }
 

@@ -1,6 +1,7 @@
-//! Graph optimization passes (Sec. IV-D).
+//! Graph optimization and analysis passes.
 //!
-//! Two optimizations are studied in the paper's case studies:
+//! Besides the static soundness checker ([`validate`]), two
+//! optimizations are studied in the paper's case studies (Sec. IV-D):
 //!
 //! - **XLA-style fusion** ([`xla`]): "operation fusion exploits GPU's
 //!   high-speed cache" — chains of element-wise ops collapse into one
@@ -12,7 +13,9 @@
 //!   multiply-and-addition in FP32".
 
 pub mod mixed_precision;
+pub mod validate;
 pub mod xla;
 
 pub use mixed_precision::apply_mixed_precision;
+pub use validate::{validate_graph, validate_model, validate_model_graph};
 pub use xla::fuse_elementwise;

@@ -1,0 +1,805 @@
+//! Static soundness validation of computation graphs.
+//!
+//! Every downstream number — the `Td + Tc + Tw` breakdown, the
+//! architecture projections, the batch sweeps — is a fold over a
+//! graph's per-op FLOP and byte accounting. A single malformed op
+//! (a zero-extent shape, a dead node still contributing to
+//! [`crate::GraphStats`], a FLOP claim inconsistent with its shape)
+//! silently skews every one of them. This pass proves the inputs
+//! consistent instead of assuming them:
+//!
+//! - **shape/dtype inference** ([`infer_output`]): each op's output
+//!   [`TensorMeta`] is inferred from its shape parameters; every edge
+//!   is then checked for dtype compatibility (TensorCore ops are
+//!   exempt on both sides — mixed precision casts on read and
+//!   accumulates FP32 on write, see
+//!   [`crate::passes::apply_mixed_precision`]);
+//! - **degenerate shapes**: zero extents, zero-input element-wise
+//!   ops, `fused_from == 0` (which would underflow the
+//!   [`crate::GraphStats`] fusion accounting) and empty input loads;
+//! - **connectivity**: cycles, dead (isolated) ops, and dangling
+//!   tensors — non-I/O source nodes that consume tensors no upstream
+//!   op produces (every model graph must be fed by its input
+//!   pipeline);
+//! - **accounting cross-check**: per-op FLOPs and memory bytes are
+//!   recomputed from the inferred tensor metadata with independent
+//!   formulas and compared against [`OpKind::flops`] /
+//!   [`OpKind::mem_bytes`], and the aggregate [`crate::GraphStats`]
+//!   fold is re-derived and compared field by field;
+//! - **target consistency** ([`check_targets`]): a calibrated model's
+//!   claimed Table V features must agree with its shape-derived stats.
+
+use std::fmt;
+
+use crate::dtype::DType;
+use crate::graph::{Graph, NodeId};
+use crate::op::{OpClass, OpKind};
+use crate::shape::Shape;
+use crate::tensor::TensorMeta;
+use crate::zoo::{FeatureTargets, ModelSpec};
+
+/// The defect classes the validator reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Defect {
+    /// The graph is not a DAG.
+    Cycle,
+    /// An isolated node: contributes to stats but constrains nothing.
+    DeadOp,
+    /// A non-I/O source node: consumes tensors no op produces.
+    DanglingTensor,
+    /// An edge whose endpoint dtypes disagree without a TensorCore
+    /// cast boundary.
+    DtypeMismatch,
+    /// A zero-extent or otherwise meaningless shape parameter.
+    DegenerateShape,
+    /// Per-op or aggregate accounting disagrees with the shapes.
+    AccountingDrift,
+    /// Claimed Table V features disagree with shape-derived stats.
+    TargetMismatch,
+}
+
+impl Defect {
+    /// Stable machine-readable identifier.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Defect::Cycle => "cycle",
+            Defect::DeadOp => "dead-op",
+            Defect::DanglingTensor => "dangling-tensor",
+            Defect::DtypeMismatch => "dtype-mismatch",
+            Defect::DegenerateShape => "degenerate-shape",
+            Defect::AccountingDrift => "accounting-drift",
+            Defect::TargetMismatch => "target-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for Defect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One validator finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The node at fault (`None` for graph-level findings).
+    pub node: Option<NodeId>,
+    /// The defect class.
+    pub defect: Defect,
+    /// Human-readable description with op names and quantities.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "{} at {}: {}", self.defect, n, self.message),
+            None => write!(f, "{}: {}", self.defect, self.message),
+        }
+    }
+}
+
+/// Infers the output tensor metadata of an op from its shape
+/// parameters (`None` for [`OpKind::DataLoad`], which produces raw
+/// bytes, not a typed tensor).
+///
+/// Returns `None` as well for degenerate shapes — those are reported
+/// separately by [`validate_graph`] and must not panic here.
+pub fn infer_output(kind: &OpKind) -> Option<TensorMeta> {
+    let meta = |dims: Vec<usize>, dtype: DType| {
+        if dims.contains(&0) {
+            None
+        } else {
+            Some(TensorMeta::new(Shape::new(dims), dtype))
+        }
+    };
+    match kind {
+        OpKind::MatMul { m, n, dtype, .. } => meta(vec![*m, *n], *dtype),
+        OpKind::Conv2d {
+            batch,
+            out_channels,
+            out_h,
+            out_w,
+            dtype,
+            ..
+        } => meta(vec![*batch, *out_channels, *out_h, *out_w], *dtype),
+        OpKind::ElementWise { numel, dtype, .. } => meta(vec![*numel], *dtype),
+        OpKind::Reduce { dtype, .. } => Some(TensorMeta::new(Shape::scalar(), *dtype)),
+        OpKind::Softmax {
+            rows, cols, dtype, ..
+        } => meta(vec![*rows, *cols], *dtype),
+        OpKind::LayerNorm { numel, dtype } => meta(vec![*numel], *dtype),
+        OpKind::EmbeddingLookup { ids, dim, dtype }
+        | OpKind::EmbeddingUpdate { ids, dim, dtype } => meta(vec![*ids, *dim], *dtype),
+        OpKind::DataLoad { .. } => None,
+    }
+}
+
+/// The dtype an op expects on its data inputs (`None` when untyped).
+fn input_dtype(kind: &OpKind) -> Option<DType> {
+    match kind {
+        OpKind::MatMul { dtype, .. }
+        | OpKind::Conv2d { dtype, .. }
+        | OpKind::ElementWise { dtype, .. }
+        | OpKind::Reduce { dtype, .. }
+        | OpKind::Softmax { dtype, .. }
+        | OpKind::LayerNorm { dtype, .. }
+        | OpKind::EmbeddingUpdate { dtype, .. } => Some(*dtype),
+        // A lookup's data input is the id vector, not table-typed.
+        OpKind::EmbeddingLookup { .. } | OpKind::DataLoad { .. } => None,
+    }
+}
+
+/// Reports zero extents and other meaningless shape parameters.
+fn degenerate(kind: &OpKind) -> Option<String> {
+    let zero = |what: &str| Some(format!("zero-extent {what}"));
+    match kind {
+        OpKind::MatMul { m, k, n, .. } => {
+            if *m == 0 || *k == 0 || *n == 0 {
+                zero(&format!("MatMul [{m}x{k}]x[{k}x{n}]"))
+            } else {
+                None
+            }
+        }
+        OpKind::Conv2d {
+            batch,
+            in_channels,
+            out_channels,
+            kernel_h,
+            kernel_w,
+            out_h,
+            out_w,
+            ..
+        } => {
+            let dims = [
+                *batch,
+                *in_channels,
+                *out_channels,
+                *kernel_h,
+                *kernel_w,
+                *out_h,
+                *out_w,
+            ];
+            if dims.contains(&0) {
+                zero("Conv2d dimension")
+            } else {
+                None
+            }
+        }
+        OpKind::ElementWise {
+            arity,
+            numel,
+            fused_from,
+            ..
+        } => {
+            if *numel == 0 {
+                zero("ElementWise extent")
+            } else if *arity == 0 {
+                Some("ElementWise op reads no inputs".to_string())
+            } else if *fused_from == 0 {
+                Some("fused_from = 0 underflows the fusion accounting".to_string())
+            } else {
+                None
+            }
+        }
+        OpKind::Reduce { numel, .. } => {
+            if *numel == 0 {
+                zero("Reduce extent")
+            } else {
+                None
+            }
+        }
+        OpKind::Softmax { rows, cols, .. } => {
+            if *rows == 0 || *cols == 0 {
+                zero(&format!("Softmax [{rows}x{cols}]"))
+            } else {
+                None
+            }
+        }
+        OpKind::LayerNorm { numel, .. } => {
+            if *numel == 0 {
+                zero("LayerNorm extent")
+            } else {
+                None
+            }
+        }
+        OpKind::EmbeddingLookup { ids, dim, .. } | OpKind::EmbeddingUpdate { ids, dim, .. } => {
+            if *ids == 0 || *dim == 0 {
+                zero(&format!("embedding access [{ids}x{dim}]"))
+            } else {
+                None
+            }
+        }
+        OpKind::DataLoad { bytes } => {
+            if *bytes == 0 {
+                Some("DataLoad moves zero bytes".to_string())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Independently recomputes an op's FLOPs from inferred tensor
+/// metadata (multiply-add = 2, the Table V convention).
+fn expected_flops(kind: &OpKind) -> f64 {
+    match kind {
+        OpKind::MatMul { m, k, n, .. } => 2.0 * (*m as f64) * (*k as f64) * (*n as f64),
+        OpKind::Conv2d {
+            in_channels,
+            kernel_h,
+            kernel_w,
+            ..
+        } => {
+            let out = infer_output(kind).map_or(0.0, |t| t.numel() as f64);
+            2.0 * out * (*in_channels as f64) * (*kernel_h as f64) * (*kernel_w as f64)
+        }
+        OpKind::ElementWise {
+            numel,
+            flops_per_elem,
+            ..
+        } => (*numel as f64) * (*flops_per_elem as f64),
+        OpKind::Reduce { numel, .. } => *numel as f64,
+        OpKind::Softmax { rows, cols, .. } => 5.0 * (*rows as f64) * (*cols as f64),
+        OpKind::LayerNorm { numel, .. } => 8.0 * (*numel as f64),
+        OpKind::EmbeddingLookup { .. } => 0.0,
+        OpKind::EmbeddingUpdate { ids, dim, .. } => (*ids as f64) * (*dim as f64),
+        OpKind::DataLoad { .. } => 0.0,
+    }
+}
+
+/// Independently recomputes an op's memory traffic as a sum of
+/// operand/result tensor footprints.
+fn expected_mem_bytes(kind: &OpKind) -> f64 {
+    let tensor_bytes =
+        |dims: Vec<usize>, dtype: DType| TensorMeta::new(Shape::new(dims), dtype).bytes().as_f64();
+    match kind {
+        OpKind::MatMul { m, k, n, dtype, .. } => {
+            tensor_bytes(vec![*m, *k], *dtype)
+                + tensor_bytes(vec![*k, *n], *dtype)
+                + tensor_bytes(vec![*m, *n], *dtype)
+        }
+        OpKind::Conv2d {
+            batch,
+            in_channels,
+            out_channels,
+            kernel_h,
+            kernel_w,
+            out_h,
+            out_w,
+            dtype,
+            ..
+        } => {
+            // Input approximated at output spatial dims (stride folded),
+            // weights, output — the same convention as [`OpKind::mem_bytes`].
+            tensor_bytes(vec![*batch, *in_channels, *out_h, *out_w], *dtype)
+                + tensor_bytes(
+                    vec![*out_channels, *in_channels, *kernel_h, *kernel_w],
+                    *dtype,
+                )
+                + tensor_bytes(vec![*batch, *out_channels, *out_h, *out_w], *dtype)
+        }
+        OpKind::ElementWise {
+            arity,
+            numel,
+            dtype,
+            ..
+        } => (*arity as f64 + 1.0) * tensor_bytes(vec![*numel], *dtype),
+        OpKind::Reduce { numel, dtype } => tensor_bytes(vec![*numel], *dtype),
+        OpKind::Softmax { rows, cols, dtype } => 3.0 * tensor_bytes(vec![*rows, *cols], *dtype),
+        OpKind::LayerNorm { numel, dtype } => 3.0 * tensor_bytes(vec![*numel], *dtype),
+        OpKind::EmbeddingLookup { ids, dim, dtype } => {
+            2.0 * tensor_bytes(vec![*ids, *dim], *dtype) + (*ids as f64) * 8.0
+        }
+        OpKind::EmbeddingUpdate { ids, dim, dtype } => {
+            3.0 * tensor_bytes(vec![*ids, *dim], *dtype) + (*ids as f64) * 8.0
+        }
+        OpKind::DataLoad { bytes } => *bytes as f64,
+    }
+}
+
+/// Relative disagreement beyond float noise.
+fn drifts(claimed: f64, derived: f64) -> bool {
+    let scale = claimed.abs().max(derived.abs()).max(1.0);
+    (claimed - derived).abs() / scale > 1e-9
+}
+
+/// Validates one graph: connectivity, shapes, dtype flow and
+/// accounting. Returns one diagnostic per defect; empty means sound.
+pub fn validate_graph(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Cycle detection (non-panicking Kahn).
+    let mut in_deg = vec![0usize; g.len()];
+    for (id, _) in g.nodes() {
+        for succ in g.successors(id) {
+            in_deg[succ.index()] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..g.len()).filter(|&i| in_deg[i] == 0).collect();
+    let mut seen = 0usize;
+    let mut deg = in_deg.clone();
+    while let Some(i) = queue.pop() {
+        seen += 1;
+        for succ in g.successors(NodeId(i)) {
+            deg[succ.index()] -= 1;
+            if deg[succ.index()] == 0 {
+                queue.push(succ.index());
+            }
+        }
+    }
+    let acyclic = seen == g.len();
+    if !acyclic {
+        out.push(Diagnostic {
+            node: None,
+            defect: Defect::Cycle,
+            message: format!(
+                "graph '{}' contains a cycle through {} node(s)",
+                g.name(),
+                g.len() - seen
+            ),
+        });
+    }
+
+    let preds = g.predecessor_lists();
+    let mut any_degenerate = false;
+    for (id, op) in g.nodes() {
+        // Degenerate shape parameters.
+        if let Some(why) = degenerate(op.kind()) {
+            any_degenerate = true;
+            out.push(Diagnostic {
+                node: Some(id),
+                defect: Defect::DegenerateShape,
+                message: format!("'{}': {}", op.name(), why),
+            });
+            continue; // accounting formulas assume positive extents
+        }
+
+        // Dead op: isolated in a multi-node graph.
+        if g.len() > 1 && preds[id.index()].is_empty() && g.successors(id).count() == 0 {
+            out.push(Diagnostic {
+                node: Some(id),
+                defect: Defect::DeadOp,
+                message: format!(
+                    "'{}' is isolated: it contributes to the step statistics but \
+                     constrains no execution order",
+                    op.name()
+                ),
+            });
+        }
+
+        // Edge-by-edge dtype flow. TensorCore ops cast on read and
+        // accumulate FP32 on write, so either endpoint being
+        // TensorCore is an explicit precision boundary.
+        if let Some(expect) = input_dtype(op.kind()) {
+            if !op.kind().uses_tensor_core() {
+                for p in &preds[id.index()] {
+                    let producer = g.node(*p);
+                    if producer.kind().uses_tensor_core() {
+                        continue;
+                    }
+                    if let Some(produced) = infer_output(producer.kind()) {
+                        if produced.dtype() != expect {
+                            out.push(Diagnostic {
+                                node: Some(id),
+                                defect: Defect::DtypeMismatch,
+                                message: format!(
+                                    "'{}' expects {} but '{}' produces {}",
+                                    op.name(),
+                                    expect,
+                                    producer.name(),
+                                    produced
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Per-op accounting cross-check.
+        let kind = op.kind();
+        let claimed_flops = kind.flops().as_f64();
+        let derived_flops = expected_flops(kind);
+        if drifts(claimed_flops, derived_flops) {
+            out.push(Diagnostic {
+                node: Some(id),
+                defect: Defect::AccountingDrift,
+                message: format!(
+                    "'{}': reported {claimed_flops} FLOPs, shapes derive {derived_flops}",
+                    op.name()
+                ),
+            });
+        }
+        let claimed_bytes = kind.mem_bytes().as_f64();
+        let derived_bytes = expected_mem_bytes(kind);
+        if drifts(claimed_bytes, derived_bytes) {
+            out.push(Diagnostic {
+                node: Some(id),
+                defect: Defect::AccountingDrift,
+                message: format!(
+                    "'{}': reported {claimed_bytes} memory bytes, shapes derive {derived_bytes}",
+                    op.name()
+                ),
+            });
+        }
+    }
+
+    // Aggregate fold cross-check (skipped when a degenerate op would
+    // poison — or panic inside — the stats fold).
+    if !any_degenerate {
+        let s = g.stats();
+        let mut flops = 0.0f64;
+        let mut mem_mb = 0.0f64;
+        let mut pcie = 0.0f64;
+        for (_, op) in g.nodes() {
+            match op.kind().class() {
+                OpClass::ComputeBound => flops += op.kind().flops().as_f64(),
+                OpClass::MemoryBound => mem_mb += op.kind().mem_bytes().as_f64(),
+                OpClass::Io => pcie += op.kind().pcie_bytes().as_f64(),
+            }
+        }
+        for (what, claimed, derived) in [
+            ("compute FLOPs", s.flops.as_f64(), flops),
+            (
+                "memory-bound bytes",
+                s.mem_access_memory_bound.as_f64(),
+                mem_mb,
+            ),
+            ("PCIe input bytes", s.input_bytes.as_f64(), pcie),
+        ] {
+            if drifts(claimed, derived) {
+                out.push(Diagnostic {
+                    node: None,
+                    defect: Defect::AccountingDrift,
+                    message: format!(
+                        "aggregate {what}: stats() reports {claimed}, per-op fold derives {derived}"
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Model-graph validation: everything in [`validate_graph`] plus the
+/// input-pipeline rule — every source (in-degree-0) node must be an
+/// I/O op. A compute or memory op with no producers consumes tensors
+/// that dangle (nothing in the step materializes them).
+pub fn validate_model_graph(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = validate_graph(g);
+    if g.len() > 1 {
+        let preds = g.predecessor_lists();
+        for (id, op) in g.nodes() {
+            if preds[id.index()].is_empty()
+                && g.successors(id).count() > 0
+                && op.class() != OpClass::Io
+            {
+                out.push(Diagnostic {
+                    node: Some(id),
+                    defect: Defect::DanglingTensor,
+                    message: format!(
+                        "'{}' is a {} source: its input tensors dangle (no upstream \
+                         op or input pipeline produces them)",
+                        op.name(),
+                        op.class()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Cross-checks a graph's shape-derived statistics against claimed
+/// Table V features, within relative tolerance `tol`.
+pub fn check_targets(g: &Graph, targets: &FeatureTargets, tol: f64) -> Vec<Diagnostic> {
+    let s = g.stats();
+    let mut out = Vec::new();
+    for (what, claimed, derived) in [
+        ("FLOPs (GFLOP)", targets.flops_g, s.flops.as_giga()),
+        (
+            "memory access (GB)",
+            targets.mem_gb,
+            s.mem_access_memory_bound.as_gb(),
+        ),
+        ("PCIe copy (MB)", targets.pcie_mb, s.input_bytes.as_mb()),
+    ] {
+        if claimed <= 0.0 {
+            continue; // no published figure to check against
+        }
+        let rel = (derived - claimed) / claimed;
+        if rel.abs() > tol {
+            out.push(Diagnostic {
+                node: None,
+                defect: Defect::TargetMismatch,
+                message: format!(
+                    "claimed {what} {claimed:.4} vs shape-derived {derived:.4} ({:+.1}%)",
+                    rel * 100.0
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Full model validation: graph soundness plus Table V target
+/// consistency at the calibration tolerance (2 %).
+pub fn validate_model(spec: &ModelSpec) -> Vec<Diagnostic> {
+    let mut out = validate_model_graph(spec.graph());
+    out.extend(check_targets(spec.graph(), spec.targets(), 0.02));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{elementwise, matmul, Op};
+    use crate::zoo;
+
+    #[test]
+    fn clean_chain_passes() {
+        let mut g = Graph::new("clean");
+        let a = g.add(Op::new("in", OpKind::DataLoad { bytes: 64 }));
+        let b = g.add(Op::new("mm", matmul(4, 4, 4)));
+        let c = g.add(Op::new("relu", elementwise(1, 16, 1)));
+        g.connect(a, b);
+        g.connect(b, c);
+        assert!(validate_model_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_reported_not_panicked() {
+        let mut g = Graph::new("cyclic");
+        let a = g.add(Op::new("a", elementwise(1, 8, 1)));
+        let b = g.add(Op::new("b", elementwise(1, 8, 1)));
+        g.connect(a, b);
+        g.connect(b, a);
+        let d = validate_graph(&g);
+        assert!(d.iter().any(|x| x.defect == Defect::Cycle), "{d:?}");
+    }
+
+    #[test]
+    fn degenerate_shapes_each_fire() {
+        let cases: Vec<OpKind> = vec![
+            matmul(0, 4, 4),
+            OpKind::ElementWise {
+                arity: 1,
+                numel: 8,
+                flops_per_elem: 1,
+                dtype: DType::F32,
+                fused_from: 0,
+            },
+            OpKind::ElementWise {
+                arity: 0,
+                numel: 8,
+                flops_per_elem: 1,
+                dtype: DType::F32,
+                fused_from: 1,
+            },
+            OpKind::DataLoad { bytes: 0 },
+            OpKind::Softmax {
+                rows: 0,
+                cols: 4,
+                dtype: DType::F32,
+            },
+        ];
+        for kind in cases {
+            let mut g = Graph::new("bad");
+            g.add(Op::new("x", kind.clone()));
+            let d = validate_graph(&g);
+            assert!(
+                d.iter().any(|x| x.defect == Defect::DegenerateShape),
+                "{kind:?} -> {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_from_zero_is_caught_before_stats_would_underflow() {
+        let mut g = Graph::new("uf");
+        g.add(Op::new(
+            "ew",
+            OpKind::ElementWise {
+                arity: 1,
+                numel: 8,
+                flops_per_elem: 1,
+                dtype: DType::F32,
+                fused_from: 0,
+            },
+        ));
+        // stats() would panic on usize underflow; the validator must
+        // report instead of evaluating the fold.
+        let d = validate_graph(&g);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].defect, Defect::DegenerateShape);
+    }
+
+    #[test]
+    fn dtype_mismatch_on_edge() {
+        let mut g = Graph::new("dt");
+        let a = g.add(Op::new("f32", elementwise(1, 64, 1)));
+        let b = g.add(Op::new(
+            "f16",
+            OpKind::ElementWise {
+                arity: 1,
+                numel: 64,
+                flops_per_elem: 1,
+                dtype: DType::F16,
+                fused_from: 1,
+            },
+        ));
+        g.connect(a, b);
+        let d = validate_graph(&g);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].defect, Defect::DtypeMismatch);
+        assert_eq!(d[0].node, Some(b));
+    }
+
+    #[test]
+    fn tensor_core_boundary_is_an_allowed_cast() {
+        let mut g = Graph::new("mp");
+        let a = g.add(Op::new("relu", elementwise(1, 64, 1)));
+        let b = g.add(Op::new(
+            "mm",
+            OpKind::MatMul {
+                m: 8,
+                k: 8,
+                n: 8,
+                dtype: DType::F16,
+                tensor_core: true,
+            },
+        ));
+        let c = g.add(Op::new("bias", elementwise(1, 64, 1)));
+        g.connect(a, b);
+        g.connect(b, c);
+        assert!(validate_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn dead_op_is_reported() {
+        let mut g = Graph::new("dead");
+        let a = g.add(Op::new("a", elementwise(1, 8, 1)));
+        let b = g.add(Op::new("b", elementwise(1, 8, 1)));
+        g.connect(a, b);
+        g.add(Op::new("orphan", elementwise(1, 8, 1)));
+        let d = validate_graph(&g);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].defect, Defect::DeadOp);
+    }
+
+    #[test]
+    fn dangling_tensor_source_is_reported_for_model_graphs() {
+        let mut g = Graph::new("dangle");
+        let a = g.add(Op::new("mm", matmul(4, 4, 4)));
+        let b = g.add(Op::new("relu", elementwise(1, 16, 1)));
+        g.connect(a, b);
+        let d = validate_model_graph(&g);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].defect, Defect::DanglingTensor);
+        assert_eq!(d[0].node, Some(a));
+    }
+
+    #[test]
+    fn target_mismatch_fires_per_metric() {
+        let mut g = Graph::new("t");
+        g.add(Op::new("mm", matmul(64, 64, 64)));
+        let s = g.stats();
+        let honest = FeatureTargets {
+            flops_g: s.flops.as_giga(),
+            mem_gb: 0.0,
+            pcie_mb: 0.0,
+            network_mb: 0.0,
+            dense_mb: 0.0,
+            embedding_mb: 0.0,
+        };
+        assert!(check_targets(&g, &honest, 0.02).is_empty());
+        let wrong = FeatureTargets {
+            flops_g: s.flops.as_giga() * 10.0,
+            ..honest
+        };
+        let d = check_targets(&g, &wrong, 0.02);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].defect, Defect::TargetMismatch);
+    }
+
+    #[test]
+    fn malformed_graph_yields_one_diagnostic_per_defect() {
+        // Three seeded defects: a dtype mismatch on an edge (shape
+        // metadata inconsistency), a dead op, and a FLOPs claim that
+        // disagrees with the shapes.
+        let mut g = Graph::new("malformed");
+        let load = g.add(Op::new("in", OpKind::DataLoad { bytes: 1024 }));
+        let a = g.add(Op::new("f32", elementwise(1, 64, 1)));
+        let b = g.add(Op::new(
+            "f16",
+            OpKind::ElementWise {
+                arity: 1,
+                numel: 64,
+                flops_per_elem: 1,
+                dtype: DType::F16,
+                fused_from: 1,
+            },
+        ));
+        g.connect(load, a);
+        g.connect(a, b);
+        g.add(Op::new("orphan", elementwise(1, 8, 1))); // dead op
+
+        let mut d = validate_model_graph(&g);
+        let s = g.stats();
+        let wrong_flops = FeatureTargets {
+            flops_g: (s.flops.as_giga() + 1.0) * 10.0, // wrong FLOPs count
+            mem_gb: s.mem_access_memory_bound.as_gb(),
+            pcie_mb: s.input_bytes.as_mb(),
+            network_mb: 0.0,
+            dense_mb: 0.0,
+            embedding_mb: 0.0,
+        };
+        d.extend(check_targets(&g, &wrong_flops, 0.02));
+
+        let mut slugs: Vec<&str> = d.iter().map(|x| x.defect.slug()).collect();
+        slugs.sort_unstable();
+        assert_eq!(
+            slugs,
+            vec!["dead-op", "dtype-mismatch", "target-mismatch"],
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn all_zoo_training_models_are_sound() {
+        for spec in zoo::all() {
+            let d = validate_model(&spec);
+            assert!(d.is_empty(), "{}: {:?}", spec.name(), d);
+        }
+    }
+
+    #[test]
+    fn all_zoo_inference_variants_are_sound() {
+        for serve in zoo::inference::all_inference() {
+            let d = validate_model_graph(serve.graph());
+            assert!(d.is_empty(), "{}: {:?}", serve.name(), d);
+        }
+    }
+
+    #[test]
+    fn all_optimized_variants_are_sound() {
+        use crate::passes::{apply_mixed_precision, fuse_elementwise};
+        for spec in zoo::all() {
+            let fused = fuse_elementwise(spec.graph());
+            let (mp, _) = apply_mixed_precision(&fused);
+            let d = validate_model_graph(&mp);
+            assert!(d.is_empty(), "{}: {:?}", spec.name(), d);
+        }
+    }
+
+    #[test]
+    fn diagnostics_render() {
+        let mut g = Graph::new("r");
+        g.add(Op::new("x", matmul(0, 1, 1)));
+        let d = validate_graph(&g);
+        assert!(d[0].to_string().contains("degenerate-shape"));
+        assert!(Defect::Cycle.to_string() == "cycle");
+    }
+}

@@ -100,7 +100,12 @@ where
                     break;
                 }
                 let produced = f(chunk, chunk_range(chunk, total, chunk_size));
-                slots.lock().expect("no poisoned chunk slot")[chunk] = Some(produced);
+                // A poisoned lock means another worker panicked; the
+                // scope will re-raise that panic, so recovering the
+                // guard here cannot mask it.
+                slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[chunk] = Some(produced);
             });
         }
     });
@@ -108,10 +113,15 @@ where
     let mut out = Vec::with_capacity(total);
     for (chunk, slot) in slots
         .into_inner()
-        .expect("no poisoned chunk slot")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .enumerate()
     {
+        // Every chunk id below `chunks` is claimed exactly once and
+        // written before its worker exits; a missing slot can only
+        // mean executor corruption, which must stay loud — silently
+        // dropping a chunk would skew results instead of failing.
+        // pai-lint: allow(panic-in-lib)
         out.extend(slot.unwrap_or_else(|| panic!("chunk {chunk} produced no output")));
     }
     out

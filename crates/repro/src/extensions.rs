@@ -16,10 +16,14 @@ use pai_sim::{SimConfig, StepSimulator};
 use serde_json::json;
 
 use crate::render::{ms, pct, table};
-use crate::{Context, ExperimentResult};
+use crate::{Context, ExperimentResult, ReproError};
 
 /// Inference characterization of the six models.
-pub fn inference() -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Sim`] the serving simulation reports.
+pub fn inference() -> Result<ExperimentResult, ReproError> {
     let model = PerfModel::testbed_default();
     let sim = StepSimulator::new(SimConfig::testbed());
     let mut rows = vec![vec![
@@ -42,9 +46,7 @@ pub fn inference() -> ExperimentResult {
             .mem_access_bytes(stats.mem_access_memory_bound)
             .build();
         let estimated = model.breakdown(&features);
-        let measured = sim
-            .run(spec.graph(), &pai_collectives::CommPlan::new(), 1)
-            .expect("serving replica uses a valid contention factor of 1");
+        let measured = sim.run(spec.graph(), &pai_collectives::CommPlan::new(), 1)?;
         rows.push(vec![
             spec.name().to_string(),
             format!("{}", spec.resident_bytes()),
@@ -65,17 +67,22 @@ pub fn inference() -> ExperimentResult {
             },
         }));
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "ext-inference",
         title: "Extension (Sec. VIII future work): inference-workload characterization",
         text: table(&rows),
         json: json!(payload),
-    }
+    })
 }
 
 /// Places the PS/Worker subpopulation's largest jobs plus local fillers
 /// onto the testbed and reports contention.
-pub fn cluster_mix(ctx: &Context) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Placement`] the testbed placement
+/// reports.
+pub fn cluster_mix(ctx: &Context) -> Result<ExperimentResult, ReproError> {
     let cluster = pai_hw::ClusterSpec::testbed(0.7);
     let mut ps: Vec<WorkloadFeatures> = ctx.population.jobs_of(Architecture::PsWorker);
     // A realistic multi-tenant mix: medium jobs (the fleet's giants get
@@ -102,18 +109,20 @@ pub fn cluster_mix(ctx: &Context) -> ExperimentResult {
             break;
         }
     }
-    let placement = place(&cluster, &jobs).expect("mix fits by construction");
+    let placement = place(&cluster, &jobs)?;
 
-    let slowdowns: Vec<f64> = jobs
-        .iter()
-        .map(|j| placement.slowdown(j.id).expect("job was just placed"))
-        .collect();
+    let mut slowdowns = Vec::with_capacity(jobs.len());
+    let mut step_times = Vec::with_capacity(jobs.len());
+    for j in &jobs {
+        slowdowns.push(placement.slowdown(j.id)?);
+        step_times.push(placement.job_step_time(j.id)?);
+    }
     let mean = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
     let worst = slowdowns.iter().cloned().fold(1.0, f64::max);
     let eth_bound = jobs
         .iter()
-        .filter(|j| {
-            let t = placement.job_step_time(j.id).expect("job was just placed");
+        .zip(&step_times)
+        .filter(|(j, &t)| {
             let comm = t - j.local_time;
             comm.as_f64() > 0.5 * t.as_f64()
         })
@@ -135,7 +144,7 @@ pub fn cluster_mix(ctx: &Context) -> ExperimentResult {
             pct(eth_bound),
         ],
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "ext-cluster",
         title: "Extension (Sec. VI): testbed placement with NIC contention",
         text: table(&rows),
@@ -147,12 +156,17 @@ pub fn cluster_mix(ctx: &Context) -> ExperimentResult {
             "worst_slowdown": worst,
             "ethernet_bound_share": eth_bound,
         }),
-    }
+    })
 }
 
 /// Ethernet-upgrade what-if at the cluster level: the same mix on
 /// 25 vs 100 GbE (Sec. VI-B1's provisioning question, end to end).
-pub fn cluster_upgrade(ctx: &Context) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Placement`] the testbed placement
+/// reports.
+pub fn cluster_upgrade(ctx: &Context) -> Result<ExperimentResult, ReproError> {
     let mk_cluster = |gbit: f64| {
         pai_hw::ClusterSpec::new(
             *pai_hw::ClusterSpec::testbed(0.7).server(),
@@ -195,31 +209,23 @@ pub fn cluster_upgrade(ctx: &Context) -> ExperimentResult {
     let mut through = Vec::new();
     for gbit in [25.0, 100.0] {
         let cluster = mk_cluster(gbit);
-        let placement =
-            place(&cluster, &jobs.iter().map(|(j, _)| *j).collect::<Vec<_>>()).expect("fits");
-        let total: f64 = jobs
-            .iter()
-            .map(|(j, batch)| {
-                j.cnodes as f64
-                    / placement
-                        .job_step_time(j.id)
-                        .expect("job was just placed")
-                        .as_f64()
-                    * *batch as f64
-            })
-            .sum();
+        let placement = place(&cluster, &jobs.iter().map(|(j, _)| *j).collect::<Vec<_>>())?;
+        let mut total = 0.0;
+        for (j, batch) in &jobs {
+            total += j.cnodes as f64 / placement.job_step_time(j.id)?.as_f64() * *batch as f64;
+        }
         rows.push(vec![format!("{gbit:.0} Gb/s"), format!("{total:.0}")]);
         through.push(total);
     }
     let gain = through[1] / through[0];
     let mut text = table(&rows);
     text.push_str(&format!("\ncluster-level throughput gain: {gain:.2}x\n"));
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "ext-upgrade",
         title: "Extension (Sec. VI-B1): cluster-level 25->100 GbE what-if",
         text,
         json: json!({"throughput_25g": through[0], "throughput_100g": through[1], "gain": gain}),
-    }
+    })
 }
 
 /// What the cluster looks like after adopting the paper's advice:
@@ -316,7 +322,11 @@ ported {ported} PS/Worker jobs; freed {cnodes_saved} cNodes          ({} of the 
 
 /// Strong-scaling curves per architecture for a communication-heavy
 /// profile, plus the PEARL GCN scalability claim (Sec. IV-C).
-pub fn scaling() -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Sim`] the PEARL sweep reports.
+pub fn scaling() -> Result<ExperimentResult, ReproError> {
     use pai_core::scaling::scaling_curve;
     use pai_hw::Flops;
     let model = PerfModel::testbed_default();
@@ -375,9 +385,7 @@ pub fn scaling() -> ExperimentResult {
             &pai_pearl::Strategy::Pearl { gpus },
             &pai_pearl::ModelComm::of(&gcn),
         );
-        let m = sim
-            .run(gcn.graph(), &plan, gpus)
-            .expect("PEARL scalability sweep uses nonzero GPU counts");
+        let m = sim.run(gcn.graph(), &plan, gpus)?;
         let throughput = gpus as f64 / m.total.as_f64() * gcn.batch_size() as f64;
         let base = *base_throughput.get_or_insert(throughput / 2.0);
         rows.push(vec![
@@ -392,12 +400,12 @@ pub fn scaling() -> ExperimentResult {
             "throughput": throughput,
         }));
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "ext-scaling",
         title: "Extension (Sec. IV-C): strong-scaling curves and PEARL scalability",
         text: table(&rows),
         json: json!(payload),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -406,7 +414,7 @@ mod tests {
 
     #[test]
     fn inference_is_cheaper_than_training_everywhere() {
-        let r = inference();
+        let r = inference().expect("inference experiment runs");
         for entry in r.json.as_array().expect("array") {
             let ratio = entry["training_s_for_reference"]["flops_ratio"]
                 .as_f64()
@@ -418,7 +426,7 @@ mod tests {
 
     #[test]
     fn cluster_mix_fills_the_testbed() {
-        let r = cluster_mix(&Context::with_size(3_000));
+        let r = cluster_mix(&Context::with_size(3_000)).expect("mix fits the testbed");
         let util = r.json["gpu_utilization"].as_f64().expect("f64");
         assert!(util > 0.9, "utilization {util}");
         let mean = r.json["mean_slowdown"].as_f64().expect("f64");
@@ -441,7 +449,7 @@ mod tests {
 
     #[test]
     fn scaling_reports_both_series() {
-        let r = scaling();
+        let r = scaling().expect("scaling experiment runs");
         assert!(r.text.contains("PS/Worker"));
         assert!(r.text.contains("GCN under PEARL"));
         // PEARL throughput grows with GPUs.
@@ -459,7 +467,7 @@ mod tests {
 
     #[test]
     fn hundred_gig_lifts_cluster_throughput() {
-        let r = cluster_upgrade(&Context::with_size(3_000));
+        let r = cluster_upgrade(&Context::with_size(3_000)).expect("mix fits the testbed");
         let gain = r.json["gain"].as_f64().expect("f64");
         assert!(gain > 1.2, "gain {gain}");
         assert!(gain < 4.0, "gain {gain}");

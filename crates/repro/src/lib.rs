@@ -11,6 +11,7 @@ pub mod case_studies;
 pub mod characterize;
 pub mod cluster;
 pub mod config_tables;
+pub mod error;
 pub mod extensions;
 pub mod optimizations;
 pub mod projection;
@@ -24,6 +25,8 @@ use pai_core::PerfModel;
 use pai_par::Threads;
 use pai_trace::{Population, PopulationConfig};
 use serde_json::Value;
+
+pub use error::ReproError;
 
 /// Seed used for every population in the reproduction (the paper's
 /// arXiv number).
@@ -75,13 +78,19 @@ impl Context {
     /// Builds a context with an explicit worker count — the
     /// equivalence suites pin this to compare thread counts directly.
     pub fn with_size_threads(jobs: usize, threads: Threads) -> Context {
+        // `jobs` is clamped to one so the calibrated config exists for
+        // every input, keeping this constructor total.
+        let config = PopulationConfig::paper_scale(jobs.max(1))
+            .unwrap_or_else(|_| PopulationConfig::default());
+        // Generation cannot fail on a config `paper_scale` just built
+        // (pai-trace's tests pin its validity); if that contract ever
+        // breaks, the failure must stay loud rather than hand the
+        // experiments an empty population.
+        let population = Population::generate_par(&config, SEED, threads)
+            // pai-lint: allow(panic-in-lib)
+            .expect("the calibrated configuration is valid");
         Context {
-            population: Population::generate_par(
-                &PopulationConfig::paper_scale(jobs).expect("experiment scales are nonzero"),
-                SEED,
-                threads,
-            )
-            .expect("the calibrated config is valid"),
+            population,
             model: PerfModel::paper_default(),
             threads,
         }
@@ -143,13 +152,15 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "resilience",
 ];
 
-/// Runs one experiment by id.
+/// Runs one experiment by id (the valid ids are [`ALL_EXPERIMENTS`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the id is unknown.
-pub fn run_experiment(id: &str, ctx: &Context) -> ExperimentResult {
-    match id {
+/// Returns [`ReproError::UnknownExperiment`] for an unrecognized id,
+/// and propagates any simulation/placement/fault-plan error an
+/// experiment hits.
+pub fn run_experiment(id: &str, ctx: &Context) -> Result<ExperimentResult, ReproError> {
+    let result = match id {
         "table1" => config_tables::table1(),
         "table2" => config_tables::table2(),
         "fig5" => cluster::fig5(ctx),
@@ -164,22 +175,25 @@ pub fn run_experiment(id: &str, ctx: &Context) -> ExperimentResult {
         "table5" => case_studies::table5(),
         "fig12" => case_studies::fig12(),
         "table6" => case_studies::table6(),
-        "fig13a" => optimizations::fig13a(),
-        "fig13b" => optimizations::fig13b(),
-        "fig13c" => optimizations::fig13c(),
-        "fig13d" => optimizations::fig13d(),
+        "fig13a" => optimizations::fig13a()?,
+        "fig13b" => optimizations::fig13b()?,
+        "fig13c" => optimizations::fig13c()?,
+        "fig13d" => optimizations::fig13d()?,
         "fig15" => sensitivity_x::fig15(ctx),
-        "fig16" => projection::fig16(ctx),
+        "fig16" => projection::fig16(ctx)?,
         "summary" => cluster::summary(ctx),
         "scorecard" => scorecard::scorecard(ctx),
-        "ext-inference" => extensions::inference(),
-        "ext-cluster" => extensions::cluster_mix(ctx),
-        "ext-upgrade" => extensions::cluster_upgrade(ctx),
-        "ext-scaling" => extensions::scaling(),
+        "ext-inference" => extensions::inference()?,
+        "ext-cluster" => extensions::cluster_mix(ctx)?,
+        "ext-upgrade" => extensions::cluster_upgrade(ctx)?,
+        "ext-scaling" => extensions::scaling()?,
         "ext-adoption" => extensions::adoption(ctx),
-        "resilience" => resilience::resilience(ctx),
-        other => panic!("unknown experiment id '{other}'"),
-    }
+        "resilience" => resilience::resilience(ctx)?,
+        _ => {
+            return Err(ReproError::UnknownExperiment { id: id.to_string() });
+        }
+    };
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -195,9 +209,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown experiment")]
-    fn unknown_id_panics() {
+    fn unknown_id_is_a_typed_error() {
         let ctx = Context::with_size(10);
-        let _ = run_experiment("fig99", &ctx);
+        assert!(matches!(
+            run_experiment("fig99", &ctx),
+            Err(ReproError::UnknownExperiment { .. })
+        ));
+        assert!(run_experiment("table1", &ctx).is_ok());
     }
 }

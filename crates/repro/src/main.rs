@@ -74,7 +74,13 @@ fn main() -> ExitCode {
     let ctx = Context::with_size(jobs);
 
     for id in &ids {
-        let result = run_experiment(id, &ctx);
+        let result = match run_experiment(id, &ctx) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("experiment '{id}' failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         println!("==== {} — {} ====", result.id, result.title);
         println!("{}", result.text);
         let path = out_dir.join(format!("{}.json", result.id));

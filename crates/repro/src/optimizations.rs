@@ -19,20 +19,22 @@ use pai_sim::{SimConfig, StepMeasurement, StepSimulator};
 use serde_json::json;
 
 use crate::render::{ms, pct, table};
-use crate::ExperimentResult;
+use crate::{ExperimentResult, ReproError};
 
 fn sim_for(model: &ModelSpec) -> StepSimulator {
     StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()))
 }
 
-fn run_variant(model: &ModelSpec, graph: &Graph, cnodes: usize) -> StepMeasurement {
+fn run_variant(
+    model: &ModelSpec,
+    graph: &Graph,
+    cnodes: usize,
+) -> Result<StepMeasurement, ReproError> {
     let contention = match model.arch() {
         zoo::CaseStudyArch::AllReduceLocal | zoo::CaseStudyArch::Pearl => cnodes,
         _ => 1,
     };
-    sim_for(model)
-        .run(graph, &plan_for(model, cnodes), contention)
-        .expect("case-study models use valid contention factors")
+    Ok(sim_for(model).run(graph, &plan_for(model, cnodes), contention)?)
 }
 
 /// Times of matmul-kind ops within a measurement.
@@ -53,16 +55,19 @@ fn elementwise_time(m: &StepMeasurement) -> f64 {
         .sum()
 }
 
-fn opt_rows(model: &ModelSpec, cnodes: usize) -> (Vec<Vec<String>>, serde_json::Value) {
+fn opt_rows(
+    model: &ModelSpec,
+    cnodes: usize,
+) -> Result<(Vec<Vec<String>>, serde_json::Value), ReproError> {
     let base_graph = model.graph().clone();
     let (mp_graph, _) = apply_mixed_precision(&base_graph);
     let xla_graph = fuse_elementwise(&base_graph);
     let (both_graph, _) = apply_mixed_precision(&xla_graph);
 
-    let base = run_variant(model, &base_graph, cnodes);
-    let mp = run_variant(model, &mp_graph, cnodes);
-    let xla = run_variant(model, &xla_graph, cnodes);
-    let both = run_variant(model, &both_graph, cnodes);
+    let base = run_variant(model, &base_graph, cnodes)?;
+    let mp = run_variant(model, &mp_graph, cnodes)?;
+    let xla = run_variant(model, &xla_graph, cnodes)?;
+    let both = run_variant(model, &both_graph, cnodes)?;
 
     let e2e = |m: &StepMeasurement| base.total.as_f64() / m.total.as_f64();
     let rows = vec![
@@ -114,35 +119,47 @@ fn opt_rows(model: &ModelSpec, cnodes: usize) -> (Vec<Vec<String>>, serde_json::
         "xla_elementwise": elementwise_time(&base) / elementwise_time(&xla),
         "both_e2e": e2e(&both),
     });
-    (rows, json)
+    Ok((rows, json))
 }
 
 /// Fig. 13a: MP / XLA on the BERT-class model.
-pub fn fig13a() -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Sim`] the variant runs report.
+pub fn fig13a() -> Result<ExperimentResult, ReproError> {
     let model = zoo::bert();
-    let (rows, json) = opt_rows(&model, 8);
-    ExperimentResult {
+    let (rows, json) = opt_rows(&model, 8)?;
+    Ok(ExperimentResult {
         id: "fig13a",
         title: "Fig. 13a: BERT with mixed precision and XLA (paper: 1.44x MP / 2.8x MatMul, 1.76x XLA, 2x both)",
         text: table(&rows),
         json,
-    }
+    })
 }
 
 /// Fig. 13b: XLA on the Speech model.
-pub fn fig13b() -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Sim`] the variant runs report.
+pub fn fig13b() -> Result<ExperimentResult, ReproError> {
     let model = zoo::speech();
-    let (rows, json) = opt_rows(&model, 1);
-    ExperimentResult {
+    let (rows, json) = opt_rows(&model, 1)?;
+    Ok(ExperimentResult {
         id: "fig13b",
         title: "Fig. 13b: Speech with XLA (paper: 3.43x element-wise, 1.83x end-to-end)",
         text: table(&rows),
         json,
-    }
+    })
 }
 
 /// Fig. 13c: Multi-Interests under three configurations.
-pub fn fig13c() -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Sim`] the variant runs report.
+pub fn fig13c() -> Result<ExperimentResult, ReproError> {
     let configs = [
         (
             "batch 2048, 2 attn layers",
@@ -177,7 +194,7 @@ pub fn fig13c() -> ExperimentResult {
     let mut payload = Vec::new();
     for (label, cfg) in configs {
         let model = zoo::multi_interests_with(cfg);
-        let m = run_variant(&model, model.graph(), 8);
+        let m = run_variant(&model, model.graph(), 8)?;
         rows.push(vec![
             label.to_string(),
             ms(m.total),
@@ -192,18 +209,22 @@ pub fn fig13c() -> ExperimentResult {
             "memory_share": m.fraction(m.memory_bound),
         }));
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig13c",
         title: "Fig. 13c: Multi-Interests under three training configurations",
         text: table(&rows),
         json: json!(payload),
-    }
+    })
 }
 
 /// Fig. 13d: GCN under PEARL vs the PS/Worker estimate.
-pub fn fig13d() -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any [`ReproError::Sim`] the variant runs report.
+pub fn fig13d() -> Result<ExperimentResult, ReproError> {
     let model = zoo::gcn();
-    let pearl = run_variant(&model, model.graph(), 8);
+    let pearl = run_variant(&model, model.graph(), 8)?;
     let ps_plan = comm_plan(
         &Strategy::PsWorker {
             workers: 8,
@@ -211,9 +232,7 @@ pub fn fig13d() -> ExperimentResult {
         },
         &ModelComm::of(&model),
     );
-    let ps = sim_for(&model)
-        .run(model.graph(), &ps_plan, 1)
-        .expect("PS variant uses a valid contention factor of 1");
+    let ps = sim_for(&model).run(model.graph(), &ps_plan, 1)?;
     let mut rows = vec![vec![
         "strategy".to_string(),
         "step".to_string(),
@@ -229,7 +248,7 @@ pub fn fig13d() -> ExperimentResult {
             pct(m.fraction(m.comm_total())),
         ]);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig13d",
         title:
             "Fig. 13d: GCN time breakdown, PEARL vs PS/Worker (paper: 25% vs ~95% communication)",
@@ -240,7 +259,7 @@ pub fn fig13d() -> ExperimentResult {
             "pearl_step_s": pearl.total.as_f64(),
             "ps_step_s": ps.total.as_f64(),
         }),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -249,7 +268,7 @@ mod tests {
 
     #[test]
     fn fig13a_mixed_precision_hits_the_measured_ballpark() {
-        let r = fig13a();
+        let r = fig13a().expect("fig13a runs");
         let matmul = r.json["mp_matmul"].as_f64().expect("f64");
         let e2e = r.json["mp_e2e"].as_f64().expect("f64");
         assert!((2.2..3.4).contains(&matmul), "MatMul speedup {matmul}");
@@ -260,7 +279,7 @@ mod tests {
 
     #[test]
     fn fig13b_xla_accelerates_speech_elementwise() {
-        let r = fig13b();
+        let r = fig13b().expect("fig13b runs");
         let ew = r.json["xla_elementwise"].as_f64().expect("f64");
         let e2e = r.json["xla_e2e"].as_f64().expect("f64");
         assert!(ew > 1.5, "element-wise speedup {ew}");
@@ -269,7 +288,7 @@ mod tests {
 
     #[test]
     fn fig13c_bottleneck_moves_across_configs() {
-        let r = fig13c();
+        let r = fig13c().expect("fig13c runs");
         let arr = r.json.as_array().expect("array");
         let comm: Vec<f64> = arr
             .iter()
@@ -283,7 +302,7 @@ mod tests {
 
     #[test]
     fn fig13d_pearl_collapses_communication() {
-        let r = fig13d();
+        let r = fig13d().expect("fig13d runs");
         let pearl = r.json["pearl_comm_share"].as_f64().expect("f64");
         let ps = r.json["ps_comm_share"].as_f64().expect("f64");
         assert!(ps > 0.9, "PS share {ps}");

@@ -144,7 +144,12 @@ pub fn fig10(ctx: &Context) -> ExperimentResult {
 /// Fig. 16: the overlap-assumption study — weight-traffic share and
 /// projection speedups under non-overlap vs ideal overlap, plus the
 /// Eq. 3 21× cohort.
-pub fn fig16(ctx: &Context) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`crate::ReproError::Json`] if the speedup-stats payload
+/// fails to serialize.
+pub fn fig16(ctx: &Context) -> Result<ExperimentResult, crate::ReproError> {
     let ps = ps_jobs(ctx);
     let ideal = ctx.model.with_overlap(OverlapMode::Ideal);
 
@@ -183,9 +188,9 @@ pub fn fig16(ctx: &Context) -> ExperimentResult {
     text.push_str(&format!(
         "\nEq. 3 bound at Table I capacities: {:.1}x\n{}\n",
         comm_bound_speedup(&ctx.model),
-        serde_json::to_string_pretty(&speed_stats).expect("serializable"),
+        serde_json::to_string_pretty(&speed_stats)?,
     ));
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig16",
         title: "Fig. 16: shift effects under different overlap states",
         text,
@@ -194,7 +199,7 @@ pub fn fig16(ctx: &Context) -> ExperimentResult {
             "speedup_stats": speed_stats,
             "eq3_bound": comm_bound_speedup(&ctx.model),
         }),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -230,7 +235,7 @@ mod tests {
 
     #[test]
     fn fig16_ideal_overlap_exposes_weight_traffic() {
-        let r = fig16(&ctx());
+        let r = fig16(&ctx()).expect("fig16 runs");
         let shares = r.json["mean_weight_share"].as_array().expect("array");
         let non = shares[0]["mean"].as_f64().expect("f64");
         let ideal = shares[1]["mean"].as_f64().expect("f64");

@@ -25,7 +25,7 @@ use pai_sim::{FaultedRun, SimConfig, StepSimulator, StepStats};
 use serde_json::json;
 
 use crate::render::{ms, table};
-use crate::{Context, ExperimentResult, SEED};
+use crate::{Context, ExperimentResult, ReproError, SEED};
 
 /// Replica-group width for both architectures.
 const REPLICAS: usize = 8;
@@ -36,7 +36,7 @@ const STRAGGLER_SLOWDOWN: f64 = 1.8;
 
 /// The degraded plan: one straggler, one degraded NIC, one crash with
 /// checkpoint/restart, and (for PS/Worker) transient RPC retries.
-fn degraded_plan(ps: bool) -> FaultPlan {
+fn degraded_plan(ps: bool) -> Result<FaultPlan, ReproError> {
     let mut builder = FaultPlan::builder(REPLICAS)
         .seed(SEED)
         .jitter(0.01)
@@ -46,22 +46,23 @@ fn degraded_plan(ps: bool) -> FaultPlan {
     if ps {
         builder = builder.ps_retry(2, 3);
     }
-    builder
-        .build()
-        .expect("the scorecard fault plan is statically valid")
+    Ok(builder.build()?)
 }
 
-fn run_config(strategy: &Strategy, plan: &FaultPlan, threads: pai_par::Threads) -> FaultedRun {
+fn run_config(
+    strategy: &Strategy,
+    plan: &FaultPlan,
+    threads: pai_par::Threads,
+) -> Result<FaultedRun, ReproError> {
     let model = zoo::resnet50();
     let comm = comm_plan(strategy, &ModelComm::of(&model));
     let sim =
         StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()));
-    sim.run_steps_faulted_par(model.graph(), &comm, STEPS, plan, threads)
-        .expect("the scorecard run parameters are statically valid")
+    Ok(sim.run_steps_faulted_par(model.graph(), &comm, STEPS, plan, threads)?)
 }
 
-fn stats_of(run: &FaultedRun) -> StepStats {
-    run.stats().expect("a nonzero-step run has measurements")
+fn stats_of(run: &FaultedRun) -> Result<StepStats, ReproError> {
+    Ok(run.stats()?)
 }
 
 fn row(label: &str, s: &StepStats) -> Vec<String> {
@@ -88,7 +89,12 @@ fn stats_json(s: &StepStats) -> serde_json::Value {
 }
 
 /// The resilience scorecard experiment.
-pub fn resilience(ctx: &Context) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Propagates any fault-plan or simulation error the scorecard runs
+/// report.
+pub fn resilience(ctx: &Context) -> Result<ExperimentResult, ReproError> {
     let configs = [
         (
             "PS/Worker",
@@ -116,14 +122,10 @@ pub fn resilience(ctx: &Context) -> ExperimentResult {
     ]];
     let mut payload = Vec::new();
     for (label, strategy, ps) in configs {
-        let healthy = run_config(
-            &strategy,
-            &FaultPlan::healthy(REPLICAS).expect("8 replicas is a valid group"),
-            ctx.threads,
-        );
-        let degraded = run_config(&strategy, &degraded_plan(ps), ctx.threads);
-        let hs = stats_of(&healthy);
-        let ds = stats_of(&degraded);
+        let healthy = run_config(&strategy, &FaultPlan::healthy(REPLICAS)?, ctx.threads)?;
+        let degraded = run_config(&strategy, &degraded_plan(ps)?, ctx.threads)?;
+        let hs = stats_of(&healthy)?;
+        let ds = stats_of(&degraded)?;
         rows.push(row(&format!("{label} (healthy)"), &hs));
         rows.push(row(&format!("{label} (degraded)"), &ds));
 
@@ -142,13 +144,13 @@ pub fn resilience(ctx: &Context) -> ExperimentResult {
         }));
     }
 
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "resilience",
         title: "Resilience scorecard: healthy vs degraded step times and goodput \
                 (straggler + degraded NIC + crash/restart + PS retries)",
         text: table(&rows),
         json: json!(payload),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -156,7 +158,9 @@ mod tests {
     use super::*;
 
     fn payload() -> serde_json::Value {
-        resilience(&Context::with_size(10)).json
+        resilience(&Context::with_size(10))
+            .expect("scorecard runs")
+            .json
     }
 
     #[test]
@@ -203,8 +207,8 @@ mod tests {
 
     #[test]
     fn scorecard_is_deterministic() {
-        let a = resilience(&Context::with_size(10));
-        let b = resilience(&Context::with_size(10));
+        let a = resilience(&Context::with_size(10)).expect("scorecard runs");
+        let b = resilience(&Context::with_size(10)).expect("scorecard runs");
         assert_eq!(a.json, b.json);
         assert_eq!(a.text, b.text);
     }

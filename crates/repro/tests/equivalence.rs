@@ -40,7 +40,7 @@ proptest! {
             PARALLEL_EXPERIMENTS
                 .iter()
                 .map(|id| {
-                    let r = run_experiment(id, &ctx);
+                    let r = run_experiment(id, &ctx).expect("known experiment id");
                     (r.id, r.text, r.json.to_string())
                 })
                 .collect::<Vec<_>>()
@@ -56,8 +56,8 @@ fn default_context_matches_explicit_serial() {
     let serial = Context::with_size_threads(2_000, pai_par::Threads::SERIAL);
     let env = Context::with_size(2_000);
     assert_eq!(serial.population, env.population);
-    let a = run_experiment("summary", &serial);
-    let b = run_experiment("summary", &env);
+    let a = run_experiment("summary", &serial).expect("known experiment id");
+    let b = run_experiment("summary", &env).expect("known experiment id");
     assert_eq!(a.text, b.text);
     assert_eq!(a.json, b.json);
 }

@@ -38,7 +38,6 @@ struct Task {
     resource: ResourceId,
     duration: Seconds,
     deps: Vec<TaskId>,
-    start: Option<Seconds>,
 }
 
 /// The engine: add resources and tasks, then [`Engine::run`].
@@ -157,7 +156,6 @@ impl Engine {
             resource,
             duration,
             deps: deps.to_vec(),
-            start: None,
         });
         Ok(TaskId(self.tasks.len() - 1))
     }
@@ -177,8 +175,9 @@ impl Engine {
     /// Tasks are released in insertion order, which is a valid
     /// topological order because dependencies must precede dependents
     /// at insertion; within a resource tasks run FIFO in release order.
-    pub fn run(mut self) -> Schedule {
+    pub fn run(self) -> Schedule {
         let mut resource_free = vec![Seconds::ZERO; self.resources.len()];
+        let mut starts = vec![Seconds::ZERO; self.tasks.len()];
         let mut finish = vec![Seconds::ZERO; self.tasks.len()];
         let mut busy = vec![Seconds::ZERO; self.resources.len()];
         for i in 0..self.tasks.len() {
@@ -190,13 +189,14 @@ impl Engine {
             let r = self.tasks[i].resource.0;
             let start = ready.max(resource_free[r]);
             let end = start + self.tasks[i].duration;
-            self.tasks[i].start = Some(start);
+            starts[i] = start;
             finish[i] = end;
             resource_free[r] = end;
             busy[r] += self.tasks[i].duration;
         }
         Schedule {
             tasks: self.tasks,
+            starts,
             finish,
             busy,
             resources: self.resources,
@@ -208,6 +208,7 @@ impl Engine {
 #[derive(Debug)]
 pub struct Schedule {
     tasks: Vec<Task>,
+    starts: Vec<Seconds>,
     finish: Vec<Seconds>,
     busy: Vec<Seconds>,
     resources: Vec<&'static str>,
@@ -228,7 +229,7 @@ impl Schedule {
     ///
     /// Panics if the id is unknown.
     pub fn start(&self, id: TaskId) -> Seconds {
-        self.tasks[id.0].start.expect("scheduled")
+        self.starts[id.0]
     }
 
     /// Finish time of a task.

@@ -354,10 +354,12 @@ impl StepSimulator {
                         }
                         if r == slowest {
                             let stretched = dur.scale(compute_dilation[r]);
-                            match op.class() {
-                                OpClass::ComputeBound => slow_compute += stretched,
-                                OpClass::MemoryBound => slow_memory += stretched,
-                                OpClass::Io => unreachable!(),
+                            // The enclosing arm admits only the two
+                            // compute classes, so Io cannot reach here.
+                            if matches!(op.class(), OpClass::ComputeBound) {
+                                slow_compute += stretched;
+                            } else {
+                                slow_memory += stretched;
                             }
                             slow_stall += stretched - kernel.scale(compute_dilation[r]);
                             slow_kernels += 1;

@@ -190,7 +190,12 @@ impl PopulationConfig {
         if jobs == 0 {
             return Err(ConfigError::EmptyPopulation);
         }
-        Ok(PopulationConfig {
+        Ok(Self::paper_scale_unchecked(jobs))
+    }
+
+    /// The paper calibration for a size already known to be nonzero.
+    fn paper_scale_unchecked(jobs: usize) -> Self {
+        PopulationConfig {
             jobs,
             // Fig. 5a: 1w1g dominates job counts; 29 % PS; <1 % AllReduce.
             class_mix: [0.59, 0.114, 0.29, 0.006],
@@ -220,7 +225,7 @@ impl PopulationConfig {
             mem_share_of_compute: (0.63, 0.7),
             free_step_time_s: (0.05, 2.0),
             batch_exp: (5, 12),
-        })
+        }
     }
 
     /// Validates internal consistency.
@@ -265,7 +270,7 @@ impl PopulationConfig {
 
 impl Default for PopulationConfig {
     fn default() -> Self {
-        PopulationConfig::paper_scale(10_000).expect("the default population size is nonzero")
+        PopulationConfig::paper_scale_unchecked(10_000)
     }
 }
 

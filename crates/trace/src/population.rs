@@ -142,11 +142,7 @@ impl Population {
     pub fn class_counts(&self) -> [usize; 5] {
         let mut counts = [0usize; 5];
         for j in &self.jobs {
-            let idx = Architecture::ALL
-                .iter()
-                .position(|&a| a == j.features.arch())
-                .expect("known architecture");
-            counts[idx] += 1;
+            counts[class_index(j.features.arch())] += 1;
         }
         counts
     }
@@ -156,11 +152,7 @@ impl Population {
     pub fn cnode_totals(&self) -> [usize; 5] {
         let mut totals = [0usize; 5];
         for j in &self.jobs {
-            let idx = Architecture::ALL
-                .iter()
-                .position(|&a| a == j.features.arch())
-                .expect("known architecture");
-            totals[idx] += j.features.cnodes();
+            totals[class_index(j.features.arch())] += j.features.cnodes();
         }
         totals
     }
@@ -179,6 +171,17 @@ impl<'a> IntoIterator for &'a Population {
     }
 }
 
+/// The [`Architecture::ALL`] (Table II) position of a class.
+fn class_index(arch: Architecture) -> usize {
+    match arch {
+        Architecture::OneWorkerOneGpu => 0,
+        Architecture::OneWorkerMultiGpu => 1,
+        Architecture::PsWorker => 2,
+        Architecture::AllReduceLocal => 3,
+        Architecture::AllReduceCluster => 4,
+    }
+}
+
 fn sample_class(rng: &mut StdRng, config: &PopulationConfig) -> Architecture {
     let classes = [
         Architecture::OneWorkerOneGpu,
@@ -194,7 +197,9 @@ fn sample_class(rng: &mut StdRng, config: &PopulationConfig) -> Architecture {
             return arch;
         }
     }
-    *classes.last().expect("non-empty class list")
+    // Floating-point fall-through (the mix sums to 1 within rounding)
+    // lands in the last sampled class.
+    Architecture::AllReduceLocal
 }
 
 fn sample_cnodes(rng: &mut StdRng, config: &PopulationConfig, arch: Architecture) -> usize {
@@ -208,7 +213,11 @@ fn sample_cnodes(rng: &mut StdRng, config: &PopulationConfig, arch: Architecture
             let n = sampler::normal(rng, mu, sigma).exp2().round() as i64;
             (n.max(2) as usize).min(config.ps_cnode_max)
         }
-        Architecture::AllReduceCluster => unreachable!("not generated in the default mix"),
+        // Absent from the default mix (Fig. 5a: < 1 %); a custom mix
+        // that produces it samples like its local sibling.
+        Architecture::AllReduceCluster => {
+            sampler::pow2(rng, config.onewng_cnode_exp.0, config.onewng_cnode_exp.1)
+        }
     }
 }
 
@@ -217,7 +226,11 @@ fn sample_weight_gb(rng: &mut StdRng, config: &PopulationConfig, arch: Architect
         Architecture::OneWorkerOneGpu => {
             sampler::log_uniform(rng, config.w1g_weight_gb.0, config.w1g_weight_gb.1)
         }
-        Architecture::OneWorkerMultiGpu | Architecture::AllReduceLocal => {
+        // AllReduce-Cluster is absent from the default mix; a custom
+        // mix that produces it samples like its local sibling.
+        Architecture::OneWorkerMultiGpu
+        | Architecture::AllReduceLocal
+        | Architecture::AllReduceCluster => {
             sampler::log_uniform(rng, config.wng_weight_gb.0, config.wng_weight_gb.1)
         }
         Architecture::PsWorker => {
@@ -232,7 +245,6 @@ fn sample_weight_gb(rng: &mut StdRng, config: &PopulationConfig, arch: Architect
             };
             sampler::log_uniform(rng, range.0, range.1)
         }
-        Architecture::AllReduceCluster => unreachable!("not generated in the default mix"),
     }
 }
 
@@ -250,10 +262,13 @@ fn sample_comm_share(
             .clamp(config.ps_comm_median_range.0, config.ps_comm_median_range.1);
             sampler::logit_normal(rng, median, config.ps_comm_sigma)
         }
-        Architecture::OneWorkerMultiGpu | Architecture::AllReduceLocal => {
+        Architecture::OneWorkerMultiGpu
+        | Architecture::AllReduceLocal
+        | Architecture::AllReduceCluster => {
             sampler::logit_normal(rng, config.wng_comm.0, config.wng_comm.1)
         }
-        _ => unreachable!("non-communicating class"),
+        // 1w1g does not communicate: its share target is zero.
+        Architecture::OneWorkerOneGpu => return 0.0,
     };
     sampler::clamp_share(p, 0.02, 0.98)
 }

@@ -1,0 +1,7 @@
+// Known-bad fixture: iterating a hash container. Never compiled —
+// only scanned by the lint-engine tests.
+use std::collections::HashMap;
+
+pub fn sum(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}

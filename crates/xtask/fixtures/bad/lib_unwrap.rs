@@ -1,0 +1,12 @@
+// Known-bad fixture: unwrap/expect/panic in non-test library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("two elements")
+}
+
+pub fn boom() {
+    panic!("nope");
+}

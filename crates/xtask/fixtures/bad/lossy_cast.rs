@@ -1,0 +1,4 @@
+// Known-bad fixture: lossy `as f32` narrowing.
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}

@@ -1,0 +1,5 @@
+// Fixture: the escape hatch silences the one finding on this file.
+pub fn first(xs: &[u32]) -> u32 {
+    // pai-lint: allow(panic-in-lib)
+    *xs.first().unwrap()
+}

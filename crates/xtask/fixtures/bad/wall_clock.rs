@@ -1,0 +1,8 @@
+// Known-bad fixture: wall-clock and entropy sources.
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn elapsed() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,25 @@
+// Known-clean fixture: ordered containers, typed errors, test-gated
+// unwraps, and chunk-seeded determinism — every rule stays silent.
+use std::collections::BTreeMap;
+
+pub fn sum(m: &BTreeMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+pub fn first(xs: &[u32]) -> Result<u32, String> {
+    xs.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+pub fn widen(x: f32) -> f64 {
+    f64::from(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,334 @@
+//! A minimal Rust lexer for the lint engine.
+//!
+//! The build environment has no crates.io access, so instead of `syn`
+//! the linter walks a hand-rolled token stream. The lexer strips
+//! comments, string/char literals and lifetimes — exactly the regions
+//! where rule keywords must *not* fire — and tags every token that
+//! lives inside a `#[cfg(test)]`-gated item so rules can restrict
+//! themselves to non-test library code.
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text: an identifier/number, or a single punctuation
+    /// character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column (bytes) of the token start.
+    pub col: usize,
+    /// True when the token sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// Tokenizes Rust source, skipping comments, strings and lifetimes.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+
+    macro_rules! bump_line {
+        () => {{
+            line += 1;
+            line_start = i + 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                bump_line!();
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        bump_line!();
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            bump_line!();
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'('`).
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal: skip to the closing quote.
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'\'' && j > i + 1 {
+                        i = j + 1; // char literal like 'a'
+                    } else if j == i + 1 && j < bytes.len() {
+                        // Punctuation char literal like '(' or ' '.
+                        let close = j + 1;
+                        if close < bytes.len() && bytes[close] == b'\'' {
+                            i = close + 1;
+                        } else {
+                            i = j; // stray quote; move on
+                        }
+                    } else {
+                        i = j; // lifetime: drop it
+                    }
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                // Raw (byte) strings: `r"..."`, `r#"..."#`, `br#"..."#`.
+                if (text == "r" || text == "br")
+                    && i < bytes.len()
+                    && (bytes[i] == b'"' || bytes[i] == b'#')
+                {
+                    let mut hashes = 0usize;
+                    while i < bytes.len() && bytes[i] == b'#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < bytes.len() && bytes[i] == b'"' {
+                        i += 1;
+                        'raw: while i < bytes.len() {
+                            if bytes[i] == b'\n' {
+                                bump_line!();
+                                i += 1;
+                            } else if bytes[i] == b'"' {
+                                let close = i + 1;
+                                if bytes[close..].len() >= hashes
+                                    && bytes[close..close + hashes].iter().all(|&b| b == b'#')
+                                {
+                                    i = close + hashes;
+                                    break 'raw;
+                                }
+                                i += 1;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    // `r#ident` (raw identifier): fall through, token
+                    // already consumed; the hashes were skipped.
+                }
+                toks.push(Tok {
+                    text: text.to_string(),
+                    line,
+                    col: start - line_start + 1,
+                    in_test: false,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line,
+                    col: i - line_start + 1,
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+    mark_test_regions(&mut toks);
+    toks
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`-gated item.
+///
+/// The grammar handled is the one the workspace uses: an outer
+/// `#[cfg(test)]` attribute (optionally followed by further
+/// attributes) gating either a braced item (`mod tests { ... }`,
+/// `fn ... { ... }`) or a terminated one (`use ...;`).
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "#" || i + 1 >= toks.len() || toks[i + 1].text != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute token range.
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_toks: Vec<&str> = toks[attr_start + 2..j.saturating_sub(1)]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        let is_cfg_test = attr_toks.first() == Some(&"cfg")
+            && attr_toks.contains(&"test")
+            && !attr_toks.contains(&"not");
+        if !is_cfg_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = j;
+        while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+            let mut d = 1usize;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                match toks[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // The gated item extends either to the matching `}` of its
+        // first brace, or to a `;` that appears before any brace.
+        let mut end = k;
+        let mut brace = 0usize;
+        let mut entered = false;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "{" => {
+                    brace += 1;
+                    entered = true;
+                }
+                "}" => {
+                    brace = brace.saturating_sub(1);
+                    if entered && brace == 0 {
+                        break;
+                    }
+                }
+                ";" if !entered => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let end = (end + 1).min(toks.len());
+        for t in &mut toks[attr_start..end] {
+            t.in_test = true;
+        }
+        i = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let toks = texts("let x = \"unwrap()\"; // unwrap()\n/* unwrap() */ y");
+        assert!(!toks.contains(&"unwrap".to_string()));
+        assert!(toks.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let toks = texts("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(toks.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_are_skipped() {
+        let toks = texts("let c = 'x'; let p = '('; let e = '\\n'; z");
+        assert!(toks.contains(&"z".to_string()));
+        assert!(!toks.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 3);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let toks = tokenize(src);
+        let lib_unwrap = toks.iter().find(|t| t.text == "unwrap" && !t.in_test);
+        let test_unwrap = toks.iter().find(|t| t.text == "unwrap" && t.in_test);
+        assert!(lib_unwrap.is_some());
+        assert!(test_unwrap.is_some());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn lib() { a.unwrap(); }";
+        let toks = tokenize(src);
+        assert!(toks.iter().any(|t| t.text == "unwrap" && !t.in_test));
+    }
+
+    #[test]
+    fn attributes_between_cfg_and_item_are_covered() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { x.unwrap(); } }";
+        let toks = tokenize(src);
+        assert!(toks.iter().all(|t| t.text != "unwrap" || t.in_test));
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let toks = texts(r##"let j = r#"{"k": "unwrap()"}"#; done"##);
+        assert!(!toks.iter().any(|t| t == "unwrap"));
+        assert!(toks.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn raw_like_strings_and_nested_comments() {
+        let toks = texts("/* outer /* inner */ still comment */ ok");
+        assert_eq!(toks, vec!["ok".to_string()]);
+    }
+}

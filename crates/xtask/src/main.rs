@@ -1,0 +1,125 @@
+//! `cargo xtask lint` — run the workspace invariant linter (pass 1)
+//! and the model-graph validator (pass 2), failing on any diagnostic.
+//!
+//! ```text
+//! cargo xtask lint [--json <path>] [--paths <dir>...] [--all-rules] [--no-graph]
+//! ```
+//!
+//! - `--json <path>`: also write the machine-readable report.
+//! - `--paths <dir>...`: lint these directories instead of
+//!   `crates/*/src` (used to lint the known-bad fixtures).
+//! - `--all-rules`: ignore per-rule crate scoping (fixtures mode).
+//! - `--no-graph`: skip pass 2.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{default_roots, lint_paths, validate_zoo, Report};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask lint [--json <path>] [--paths <dir>...] [--all-rules] [--no-graph]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("lint") {
+        return usage();
+    }
+
+    let mut json_path: Option<PathBuf> = None;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut all_rules = false;
+    let mut no_graph = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--paths" => { /* following non-flag args are roots */ }
+            "--all-rules" => all_rules = true,
+            "--no-graph" => no_graph = true,
+            p if !p.starts_with('-') => roots.push(PathBuf::from(p)),
+            _ => return usage(),
+        }
+    }
+
+    // The alias runs from the workspace root; fall back to the
+    // manifest's parent ("crates/xtask" -> root) otherwise.
+    let cwd = std::env::current_dir().expect("cwd");
+    let workspace_root = if cwd.join("crates").is_dir() {
+        cwd
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("workspace root")
+            .to_path_buf()
+    };
+
+    let explicit_roots = !roots.is_empty();
+    if !explicit_roots {
+        roots = match default_roots(&workspace_root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask: cannot enumerate crates/: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let (mut diagnostics, files_scanned, suppressed) =
+        match lint_paths(&workspace_root, &roots, all_rules) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask: scan failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    // Pass 2 only makes sense against the real workspace, not fixture
+    // directories.
+    let mut graphs_validated = 0usize;
+    if !no_graph && !explicit_roots {
+        let (graph_diags, graphs) = validate_zoo();
+        graphs_validated = graphs;
+        diagnostics.extend(graph_diags);
+    }
+
+    for d in &diagnostics {
+        eprintln!("{}", d.render());
+    }
+    eprintln!(
+        "pai-lint: {} file(s), {} graph(s), {} diagnostic(s), {} suppressed",
+        files_scanned,
+        graphs_validated,
+        diagnostics.len(),
+        suppressed
+    );
+
+    let failed = !diagnostics.is_empty();
+    let report = Report {
+        version: 1,
+        files_scanned,
+        graphs_validated,
+        diagnostics,
+        suppressed,
+    };
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("xtask: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,235 @@
+//! The workspace invariant rules.
+//!
+//! Every rule exists to protect a property the reproduction's numbers
+//! depend on:
+//!
+//! - [`HASH_ITERATION`]: `pai-par` guarantees bit-identical results at
+//!   any thread count by folding in a fixed index order. Iterating a
+//!   `HashMap`/`HashSet` yields values in an order that varies per
+//!   process (SipHash keys are randomized), so one such iteration in a
+//!   numeric fold path silently breaks the serial≡parallel oracle.
+//! - [`PANIC_IN_LIB`]: the public-API crates expose typed errors
+//!   (`SimError`, `ConfigError`, ...); `unwrap()`/`panic!` in library
+//!   code bypasses them and turns recoverable misconfiguration into an
+//!   abort mid-experiment.
+//! - [`WALL_CLOCK`]: wall-clock and OS-entropy reads make runs
+//!   unreproducible; all randomness must flow from seeded [`SplitMix64`]
+//!   streams and all "time" from the simulated clock.
+//! - [`LOSSY_FLOAT_CAST`]: the model crates carry FLOP/byte counts that
+//!   exceed 2^24; an `as f32` cast silently rounds them and skews every
+//!   downstream breakdown.
+//!
+//! A diagnostic can be suppressed by putting
+//! `// pai-lint: allow(<rule>)` on the offending line or the line
+//! directly above it.
+
+use crate::lexer::Tok;
+
+/// A lint rule: a slug (used by the allow escape hatch), the crates it
+/// guards, and a token-pattern matcher.
+pub struct Rule {
+    /// Stable machine-readable identifier, e.g. `panic-in-lib`.
+    pub slug: &'static str,
+    /// One-line human rationale.
+    pub rationale: &'static str,
+    /// Path prefixes (relative to the workspace root, `/`-separated)
+    /// the rule applies to.
+    pub scopes: &'static [&'static str],
+    /// True when the rule only applies outside `#[cfg(test)]` items.
+    pub lib_only: bool,
+}
+
+/// Crates whose public APIs expose typed errors and must not panic in
+/// library code.
+const PANIC_SCOPES: &[&str] = &[
+    "crates/sim/src",
+    "crates/trace/src",
+    "crates/core/src",
+    "crates/repro/src",
+    "crates/faults/src",
+    "crates/par/src",
+    "crates/collectives/src",
+    "crates/hw/src",
+];
+
+/// Crates that compute the model-level FLOP/byte accounting.
+const MODEL_SCOPES: &[&str] = &["crates/graph/src", "crates/hw/src", "crates/core/src"];
+
+/// Every crate source tree (numeric fold paths run through all of
+/// them, including the lint engine itself).
+const ALL_SCOPES: &[&str] = &["crates/"];
+
+/// Order-nondeterministic container rule.
+pub const HASH_ITERATION: Rule = Rule {
+    slug: "hash-iteration",
+    rationale: "HashMap/HashSet iteration order is randomized per process and breaks \
+                the serial\u{2261}parallel bit-identity oracle; use BTreeMap/BTreeSet \
+                or an index-ordered Vec",
+    scopes: ALL_SCOPES,
+    lib_only: false,
+};
+
+/// Panic-free library code rule.
+pub const PANIC_IN_LIB: Rule = Rule {
+    slug: "panic-in-lib",
+    rationale: "library code of the public-API crates must return typed errors \
+                (SimError/ConfigError pattern), not unwrap/expect/panic",
+    scopes: PANIC_SCOPES,
+    lib_only: true,
+};
+
+/// Wall-clock / OS-entropy rule.
+pub const WALL_CLOCK: Rule = Rule {
+    slug: "wall-clock",
+    rationale: "wall-clock and OS-entropy sources make runs unreproducible; use the \
+                simulated clock and seeded SplitMix64 streams",
+    scopes: ALL_SCOPES,
+    lib_only: false,
+};
+
+/// Lossy float cast rule.
+pub const LOSSY_FLOAT_CAST: Rule = Rule {
+    slug: "lossy-float-cast",
+    rationale: "`as f32` silently rounds FLOP/byte counts above 2^24 in the model \
+                crates; keep accounting in f64 or integer types",
+    scopes: MODEL_SCOPES,
+    lib_only: false,
+};
+
+/// All rules, in reporting order.
+pub const ALL_RULES: &[&Rule] = &[
+    &HASH_ITERATION,
+    &PANIC_IN_LIB,
+    &WALL_CLOCK,
+    &LOSSY_FLOAT_CAST,
+];
+
+/// One rule hit before allow-comment filtering.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// The rule that fired.
+    pub slug: &'static str,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// What was matched, e.g. `.unwrap()`.
+    pub matched: String,
+}
+
+/// Runs one rule's matcher over a token stream.
+pub fn run_rule(rule: &Rule, toks: &[Tok]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let mut push = |tok: &Tok, matched: String| {
+        hits.push(Hit {
+            slug: rule.slug,
+            line: tok.line,
+            col: tok.col,
+            matched,
+        });
+    };
+    for (i, tok) in toks.iter().enumerate() {
+        if rule.lib_only && tok.in_test {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let next2 = toks.get(i + 2).map(|t| t.text.as_str());
+        let next3 = toks.get(i + 3).map(|t| t.text.as_str());
+        match rule.slug {
+            "hash-iteration" => {
+                if matches!(
+                    tok.text.as_str(),
+                    "HashMap" | "HashSet" | "hash_map" | "hash_set" | "RandomState"
+                ) {
+                    push(tok, tok.text.clone());
+                }
+            }
+            "panic-in-lib" => match tok.text.as_str() {
+                "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                    push(tok, format!(".{}()", tok.text));
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" if next == Some("!") => {
+                    push(tok, format!("{}!", tok.text));
+                }
+                _ => {}
+            },
+            "wall-clock" => match tok.text.as_str() {
+                "SystemTime" | "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
+                    push(tok, tok.text.clone());
+                }
+                "Instant" if next == Some(":") && next2 == Some(":") && next3 == Some("now") => {
+                    push(tok, "Instant::now".to_string());
+                }
+                _ => {}
+            },
+            "lossy-float-cast" => {
+                if tok.text == "as" && next == Some("f32") {
+                    push(tok, "as f32".to_string());
+                }
+            }
+            _ => unreachable!("unknown rule slug {}", rule.slug),
+        }
+    }
+    hits
+}
+
+/// True when `rel_path` (always `/`-separated) is inside one of the
+/// rule's scopes.
+pub fn in_scope(rule: &Rule, rel_path: &str) -> bool {
+    rule.scopes.iter().any(|s| rel_path.starts_with(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    #[test]
+    fn panic_rule_needs_method_call_shape() {
+        let toks = tokenize("fn expect(x: u8) {} let y = v.expect(\"m\"); w.unwrap();");
+        let hits = run_rule(&PANIC_IN_LIB, &toks);
+        let matched: Vec<&str> = hits.iter().map(|h| h.matched.as_str()).collect();
+        assert_eq!(matched, vec![".expect()", ".unwrap()"]);
+    }
+
+    #[test]
+    fn panic_rule_skips_test_modules() {
+        let toks = tokenize("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }");
+        assert!(run_rule(&PANIC_IN_LIB, &toks).is_empty());
+    }
+
+    #[test]
+    fn macro_panics_fire() {
+        let toks = tokenize("panic!(\"boom\"); unreachable!(); todo!()");
+        assert_eq!(run_rule(&PANIC_IN_LIB, &toks).len(), 3);
+    }
+
+    #[test]
+    fn hash_rule_fires_on_type_and_module_paths() {
+        let toks = tokenize("use std::collections::hash_map::Entry; let m: HashMap<A, B>;");
+        assert_eq!(run_rule(&HASH_ITERATION, &toks).len(), 2);
+    }
+
+    #[test]
+    fn wall_clock_rule_distinguishes_instant_now() {
+        let toks = tokenize("let d: Instant = x; let t = Instant::now(); SystemTime::now();");
+        let hits = run_rule(&WALL_CLOCK, &toks);
+        let matched: Vec<&str> = hits.iter().map(|h| h.matched.as_str()).collect();
+        assert_eq!(matched, vec!["Instant::now", "SystemTime"]);
+    }
+
+    #[test]
+    fn lossy_cast_rule() {
+        let toks = tokenize("let x = n as f64; let y = n as f32;");
+        assert_eq!(run_rule(&LOSSY_FLOAT_CAST, &toks).len(), 1);
+    }
+
+    #[test]
+    fn scoping_is_prefix_based() {
+        assert!(in_scope(&PANIC_IN_LIB, "crates/sim/src/engine.rs"));
+        assert!(!in_scope(&PANIC_IN_LIB, "crates/graph/src/graph.rs"));
+        assert!(in_scope(&LOSSY_FLOAT_CAST, "crates/graph/src/op.rs"));
+        assert!(in_scope(&HASH_ITERATION, "crates/xtask/src/main.rs"));
+    }
+}
