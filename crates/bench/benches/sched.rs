@@ -1,0 +1,160 @@
+//! Discrete-event scheduler throughput on the ISSUE-mandated 50k-job
+//! trace, plus a machine-readable jobs/sec report.
+//!
+//! Besides the criterion groups, this target writes `BENCH_sched.json`
+//! at the repository root: engine jobs/sec per policy on a 50k-job
+//! arrival stream, and the policy × seed sweep rate at 1 thread and at
+//! `PAR_THREADS` threads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pai_core::PerfModel;
+use pai_hw::ClusterSpec;
+use pai_par::Threads;
+use pai_sched::{
+    realize_stream, run, sweep_par, templates_from_population, ArrivalConfig, PolicyKind,
+    SchedConfig, SweepConfig,
+};
+use pai_trace::{FailureSampler, Population, PopulationConfig};
+use std::time::{Duration, Instant};
+
+/// The ISSUE-mandated workload: a 50k-job population.
+const JOBS: usize = 50_000;
+/// The parallel worker count the sweep report contrasts with serial.
+const PAR_THREADS: usize = 4;
+/// Best-of-N timing for the JSON report.
+const TIMING_RUNS: usize = 3;
+
+fn seed() -> u64 {
+    pai_repro::SEED
+}
+
+fn population() -> Population {
+    let cfg = PopulationConfig::paper_scale(JOBS).expect("50k jobs is a valid scale");
+    Population::generate(&cfg, seed()).expect("valid config")
+}
+
+struct Workload {
+    cluster: ClusterSpec,
+    stream: Vec<pai_sched::SchedJob>,
+    config: SchedConfig,
+}
+
+fn workload() -> Workload {
+    let cluster = ClusterSpec::testbed(0.7);
+    let model = PerfModel::paper_default();
+    let pop = population();
+    let (templates, _) = templates_from_population(&model, &pop, cluster.total_gpus());
+    let arrival = ArrivalConfig::for_offered_load(&templates, &cluster, 0.25, (50, 500))
+        .expect("non-empty templates");
+    let failures = FailureSampler::paper_calibrated();
+    let stream = realize_stream(&templates, &arrival, &failures, seed()).expect("valid stream");
+    let config = SchedConfig {
+        log_events: false,
+        ..SchedConfig::default()
+    };
+    Workload {
+        cluster,
+        stream,
+        config,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("sched_engine_50k");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for kind in PolicyKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                black_box(
+                    run(&w.cluster, &w.stream, kind.policy(), &w.config).expect("stream runs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Best-of-N wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_RUNS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures engine jobs/sec per policy and the sweep rate at 1 and
+/// [`PAR_THREADS`] threads, then writes the `BENCH_sched.json` report.
+fn emit_report(_c: &mut Criterion) {
+    let w = workload();
+    let model = PerfModel::paper_default();
+    let pop = population();
+    let n = w.stream.len();
+
+    let mut policy_lines = String::new();
+    for (i, kind) in PolicyKind::ALL.iter().enumerate() {
+        let secs = time_best(|| {
+            black_box(run(&w.cluster, &w.stream, kind.policy(), &w.config).expect("stream runs"));
+        });
+        let comma = if i + 1 < PolicyKind::ALL.len() {
+            ","
+        } else {
+            ""
+        };
+        policy_lines.push_str(&format!(
+            "    \"{}\": {:.0}{comma}\n",
+            kind.name(),
+            n as f64 / secs
+        ));
+    }
+
+    let sweep_cfg = SweepConfig {
+        arrival: ArrivalConfig::for_offered_load(
+            &templates_from_population(&model, &pop, w.cluster.total_gpus()).0,
+            &w.cluster,
+            0.25,
+            (50, 500),
+        )
+        .expect("non-empty templates"),
+        seeds: vec![seed(), seed() ^ 1],
+        policies: PolicyKind::ALL.to_vec(),
+        ..SweepConfig::default()
+    };
+    let mut sweep_rates = Vec::new();
+    for threads in [1usize, PAR_THREADS] {
+        let secs = time_best(|| {
+            black_box(
+                sweep_par(&w.cluster, &model, &pop, &sweep_cfg, Threads::new(threads))
+                    .expect("sweep runs"),
+            );
+        });
+        let points = sweep_cfg.seeds.len() * sweep_cfg.policies.len();
+        sweep_rates.push((threads, (points * n) as f64 / secs));
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (t1, r1) = sweep_rates[0];
+    let (tn, rn) = sweep_rates[1];
+    let report = format!(
+        "{{\n  \"workload_jobs\": {JOBS},\n  \"scheduled_jobs\": {n},\n  \
+         \"host_cpus\": {host_cpus},\n  \
+         \"timing\": \"best of {TIMING_RUNS} runs, wall clock\",\n  \
+         \"engine_jobs_per_sec\": {{\n{policy_lines}  }},\n  \
+         \"sweep_jobs_per_sec\": {{\n    \
+         \"{t1}_threads\": {r1:.0},\n    \
+         \"{tn}_threads\": {rn:.0},\n    \
+         \"speedup\": {:.3}\n  }}\n}}\n",
+        rn / r1,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    std::fs::write(path, &report).expect("the repo root is writable");
+    println!("wrote {path}\n{report}");
+}
+
+criterion_group!(benches, bench_engine, emit_report);
+criterion_main!(benches);

@@ -9,6 +9,7 @@ use std::error::Error;
 use std::fmt;
 
 use pai_faults::FaultError;
+use pai_sched::SchedError;
 use pai_sim::cluster::PlacementError;
 use pai_sim::SimError;
 
@@ -27,6 +28,8 @@ pub enum ReproError {
     Placement(PlacementError),
     /// A fault plan rejected its inputs.
     Fault(FaultError),
+    /// A scheduling run rejected its inputs.
+    Sched(SchedError),
     /// A JSON payload failed to serialize.
     Json(serde_json::Error),
 }
@@ -40,6 +43,7 @@ impl fmt::Display for ReproError {
             ReproError::Sim(e) => write!(f, "simulation failed: {e}"),
             ReproError::Placement(e) => write!(f, "placement failed: {e}"),
             ReproError::Fault(e) => write!(f, "fault plan rejected: {e}"),
+            ReproError::Sched(e) => write!(f, "scheduling failed: {e}"),
             ReproError::Json(e) => write!(f, "JSON serialization failed: {e}"),
         }
     }
@@ -52,6 +56,7 @@ impl Error for ReproError {
             ReproError::Sim(e) => Some(e),
             ReproError::Placement(e) => Some(e),
             ReproError::Fault(e) => Some(e),
+            ReproError::Sched(e) => Some(e),
             ReproError::Json(e) => Some(e),
         }
     }
@@ -75,6 +80,12 @@ impl From<FaultError> for ReproError {
     }
 }
 
+impl From<SchedError> for ReproError {
+    fn from(e: SchedError) -> Self {
+        ReproError::Sched(e)
+    }
+}
+
 impl From<serde_json::Error> for ReproError {
     fn from(e: serde_json::Error) -> Self {
         ReproError::Json(e)
@@ -91,6 +102,9 @@ mod tests {
         assert!(e.to_string().contains("fig99"));
         let e: ReproError = SimError::ZeroContention.into();
         assert!(e.to_string().contains("simulation"));
+        assert!(e.source().is_some());
+        let e: ReproError = SchedError::NoJobs.into();
+        assert!(e.to_string().contains("scheduling"));
         assert!(e.source().is_some());
     }
 }

@@ -17,6 +17,7 @@ pub mod optimizations;
 pub mod projection;
 pub mod render;
 pub mod resilience;
+pub mod schedule;
 pub mod scorecard;
 pub mod sensitivity_x;
 pub mod sweeps;
@@ -118,6 +119,7 @@ pub const EXTENSION_EXPERIMENTS: &[&str] = &[
     "ext-scaling",
     "ext-adoption",
     "resilience",
+    "schedule",
 ];
 
 /// Paper experiments followed by the extensions.
@@ -150,6 +152,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ext-scaling",
     "ext-adoption",
     "resilience",
+    "schedule",
 ];
 
 /// Runs one experiment by id (the valid ids are [`ALL_EXPERIMENTS`]).
@@ -189,6 +192,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<ExperimentResult, Repro
         "ext-scaling" => extensions::scaling()?,
         "ext-adoption" => extensions::adoption(ctx),
         "resilience" => resilience::resilience(ctx)?,
+        "schedule" => schedule::schedule(ctx)?,
         _ => {
             return Err(ReproError::UnknownExperiment { id: id.to_string() });
         }

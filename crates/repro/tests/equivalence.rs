@@ -23,6 +23,7 @@ const PARALLEL_EXPERIMENTS: &[&str] = &[
     "summary",
     "scorecard",
     "resilience",
+    "schedule",
 ];
 
 proptest! {

@@ -1,0 +1,93 @@
+//! Golden snapshot of the `schedule` experiment's headline numbers.
+//!
+//! The fixture pins the per-policy mean cluster metrics the policy
+//! comparison produced at the pinned seed and a 2 000-job population
+//! when the snapshot was taken, each with an explicit tolerance. A
+//! failure here means the scheduler's numbers moved — either an
+//! intentional engine/stream/policy change (regenerate the fixture by
+//! re-running `repro --jobs 2000 schedule` and copying the per-policy
+//! means) or an accidental determinism break (fix the code).
+
+use pai_repro::schedule::schedule;
+use pai_repro::{Context, SEED};
+
+/// The fixture's pinned population size: small enough for debug-mode
+/// CI, large enough that every policy × sync-class path executes.
+const GOLDEN_POPULATION: usize = 2_000;
+
+fn fixture() -> serde_json::Value {
+    serde_json::from_str(include_str!("fixtures/schedule_golden.json"))
+        .expect("the committed fixture is valid JSON")
+}
+
+fn check(golden: &serde_json::Value, key: &str, actual: f64) {
+    let entry = &golden["headline"][key];
+    let value = entry["value"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("fixture has {key}.value"));
+    let tolerance = entry["tolerance"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("fixture has {key}.tolerance"));
+    assert!(
+        (actual - value).abs() <= tolerance,
+        "{key}: reproduced {actual} drifted from golden {value} (tolerance {tolerance})"
+    );
+}
+
+#[test]
+fn schedule_matches_the_golden_snapshot() {
+    let golden = fixture();
+    assert_eq!(
+        golden["seed"].as_u64(),
+        Some(SEED),
+        "fixture seed matches the harness"
+    );
+    assert_eq!(
+        golden["population"].as_u64().map(|p| p as usize),
+        Some(GOLDEN_POPULATION),
+        "fixture population matches this test"
+    );
+
+    let j = schedule(&Context::with_size(GOLDEN_POPULATION))
+        .expect("schedule runs")
+        .json;
+    assert_eq!(golden["cluster_gpus"], j["cluster_gpus"]);
+    assert_eq!(golden["width_cap"], j["width_cap"]);
+    assert_eq!(golden["offered_load"], j["offered_load"]);
+    {
+        let entry = &golden["mean_interarrival_s"];
+        let value = entry["value"].as_f64().expect("fixture gap value");
+        let tolerance = entry["tolerance"].as_f64().expect("fixture gap tolerance");
+        let actual = j["mean_interarrival_s"].as_f64().expect("f64");
+        assert!(
+            (actual - value).abs() <= tolerance,
+            "calibrated gap {actual} drifted from golden {value}"
+        );
+    }
+
+    let policies = j["policies"].as_array().expect("array");
+    let mut checked = 0usize;
+    for p in policies {
+        let name = p["policy"].as_str().expect("str");
+        for metric in [
+            "gpu_utilization",
+            "fragmentation",
+            "makespan_s",
+            "mean_queueing_delay_s",
+            "mean_jct_s",
+            "p99_jct_s",
+            "mean_slowdown",
+        ] {
+            check(
+                &golden,
+                &format!("{name}.{metric}"),
+                p["mean"][metric].as_f64().expect("f64"),
+            );
+            checked += 1;
+        }
+    }
+    // Every fixture key must have been visited — a renamed policy or
+    // metric silently skipping comparisons would defeat the snapshot.
+    let fixture_keys = golden["headline"].as_object().expect("object").len();
+    assert_eq!(checked, fixture_keys, "fixture and comparison disagree");
+}

@@ -1,0 +1,860 @@
+//! The deterministic discrete-event gang-scheduling engine.
+//!
+//! Virtual time only: the clock is an `f64` of simulated seconds that
+//! advances from event to event — no wall-clock or entropy source
+//! anywhere (the xtask `wall-clock` lint enforces this). Between two
+//! consecutive events the running set is fixed, so every running
+//! job's step time is constant and progress is a fluid
+//! `elapsed / step_time` steps (tracked fractionally); events are the
+//! only points where step times change. The next event is always the
+//! minimum over
+//!
+//! - the earliest **boundary** of a running job (its finish, or its
+//!   next deterministic crash point),
+//! - the earliest **requeue** of a crashed job whose restart + backoff
+//!   has elapsed,
+//! - the next **arrival** of the stream,
+//!
+//! with ties broken by `(time, kind, job id)` — boundaries before
+//! requeues before arrivals, so freed GPUs are visible to a
+//! same-instant submission. The queue is strict FIFO head-of-line:
+//! policies only choose *where* a gang lands, never *which* job goes
+//! next. After every event the engine replays the head of the queue
+//! against the policy, then reprices every running job from the
+//! per-server communicating-replica counters — the same max-min NIC
+//! model `pai-sim::cluster` prices, maintained incrementally
+//! (`O(running + servers)` per event instead of a full placement
+//! rebuild).
+
+use std::collections::VecDeque;
+
+use pai_faults::ExponentialBackoff;
+use pai_hw::{ClusterSpec, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchedError;
+use crate::job::{SchedJob, SyncClass};
+use crate::metrics::{percentile, ClusterMetrics, JobMetrics, BOUNDED_SLOWDOWN_TAU_S};
+use crate::policy::Policy;
+
+/// Engine knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Extra delay before a crashed job re-enters the queue, growing
+    /// with the job's crash count (on top of the crash's own restart
+    /// cost).
+    pub requeue_backoff: ExponentialBackoff,
+    /// Record the full event log (sweeps turn this off to keep 50k-job
+    /// runs lean).
+    pub log_events: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        // 15 s doubling to a 4-minute cap — scheduler-scale requeue
+        // penalties, far above the PS RPC-scale default. The
+        // constructor cannot fail on these constants; the fallback
+        // keeps this total without a panic path.
+        let backoff =
+            ExponentialBackoff::new(Seconds::from_f64(15.0), 2.0, Seconds::from_f64(240.0))
+                .unwrap_or_else(|_| ExponentialBackoff::ps_default());
+        SchedConfig {
+            requeue_backoff: backoff,
+            log_events: true,
+        }
+    }
+}
+
+/// What happened at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The job entered the queue.
+    Arrive,
+    /// The job's gang got its GPUs.
+    Start,
+    /// The job completed all its steps.
+    Finish,
+    /// The job hit a crash point and lost its GPUs.
+    Crash,
+    /// The job's restart + backoff elapsed; it re-entered the queue.
+    Requeue,
+}
+
+/// One event-log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotone sequence number.
+    pub seq: usize,
+    /// Virtual time.
+    pub time_s: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The job it happened to.
+    pub job: usize,
+}
+
+/// The engine's result: per-job metrics (stream order), cluster
+/// metrics, and the event log (empty unless
+/// [`SchedConfig::log_events`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SchedOutcome {
+    /// The placement policy that produced this schedule.
+    pub policy: String,
+    /// Per-job outcomes, in stream order.
+    pub jobs: Vec<JobMetrics>,
+    /// Whole-run metrics.
+    pub cluster: ClusterMetrics,
+    /// The event log.
+    pub events: Vec<EventRecord>,
+}
+
+/// A job currently holding GPUs.
+struct Running {
+    job: usize,
+    assignment: Vec<(usize, usize)>,
+    /// True when the gang's synchronization rides Ethernet from this
+    /// placement (always for `Ethernet` jobs, only when split for
+    /// `Local` ones) — i.e. it counts toward NIC sharing.
+    on_ethernet: bool,
+    /// Current per-step time under the live contention state.
+    step_time: f64,
+    /// Fractional steps at which this dispatch stops: the next crash
+    /// point or the job's step count.
+    boundary: f64,
+    boundary_is_crash: bool,
+}
+
+/// Per-job bookkeeping that survives crash requeues.
+struct JobState {
+    executed: f64,
+    next_crash: usize,
+    crashes: usize,
+    first_start: Option<f64>,
+    finish: f64,
+}
+
+/// Event candidate classes, in same-instant processing order.
+const CLASS_BOUNDARY: u8 = 0;
+const CLASS_REQUEUE: u8 = 1;
+const CLASS_ARRIVAL: u8 = 2;
+
+/// Runs the stream to completion under one policy.
+///
+/// Deterministic: the outcome is a pure function of
+/// `(cluster, jobs, policy, config)`.
+///
+/// # Errors
+///
+/// Rejects an empty stream, zero-replica jobs, duplicate ids, and
+/// jobs wider than the cluster ([`SchedError::JobTooLarge`] — a gang
+/// that can never be admitted would wedge the FIFO queue forever).
+/// A custom policy returning a malformed assignment yields
+/// [`SchedError::InvalidAssignment`]; one that refuses a feasible job
+/// on an otherwise idle cluster yields [`SchedError::Stalled`].
+pub fn run(
+    cluster: &ClusterSpec,
+    jobs: &[SchedJob],
+    policy: &dyn Policy,
+    config: &SchedConfig,
+) -> Result<SchedOutcome, SchedError> {
+    if jobs.is_empty() {
+        return Err(SchedError::NoJobs);
+    }
+    let capacity = cluster.total_gpus();
+    let num_servers = cluster.num_servers();
+    let per_server = cluster.server().gpus_per_server();
+    let mut ids: Vec<usize> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.cnodes == 0 {
+            return Err(SchedError::EmptyJob { id: job.id });
+        }
+        if job.cnodes > capacity {
+            return Err(SchedError::JobTooLarge {
+                id: job.id,
+                requested: job.cnodes,
+                capacity,
+            });
+        }
+        ids.push(job.id);
+    }
+    ids.sort_unstable();
+    for pair in ids.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(SchedError::DuplicateJobId { id: pair[0] });
+        }
+    }
+
+    // Per-job Ethernet transfer time of one step's weight volume.
+    let eth_time: Vec<f64> = jobs
+        .iter()
+        .map(|j| cluster.ethernet().transfer_time(j.weight_bytes).as_f64())
+        .collect();
+    // Arrival order: by time, ties by stream position.
+    let mut arrival_order: Vec<usize> = (0..jobs.len()).collect();
+    arrival_order.sort_by(|&a, &b| {
+        jobs[a]
+            .arrival
+            .as_f64()
+            .total_cmp(&jobs[b].arrival.as_f64())
+            .then(a.cmp(&b))
+    });
+
+    let mut state: Vec<JobState> = jobs
+        .iter()
+        .map(|_| JobState {
+            executed: 0.0,
+            next_crash: 0,
+            crashes: 0,
+            first_start: None,
+            finish: 0.0,
+        })
+        .collect();
+    let mut free = vec![per_server; num_servers];
+    let mut comm = vec![0usize; num_servers];
+    let mut running: Vec<Running> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut waiting: Vec<(f64, usize)> = Vec::new();
+    let mut events: Vec<EventRecord> = Vec::new();
+    let mut seq = 0usize;
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+    let mut completed = 0usize;
+    let mut busy_gpus = 0usize;
+    let mut busy_integral = 0.0f64;
+    let mut frag_integral = 0.0f64;
+
+    let record = |events: &mut Vec<EventRecord>, seq: &mut usize, time, kind, job| {
+        if config.log_events {
+            events.push(EventRecord {
+                seq: *seq,
+                time_s: time,
+                kind,
+                job,
+            });
+        }
+        *seq += 1;
+    };
+
+    while completed < jobs.len() {
+        // Next event: min over (time, class, job id).
+        let mut best: Option<(f64, u8, usize, usize)> = None;
+        // A job appears in at most one candidate class at a time, so
+        // the (time, class, job) key is strict and the minimum unique.
+        let consider = |cand: (f64, u8, usize, usize),
+                        best: &mut Option<(f64, u8, usize, usize)>| {
+            let better = match best {
+                None => true,
+                Some(b) => (cand.0, cand.1, cand.2) < (b.0, b.1, b.2),
+            };
+            if better {
+                *best = Some(cand);
+            }
+        };
+        for (slot, r) in running.iter().enumerate() {
+            let remaining = (r.boundary - state[r.job].executed).max(0.0);
+            let at = if r.step_time > 0.0 {
+                now + remaining * r.step_time
+            } else {
+                now
+            };
+            consider((at, CLASS_BOUNDARY, r.job, slot), &mut best);
+        }
+        for (slot, &(ready, job)) in waiting.iter().enumerate() {
+            consider((ready, CLASS_REQUEUE, job, slot), &mut best);
+        }
+        if next_arrival < arrival_order.len() {
+            let job = arrival_order[next_arrival];
+            consider(
+                (jobs[job].arrival.as_f64(), CLASS_ARRIVAL, job, 0),
+                &mut best,
+            );
+        }
+        let (time, class, job, slot) = match best {
+            Some(b) => b,
+            // Nothing can happen but jobs remain: the policy wedged
+            // the queue head on an idle cluster.
+            None => {
+                let head = queue.front().copied().unwrap_or(0);
+                return Err(SchedError::Stalled {
+                    policy: policy.name(),
+                    job: head,
+                });
+            }
+        };
+
+        // Advance the fluid state to the event instant.
+        let elapsed = (time - now).max(0.0);
+        if elapsed > 0.0 {
+            busy_integral += busy_gpus as f64 * elapsed;
+            let partial = free
+                .iter()
+                .filter(|&&idle| idle > 0 && idle < per_server)
+                .count();
+            frag_integral += partial as f64 * elapsed;
+            for r in &running {
+                let s = &mut state[r.job];
+                s.executed = if r.step_time > 0.0 {
+                    (s.executed + elapsed / r.step_time).min(r.boundary)
+                } else {
+                    r.boundary
+                };
+            }
+        }
+        now = time;
+
+        match class {
+            CLASS_BOUNDARY => {
+                let r = running.swap_remove(slot);
+                for &(server, count) in &r.assignment {
+                    free[server] += count;
+                    if r.on_ethernet {
+                        comm[server] -= count;
+                    }
+                }
+                busy_gpus -= jobs[r.job].cnodes;
+                let s = &mut state[r.job];
+                s.executed = r.boundary;
+                if r.boundary_is_crash {
+                    let crash = jobs[r.job].crashes[s.next_crash];
+                    s.next_crash += 1;
+                    s.crashes += 1;
+                    s.executed = (s.executed - crash.lost_steps as f64).max(0.0);
+                    let delay = crash.restart.as_f64()
+                        + config
+                            .requeue_backoff
+                            .delay((s.crashes - 1) as u32)
+                            .as_f64();
+                    waiting.push((now + delay, r.job));
+                    record(&mut events, &mut seq, now, EventKind::Crash, r.job);
+                } else {
+                    s.finish = now;
+                    completed += 1;
+                    record(&mut events, &mut seq, now, EventKind::Finish, r.job);
+                }
+            }
+            CLASS_REQUEUE => {
+                waiting.remove(slot);
+                queue.push_back(job);
+                record(&mut events, &mut seq, now, EventKind::Requeue, job);
+            }
+            _ => {
+                next_arrival += 1;
+                queue.push_back(job);
+                record(&mut events, &mut seq, now, EventKind::Arrive, job);
+            }
+        }
+
+        // Replay the FIFO head against the policy until it blocks.
+        while let Some(&head) = queue.front() {
+            let j = &jobs[head];
+            let assignment = match policy.place(j.cnodes, j.sync, &free) {
+                Some(a) => a,
+                None => break,
+            };
+            let mut total = 0usize;
+            let mut seen: Vec<usize> = Vec::with_capacity(assignment.len());
+            for &(server, count) in &assignment {
+                if server >= num_servers || count == 0 || count > free[server] {
+                    return Err(SchedError::InvalidAssignment {
+                        policy: policy.name(),
+                        job: head,
+                    });
+                }
+                seen.push(server);
+                total += count;
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            if total != j.cnodes || seen.len() != assignment.len() {
+                return Err(SchedError::InvalidAssignment {
+                    policy: policy.name(),
+                    job: head,
+                });
+            }
+            queue.pop_front();
+            let on_ethernet = match j.sync {
+                SyncClass::Ethernet => true,
+                // A split local gang spills its synchronization onto
+                // Ethernet; contained, it stays on PCIe/NVLink.
+                SyncClass::Local => assignment.len() > 1,
+                SyncClass::Silent => false,
+            };
+            for &(server, count) in &assignment {
+                free[server] -= count;
+                if on_ethernet {
+                    comm[server] += count;
+                }
+            }
+            busy_gpus += j.cnodes;
+            let s = &mut state[head];
+            if s.first_start.is_none() {
+                s.first_start = Some(now);
+            }
+            // The crash index only moves forward: each crash point
+            // fires at most once, so a rollback below a fired point
+            // cannot re-trigger it.
+            let (boundary, boundary_is_crash) = match j.crashes.get(s.next_crash) {
+                Some(crash) if (crash.at_step as f64) < j.steps as f64 => {
+                    ((crash.at_step as f64).max(s.executed), true)
+                }
+                _ => (j.steps as f64, false),
+            };
+            running.push(Running {
+                job: head,
+                assignment,
+                on_ethernet,
+                step_time: 0.0,
+                boundary,
+                boundary_is_crash,
+            });
+            record(&mut events, &mut seq, now, EventKind::Start, head);
+        }
+
+        // Reprice every running job from the live sharer counters —
+        // identical to Placement::step_time_of over a snapshot of the
+        // running set (a test pins this equivalence).
+        for r in &mut running {
+            let j = &jobs[r.job];
+            let sync_term = if r.on_ethernet {
+                let oversub = r
+                    .assignment
+                    .iter()
+                    .map(|&(server, _)| comm[server])
+                    .max()
+                    .unwrap_or(1)
+                    .max(1);
+                eth_time[r.job] * oversub as f64
+            } else if j.sync == SyncClass::Local {
+                j.local_sync_time.as_f64()
+            } else {
+                0.0
+            };
+            r.step_time = j.compute_time.as_f64() + sync_term;
+        }
+    }
+
+    let makespan = now;
+    let mut job_metrics = Vec::with_capacity(jobs.len());
+    let mut jcts = Vec::with_capacity(jobs.len());
+    let mut queue_sum = 0.0f64;
+    let mut slowdown_sum = 0.0f64;
+    let mut crash_total = 0usize;
+    for (i, job) in jobs.iter().enumerate() {
+        let s = &state[i];
+        let arrival = job.arrival.as_f64();
+        let first_start = s.first_start.unwrap_or(s.finish);
+        let jct = s.finish - arrival;
+        let solo = job.steps as f64 * job.solo_step(cluster).as_f64();
+        let slowdown = (jct / solo.max(BOUNDED_SLOWDOWN_TAU_S)).max(1.0);
+        queue_sum += first_start - arrival;
+        slowdown_sum += slowdown;
+        crash_total += s.crashes;
+        jcts.push(jct);
+        job_metrics.push(JobMetrics {
+            id: job.id,
+            cnodes: job.cnodes,
+            steps: job.steps,
+            arrival_s: arrival,
+            first_start_s: first_start,
+            finish_s: s.finish,
+            queueing_delay_s: first_start - arrival,
+            jct_s: jct,
+            slowdown,
+            crashes: s.crashes,
+        });
+    }
+    jcts.sort_by(f64::total_cmp);
+    let n = jobs.len() as f64;
+    let cluster_metrics = ClusterMetrics {
+        jobs: jobs.len(),
+        crashes: crash_total,
+        makespan_s: makespan,
+        gpu_utilization: if makespan > 0.0 {
+            busy_integral / (capacity as f64 * makespan)
+        } else {
+            0.0
+        },
+        fragmentation: if makespan > 0.0 {
+            frag_integral / (num_servers as f64 * makespan)
+        } else {
+            0.0
+        },
+        mean_queueing_delay_s: queue_sum / n,
+        mean_jct_s: jcts.iter().sum::<f64>() / n,
+        p50_jct_s: percentile(&jcts, 0.50),
+        p95_jct_s: percentile(&jcts, 0.95),
+        p99_jct_s: percentile(&jcts, 0.99),
+        mean_slowdown: slowdown_sum / n,
+    };
+    Ok(SchedOutcome {
+        policy: policy.name().to_string(),
+        jobs: job_metrics,
+        cluster: cluster_metrics,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::CrashPoint;
+    use crate::policy::{FifoFirstFit, LocalityAware, PolicyKind, Spread};
+    use pai_hw::Bytes;
+    use pai_sim::cluster::{ClusterJob, Placement};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::testbed(0.7)
+    }
+
+    fn job(id: usize, arrival_s: f64, steps: usize, cnodes: usize, sync: SyncClass) -> SchedJob {
+        SchedJob {
+            id,
+            arrival: Seconds::from_f64(arrival_s),
+            steps,
+            cnodes,
+            compute_time: Seconds::from_millis(100.0),
+            weight_bytes: Bytes::from_mb(50.0),
+            sync,
+            local_sync_time: Seconds::from_millis(10.0),
+            crashes: Vec::new(),
+        }
+    }
+
+    fn cfg() -> SchedConfig {
+        SchedConfig::default()
+    }
+
+    #[test]
+    fn lone_job_runs_solo_without_queueing() {
+        let c = cluster();
+        let j = job(0, 3.0, 20, 8, SyncClass::Silent);
+        let out = run(&c, std::slice::from_ref(&j), &FifoFirstFit, &cfg()).expect("runs");
+        let m = out.jobs[0];
+        assert_eq!(m.queueing_delay_s, 0.0);
+        let solo = 20.0 * j.solo_step(&c).as_f64();
+        assert!((m.jct_s - solo).abs() < 1e-9, "{} vs {}", m.jct_s, solo);
+        assert!((m.slowdown - 1.0).abs() < 1e-9);
+        assert_eq!(m.crashes, 0);
+        assert!((out.cluster.makespan_s - (3.0 + solo)).abs() < 1e-9);
+        // 8 of 512 GPUs busy for the whole post-arrival window; the
+        // pre-arrival 3 s dilute the utilization integral.
+        let expected_util = (8.0 * solo) / (512.0 * (3.0 + solo));
+        assert!((out.cluster.gpu_utilization - expected_util).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lone_ethernet_gang_self_contends_packed_but_not_spread() {
+        // An 8-replica Ethernet gang packed onto one server shares its
+        // own NIC 8 ways (the pai-sim model's oversubscription);
+        // spread one-per-server it achieves the solo step time.
+        let c = cluster();
+        let j = job(0, 0.0, 20, 8, SyncClass::Ethernet);
+        let packed = run(&c, std::slice::from_ref(&j), &FifoFirstFit, &cfg()).expect("runs");
+        let spread = run(&c, std::slice::from_ref(&j), &Spread, &cfg()).expect("runs");
+        let solo = 20.0 * j.solo_step(&c).as_f64();
+        assert!((spread.jobs[0].jct_s - solo).abs() < 1e-9);
+        let contended = 20.0
+            * (j.compute_time.as_f64() + 8.0 * c.ethernet().transfer_time(j.weight_bytes).as_f64());
+        assert!((packed.jobs[0].jct_s - contended).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contended_step_times_match_the_placement_model() {
+        // Two 4-replica Ethernet jobs first-fit onto one server: the
+        // engine's incremental sharer counters must price exactly what
+        // Placement::from_assignments prices.
+        let c = cluster();
+        let a = job(0, 0.0, 40, 4, SyncClass::Ethernet);
+        let b = job(1, 0.0, 40, 4, SyncClass::Ethernet);
+        let out = run(&c, &[a.clone(), b.clone()], &FifoFirstFit, &cfg()).expect("runs");
+        let cluster_jobs = [
+            ClusterJob {
+                id: 0,
+                cnodes: 4,
+                local_time: a.compute_time,
+                ethernet_bytes: a.weight_bytes,
+            },
+            ClusterJob {
+                id: 1,
+                cnodes: 4,
+                local_time: b.compute_time,
+                ethernet_bytes: b.weight_bytes,
+            },
+        ];
+        let snapshot =
+            Placement::from_assignments(&c, &cluster_jobs, &[vec![(0, 4)], vec![(0, 4)]])
+                .expect("valid assignment");
+        let contended = snapshot.job_step_time(0).expect("placed").as_f64();
+        // Both jobs run contended until both finish simultaneously.
+        assert!((out.jobs[0].jct_s - 40.0 * contended).abs() < 1e-9);
+        assert!((out.jobs[1].jct_s - 40.0 * contended).abs() < 1e-9);
+        // 40 contended steps clear the bounded-slowdown floor.
+        assert!(out.jobs[0].slowdown > 1.0);
+    }
+
+    #[test]
+    fn departures_relieve_contention() {
+        // A short and a long Ethernet job share a NIC; once the short
+        // one departs, the long one's remaining steps speed up, so its
+        // JCT lands strictly between fully-contended and solo.
+        let c = cluster();
+        let short = job(0, 0.0, 5, 4, SyncClass::Ethernet);
+        let long = job(1, 0.0, 50, 4, SyncClass::Ethernet);
+        let out = run(&c, &[short, long.clone()], &FifoFirstFit, &cfg()).expect("runs");
+        let solo = 50.0 * long.solo_step(&c).as_f64();
+        let m = out.jobs[1];
+        assert!(m.jct_s > solo, "never faster than solo");
+        assert!(
+            m.jct_s
+                < 50.0
+                    * (long.compute_time.as_f64()
+                        + 8.0 * c.ethernet().transfer_time(long.weight_bytes).as_f64()),
+            "contention must relax after the short job departs"
+        );
+    }
+
+    #[test]
+    fn full_cluster_queues_the_next_gang() {
+        let c = cluster();
+        let wall = job(0, 0.0, 200, 512, SyncClass::Silent);
+        let late = job(1, 1.0, 10, 8, SyncClass::Silent);
+        let out = run(&c, &[wall.clone(), late], &FifoFirstFit, &cfg()).expect("runs");
+        let wall_finish = 200.0 * wall.compute_time.as_f64();
+        let m = out.jobs[1];
+        assert!((m.first_start_s - wall_finish).abs() < 1e-9);
+        assert!((m.queueing_delay_s - (wall_finish - 1.0)).abs() < 1e-9);
+        assert!(m.slowdown > 1.0, "queueing counts toward slowdown");
+    }
+
+    #[test]
+    fn crashes_requeue_with_restart_and_backoff() {
+        let c = cluster();
+        let mut j = job(0, 0.0, 10, 8, SyncClass::Silent);
+        j.crashes = vec![CrashPoint {
+            at_step: 5,
+            restart: Seconds::from_f64(10.0),
+            lost_steps: 3,
+        }];
+        let config = cfg();
+        let out = run(&c, &[j.clone()], &FifoFirstFit, &config).expect("runs");
+        let step = j.compute_time.as_f64();
+        let backoff = config.requeue_backoff.delay(0).as_f64();
+        // 5 steps, crash, 10 s restart + backoff, rerun from step 2.
+        let expected = 5.0 * step + 10.0 + backoff + 8.0 * step;
+        let m = out.jobs[0];
+        assert_eq!(m.crashes, 1);
+        assert!(
+            (m.jct_s - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.jct_s
+        );
+        assert_eq!(out.cluster.crashes, 1);
+        let kinds: Vec<EventKind> = out.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Arrive,
+                EventKind::Start,
+                EventKind::Crash,
+                EventKind::Requeue,
+                EventKind::Start,
+                EventKind::Finish
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_crash_points_each_fire_once() {
+        // Losing more steps than the gap between crash points must not
+        // loop: each point fires once and the index only moves
+        // forward.
+        let c = cluster();
+        let mut j = job(0, 0.0, 10, 8, SyncClass::Silent);
+        j.crashes = vec![
+            CrashPoint {
+                at_step: 2,
+                restart: Seconds::from_f64(1.0),
+                lost_steps: 2,
+            },
+            CrashPoint {
+                at_step: 2,
+                restart: Seconds::from_f64(1.0),
+                lost_steps: 2,
+            },
+        ];
+        let out = run(&c, &[j], &FifoFirstFit, &cfg()).expect("terminates");
+        assert_eq!(out.jobs[0].crashes, 2);
+        assert!(out.jobs[0].jct_s > 0.0);
+    }
+
+    #[test]
+    fn locality_policy_contains_local_gangs_and_wins() {
+        // A 4-wide silent job occupies half of server 0; an 8-wide
+        // AllReduce-Local gang then either splits onto Ethernet
+        // (first-fit) or lands whole on server 1 (locality-aware).
+        let c = cluster();
+        let filler = job(0, 0.0, 400, 4, SyncClass::Silent);
+        let mut arl = job(1, 0.1, 50, 8, SyncClass::Local);
+        arl.weight_bytes = Bytes::from_mb(200.0);
+        let jobs = [filler, arl.clone()];
+        let ff = run(&c, &jobs, &FifoFirstFit, &cfg()).expect("runs");
+        let loc = run(&c, &jobs, &LocalityAware, &cfg()).expect("runs");
+        let contained = 50.0 * (arl.compute_time + arl.local_sync_time).as_f64();
+        assert!((loc.jobs[1].jct_s - contained).abs() < 1e-9);
+        assert!(
+            ff.jobs[1].jct_s > loc.jobs[1].jct_s * 2.0,
+            "split gang pays Ethernet: {} vs {}",
+            ff.jobs[1].jct_s,
+            loc.jobs[1].jct_s
+        );
+    }
+
+    #[test]
+    fn spread_relieves_nic_sharing_for_ethernet_gangs() {
+        let c = cluster();
+        let a = job(0, 0.0, 20, 4, SyncClass::Ethernet);
+        let b = job(1, 0.0, 20, 4, SyncClass::Ethernet);
+        let jobs = [a, b];
+        let packed = run(&c, &jobs, &FifoFirstFit, &cfg()).expect("runs");
+        let spread = run(&c, &jobs, &Spread, &cfg()).expect("runs");
+        // One replica per server: no sharing at all.
+        assert!((spread.jobs[0].slowdown - 1.0).abs() < 1e-9);
+        assert!(packed.jobs[0].jct_s > spread.jobs[0].jct_s);
+        // The price: spread strands partial servers.
+        assert!(spread.cluster.fragmentation > packed.cluster.fragmentation);
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let c = cluster();
+        assert_eq!(
+            run(&c, &[], &FifoFirstFit, &cfg()).unwrap_err(),
+            SchedError::NoJobs
+        );
+        let zero = job(0, 0.0, 10, 0, SyncClass::Silent);
+        assert_eq!(
+            run(&c, &[zero], &FifoFirstFit, &cfg()).unwrap_err(),
+            SchedError::EmptyJob { id: 0 }
+        );
+        let wide = job(0, 0.0, 10, 513, SyncClass::Silent);
+        assert_eq!(
+            run(&c, &[wide], &FifoFirstFit, &cfg()).unwrap_err(),
+            SchedError::JobTooLarge {
+                id: 0,
+                requested: 513,
+                capacity: 512
+            }
+        );
+        let twins = [
+            job(3, 0.0, 10, 4, SyncClass::Silent),
+            job(3, 1.0, 10, 4, SyncClass::Silent),
+        ];
+        assert_eq!(
+            run(&c, &twins, &FifoFirstFit, &cfg()).unwrap_err(),
+            SchedError::DuplicateJobId { id: 3 }
+        );
+    }
+
+    struct RefuseAll;
+    impl Policy for RefuseAll {
+        fn name(&self) -> &'static str {
+            "refuse-all"
+        }
+        fn place(&self, _: usize, _: SyncClass, _: &[usize]) -> Option<Vec<(usize, usize)>> {
+            None
+        }
+    }
+
+    struct Overcommit;
+    impl Policy for Overcommit {
+        fn name(&self) -> &'static str {
+            "overcommit"
+        }
+        fn place(&self, cnodes: usize, _: SyncClass, _: &[usize]) -> Option<Vec<(usize, usize)>> {
+            Some(vec![(0, cnodes), (0, cnodes)])
+        }
+    }
+
+    #[test]
+    fn misbehaving_policies_are_typed_errors_not_hangs() {
+        let c = cluster();
+        let jobs = [job(0, 0.0, 10, 4, SyncClass::Silent)];
+        assert_eq!(
+            run(&c, &jobs, &RefuseAll, &cfg()).unwrap_err(),
+            SchedError::Stalled {
+                policy: "refuse-all",
+                job: 0
+            }
+        );
+        assert_eq!(
+            run(&c, &jobs, &Overcommit, &cfg()).unwrap_err(),
+            SchedError::InvalidAssignment {
+                policy: "overcommit",
+                job: 0
+            }
+        );
+    }
+
+    #[test]
+    fn event_log_is_ordered_and_gated_by_config() {
+        let c = cluster();
+        let jobs = [
+            job(0, 0.0, 10, 8, SyncClass::Ethernet),
+            job(1, 0.5, 10, 8, SyncClass::Local),
+            job(2, 1.0, 10, 8, SyncClass::Silent),
+        ];
+        let out = run(&c, &jobs, &FifoFirstFit, &cfg()).expect("runs");
+        assert!(!out.events.is_empty());
+        for pair in out.events.windows(2) {
+            assert!(pair[1].seq == pair[0].seq + 1);
+            assert!(pair[1].time_s >= pair[0].time_s);
+        }
+        assert_eq!(
+            out.events
+                .iter()
+                .filter(|e| e.kind == EventKind::Finish)
+                .count(),
+            3
+        );
+        let quiet = SchedConfig {
+            log_events: false,
+            ..cfg()
+        };
+        let silent_out = run(&c, &jobs, &FifoFirstFit, &quiet).expect("runs");
+        assert!(silent_out.events.is_empty());
+        assert_eq!(
+            silent_out.cluster, out.cluster,
+            "the log is observation only"
+        );
+    }
+
+    #[test]
+    fn metrics_stay_in_their_ranges_under_every_policy() {
+        let c = cluster();
+        let mut jobs = Vec::new();
+        for i in 0..40 {
+            let sync = match i % 3 {
+                0 => SyncClass::Silent,
+                1 => SyncClass::Local,
+                _ => SyncClass::Ethernet,
+            };
+            jobs.push(job(i, i as f64 * 0.3, 10 + i, 1 + (i * 7) % 16, sync));
+        }
+        for kind in PolicyKind::ALL {
+            let out = run(&c, &jobs, kind.policy(), &cfg()).expect("runs");
+            let m = out.cluster;
+            assert_eq!(m.jobs, 40);
+            assert!(m.gpu_utilization > 0.0 && m.gpu_utilization <= 1.0);
+            assert!((0.0..=1.0).contains(&m.fragmentation));
+            assert!(m.makespan_s > 0.0);
+            assert!(m.p50_jct_s <= m.p95_jct_s && m.p95_jct_s <= m.p99_jct_s);
+            assert!(m.mean_slowdown >= 1.0 - 1e-9);
+            assert!(m.mean_queueing_delay_s >= 0.0);
+            for jm in &out.jobs {
+                assert!(jm.finish_s >= jm.first_start_s);
+                assert!(jm.first_start_s >= jm.arrival_s);
+                assert!(jm.slowdown >= 1.0 - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Deterministic discrete-event gang scheduling over the trace
+//! population.
+//!
+//! The paper characterizes per-step behavior of a production fleet;
+//! its Sec. VI provisioning implications are cluster-operations
+//! questions — queueing, gang placement, NIC oversubscription under a
+//! mixed workload over time. This crate answers them with a
+//! discrete-event simulator that runs on **virtual time only**:
+//!
+//! - [`stream`] turns a `pai-trace` population into a deterministic
+//!   arrival stream (exponential inter-arrivals, log-uniform step
+//!   counts, calibrated crash plans — all seed-derived);
+//! - [`policy`] defines the [`Policy`] trait and four built-in gang
+//!   placements (FIFO first-fit, best-fit packed, spread,
+//!   locality-aware);
+//! - [`engine`] advances the fluid event loop, pricing running jobs
+//!   with the analytical model dilated by `pai-sim::cluster`'s
+//!   max-min NIC contention and requeueing crashed gangs with
+//!   backoff;
+//! - [`metrics`] reports queueing delay, JCT, slowdown vs solo, GPU
+//!   utilization, fragmentation, makespan, and JCT percentiles;
+//! - [`sweep`] maps policy × seed cross products through `pai-par`
+//!   with the serial path as the oracle.
+//!
+//! Everything is a pure function of its inputs: the same
+//! `(population, seed, policy)` reproduces the same event log
+//! bit-for-bit at any thread count.
+
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod metrics;
+pub mod policy;
+pub mod stream;
+pub mod sweep;
+
+pub use engine::{run, EventKind, EventRecord, SchedConfig, SchedOutcome};
+pub use error::SchedError;
+pub use job::{CrashPoint, SchedJob, SyncClass};
+pub use metrics::{ClusterMetrics, JobMetrics, BOUNDED_SLOWDOWN_TAU_S};
+pub use policy::{BestFitPacked, FifoFirstFit, LocalityAware, Policy, PolicyKind, Spread};
+pub use stream::{realize_stream, templates_from_population, ArrivalConfig, JobTemplate};
+pub use sweep::{sweep_par, SweepConfig, SweepPoint};

@@ -1,0 +1,93 @@
+//! Per-job and cluster-level schedule metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// One completed job's schedule outcome. Times are virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Stream job id.
+    pub id: usize,
+    /// Replica count.
+    pub cnodes: usize,
+    /// Steps run to completion.
+    pub steps: usize,
+    /// Submission time.
+    pub arrival_s: f64,
+    /// First time the gang got its GPUs.
+    pub first_start_s: f64,
+    /// Completion time.
+    pub finish_s: f64,
+    /// `first_start - arrival`.
+    pub queueing_delay_s: f64,
+    /// Job completion time, `finish - arrival`.
+    pub jct_s: f64,
+    /// Bounded slowdown: JCT over the job's solo (uncontended,
+    /// locality-respecting, crash-free) runtime, with the denominator
+    /// floored at [`BOUNDED_SLOWDOWN_TAU_S`] and the ratio floored at
+    /// one. The floor keeps sub-second jobs from turning any queueing
+    /// delay into a six-figure ratio, the standard fix in the
+    /// scheduling literature.
+    pub slowdown: f64,
+    /// Crashes survived.
+    pub crashes: usize,
+}
+
+/// Whole-run schedule metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Crash-requeue events across all jobs.
+    pub crashes: usize,
+    /// Virtual time of the last completion.
+    pub makespan_s: f64,
+    /// Busy GPU-seconds over `total_gpus x makespan`.
+    pub gpu_utilization: f64,
+    /// Time-averaged fraction of servers left partially occupied
+    /// (neither idle nor full) — the stranded-capacity signal.
+    pub fragmentation: f64,
+    /// Mean `first_start - arrival`.
+    pub mean_queueing_delay_s: f64,
+    /// Mean job completion time.
+    pub mean_jct_s: f64,
+    /// Median JCT.
+    pub p50_jct_s: f64,
+    /// 95th-percentile JCT.
+    pub p95_jct_s: f64,
+    /// 99th-percentile JCT.
+    pub p99_jct_s: f64,
+    /// Mean per-job bounded slowdown vs solo (see
+    /// [`JobMetrics::slowdown`]).
+    pub mean_slowdown: f64,
+}
+
+/// Denominator floor of the bounded-slowdown metric, in seconds: a
+/// job shorter than this is judged against the floor, not its own
+/// (possibly sub-second) solo runtime.
+pub const BOUNDED_SLOWDOWN_TAU_S: f64 = 10.0;
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0 for an
+/// empty one.
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.95), 4.0);
+        assert_eq!(percentile(&v, 0.25), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The scheduler's determinism contract:
+//!
+//! 1. the policy × seed sweep is bit-identical at any worker-thread
+//!    count (serial path = oracle, `PAI_THREADS ∈ {1, 2, 4, 8}`);
+//! 2. the same seed reproduces the same event log bit-for-bit, and a
+//!    different seed does not.
+
+use pai_core::PerfModel;
+use pai_hw::ClusterSpec;
+use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
+use pai_sched::{
+    realize_stream, run, sweep_par, templates_from_population, ArrivalConfig, PolicyKind,
+    SchedConfig, SweepConfig,
+};
+use pai_trace::{FailureSampler, Population, PopulationConfig};
+use proptest::prelude::*;
+
+fn population(jobs: usize, seed: u64) -> Population {
+    let config = PopulationConfig::paper_scale(jobs).expect("valid scale");
+    Population::generate(&config, seed).expect("valid config")
+}
+
+proptest! {
+    // Each case runs 4 thread counts x (4 policies x 2 seeds) engine
+    // runs over a fresh population; a few cases cover the space.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// ISSUE acceptance: the sweep is thread-count invariant for
+    /// arbitrary populations and stream seeds.
+    #[test]
+    fn sweep_is_thread_count_invariant(jobs in 200usize..800, seed in 0u64..1_000) {
+        let cluster = ClusterSpec::testbed(0.7);
+        let model = PerfModel::paper_default();
+        let pop = population(jobs, seed);
+        let config = SweepConfig {
+            arrival: ArrivalConfig::default(),
+            sched: SchedConfig::default(),
+            seeds: vec![seed, seed.wrapping_add(1)],
+            policies: PolicyKind::ALL.to_vec(),
+            width_cap: None,
+        };
+        let points = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
+            sweep_par(&cluster, &model, &pop, &config, threads).expect("valid sweep")
+        });
+        prop_assert_eq!(points.len(), 8);
+        for p in &points {
+            prop_assert!(p.metrics.gpu_utilization > 0.0);
+            prop_assert!(p.metrics.mean_slowdown >= 1.0 - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_event_log_bit_for_bit() {
+    let cluster = ClusterSpec::testbed(0.7);
+    let model = PerfModel::paper_default();
+    let pop = population(400, 3);
+    let (templates, _) = templates_from_population(&model, &pop, cluster.total_gpus());
+    let failures = FailureSampler::paper_calibrated();
+    let arrival = ArrivalConfig::default();
+    let config = SchedConfig::default();
+
+    for kind in PolicyKind::ALL {
+        let stream_a = realize_stream(&templates, &arrival, &failures, 99).expect("valid");
+        let stream_b = realize_stream(&templates, &arrival, &failures, 99).expect("valid");
+        assert_eq!(stream_a, stream_b);
+        let a = run(&cluster, &stream_a, kind.policy(), &config).expect("runs");
+        let b = run(&cluster, &stream_b, kind.policy(), &config).expect("runs");
+        assert_eq!(
+            a.events,
+            b.events,
+            "{}: event log must be bit-identical",
+            kind.name()
+        );
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.cluster, b.cluster);
+
+        let stream_c = realize_stream(&templates, &arrival, &failures, 100).expect("valid");
+        let c = run(&cluster, &stream_c, kind.policy(), &config).expect("runs");
+        assert_ne!(
+            a.events,
+            c.events,
+            "{}: a different seed must differ",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn policies_agree_on_work_but_disagree_on_layout() {
+    // Same stream through all four policies: every job completes under
+    // each (same Finish count), but the schedules genuinely differ.
+    let cluster = ClusterSpec::testbed(0.7);
+    let model = PerfModel::paper_default();
+    let pop = population(500, 17);
+    let (templates, _) = templates_from_population(&model, &pop, cluster.total_gpus());
+    let failures = FailureSampler::paper_calibrated();
+    let stream =
+        realize_stream(&templates, &ArrivalConfig::default(), &failures, 17).expect("valid");
+    let config = SchedConfig::default();
+    let outcomes: Vec<_> = PolicyKind::ALL
+        .iter()
+        .map(|k| run(&cluster, &stream, k.policy(), &config).expect("runs"))
+        .collect();
+    for o in &outcomes {
+        assert_eq!(o.cluster.jobs, stream.len());
+    }
+    let makespans: Vec<f64> = outcomes.iter().map(|o| o.cluster.makespan_s).collect();
+    assert!(
+        makespans.iter().any(|&m| (m - makespans[0]).abs() > 1e-9),
+        "four policies produced identical makespans — placement is not differentiating"
+    );
+}

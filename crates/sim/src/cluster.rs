@@ -66,6 +66,46 @@ pub enum PlacementError {
         /// The offending job id.
         id: usize,
     },
+    /// The job list repeats an id, so per-id queries would be
+    /// ambiguous.
+    DuplicateJobId {
+        /// The repeated job id.
+        id: usize,
+    },
+    /// An explicit assignment list does not line up with the job list.
+    AssignmentMismatch {
+        /// Jobs in the mix.
+        jobs: usize,
+        /// Assignments supplied.
+        assignments: usize,
+    },
+    /// An assignment names a server the cluster does not have.
+    ServerOutOfRange {
+        /// The offending server index.
+        server: usize,
+        /// Servers the cluster has.
+        servers: usize,
+    },
+    /// An assignment packs more replicas onto a server than it has
+    /// GPUs.
+    ServerOverCommitted {
+        /// The offending server index.
+        server: usize,
+        /// Replicas assigned to it.
+        assigned: usize,
+        /// GPUs it has.
+        capacity: usize,
+    },
+    /// An assignment's replica total differs from the job's cNode
+    /// demand.
+    WrongReplicaCount {
+        /// The offending job id.
+        id: usize,
+        /// Replicas the assignment provides.
+        assigned: usize,
+        /// Replicas the job requests.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -80,6 +120,30 @@ impl fmt::Display for PlacementError {
             ),
             PlacementError::EmptyJob { id } => write!(f, "job {id} requests zero replicas"),
             PlacementError::UnknownJob { id } => write!(f, "unknown job id {id}"),
+            PlacementError::DuplicateJobId { id } => write!(f, "job id {id} appears twice"),
+            PlacementError::AssignmentMismatch { jobs, assignments } => {
+                write!(f, "{jobs} jobs but {assignments} assignments were supplied")
+            }
+            PlacementError::ServerOutOfRange { server, servers } => write!(
+                f,
+                "assignment names server {server} but the cluster has {servers}"
+            ),
+            PlacementError::ServerOverCommitted {
+                server,
+                assigned,
+                capacity,
+            } => write!(
+                f,
+                "server {server} is assigned {assigned} replicas but has {capacity} GPUs"
+            ),
+            PlacementError::WrongReplicaCount {
+                id,
+                assigned,
+                requested,
+            } => write!(
+                f,
+                "job {id} is assigned {assigned} replicas but requests {requested}"
+            ),
         }
     }
 }
@@ -121,11 +185,7 @@ pub struct Placement {
 /// # Ok::<(), pai_sim::cluster::PlacementError>(())
 /// ```
 pub fn place(cluster: &ClusterSpec, jobs: &[ClusterJob]) -> Result<Placement, PlacementError> {
-    for job in jobs {
-        if job.cnodes == 0 {
-            return Err(PlacementError::EmptyJob { id: job.id });
-        }
-    }
+    validate_jobs(jobs)?;
     let requested: usize = jobs.iter().map(|j| j.cnodes).sum();
     if requested > cluster.total_gpus() {
         return Err(PlacementError::InsufficientGpus {
@@ -166,7 +226,99 @@ pub fn place(cluster: &ClusterSpec, jobs: &[ClusterJob]) -> Result<Placement, Pl
     })
 }
 
+/// Rejects zero-replica jobs and repeated ids (per-id queries would
+/// be ambiguous otherwise).
+fn validate_jobs(jobs: &[ClusterJob]) -> Result<(), PlacementError> {
+    let mut ids: Vec<usize> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.cnodes == 0 {
+            return Err(PlacementError::EmptyJob { id: job.id });
+        }
+        ids.push(job.id);
+    }
+    ids.sort_unstable();
+    for pair in ids.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(PlacementError::DuplicateJobId { id: pair[0] });
+        }
+    }
+    Ok(())
+}
+
 impl Placement {
+    /// Builds a placement from explicit per-job server assignments:
+    /// `assignments[i]` lists `(server, replicas)` entries for
+    /// `jobs[i]`. This is the scheduler's path into the contention
+    /// model — it prices an engine-chosen gang placement without
+    /// re-running the first-fit heuristic.
+    ///
+    /// Duplicate `(server, _)` entries for one job are merged; entries
+    /// with zero replicas are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] describing the first violated
+    /// invariant: empty or duplicate jobs, a length mismatch, a server
+    /// index out of range, an over-committed server, or a replica
+    /// total that differs from the job's demand.
+    pub fn from_assignments(
+        cluster: &ClusterSpec,
+        jobs: &[ClusterJob],
+        assignments: &[Vec<(usize, usize)>],
+    ) -> Result<Placement, PlacementError> {
+        validate_jobs(jobs)?;
+        if assignments.len() != jobs.len() {
+            return Err(PlacementError::AssignmentMismatch {
+                jobs: jobs.len(),
+                assignments: assignments.len(),
+            });
+        }
+        let num_servers = cluster.num_servers();
+        let capacity = cluster.server().gpus_per_server();
+        let mut used = vec![0usize; num_servers];
+        let mut servers = vec![Vec::new(); num_servers];
+        for (ji, assignment) in assignments.iter().enumerate() {
+            let mut total = 0usize;
+            for &(server, count) in assignment {
+                if server >= num_servers {
+                    return Err(PlacementError::ServerOutOfRange {
+                        server,
+                        servers: num_servers,
+                    });
+                }
+                if count == 0 {
+                    continue;
+                }
+                used[server] += count;
+                if used[server] > capacity {
+                    return Err(PlacementError::ServerOverCommitted {
+                        server,
+                        assigned: used[server],
+                        capacity,
+                    });
+                }
+                total += count;
+                if let Some(entry) = servers[server].iter_mut().find(|&&mut (j, _)| j == ji) {
+                    entry.1 += count;
+                } else {
+                    servers[server].push((ji, count));
+                }
+            }
+            if total != jobs[ji].cnodes {
+                return Err(PlacementError::WrongReplicaCount {
+                    id: jobs[ji].id,
+                    assigned: total,
+                    requested: jobs[ji].cnodes,
+                });
+            }
+        }
+        Ok(Placement {
+            cluster: *cluster,
+            jobs: jobs.to_vec(),
+            servers,
+        })
+    }
+
     /// Communicating replicas sharing server `s`'s NIC.
     fn nic_sharers(&self, s: usize) -> usize {
         self.servers[s]
@@ -459,5 +611,161 @@ mod tests {
     fn display_is_nonempty() {
         let p = place(&cluster(), &[job(0, 8, 1.0)]).expect("fits");
         assert!(!p.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_mix_is_a_valid_placement() {
+        // The scheduler prices an idle cluster between arrivals; an
+        // empty mix must be a placement, not an error.
+        let p = place(&cluster(), &[]).expect("empty mix");
+        assert_eq!(p.servers_used(), 0);
+        assert!((p.gpu_utilization() - 0.0).abs() < 1e-12);
+        assert!(!p.to_string().is_empty());
+        assert_eq!(
+            p.job_step_time(0).unwrap_err(),
+            PlacementError::UnknownJob { id: 0 }
+        );
+    }
+
+    #[test]
+    fn zero_ethernet_job_pays_exactly_its_local_time() {
+        // A silent job colocated with chatty ones neither pays nor
+        // causes NIC contention, even at full server occupancy.
+        let silent = ClusterJob {
+            id: 0,
+            cnodes: 4,
+            local_time: Seconds::from_millis(80.0),
+            ethernet_bytes: Bytes::ZERO,
+        };
+        let p = place(&cluster(), &[silent, job(1, 4, 300.0)]).expect("fits");
+        assert_eq!(p.job_step_time(0).unwrap(), silent.local_time);
+        assert_eq!(p.job_step_time(0).unwrap(), silent.solo_step(&cluster()));
+        assert!((p.slowdown(0).unwrap() - 1.0).abs() < 1e-12);
+        // The chatty job still only shares with its own replicas.
+        assert_eq!(p.nic_oversubscription(1).unwrap(), 4);
+    }
+
+    #[test]
+    fn duplicate_job_ids_are_rejected() {
+        let err = place(&cluster(), &[job(3, 2, 1.0), job(3, 4, 1.0)]).expect_err("dup");
+        assert_eq!(err, PlacementError::DuplicateJobId { id: 3 });
+        let jobs = [job(3, 2, 1.0), job(3, 4, 1.0)];
+        let assignments = vec![vec![(0, 2)], vec![(1, 4)]];
+        assert_eq!(
+            Placement::from_assignments(&cluster(), &jobs, &assignments).unwrap_err(),
+            PlacementError::DuplicateJobId { id: 3 }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn oversized_job_is_a_typed_error_not_a_panic() {
+        // One job wider than the whole cluster: the scheduler leans on
+        // this being a recoverable error it can surface per job.
+        let err = place(&cluster(), &[job(0, 1_000, 1.0)]).expect_err("too wide");
+        assert!(matches!(err, PlacementError::InsufficientGpus { .. }));
+        // The explicit-assignment path reports the same demand gap as
+        // a wrong replica total (no assignment can provide 1000).
+        let jobs = [job(0, 1_000, 1.0)];
+        let assignments = vec![(0..64).map(|s| (s, 8)).collect::<Vec<_>>()];
+        assert_eq!(
+            Placement::from_assignments(&cluster(), &jobs, &assignments).unwrap_err(),
+            PlacementError::WrongReplicaCount {
+                id: 0,
+                assigned: 512,
+                requested: 1_000
+            }
+        );
+    }
+
+    #[test]
+    fn from_assignments_prices_like_place() {
+        // Replicate the first-fit-decreasing layout by hand: the
+        // 8-replica job 1 fills server 0, the 3-replica job 0 lands on
+        // server 1. Pricing must agree with `place` exactly.
+        let jobs = [job(0, 3, 10.0), job(1, 8, 10.0)];
+        let fitted = place(&cluster(), &jobs).expect("fits");
+        let manual = Placement::from_assignments(&cluster(), &jobs, &[vec![(1, 3)], vec![(0, 8)]])
+            .expect("valid assignment");
+        for id in [0, 1] {
+            assert_eq!(
+                fitted.job_step_time(id).unwrap(),
+                manual.job_step_time(id).unwrap()
+            );
+            assert_eq!(
+                fitted.nic_oversubscription(id).unwrap(),
+                manual.nic_oversubscription(id).unwrap()
+            );
+            assert_eq!(fitted.spread(id).unwrap(), manual.spread(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn from_assignments_merges_split_entries_and_skips_zeros() {
+        let jobs = [job(0, 6, 50.0)];
+        let split = Placement::from_assignments(&cluster(), &jobs, &[vec![(2, 3), (2, 3), (5, 0)]])
+            .expect("merged entries are valid");
+        assert_eq!(split.spread(0).unwrap(), 1);
+        assert_eq!(split.nic_oversubscription(0).unwrap(), 6);
+    }
+
+    #[test]
+    fn from_assignments_rejects_malformed_layouts() {
+        let jobs = [job(0, 4, 1.0), job(1, 4, 1.0)];
+        assert_eq!(
+            Placement::from_assignments(&cluster(), &jobs, &[vec![(0, 4)]]).unwrap_err(),
+            PlacementError::AssignmentMismatch {
+                jobs: 2,
+                assignments: 1
+            }
+        );
+        assert_eq!(
+            Placement::from_assignments(&cluster(), &jobs, &[vec![(64, 4)], vec![(0, 4)]])
+                .unwrap_err(),
+            PlacementError::ServerOutOfRange {
+                server: 64,
+                servers: 64
+            }
+        );
+        assert_eq!(
+            Placement::from_assignments(&cluster(), &jobs, &[vec![(0, 4)], vec![(0, 5)]])
+                .unwrap_err(),
+            PlacementError::ServerOverCommitted {
+                server: 0,
+                assigned: 9,
+                capacity: 8
+            }
+        );
+        assert_eq!(
+            Placement::from_assignments(&cluster(), &jobs, &[vec![(0, 4)], vec![(1, 3)]])
+                .unwrap_err(),
+            PlacementError::WrongReplicaCount {
+                id: 1,
+                assigned: 3,
+                requested: 4
+            }
+        );
+        for err in [
+            PlacementError::AssignmentMismatch {
+                jobs: 2,
+                assignments: 1,
+            },
+            PlacementError::ServerOutOfRange {
+                server: 64,
+                servers: 64,
+            },
+            PlacementError::ServerOverCommitted {
+                server: 0,
+                assigned: 9,
+                capacity: 8,
+            },
+            PlacementError::WrongReplicaCount {
+                id: 1,
+                assigned: 3,
+                requested: 4,
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
     }
 }

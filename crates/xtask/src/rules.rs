@@ -50,6 +50,7 @@ const PANIC_SCOPES: &[&str] = &[
     "crates/par/src",
     "crates/collectives/src",
     "crates/hw/src",
+    "crates/sched/src",
 ];
 
 /// Crates that compute the model-level FLOP/byte accounting.
@@ -228,6 +229,11 @@ mod tests {
     #[test]
     fn scoping_is_prefix_based() {
         assert!(in_scope(&PANIC_IN_LIB, "crates/sim/src/engine.rs"));
+        assert!(in_scope(&PANIC_IN_LIB, "crates/sched/src/engine.rs"));
+        assert!(!in_scope(
+            &PANIC_IN_LIB,
+            "crates/sched/tests/determinism.rs"
+        ));
         assert!(!in_scope(&PANIC_IN_LIB, "crates/graph/src/graph.rs"));
         assert!(in_scope(&LOSSY_FLOAT_CAST, "crates/graph/src/op.rs"));
         assert!(in_scope(&HASH_ITERATION, "crates/xtask/src/main.rs"));

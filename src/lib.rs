@@ -11,6 +11,7 @@
 //! - [`sim`] — discrete-event execution simulator (the "testbed")
 //! - [`faults`] — deterministic fault plans for degraded-run studies
 //! - [`par`] — deterministic chunked scatter/gather parallelism
+//! - [`sched`] — deterministic discrete-event gang scheduler (Sec. VI implications)
 //! - [`trace`] — calibrated synthetic cluster workload population
 //! - [`core`] — the paper's analytical characterization framework
 //! - [`profiler`] — run-metadata capture and feature extraction (Fig. 4)
@@ -42,5 +43,6 @@ pub use pai_hw as hw;
 pub use pai_par as par;
 pub use pai_pearl as pearl;
 pub use pai_profiler as profiler;
+pub use pai_sched as sched;
 pub use pai_sim as sim;
 pub use pai_trace as trace;
