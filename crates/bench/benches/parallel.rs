@@ -8,8 +8,8 @@
 //! a 1-core machine will honestly report a speedup near 1×.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pai_core::project::{project_population_par, ProjectionTarget};
-use pai_core::{breakdown_population_par, Architecture, PerfModel};
+use pai_core::project::ProjectionTarget;
+use pai_core::{Architecture, PerfModel};
 use pai_par::Threads;
 use pai_trace::{Population, PopulationConfig};
 use std::time::{Duration, Instant};
@@ -39,7 +39,10 @@ fn bench_generation(c: &mut Criterion) {
         group.bench_function(&format!("{threads}_threads"), |b| {
             b.iter(|| {
                 black_box(
-                    Population::generate_par(&cfg, seed(), Threads::new(threads))
+                    Population::builder(cfg.clone())
+                        .seed(seed())
+                        .threads(Threads::new(threads))
+                        .build()
                         .expect("valid config"),
                 )
             });
@@ -61,13 +64,8 @@ fn bench_characterization(c: &mut Criterion) {
         let t = Threads::new(threads);
         group.bench_function(&format!("{threads}_threads"), |b| {
             b.iter(|| {
-                black_box(breakdown_population_par(&model, &jobs, t));
-                black_box(project_population_par(
-                    &model,
-                    &ps,
-                    ProjectionTarget::AllReduceLocal,
-                    t,
-                ));
+                black_box(model.breakdowns(&jobs, t));
+                black_box(model.projections(&ps, ProjectionTarget::AllReduceLocal, t));
             });
         });
     }
@@ -98,16 +96,17 @@ fn emit_report(_c: &mut Criterion) {
     for threads in [1usize, PAR_THREADS] {
         let t = Threads::new(threads);
         let gen_s = time_best(|| {
-            black_box(Population::generate_par(&cfg, seed(), t).expect("valid config"));
+            black_box(
+                Population::builder(cfg.clone())
+                    .seed(seed())
+                    .threads(t)
+                    .build()
+                    .expect("valid config"),
+            );
         });
         let char_s = time_best(|| {
-            black_box(breakdown_population_par(&model, &jobs, t));
-            black_box(project_population_par(
-                &model,
-                &ps,
-                ProjectionTarget::AllReduceLocal,
-                t,
-            ));
+            black_box(model.breakdowns(&jobs, t));
+            black_box(model.projections(&ps, ProjectionTarget::AllReduceLocal, t));
         });
         rates.push((threads, JOBS as f64 / gen_s, JOBS as f64 / char_s));
     }

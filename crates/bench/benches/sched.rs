@@ -11,7 +11,7 @@ use pai_core::PerfModel;
 use pai_hw::ClusterSpec;
 use pai_par::Threads;
 use pai_sched::{
-    realize_stream, run, sweep_par, templates_from_population, ArrivalConfig, PolicyKind,
+    policy_sweep, realize_stream, run, templates_from_population, ArrivalConfig, PolicyKind,
     SchedConfig, SweepConfig,
 };
 use pai_trace::{FailureSampler, Population, PopulationConfig};
@@ -129,7 +129,7 @@ fn emit_report(_c: &mut Criterion) {
     for threads in [1usize, PAR_THREADS] {
         let secs = time_best(|| {
             black_box(
-                sweep_par(&w.cluster, &model, &pop, &sweep_cfg, Threads::new(threads))
+                policy_sweep(&w.cluster, &model, &pop, &sweep_cfg, Threads::new(threads))
                     .expect("sweep runs"),
             );
         });

@@ -1,0 +1,145 @@
+//! Streaming columnar-store throughput on a 1M-job population, plus a
+//! machine-readable report.
+//!
+//! Besides the criterion groups, this target writes `BENCH_stream.json`
+//! at the repository root:
+//!
+//! - **ingest jobs/sec** — one-job-at-a-time streaming into a
+//!   stats-only [`StreamSession`] (includes the sampling cost, so it
+//!   is the honest end-to-end streaming rate) and into a columnar
+//!   [`JobStore`];
+//! - **query jobs/sec + latency** — a resident-column
+//!   [`WhatIfIndex`] Ethernet what-if sweep over the full population;
+//! - **serial characterize baseline** — re-measured in the same run so
+//!   the ISSUE's ≥5× query-vs-characterize ratio is computed against
+//!   this host, not a stale number.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pai_core::{characterize, PerfModel, WhatIfIndex};
+use pai_par::Threads;
+use pai_trace::{JobStore, JobStream, Population, PopulationConfig, StreamSession};
+use std::time::{Duration, Instant};
+
+/// The ISSUE-mandated workload: a 1M-job stream.
+const JOBS: usize = 1_000_000;
+/// Best-of-N timing for the JSON report.
+const TIMING_RUNS: usize = 3;
+/// The Ethernet what-if point the report queries, in Gbps.
+const QUERY_GBPS: f64 = 100.0;
+
+fn seed() -> u64 {
+    pai_repro::SEED
+}
+
+fn config() -> PopulationConfig {
+    PopulationConfig::paper_scale(JOBS).expect("1M jobs is a valid scale")
+}
+
+fn population() -> Population {
+    Population::builder(config())
+        .seed(seed())
+        .threads(Threads::from_env())
+        .build()
+        .expect("valid config")
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let pop = population();
+    let model = PerfModel::paper_default();
+    let mut group = c.benchmark_group("stream_1m");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("characterize_serial", |b| {
+        b.iter(|| black_box(characterize(&model, pop.store(), Threads::SERIAL)));
+    });
+    let index = WhatIfIndex::build(&model, pop.store(), Threads::from_env());
+    group.bench_function("whatif_query", |b| {
+        b.iter(|| black_box(index.summary_at(QUERY_GBPS)));
+    });
+    group.finish();
+}
+
+/// Best-of-N wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_RUNS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures the streaming/query rates and writes the
+/// `BENCH_stream.json` report.
+fn emit_report(_c: &mut Criterion) {
+    let cfg = config();
+    let model = PerfModel::paper_default();
+    let pop = population();
+
+    // Serial characterize over the resident columns: the ISSUE's
+    // throughput baseline, re-measured on this host.
+    let char_s = time_best(|| {
+        black_box(characterize(&model, pop.store(), Threads::SERIAL));
+    });
+    let char_rate = JOBS as f64 / char_s;
+
+    // End-to-end streaming ingest, stats only: sampling + accumulator,
+    // no resident population.
+    let ingest_s = time_best(|| {
+        let mut session = StreamSession::new(model);
+        for job in JobStream::new(&cfg, seed()).expect("valid config") {
+            session.ingest(&job);
+        }
+        black_box(session.stats());
+    });
+    let ingest_rate = JOBS as f64 / ingest_s;
+
+    // Columnar store fill from the same stream.
+    let store_s = time_best(|| {
+        let mut store = JobStore::new();
+        for job in JobStream::new(&cfg, seed()).expect("valid config") {
+            store.push(&job);
+        }
+        black_box(store.len());
+    });
+    let store_rate = JOBS as f64 / store_s;
+
+    // Resident-column what-if query over the full population.
+    let index = WhatIfIndex::build(&model, pop.store(), Threads::from_env());
+    let query_s = time_best(|| {
+        black_box(index.summary_at(QUERY_GBPS));
+    });
+    let query_rate = JOBS as f64 / query_s;
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = format!(
+        "{{\n  \"workload_jobs\": {JOBS},\n  \"host_cpus\": {host_cpus},\n  \
+         \"timing\": \"best of {TIMING_RUNS} runs, wall clock\",\n  \
+         \"characterize_serial_jobs_per_sec\": {char_rate:.0},\n  \
+         \"stream_ingest\": {{\n    \
+         \"stats_only_jobs_per_sec\": {ingest_rate:.0},\n    \
+         \"columnar_store_jobs_per_sec\": {store_rate:.0}\n  }},\n  \
+         \"whatif_query\": {{\n    \
+         \"ethernet_gbps\": {QUERY_GBPS},\n    \
+         \"indexed_jobs\": {},\n    \
+         \"latency_ms\": {:.3},\n    \
+         \"jobs_per_sec\": {query_rate:.0},\n    \
+         \"speedup_vs_serial_characterize\": {:.1}\n  }}\n}}\n",
+        index.len(),
+        query_s * 1e3,
+        query_rate / char_rate,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    std::fs::write(path, &report).expect("the repo root is writable");
+    println!("wrote {path}\n{report}");
+    assert!(
+        query_rate >= 5.0 * char_rate,
+        "ISSUE acceptance: what-if query ({query_rate:.0} jobs/s) must be at least \
+         5x the serial characterize baseline ({char_rate:.0} jobs/s)"
+    );
+}
+
+criterion_group!(benches, bench_characterize, emit_report);
+criterion_main!(benches);

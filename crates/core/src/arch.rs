@@ -59,6 +59,19 @@ impl Architecture {
         Architecture::AllReduceCluster,
     ];
 
+    /// This class's position in [`Architecture::ALL`] (Table II
+    /// order) — the index the columnar job store and every per-class
+    /// counter array key on.
+    pub fn index(self) -> usize {
+        match self {
+            Architecture::OneWorkerOneGpu => 0,
+            Architecture::OneWorkerMultiGpu => 1,
+            Architecture::PsWorker => 2,
+            Architecture::AllReduceLocal => 3,
+            Architecture::AllReduceCluster => 4,
+        }
+    }
+
     /// The paper's shorthand label.
     pub fn label(self) -> &'static str {
         match self {
@@ -238,6 +251,14 @@ mod tests {
         for arch in Architecture::ALL {
             assert_eq!(arch.communicates(), arch != Architecture::OneWorkerOneGpu);
             assert_eq!(arch.communicates(), !arch.weight_media().is_empty());
+        }
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, arch) in Architecture::ALL.iter().enumerate() {
+            assert_eq!(arch.index(), i);
+            assert_eq!(Architecture::ALL[arch.index()], *arch);
         }
     }
 

@@ -260,28 +260,49 @@ impl HardwareBreakdown {
     }
 }
 
-/// Evaluates the per-step breakdown of every job, in input order —
-/// the serial oracle of [`breakdown_population_par`].
+impl crate::model::PerfModel {
+    /// Evaluates the per-step breakdown of every job, in index order,
+    /// over any [`crate::jobs::Jobs`] storage.
+    ///
+    /// Per-job model evaluation is a pure function of the job and
+    /// chunks gather in index order, so the output is bit-for-bit
+    /// identical at every thread count; [`pai_par::Threads::SERIAL`]
+    /// is the single-threaded oracle.
+    pub fn breakdowns<J: crate::jobs::Jobs + ?Sized>(
+        &self,
+        jobs: &J,
+        threads: pai_par::Threads,
+    ) -> Vec<Breakdown> {
+        pai_par::scatter_gather(
+            jobs.len(),
+            pai_par::DEFAULT_CHUNK_SIZE,
+            threads,
+            |_, range| range.map(|i| self.breakdown(&jobs.get(i))).collect(),
+        )
+    }
+}
+
+/// Evaluates the per-step breakdown of every job, in input order.
+#[deprecated(
+    note = "use `PerfModel::breakdowns`, which accepts any `Jobs` storage and a `Threads` count"
+)]
 pub fn breakdown_population(
     model: &crate::model::PerfModel,
     jobs: &[crate::features::WorkloadFeatures],
 ) -> Vec<Breakdown> {
-    breakdown_population_par(model, jobs, pai_par::Threads::SERIAL)
+    model.breakdowns(jobs, pai_par::Threads::SERIAL)
 }
 
 /// [`breakdown_population`] on `threads` workers.
-///
-/// Per-job model evaluation is a pure function of the job, so the
-/// chunked map is bit-for-bit identical to the serial pass at every
-/// thread count.
+#[deprecated(
+    note = "use `PerfModel::breakdowns`, which accepts any `Jobs` storage and a `Threads` count"
+)]
 pub fn breakdown_population_par(
     model: &crate::model::PerfModel,
     jobs: &[crate::features::WorkloadFeatures],
     threads: pai_par::Threads,
 ) -> Vec<Breakdown> {
-    pai_par::map_items(jobs, pai_par::DEFAULT_CHUNK_SIZE, threads, |job| {
-        model.breakdown(job)
-    })
+    model.breakdowns(jobs, threads)
 }
 
 /// Averages Fig.-7-style component shares over a population.

@@ -1,0 +1,163 @@
+//! The [`Jobs`] abstraction: one read-only view over any job storage.
+//!
+//! The characterization passes used to take `&[WorkloadFeatures]`
+//! slices, which forced every storage backend to materialize an
+//! owned, contiguous copy of the population. `Jobs` replaces those
+//! parameters with the minimal contract the passes actually need —
+//! a length and per-index feature access — so the legacy `Vec` path
+//! and the columnar `JobStore` in `pai-trace` compile against one
+//! abstraction, and a 10M-job store never has to clone itself into a
+//! slice just to be characterized.
+
+use crate::features::WorkloadFeatures;
+
+/// A read-only, indexable collection of jobs.
+///
+/// Implementations must be cheap to call per index (the chunked
+/// passes call [`Jobs::get`] once per job) and `Sync` so chunks can
+/// be evaluated on worker threads.
+pub trait Jobs: Sync {
+    /// The number of jobs.
+    fn len(&self) -> usize;
+
+    /// The features of job `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    fn get(&self, index: usize) -> WorkloadFeatures;
+
+    /// True when the collection holds no jobs.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stable id of job `index`. Defaults to the index itself;
+    /// stores that preserve externally assigned ids override this.
+    fn id_at(&self, index: usize) -> usize {
+        index
+    }
+
+    /// Iterates the jobs in index order.
+    fn iter_jobs(&self) -> JobsIter<'_, Self> {
+        JobsIter {
+            jobs: self,
+            next: 0,
+        }
+    }
+}
+
+/// Index-order iterator over any [`Jobs`] implementation.
+#[derive(Debug)]
+pub struct JobsIter<'a, J: Jobs + ?Sized> {
+    jobs: &'a J,
+    next: usize,
+}
+
+impl<J: Jobs + ?Sized> Iterator for JobsIter<'_, J> {
+    type Item = WorkloadFeatures;
+
+    fn next(&mut self) -> Option<WorkloadFeatures> {
+        if self.next >= self.jobs.len() {
+            return None;
+        }
+        let job = self.jobs.get(self.next);
+        self.next += 1;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.jobs.len().saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+/// The write-side dual of [`Jobs`]: anything that consumes a stream
+/// of jobs one at a time — a columnar store filling its arenas, a
+/// running [`crate::accum::HeadlineAccum`], a what-if index.
+///
+/// Implementations must not allocate per ingested job (amortized
+/// arena growth is fine); that is what keeps streaming consumers
+/// bounded-memory at any stream length.
+pub trait IngestSink {
+    /// Consumes one job.
+    fn ingest(&mut self, job: &WorkloadFeatures);
+}
+
+impl Jobs for [WorkloadFeatures] {
+    fn len(&self) -> usize {
+        <[WorkloadFeatures]>::len(self)
+    }
+
+    fn get(&self, index: usize) -> WorkloadFeatures {
+        self[index]
+    }
+}
+
+impl Jobs for Vec<WorkloadFeatures> {
+    fn len(&self) -> usize {
+        <[WorkloadFeatures]>::len(self)
+    }
+
+    fn get(&self, index: usize) -> WorkloadFeatures {
+        self[index]
+    }
+}
+
+impl<J: Jobs + ?Sized> Jobs for &J {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn get(&self, index: usize) -> WorkloadFeatures {
+        (**self).get(index)
+    }
+
+    fn id_at(&self, index: usize) -> usize {
+        (**self).id_at(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+
+    fn jobs(n: usize) -> Vec<WorkloadFeatures> {
+        (0..n)
+            .map(|i| {
+                WorkloadFeatures::builder(Architecture::PsWorker)
+                    .cnodes(2 + i)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slice_and_vec_views_agree() {
+        let v = jobs(5);
+        let s: &[WorkloadFeatures] = &v;
+        assert_eq!(Jobs::len(&v), 5);
+        assert_eq!(Jobs::len(s), 5);
+        assert!(!Jobs::is_empty(s));
+        for i in 0..5 {
+            assert_eq!(Jobs::get(&v, i), Jobs::get(s, i));
+            assert_eq!(Jobs::id_at(s, i), i);
+        }
+    }
+
+    #[test]
+    fn iter_jobs_walks_index_order() {
+        let v = jobs(4);
+        let walked: Vec<usize> = v.iter_jobs().map(|j| j.cnodes()).collect();
+        assert_eq!(walked, vec![2, 3, 4, 5]);
+        assert_eq!(v.iter_jobs().size_hint(), (4, Some(4)));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let v: Vec<WorkloadFeatures> = Vec::new();
+        assert!(Jobs::is_empty(&v));
+        assert_eq!(v.iter_jobs().count(), 0);
+    }
+}

@@ -17,6 +17,12 @@
 //! On top of that closed form the crate implements everything Sec. III
 //! does with it:
 //!
+//! - [`jobs`] — the [`Jobs`] storage abstraction every analysis is
+//!   generic over (contiguous slices and columnar stores alike) and
+//!   the [`IngestSink`] write-side dual
+//! - [`accum`] — incremental characterization: the mergeable
+//!   [`HeadlineAccum`], one-shot [`characterize`], and the
+//!   resident-column [`WhatIfIndex`] query layer
 //! - [`breakdown`] — per-component times, percentages, job-level and
 //!   cNode-level aggregation, per-hardware views (Fig. 7, Fig. 8)
 //! - [`throughput`](mod@throughput) — Eq. 2
@@ -53,9 +59,11 @@
 //! assert!(b.weight_fraction() > 0.5);
 //! ```
 
+pub mod accum;
 pub mod arch;
 pub mod breakdown;
 pub mod features;
+pub mod jobs;
 pub mod model;
 pub mod overlap;
 pub mod project;
@@ -66,11 +74,19 @@ pub mod stats;
 pub mod sweep;
 pub mod throughput;
 
+pub use accum::{
+    accumulate, characterize, FracHist, HeadlineAccum, HeadlineStats, WhatIfIndex, WhatIfSummary,
+};
 pub use arch::Architecture;
-pub use breakdown::{breakdown_population, breakdown_population_par, Breakdown, HardwareBreakdown};
+pub use breakdown::{Breakdown, HardwareBreakdown};
 pub use features::{WorkloadFeatures, WorkloadFeaturesBuilder};
-pub use model::PerfModel;
+pub use jobs::{IngestSink, Jobs};
+pub use model::{ComponentTimes, PerfModel};
 pub use overlap::OverlapMode;
 pub use project::{comm_bound_speedup, ProjectionOutcome, ProjectionTarget};
 pub use stats::Ecdf;
+pub use sweep::class_sweep;
 pub use throughput::throughput;
+
+#[allow(deprecated)]
+pub use breakdown::{breakdown_population, breakdown_population_par};

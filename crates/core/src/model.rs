@@ -141,10 +141,16 @@ impl PerfModel {
     }
 
     /// Total `Tw`.
+    ///
+    /// Sums the per-medium times in Table II media order without
+    /// materializing the split, so the streaming ingest path can call
+    /// it once per job with no heap allocation. Bit-identical to
+    /// summing [`PerfModel::weight_traffic_by_medium`].
     pub fn weight_traffic_time(&self, job: &WorkloadFeatures) -> Seconds {
-        self.weight_traffic_by_medium(job)
-            .into_iter()
-            .map(|(_, t)| t)
+        job.arch()
+            .weight_media()
+            .iter()
+            .map(|&kind| self.config.link(kind).transfer_time(job.weight_bytes()))
             .sum()
     }
 
@@ -162,9 +168,32 @@ impl PerfModel {
         )
     }
 
+    /// The flat Eq. 1 component times, with no per-medium split and
+    /// therefore no heap allocation — the building block of the
+    /// incremental [`crate::accum`] ingest path, where this is called
+    /// once per job at population scale.
+    ///
+    /// The total is combined from exactly the same three parts, in the
+    /// same order, as [`Breakdown::total`], so the two paths agree
+    /// bit for bit.
+    pub fn component_times(&self, job: &WorkloadFeatures) -> ComponentTimes {
+        let td = self.data_io_time(job);
+        let tcc = self.compute_bound_time(job);
+        let tcm = self.memory_bound_time(job);
+        let tw = self.weight_traffic_time(job);
+        let parts = [td.as_f64(), (tcc + tcm).as_f64(), tw.as_f64()];
+        ComponentTimes {
+            data_io: td,
+            compute_bound: tcc,
+            memory_bound: tcm,
+            weight_traffic: tw,
+            total: Seconds::from_f64(self.overlap.combine(&parts)),
+        }
+    }
+
     /// `T_total` under the model's overlap mode.
     pub fn total_time(&self, job: &WorkloadFeatures) -> Seconds {
-        self.breakdown(job).total()
+        self.component_times(job).total
     }
 
     /// Job throughput in samples per second (Eq. 2):
@@ -177,6 +206,62 @@ impl PerfModel {
 impl Default for PerfModel {
     fn default() -> Self {
         PerfModel::paper_default()
+    }
+}
+
+/// The per-step Eq. 1 component times of one job, flattened.
+///
+/// The allocation-free sibling of [`Breakdown`]: it drops the
+/// per-medium weight-traffic split (the only heap-owning field) and
+/// caches the combined total, so the streaming accumulators can
+/// evaluate millions of jobs without touching the allocator. Fractions
+/// follow [`Breakdown`]'s conventions exactly, including the Fig. 7
+/// legend order and the zero-total guard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentTimes {
+    /// `Td`: input data I/O time.
+    pub data_io: Seconds,
+    /// The compute-bound half of `Tc`.
+    pub compute_bound: Seconds,
+    /// The memory-bound half of `Tc`.
+    pub memory_bound: Seconds,
+    /// `Tw`: weight/gradient communication time.
+    pub weight_traffic: Seconds,
+    /// `T_total` under the model's overlap mode.
+    pub total: Seconds,
+}
+
+impl ComponentTimes {
+    /// `Tc = compute_bound + memory_bound`.
+    pub fn computation(&self) -> Seconds {
+        self.compute_bound + self.memory_bound
+    }
+
+    fn fraction(&self, part: Seconds) -> f64 {
+        let total = self.total.as_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            part.as_f64() / total
+        }
+    }
+
+    /// Share of weight/gradient traffic in the total — the Fig. 8 /
+    /// Fig. 15 quantity.
+    pub fn weight_fraction(&self) -> f64 {
+        self.fraction(self.weight_traffic)
+    }
+
+    /// The four shares in Fig. 7's legend order:
+    /// `[data, weights, compute-bound, memory-bound]` — the same order
+    /// and arithmetic as [`Breakdown::fractions`].
+    pub fn fractions(&self) -> [f64; 4] {
+        [
+            self.fraction(self.data_io),
+            self.fraction(self.weight_traffic),
+            self.fraction(self.compute_bound),
+            self.fraction(self.memory_bound),
+        ]
     }
 }
 
@@ -305,6 +390,46 @@ mod tests {
         let t = m.total_time(&job).as_f64();
         let expected = 16.0 / t * 256.0;
         assert!((m.throughput(&job) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn component_times_agree_with_breakdown_bitwise() {
+        let m = PerfModel::paper_default();
+        for weight_gb in [0.1, 1.0, 7.5, 40.0] {
+            let job = ps_job(weight_gb);
+            let b = m.breakdown(&job);
+            let ct = m.component_times(&job);
+            assert_eq!(
+                ct.data_io.as_f64().to_bits(),
+                b.data_io().as_f64().to_bits()
+            );
+            assert_eq!(
+                ct.weight_traffic.as_f64().to_bits(),
+                b.weight_traffic().as_f64().to_bits()
+            );
+            assert_eq!(ct.total.as_f64().to_bits(), b.total().as_f64().to_bits());
+            assert_eq!(
+                ct.computation().as_f64().to_bits(),
+                b.computation().as_f64().to_bits()
+            );
+            for (a, e) in ct.fractions().iter().zip(b.fractions()) {
+                assert_eq!(a.to_bits(), e.to_bits());
+            }
+            assert_eq!(
+                ct.weight_fraction().to_bits(),
+                b.weight_fraction().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn component_times_zero_total_guards_fractions() {
+        let m = PerfModel::paper_default();
+        let empty = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu).build();
+        let ct = m.component_times(&empty);
+        assert!(ct.total.is_zero());
+        assert_eq!(ct.fractions(), [0.0; 4]);
+        assert_eq!(ct.weight_fraction(), 0.0);
     }
 
     #[test]

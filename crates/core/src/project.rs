@@ -128,40 +128,57 @@ pub fn project(
     })
 }
 
+impl PerfModel {
+    /// Projects every eligible PS/Worker job onto `target` in index
+    /// order, over any [`crate::jobs::Jobs`] storage; ineligible jobs
+    /// are skipped.
+    ///
+    /// Each chunk filter-maps its own index range and chunks
+    /// concatenate in index order, so the outcome sequence is
+    /// identical at every thread count.
+    pub fn projections<J: crate::jobs::Jobs + ?Sized>(
+        &self,
+        jobs: &J,
+        target: ProjectionTarget,
+        threads: pai_par::Threads,
+    ) -> Vec<ProjectionOutcome> {
+        pai_par::scatter_gather(
+            jobs.len(),
+            pai_par::DEFAULT_CHUNK_SIZE,
+            threads,
+            |_, range| {
+                range
+                    .filter_map(|i| project(self, &jobs.get(i), target))
+                    .collect()
+            },
+        )
+    }
+}
+
 /// Projects every eligible PS/Worker job in a population; ineligible
 /// jobs are skipped.
+#[deprecated(
+    note = "use `PerfModel::projections`, which accepts any `Jobs` storage and a `Threads` count"
+)]
 pub fn project_population(
     model: &PerfModel,
     jobs: &[WorkloadFeatures],
     target: ProjectionTarget,
 ) -> Vec<ProjectionOutcome> {
-    jobs.iter()
-        .filter_map(|job| project(model, job, target))
-        .collect()
+    model.projections(jobs, target, pai_par::Threads::SERIAL)
 }
 
 /// [`project_population`] on `threads` workers.
-///
-/// Each chunk filter-maps its own index range, and chunks concatenate
-/// in input order, so the outcome sequence is identical to the serial
-/// pass at every thread count.
+#[deprecated(
+    note = "use `PerfModel::projections`, which accepts any `Jobs` storage and a `Threads` count"
+)]
 pub fn project_population_par(
     model: &PerfModel,
     jobs: &[WorkloadFeatures],
     target: ProjectionTarget,
     threads: pai_par::Threads,
 ) -> Vec<ProjectionOutcome> {
-    pai_par::scatter_gather(
-        jobs.len(),
-        pai_par::DEFAULT_CHUNK_SIZE,
-        threads,
-        |_, range| {
-            jobs[range]
-                .iter()
-                .filter_map(|job| project(model, job, target))
-                .collect()
-        },
-    )
+    model.projections(jobs, target, threads)
 }
 
 /// The Eq. 3 speedup bound for communication-bound workloads mapped
@@ -334,10 +351,17 @@ mod tests {
     }
 
     #[test]
-    fn project_population_skips_ineligible() {
+    fn projections_skip_ineligible() {
         let m = PerfModel::paper_default();
         let jobs = vec![ps_job(16, 1.0, 0.1), ps_job(16, 500.0, 0.1)];
-        let outs = project_population(&m, &jobs, ProjectionTarget::AllReduceLocal);
+        let outs = m.projections(
+            &jobs,
+            ProjectionTarget::AllReduceLocal,
+            pai_par::Threads::SERIAL,
+        );
         assert_eq!(outs.len(), 1);
+        #[allow(deprecated)]
+        let legacy = project_population(&m, &jobs, ProjectionTarget::AllReduceLocal);
+        assert_eq!(outs, legacy);
     }
 }

@@ -10,7 +10,7 @@
 use pai_hw::Efficiency;
 use serde::{Deserialize, Serialize};
 
-use crate::features::WorkloadFeatures;
+use crate::jobs::Jobs;
 use crate::model::PerfModel;
 use crate::stats::Ecdf;
 
@@ -76,14 +76,15 @@ impl SensitivityCurve {
 }
 
 /// Computes the Fig. 15 family of curves for a job population
-/// (the paper uses the PS/Worker subpopulation).
+/// (the paper uses the PS/Worker subpopulation), over any
+/// [`crate::jobs::Jobs`] storage.
 ///
 /// # Panics
 ///
 /// Panics if `jobs` is empty.
-pub fn weight_fraction_sensitivity(
+pub fn weight_fraction_sensitivity<J: Jobs + ?Sized>(
     model: &PerfModel,
-    jobs: &[WorkloadFeatures],
+    jobs: &J,
 ) -> Vec<SensitivityCurve> {
     assert!(!jobs.is_empty(), "sensitivity analysis needs jobs");
     EfficiencyScenario::ALL
@@ -91,8 +92,8 @@ pub fn weight_fraction_sensitivity(
         .map(|scenario| {
             let m = model.with_efficiency(scenario.efficiency());
             let fractions = jobs
-                .iter()
-                .map(|j| m.breakdown(j).weight_fraction())
+                .iter_jobs()
+                .map(|j| m.breakdown(&j).weight_fraction())
                 .collect::<Vec<_>>();
             SensitivityCurve {
                 scenario,
@@ -106,6 +107,7 @@ pub fn weight_fraction_sensitivity(
 mod tests {
     use super::*;
     use crate::arch::Architecture;
+    use crate::features::WorkloadFeatures;
     use pai_hw::{Bytes, Flops};
 
     fn ps_population() -> Vec<WorkloadFeatures> {
@@ -172,6 +174,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "needs jobs")]
     fn rejects_empty_population() {
-        let _ = weight_fraction_sensitivity(&PerfModel::paper_default(), &[]);
+        let empty: Vec<WorkloadFeatures> = Vec::new();
+        let _ = weight_fraction_sensitivity(&PerfModel::paper_default(), &empty);
     }
 }

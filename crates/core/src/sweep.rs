@@ -80,48 +80,39 @@ pub fn relevant_axes(arch: Architecture) -> Vec<SweepAxis> {
         .collect()
 }
 
-/// Runs the Table III sweep for one population of same-class jobs.
+/// Runs the Table III sweep for one population of same-class jobs,
+/// over any [`crate::jobs::Jobs`] storage.
 ///
 /// `weights` weighs jobs in the mean (all-ones for the job-level mean).
+///
+/// The per-job base times and the per-job speedups at each sweep point
+/// are chunked maps gathered in index order, so the speedup vector —
+/// and therefore the weighted mean, which folds it in the same order —
+/// is bit-for-bit identical at every thread count;
+/// [`pai_par::Threads::SERIAL`] is the single-threaded oracle.
 ///
 /// # Panics
 ///
 /// Panics if `jobs` is empty, lengths mismatch, or any job's class
 /// differs from `arch`.
-pub fn sweep_class(
+pub fn class_sweep<J: crate::jobs::Jobs + ?Sized>(
     model: &PerfModel,
     arch: Architecture,
-    jobs: &[WorkloadFeatures],
-    weights: &[f64],
-) -> SweepCurves {
-    sweep_class_par(model, arch, jobs, weights, pai_par::Threads::SERIAL)
-}
-
-/// [`sweep_class`] on `threads` workers.
-///
-/// The per-job base times and the per-job speedups at each sweep point
-/// are chunked maps gathered in input order, so the speedup vector —
-/// and therefore the weighted mean, which folds it in the same order —
-/// is bit-for-bit identical to the serial pass at every thread count.
-///
-/// # Panics
-///
-/// Same contract as [`sweep_class`].
-pub fn sweep_class_par(
-    model: &PerfModel,
-    arch: Architecture,
-    jobs: &[WorkloadFeatures],
+    jobs: &J,
     weights: &[f64],
     threads: pai_par::Threads,
 ) -> SweepCurves {
     assert!(!jobs.is_empty(), "sweep needs at least one job");
     assert_eq!(jobs.len(), weights.len(), "one weight per job required");
-    for job in jobs {
+    for job in jobs.iter_jobs() {
         assert_eq!(job.arch(), arch, "all jobs must belong to the swept class");
     }
     let chunk = pai_par::DEFAULT_CHUNK_SIZE;
-    let base_times: Vec<f64> =
-        pai_par::map_items(jobs, chunk, threads, |j| model.total_time(j).as_f64());
+    let base_times: Vec<f64> = pai_par::scatter_gather(jobs.len(), chunk, threads, |_, range| {
+        range
+            .map(|i| model.total_time(&jobs.get(i)).as_f64())
+            .collect()
+    });
     let mut samples = Vec::new();
     for axis in relevant_axes(arch) {
         for &value in axis.candidates() {
@@ -129,10 +120,8 @@ pub fn sweep_class_par(
             let varied = model.with_config(model.config().with_resource(point));
             let speedups: Vec<f64> =
                 pai_par::scatter_gather(jobs.len(), chunk, threads, |_, range| {
-                    jobs[range.clone()]
-                        .iter()
-                        .zip(&base_times[range])
-                        .map(|(j, &base)| base / varied.total_time(j).as_f64())
+                    range
+                        .map(|i| base_times[i] / varied.total_time(&jobs.get(i)).as_f64())
                         .collect()
                 });
             samples.push(SweepSample {
@@ -144,6 +133,29 @@ pub fn sweep_class_par(
         }
     }
     SweepCurves { arch, samples }
+}
+
+/// Runs the Table III sweep serially over a slice population.
+#[deprecated(note = "use `class_sweep`, which accepts any `Jobs` storage and a `Threads` count")]
+pub fn sweep_class(
+    model: &PerfModel,
+    arch: Architecture,
+    jobs: &[WorkloadFeatures],
+    weights: &[f64],
+) -> SweepCurves {
+    class_sweep(model, arch, jobs, weights, pai_par::Threads::SERIAL)
+}
+
+/// [`sweep_class`] on `threads` workers.
+#[deprecated(note = "use `class_sweep`, which accepts any `Jobs` storage and a `Threads` count")]
+pub fn sweep_class_par(
+    model: &PerfModel,
+    arch: Architecture,
+    jobs: &[WorkloadFeatures],
+    weights: &[f64],
+    threads: pai_par::Threads,
+) -> SweepCurves {
+    class_sweep(model, arch, jobs, weights, threads)
 }
 
 /// Convenience: a base configuration with one Table III point applied.
@@ -176,11 +188,12 @@ mod tests {
         // Fig. 11c: "PS/Worker workloads are most sensitive to Ethernet
         // bandwidth".
         let jobs = ps_jobs();
-        let curves = sweep_class(
+        let curves = class_sweep(
             &PerfModel::paper_default(),
             Architecture::PsWorker,
             &jobs,
             &vec![1.0; jobs.len()],
+            pai_par::Threads::SERIAL,
         );
         assert_eq!(curves.most_sensitive_axis(), SweepAxis::Ethernet);
     }
@@ -190,11 +203,12 @@ mod tests {
         // Table III includes 10 Gbps < the 25 Gbps baseline: Fig. 11c's
         // Ethernet curve dips below 1.
         let jobs = ps_jobs();
-        let curves = sweep_class(
+        let curves = class_sweep(
             &PerfModel::paper_default(),
             Architecture::PsWorker,
             &jobs,
             &vec![1.0; jobs.len()],
+            pai_par::Threads::SERIAL,
         );
         let eth = curves.curve(SweepAxis::Ethernet);
         assert!(eth.first().expect("candidates").normalized < 1.0);
@@ -205,11 +219,12 @@ mod tests {
     #[test]
     fn speedup_is_monotone_in_bandwidth() {
         let jobs = ps_jobs();
-        let curves = sweep_class(
+        let curves = class_sweep(
             &PerfModel::paper_default(),
             Architecture::PsWorker,
             &jobs,
             &vec![1.0; jobs.len()],
+            pai_par::Threads::SERIAL,
         );
         for axis in relevant_axes(Architecture::PsWorker) {
             let curve = curves.curve(axis);
@@ -244,11 +259,12 @@ mod tests {
                     .build()
             })
             .collect();
-        let curves = sweep_class(
+        let curves = class_sweep(
             &PerfModel::paper_default(),
             Architecture::OneWorkerOneGpu,
             &jobs,
             &vec![1.0; jobs.len()],
+            pai_par::Threads::SERIAL,
         );
         assert_eq!(curves.most_sensitive_axis(), SweepAxis::GpuMemory);
     }
@@ -257,11 +273,12 @@ mod tests {
     #[should_panic(expected = "swept class")]
     fn rejects_mixed_classes() {
         let wrong = WorkloadFeatures::builder(Architecture::OneWorkerOneGpu).build();
-        let _ = sweep_class(
+        let _ = class_sweep(
             &PerfModel::paper_default(),
             Architecture::PsWorker,
-            &[wrong],
+            &[wrong][..],
             &[1.0],
+            pai_par::Threads::SERIAL,
         );
     }
 }

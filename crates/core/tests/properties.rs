@@ -114,39 +114,53 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// ISSUE acceptance: per-job model evaluation, architecture
-    /// projection and the Table III sweep are bit-for-bit identical at
-    /// every worker-thread count.
+    /// projection, the Table III sweep and the streaming headline
+    /// accumulator are bit-for-bit identical at every worker-thread
+    /// count, and the deprecated free-function shims reproduce the
+    /// unified API exactly.
     #[test]
     fn characterization_is_thread_count_invariant(
         jobs in proptest::collection::vec(ps_job(), 1..400),
     ) {
-        use pai_core::project::{project_population, project_population_par};
-        use pai_core::sweep::{sweep_class, sweep_class_par};
-        use pai_core::{breakdown_population, breakdown_population_par};
-        use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
+        use pai_core::{characterize, class_sweep, ProjectionTarget};
+        use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS, Threads};
 
         let m = PerfModel::paper_default();
         let b = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |t| {
-            breakdown_population_par(&m, &jobs, t)
+            m.breakdowns(&jobs, t)
         });
         prop_assert_eq!(b.len(), jobs.len());
-        prop_assert_eq!(b, breakdown_population(&m, &jobs));
+        #[allow(deprecated)]
+        {
+            prop_assert_eq!(&b, &pai_core::breakdown_population(&m, &jobs));
+        }
 
         let outs = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |t| {
-            project_population_par(&m, &jobs, ProjectionTarget::AllReduceLocal, t)
+            m.projections(&jobs, ProjectionTarget::AllReduceLocal, t)
         });
-        prop_assert_eq!(
-            outs,
-            project_population(&m, &jobs, ProjectionTarget::AllReduceLocal)
-        );
+        #[allow(deprecated)]
+        {
+            prop_assert_eq!(
+                &outs,
+                &pai_core::project::project_population(&m, &jobs, ProjectionTarget::AllReduceLocal)
+            );
+        }
 
         let weights = vec![1.0; jobs.len()];
         let curves = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |t| {
-            sweep_class_par(&m, Architecture::PsWorker, &jobs, &weights, t)
+            class_sweep(&m, Architecture::PsWorker, &jobs, &weights, t)
         });
-        prop_assert_eq!(
-            curves,
-            sweep_class(&m, Architecture::PsWorker, &jobs, &weights)
-        );
+        #[allow(deprecated)]
+        {
+            prop_assert_eq!(
+                &curves,
+                &pai_core::sweep::sweep_class(&m, Architecture::PsWorker, &jobs, &weights)
+            );
+        }
+
+        let stats = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |t| {
+            characterize(&m, &jobs, t)
+        });
+        prop_assert_eq!(stats, characterize(&m, &jobs, Threads::SERIAL));
     }
 }

@@ -148,6 +148,62 @@ where
     })
 }
 
+/// Runs `f` once per chunk of the fixed decomposition and returns the
+/// per-chunk results **in chunk-index order**.
+///
+/// This is the accumulator-producing sibling of [`scatter_gather`]:
+/// where `scatter_gather` concatenates per-item outputs, `map_chunks`
+/// keeps one value per chunk (a partial histogram, a mergeable
+/// statistics accumulator), leaving the merge to the caller.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn map_chunks<A, F>(total: usize, chunk_size: usize, threads: Threads, f: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(usize, Range<usize>) -> A + Sync,
+{
+    scatter_gather(total, chunk_size, threads, |chunk, range| {
+        vec![f(chunk, range)]
+    })
+}
+
+/// Chunk-wise fold: maps every chunk to an accumulator with `f`, then
+/// merges the accumulators into `init` **left-to-right in chunk-index
+/// order** on the calling thread.
+///
+/// The merge order is pinned, not "first finished wins": as long as
+/// `merge` is deterministic, the result is bit-for-bit identical at
+/// every thread count — even when `merge` is not associative in exact
+/// arithmetic (floating-point sums). An incremental consumer that
+/// folds the same chunk accumulators in arrival order reproduces this
+/// result exactly; that identity is what makes batch, streaming and
+/// parallel characterization interchangeable.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn fold_chunks<A, F, M>(
+    total: usize,
+    chunk_size: usize,
+    threads: Threads,
+    init: A,
+    f: F,
+    mut merge: M,
+) -> A
+where
+    A: Send,
+    F: Fn(usize, Range<usize>) -> A + Sync,
+    M: FnMut(&mut A, A),
+{
+    let mut acc = init;
+    for part in map_chunks(total, chunk_size, threads, f) {
+        merge(&mut acc, part);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +268,63 @@ mod tests {
         });
         assert_eq!(out, oracle);
         assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn map_chunks_returns_one_value_per_chunk_in_order() {
+        let parts = map_chunks(2500, 1024, Threads::new(4), |chunk, range| {
+            (chunk, range.len())
+        });
+        assert_eq!(parts, vec![(0, 1024), (1, 1024), (2, 452)]);
+        assert!(map_chunks(0, 1024, Threads::new(4), |c, _| c).is_empty());
+    }
+
+    #[test]
+    fn fold_chunks_pins_the_merge_order() {
+        // A deliberately order-sensitive merge (string concatenation):
+        // identical output at every thread count proves the fold runs
+        // in chunk-index order, not completion order.
+        let run = |threads: Threads| {
+            fold_chunks(
+                1000,
+                64,
+                threads,
+                String::new(),
+                |chunk, range| format!("[{chunk}:{}]", range.len()),
+                |acc, part| acc.push_str(&part),
+            )
+        };
+        let oracle = run(Threads::SERIAL);
+        for t in [2usize, 4, 8] {
+            assert_eq!(run(Threads::new(t)), oracle, "diverged at {t} threads");
+        }
+        assert!(oracle.starts_with("[0:64][1:64]"));
+    }
+
+    #[test]
+    fn fold_chunks_float_sums_are_thread_invariant() {
+        // Non-associative floating-point partial sums: pinned merge
+        // order makes them bit-identical anyway.
+        let run = |threads: Threads| {
+            fold_chunks(
+                10_000,
+                128,
+                threads,
+                0.0f64,
+                |chunk, range| {
+                    let mut s = 0.0f64;
+                    for i in range {
+                        s += 1.0 / (1.0 + i as f64 + chunk as f64);
+                    }
+                    s
+                },
+                |acc, part| *acc += part,
+            )
+        };
+        let oracle = run(Threads::SERIAL);
+        for t in [2usize, 4, 8] {
+            assert_eq!(run(Threads::new(t)).to_bits(), oracle.to_bits());
+        }
     }
 
     #[test]

@@ -51,10 +51,12 @@
 //! assert_eq!(run(Threads::SERIAL), run(Threads::new(4)));
 //! ```
 
+pub mod arena;
 pub mod chunk;
 pub mod executor;
 pub mod testkit;
 
+pub use arena::ChunkedVec;
 pub use chunk::{chunk_count, chunk_range, derive_seed, DEFAULT_CHUNK_SIZE};
-pub use executor::{map_items, scatter_gather, Threads, THREADS_ENV};
+pub use executor::{fold_chunks, map_chunks, map_items, scatter_gather, Threads, THREADS_ENV};
 pub use testkit::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};

@@ -7,7 +7,7 @@
 //! `characterize` binary is a thin wrapper.
 
 use pai_core::project::{project, ProjectionTarget};
-use pai_core::sweep::{relevant_axes, sweep_class};
+use pai_core::sweep::relevant_axes;
 use pai_core::{Architecture, PerfModel, WorkloadFeatures};
 use pai_hw::{Bytes, Flops};
 use serde::{Deserialize, Serialize};
@@ -192,7 +192,13 @@ pub fn characterize(spec: &JobSpec, model: &PerfModel) -> Result<String, SpecErr
     }
 
     out.push_str("\nhardware sensitivity (speedup at the top Table III candidate):\n");
-    let curves = sweep_class(model, job.arch(), &[job], &[1.0]);
+    let curves = pai_core::class_sweep(
+        model,
+        job.arch(),
+        &[job][..],
+        &[1.0],
+        pai_par::Threads::SERIAL,
+    );
     for axis in relevant_axes(job.arch()) {
         if let Some(sample) = curves.curve(axis).last() {
             out.push_str(&format!(

@@ -2,7 +2,7 @@
 //! summary.
 
 use pai_core::breakdown::mean_fractions;
-use pai_core::{Architecture, Breakdown, Ecdf};
+use pai_core::{Architecture, Breakdown, Ecdf, Jobs};
 use pai_hw::LinkKind;
 use serde_json::json;
 
@@ -19,7 +19,7 @@ pub const ANALYZED: [Architecture; 3] = [
 fn breakdowns(ctx: &Context, arch: Architecture) -> (Vec<Breakdown>, Vec<f64>) {
     let jobs = ctx.population.jobs_of(arch);
     let weights: Vec<f64> = jobs.iter().map(|j| j.cnodes() as f64).collect();
-    let b = pai_core::breakdown_population_par(&ctx.model, &jobs, ctx.threads);
+    let b = ctx.model.breakdowns(&jobs, ctx.threads);
     (b, weights)
 }
 
@@ -214,9 +214,8 @@ pub fn summary(ctx: &Context) -> ExperimentResult {
 
     let small = ctx
         .population
-        .records()
-        .iter()
-        .filter(|j| j.features.weight_bytes().as_gb() < 10.0)
+        .iter_jobs()
+        .filter(|j| j.weight_bytes().as_gb() < 10.0)
         .count() as f64
         / ctx.population.len() as f64;
 
@@ -234,8 +233,7 @@ pub fn summary(ctx: &Context) -> ExperimentResult {
         b.iter().filter(|x| x.weight_fraction() > 0.8).count() as f64 / b.len() as f64
     };
 
-    let outs = pai_core::project::project_population_par(
-        &ctx.model,
+    let outs = ctx.model.projections(
         &ps,
         pai_core::project::ProjectionTarget::AllReduceLocal,
         ctx.threads,

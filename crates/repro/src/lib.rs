@@ -20,6 +20,7 @@ pub mod resilience;
 pub mod schedule;
 pub mod scorecard;
 pub mod sensitivity_x;
+pub mod stream;
 pub mod sweeps;
 
 use pai_core::PerfModel;
@@ -52,6 +53,10 @@ pub struct ExperimentResult {
 /// Shared context: the synthetic population and the paper-default
 /// analytical model.
 pub struct Context {
+    /// The configuration the population was generated from — the
+    /// streaming experiment re-streams the identical job sequence
+    /// from it.
+    pub config: PopulationConfig,
     /// The calibrated synthetic population.
     pub population: Population,
     /// The Sec. III analytical model (Table I, 70 %, non-overlap).
@@ -87,10 +92,14 @@ impl Context {
         // (pai-trace's tests pin its validity); if that contract ever
         // breaks, the failure must stay loud rather than hand the
         // experiments an empty population.
-        let population = Population::generate_par(&config, SEED, threads)
+        let population = Population::builder(config.clone())
+            .seed(SEED)
+            .threads(threads)
+            .build()
             // pai-lint: allow(panic-in-lib)
             .expect("the calibrated configuration is valid");
         Context {
+            config,
             population,
             model: PerfModel::paper_default(),
             threads,
@@ -120,6 +129,7 @@ pub const EXTENSION_EXPERIMENTS: &[&str] = &[
     "ext-adoption",
     "resilience",
     "schedule",
+    "stream",
 ];
 
 /// Paper experiments followed by the extensions.
@@ -153,6 +163,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ext-adoption",
     "resilience",
     "schedule",
+    "stream",
 ];
 
 /// Runs one experiment by id (the valid ids are [`ALL_EXPERIMENTS`]).
@@ -193,6 +204,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<ExperimentResult, Repro
         "ext-adoption" => extensions::adoption(ctx),
         "resilience" => resilience::resilience(ctx)?,
         "schedule" => schedule::schedule(ctx)?,
+        "stream" => stream::stream(ctx),
         _ => {
             return Err(ReproError::UnknownExperiment { id: id.to_string() });
         }

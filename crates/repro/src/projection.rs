@@ -2,7 +2,7 @@
 //! Fig. 16.
 
 use pai_core::breakdown::mean_fractions;
-use pai_core::project::{project_population_par, ProjectionOutcome, ProjectionTarget};
+use pai_core::project::{ProjectionOutcome, ProjectionTarget};
 use pai_core::{comm_bound_speedup, Architecture, Ecdf, OverlapMode};
 use serde_json::json;
 
@@ -16,18 +16,12 @@ fn ps_jobs(ctx: &Context) -> Vec<pai_core::WorkloadFeatures> {
 /// Fig. 9: speedups from mapping PS/Worker jobs to AllReduce.
 pub fn fig9(ctx: &Context) -> ExperimentResult {
     let ps = ps_jobs(ctx);
-    let local = project_population_par(
-        &ctx.model,
-        &ps,
-        ProjectionTarget::AllReduceLocal,
-        ctx.threads,
-    );
-    let cluster = project_population_par(
-        &ctx.model,
-        &ps,
-        ProjectionTarget::AllReduceCluster,
-        ctx.threads,
-    );
+    let local = ctx
+        .model
+        .projections(&ps, ProjectionTarget::AllReduceLocal, ctx.threads);
+    let cluster = ctx
+        .model
+        .projections(&ps, ProjectionTarget::AllReduceCluster, ctx.threads);
 
     let frac_not = |outs: &[ProjectionOutcome], f: fn(&ProjectionOutcome) -> f64| {
         outs.iter().filter(|o| f(o) <= 1.0).count() as f64 / outs.len().max(1) as f64
@@ -43,12 +37,9 @@ pub fn fig9(ctx: &Context) -> ExperimentResult {
         .filter(|o| !o.improves_throughput())
         .map(|o| o.original)
         .collect();
-    let rescue = project_population_par(
-        &ctx.model,
-        &losers,
-        ProjectionTarget::AllReduceCluster,
-        ctx.threads,
-    );
+    let rescue = ctx
+        .model
+        .projections(&losers, ProjectionTarget::AllReduceCluster, ctx.threads);
     let rescue_not = frac_not(&rescue, |o| o.single_cnode_speedup);
 
     let mut rows = vec![cdf_header("series")];
@@ -100,12 +91,9 @@ pub fn fig9(ctx: &Context) -> ExperimentResult {
 /// AllReduce-Local — the bottleneck-shift picture.
 pub fn fig10(ctx: &Context) -> ExperimentResult {
     let ps = ps_jobs(ctx);
-    let outs = project_population_par(
-        &ctx.model,
-        &ps,
-        ProjectionTarget::AllReduceLocal,
-        ctx.threads,
-    );
+    let outs = ctx
+        .model
+        .projections(&ps, ProjectionTarget::AllReduceLocal, ctx.threads);
     let breakdowns = pai_par::map_items(&outs, pai_par::DEFAULT_CHUNK_SIZE, ctx.threads, |o| {
         ctx.model.breakdown(&o.projected)
     });
@@ -163,8 +151,7 @@ pub fn fig16(ctx: &Context) -> Result<ExperimentResult, crate::ReproError> {
 
     let mut speed_stats = Vec::new();
     for (label, model) in [("non-overlap", &ctx.model), ("ideal overlap", &ideal)] {
-        let outs =
-            project_population_par(model, &ps, ProjectionTarget::AllReduceLocal, ctx.threads);
+        let outs = model.projections(&ps, ProjectionTarget::AllReduceLocal, ctx.threads);
         let cdf = Ecdf::from_values(outs.iter().map(|o| o.single_cnode_speedup));
         rows.push(cdf_quantiles(&format!("ARL speedup, {label}"), &cdf));
         let not_sped = outs

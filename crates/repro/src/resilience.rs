@@ -58,7 +58,7 @@ fn run_config(
     let comm = comm_plan(strategy, &ModelComm::of(&model));
     let sim =
         StepSimulator::new(SimConfig::testbed().with_efficiency(*model.measured_efficiency()));
-    Ok(sim.run_steps_faulted_par(model.graph(), &comm, STEPS, plan, threads)?)
+    Ok(sim.run_faulted(model.graph(), &comm, STEPS, plan, threads)?)
 }
 
 fn stats_of(run: &FaultedRun) -> Result<StepStats, ReproError> {

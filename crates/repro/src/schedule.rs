@@ -14,8 +14,8 @@
 
 use pai_hw::ClusterSpec;
 use pai_sched::{
-    sweep_par, templates_from_population, ArrivalConfig, ClusterMetrics, PolicyKind, SweepConfig,
-    SweepPoint,
+    policy_sweep, templates_from_population, ArrivalConfig, ClusterMetrics, PolicyKind,
+    SweepConfig, SweepPoint,
 };
 use serde_json::json;
 
@@ -147,7 +147,7 @@ pub fn schedule(ctx: &Context) -> Result<ExperimentResult, ReproError> {
         ArrivalConfig::default().steps_range,
     )?;
     let config = sweep_config(arrival);
-    let points = sweep_par(&cluster, &ctx.model, &ctx.population, &config, ctx.threads)?;
+    let points = policy_sweep(&cluster, &ctx.model, &ctx.population, &config, ctx.threads)?;
     let rows = aggregate(&points);
 
     let mut text = table(&text_rows(&rows));

@@ -5,8 +5,8 @@
 //! `repro scorecard` to audit the whole reproduction in one shot.
 
 use pai_core::breakdown::mean_fractions;
-use pai_core::project::{project_population_par, ProjectionTarget};
-use pai_core::{comm_bound_speedup, Architecture};
+use pai_core::project::ProjectionTarget;
+use pai_core::{comm_bound_speedup, Architecture, Jobs};
 use pai_hw::{SweepAxis, SweepPoint};
 use pai_profiler::validate::validate_all;
 use serde_json::json;
@@ -61,9 +61,8 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
         tolerance: 0.06,
     });
     let small = pop
-        .records()
-        .iter()
-        .filter(|j| j.features.weight_bytes().as_gb() < 10.0)
+        .iter_jobs()
+        .filter(|j| j.weight_bytes().as_gb() < 10.0)
         .count() as f64
         / pop.len() as f64;
     out.push(Claim {
@@ -79,11 +78,7 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
     let mut weights = Vec::new();
     for arch in ANALYZED {
         let jobs = pop.jobs_of(arch);
-        breakdowns.extend(pai_core::breakdown_population_par(
-            model,
-            &jobs,
-            ctx.threads,
-        ));
+        breakdowns.extend(model.breakdowns(&jobs, ctx.threads));
         weights.extend(jobs.iter().map(|j| j.cnodes() as f64));
     }
     let cnode = mean_fractions(&breakdowns, &weights);
@@ -132,7 +127,7 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
     });
 
     // Projections.
-    let local = project_population_par(model, &ps, ProjectionTarget::AllReduceLocal, ctx.threads);
+    let local = model.projections(&ps, ProjectionTarget::AllReduceLocal, ctx.threads);
     let losers = local
         .iter()
         .filter(|o| o.single_cnode_speedup <= 1.0)
@@ -154,8 +149,7 @@ pub fn claims(ctx: &Context) -> Vec<Claim> {
         reproduced: improved,
         tolerance: 0.08,
     });
-    let cluster =
-        project_population_par(model, &ps, ProjectionTarget::AllReduceCluster, ctx.threads);
+    let cluster = model.projections(&ps, ProjectionTarget::AllReduceCluster, ctx.threads);
     let arc_sped = cluster
         .iter()
         .filter(|o| o.single_cnode_speedup > 1.0)

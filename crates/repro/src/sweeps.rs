@@ -1,9 +1,9 @@
 //! Fig. 11: speedup under the Table III hardware variations, per class
 //! — including the projected AllReduce-Local panel.
 
-use pai_core::project::{project_population_par, ProjectionTarget};
-use pai_core::sweep::{sweep_class_par, SweepCurves};
-use pai_core::Architecture;
+use pai_core::project::ProjectionTarget;
+use pai_core::sweep::SweepCurves;
+use pai_core::{class_sweep, Architecture};
 use serde_json::json;
 
 use crate::cluster::ANALYZED;
@@ -34,7 +34,7 @@ pub fn fig11(ctx: &Context) -> ExperimentResult {
     for arch in ANALYZED {
         let jobs = ctx.population.jobs_of(arch);
         let weights = vec![1.0; jobs.len()];
-        let curves = sweep_class_par(&ctx.model, arch, &jobs, &weights, ctx.threads);
+        let curves = class_sweep(&ctx.model, arch, &jobs, &weights, ctx.threads);
         curves_rows(&curves, &mut rows);
         payload.push(json!({
             "class": arch.label(),
@@ -48,18 +48,15 @@ pub fn fig11(ctx: &Context) -> ExperimentResult {
     // I/O-bound, which would otherwise let the PCIe axis dominate the
     // arithmetic-mean speedup through a few extreme outliers).
     let ps = ctx.population.jobs_of(Architecture::PsWorker);
-    let projected: Vec<_> = project_population_par(
-        &ctx.model,
-        &ps,
-        ProjectionTarget::AllReduceLocal,
-        ctx.threads,
-    )
-    .into_iter()
-    .filter(|o| o.improves_throughput())
-    .map(|o| o.projected)
-    .collect();
+    let projected: Vec<_> = ctx
+        .model
+        .projections(&ps, ProjectionTarget::AllReduceLocal, ctx.threads)
+        .into_iter()
+        .filter(|o| o.improves_throughput())
+        .map(|o| o.projected)
+        .collect();
     let weights = vec![1.0; projected.len()];
-    let curves = sweep_class_par(
+    let curves = class_sweep(
         &ctx.model,
         Architecture::AllReduceLocal,
         &projected,
@@ -83,8 +80,8 @@ pub fn fig11(ctx: &Context) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pai_core::sweep::sweep_class;
     use pai_hw::SweepAxis;
+    use pai_par::Threads;
 
     fn ctx() -> Context {
         Context::with_size(5_000)
@@ -117,7 +114,13 @@ mod tests {
         let c = ctx();
         let jobs = c.population.jobs_of(Architecture::OneWorkerMultiGpu);
         let weights = vec![1.0; jobs.len()];
-        let curves = sweep_class(&c.model, Architecture::OneWorkerMultiGpu, &jobs, &weights);
+        let curves = class_sweep(
+            &c.model,
+            Architecture::OneWorkerMultiGpu,
+            &jobs,
+            &weights,
+            Threads::SERIAL,
+        );
         let top = |axis: SweepAxis| {
             curves
                 .curve(axis)

@@ -3,9 +3,10 @@
 //! render byte-identical text and JSON at any worker-thread count.
 //!
 //! This is the top of the determinism stack — it transitively pins
-//! `Population::generate_par`, `breakdown_population_par`,
-//! `project_population_par`, `sweep_class_par` and
-//! `run_steps_faulted_par` behind the public experiment API.
+//! `Population::builder(..).threads(..)`, `PerfModel::breakdowns`,
+//! `PerfModel::projections`, `class_sweep`, `characterize`,
+//! `policy_sweep` and `StepSimulator::run_faulted` behind the public
+//! experiment API.
 
 use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
 use pai_repro::{run_experiment, Context};
@@ -24,6 +25,7 @@ const PARALLEL_EXPERIMENTS: &[&str] = &[
     "scorecard",
     "resilience",
     "schedule",
+    "stream",
 ];
 
 proptest! {

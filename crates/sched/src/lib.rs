@@ -41,4 +41,7 @@ pub use job::{CrashPoint, SchedJob, SyncClass};
 pub use metrics::{ClusterMetrics, JobMetrics, BOUNDED_SLOWDOWN_TAU_S};
 pub use policy::{BestFitPacked, FifoFirstFit, LocalityAware, Policy, PolicyKind, Spread};
 pub use stream::{realize_stream, templates_from_population, ArrivalConfig, JobTemplate};
-pub use sweep::{sweep_par, SweepConfig, SweepPoint};
+pub use sweep::{policy_sweep, SweepConfig, SweepPoint};
+
+#[allow(deprecated)]
+pub use sweep::sweep_par;

@@ -16,7 +16,7 @@ use pai_core::PerfModel;
 use pai_faults::FaultKind;
 use pai_hw::{Bytes, ClusterSpec, Seconds};
 use pai_par::derive_seed;
-use pai_trace::{FailureSampler, JobRecord, Population};
+use pai_trace::{FailureSampler, JobRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SchedError;
@@ -54,31 +54,37 @@ impl JobTemplate {
     }
 }
 
-/// Prices every population job with the analytical model, dropping
-/// jobs wider than `capacity` GPUs (the trace's PS giants span up to
-/// 2048 cNodes; the 512-GPU testbed can never gang-schedule them).
-/// Returns the templates in population order plus the dropped count —
-/// callers must surface the drop, not hide it.
-pub fn templates_from_population(
+/// Prices every job with the analytical model, dropping jobs wider
+/// than `capacity` GPUs (the trace's PS giants span up to 2048
+/// cNodes; the 512-GPU testbed can never gang-schedule them).
+/// Accepts any [`pai_core::Jobs`] storage — a borrowed columnar
+/// store, a `Population`, or a plain slice. Returns the templates in
+/// job order plus the dropped count — callers must surface the drop,
+/// not hide it.
+pub fn templates_from_population<J: pai_core::Jobs + ?Sized>(
     model: &PerfModel,
-    population: &Population,
+    jobs: &J,
     capacity: usize,
 ) -> (Vec<JobTemplate>, usize) {
-    let mut templates = Vec::with_capacity(population.len());
+    let mut templates = Vec::with_capacity(jobs.len());
     let mut dropped = 0usize;
-    for record in population.records() {
-        let cnodes = record.features.cnodes();
+    for i in 0..jobs.len() {
+        let features = jobs.get(i);
+        let cnodes = features.cnodes();
         if cnodes == 0 || cnodes > capacity {
             dropped += 1;
             continue;
         }
-        let b = model.breakdown(&record.features);
+        let b = model.breakdown(&features);
         templates.push(JobTemplate {
-            record: *record,
+            record: JobRecord {
+                id: jobs.id_at(i),
+                features,
+            },
             cnodes,
             compute_time: b.data_io() + b.computation(),
-            weight_bytes: record.features.weight_bytes(),
-            sync: SyncClass::of(record.features.arch()),
+            weight_bytes: features.weight_bytes(),
+            sync: SyncClass::of(features.arch()),
             local_sync_time: b.weight_traffic(),
         });
     }
@@ -265,7 +271,7 @@ pub fn realize_stream(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pai_trace::PopulationConfig;
+    use pai_trace::{Population, PopulationConfig};
 
     fn population(jobs: usize) -> Population {
         let config = PopulationConfig::paper_scale(jobs).expect("valid scale");

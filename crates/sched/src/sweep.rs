@@ -71,13 +71,32 @@ pub struct SweepPoint {
 ///
 /// # Errors
 ///
-/// Returns [`SchedError::NoJobs`] when the capacity filter leaves no
-/// schedulable jobs (or no seeds/policies are given), and propagates
-/// the first engine or stream error otherwise.
+/// Same contract as [`policy_sweep`].
+#[deprecated(note = "use `policy_sweep`, which accepts any `Jobs` storage")]
 pub fn sweep_par(
     cluster: &ClusterSpec,
     model: &PerfModel,
     population: &Population,
+    config: &SweepConfig,
+    threads: Threads,
+) -> Result<Vec<SweepPoint>, SchedError> {
+    policy_sweep(cluster, model, population, config, threads)
+}
+
+/// Runs every `(policy, seed)` point of the sweep, in policy-major
+/// order, over `threads` workers, pricing jobs from any
+/// [`pai_core::Jobs`] storage ([`Threads::SERIAL`] is the oracle; the
+/// determinism suite pins bit-identity at 1/2/4/8).
+///
+/// # Errors
+///
+/// Returns [`SchedError::NoJobs`] when the capacity filter leaves no
+/// schedulable jobs (or no seeds/policies are given), and propagates
+/// the first engine or stream error otherwise.
+pub fn policy_sweep<J: pai_core::Jobs + ?Sized>(
+    cluster: &ClusterSpec,
+    model: &PerfModel,
+    population: &J,
     config: &SweepConfig,
     threads: Threads,
 ) -> Result<Vec<SweepPoint>, SchedError> {

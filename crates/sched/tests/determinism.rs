@@ -9,7 +9,7 @@ use pai_core::PerfModel;
 use pai_hw::ClusterSpec;
 use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
 use pai_sched::{
-    realize_stream, run, sweep_par, templates_from_population, ArrivalConfig, PolicyKind,
+    policy_sweep, realize_stream, run, templates_from_population, ArrivalConfig, PolicyKind,
     SchedConfig, SweepConfig,
 };
 use pai_trace::{FailureSampler, Population, PopulationConfig};
@@ -40,7 +40,7 @@ proptest! {
             width_cap: None,
         };
         let points = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
-            sweep_par(&cluster, &model, &pop, &config, threads).expect("valid sweep")
+            policy_sweep(&cluster, &model, &pop, &config, threads).expect("valid sweep")
         });
         prop_assert_eq!(points.len(), 8);
         for p in &points {

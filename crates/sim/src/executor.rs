@@ -262,7 +262,7 @@ impl StepSimulator {
     /// are the *slowest* replica's (it defines the barrier), and
     /// `faults` attributes the extra time to straggling, NIC
     /// degradation, and retries. Crash recovery is charged by
-    /// [`StepSimulator::run_steps_faulted`], not here.
+    /// [`StepSimulator::run_faulted`], not here.
     pub fn run_replicas_faulted(
         &self,
         graph: &Graph,

@@ -66,6 +66,7 @@ impl StepSimulator {
     ///
     /// Returns [`SimError::ZeroSteps`] for an empty run and
     /// [`SimError::Fault`] for an invalid plan.
+    #[deprecated(note = "use `run_faulted`, which takes a `Threads` count")]
     pub fn run_steps_faulted(
         &self,
         graph: &Graph,
@@ -73,10 +74,24 @@ impl StepSimulator {
         steps: usize,
         plan: &FaultPlan,
     ) -> Result<FaultedRun, SimError> {
-        self.run_steps_faulted_par(graph, comm, steps, plan, Threads::SERIAL)
+        self.run_faulted(graph, comm, steps, plan, Threads::SERIAL)
     }
 
-    /// [`Self::run_steps_faulted`] on `threads` workers.
+    /// [`Self::run_faulted`] on `threads` workers.
+    #[deprecated(note = "use `run_faulted`, which takes a `Threads` count")]
+    pub fn run_steps_faulted_par(
+        &self,
+        graph: &Graph,
+        comm: &CommPlan,
+        steps: usize,
+        plan: &FaultPlan,
+        threads: Threads,
+    ) -> Result<FaultedRun, SimError> {
+        self.run_faulted(graph, comm, steps, plan, threads)
+    }
+
+    /// Simulates `steps` synchronous steps under `plan` on `threads`
+    /// workers ([`Threads::SERIAL`] for the single-threaded oracle).
     ///
     /// Each step's measurement is a pure function of
     /// `(graph, comm, plan, step)` — the fault realization is drawn
@@ -85,7 +100,12 @@ impl StepSimulator {
     /// reads the finalized `total` of earlier measurements, so the
     /// sequential fold over the gathered vector reproduces the serial
     /// run bit for bit at every thread count.
-    pub fn run_steps_faulted_par(
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroSteps`] for an empty run and
+    /// [`SimError::Fault`] for an invalid plan.
+    pub fn run_faulted(
         &self,
         graph: &Graph,
         comm: &CommPlan,
@@ -152,7 +172,7 @@ mod tests {
         let sim = StepSimulator::new(SimConfig::testbed());
         let plan = FaultPlan::healthy(2).unwrap();
         let run = sim
-            .run_steps_faulted(&toy_graph(), &CommPlan::new(), 10, &plan)
+            .run_faulted(&toy_graph(), &CommPlan::new(), 10, &plan, Threads::SERIAL)
             .unwrap();
         assert_eq!(run.steps.len(), 10);
         assert!(run.lost_time.is_zero());
@@ -168,7 +188,13 @@ mod tests {
         let sim = StepSimulator::new(SimConfig::testbed());
         let healthy = FaultPlan::healthy(2).unwrap();
         let base = sim
-            .run_steps_faulted(&toy_graph(), &CommPlan::new(), 10, &healthy)
+            .run_faulted(
+                &toy_graph(),
+                &CommPlan::new(),
+                10,
+                &healthy,
+                Threads::SERIAL,
+            )
             .unwrap();
         let step_time = base.steps[0].total;
 
@@ -177,7 +203,7 @@ mod tests {
             .build()
             .unwrap();
         let run = sim
-            .run_steps_faulted(&toy_graph(), &CommPlan::new(), 10, &plan)
+            .run_faulted(&toy_graph(), &CommPlan::new(), 10, &plan, Threads::SERIAL)
             .unwrap();
         assert_eq!(run.lost_steps, 3);
         // Lost time = failed attempt + restart + 3 redone steps.
@@ -196,7 +222,7 @@ mod tests {
             .build()
             .unwrap();
         let run = sim
-            .run_steps_faulted(&toy_graph(), &CommPlan::new(), 4, &plan)
+            .run_faulted(&toy_graph(), &CommPlan::new(), 4, &plan, Threads::SERIAL)
             .unwrap();
         assert_eq!(run.lost_steps, 1);
     }
@@ -206,7 +232,7 @@ mod tests {
         let sim = StepSimulator::new(SimConfig::testbed());
         let plan = FaultPlan::healthy(1).unwrap();
         assert_eq!(
-            sim.run_steps_faulted(&toy_graph(), &CommPlan::new(), 0, &plan)
+            sim.run_faulted(&toy_graph(), &CommPlan::new(), 0, &plan, Threads::SERIAL)
                 .unwrap_err(),
             SimError::ZeroSteps
         );
@@ -222,10 +248,10 @@ mod tests {
             .build()
             .unwrap();
         let a = sim
-            .run_steps_faulted(&toy_graph(), &CommPlan::new(), 20, &plan)
+            .run_faulted(&toy_graph(), &CommPlan::new(), 20, &plan, Threads::SERIAL)
             .unwrap();
         let b = sim
-            .run_steps_faulted(&toy_graph(), &CommPlan::new(), 20, &plan)
+            .run_faulted(&toy_graph(), &CommPlan::new(), 20, &plan, Threads::SERIAL)
             .unwrap();
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.wall_clock, b.wall_clock);

@@ -56,7 +56,7 @@
 //!     .build()?;
 //! let sim = StepSimulator::new(SimConfig::testbed());
 //! let resnet = zoo::resnet50();
-//! let run = sim.run_steps_faulted(resnet.graph(), &CommPlan::new(), 8, &plan)?;
+//! let run = sim.run_faulted(resnet.graph(), &CommPlan::new(), 8, &plan, pai_par::Threads::SERIAL)?;
 //! assert_eq!(run.lost_steps, 2);
 //! assert!(run.stats()?.goodput > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -5,7 +5,7 @@ use pai_faults::FaultPlan;
 use pai_graph::op::{elementwise, matmul, Op};
 use pai_graph::{Graph, OpKind};
 use pai_hw::{Bytes, LinkKind, Seconds};
-use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
+use pai_par::{assert_serial_parallel_identical, Threads, EQUIVALENCE_THREADS};
 use pai_sim::cluster::{place, ClusterJob};
 use pai_sim::engine::Engine;
 use pai_sim::{OverlapPolicy, SimConfig, StepSimulator};
@@ -226,8 +226,8 @@ proptest! {
             .build()
             .unwrap();
         let sim = StepSimulator::new(SimConfig::testbed());
-        let a = sim.run_steps_faulted(&g, &comm, 6, &plan).unwrap();
-        let b = sim.run_steps_faulted(&g, &comm, 6, &plan).unwrap();
+        let a = sim.run_faulted(&g, &comm, 6, &plan, Threads::SERIAL).unwrap();
+        let b = sim.run_faulted(&g, &comm, 6, &plan, Threads::SERIAL).unwrap();
         prop_assert_eq!(&a.steps, &b.steps);
         for (x, y) in a.steps.iter().zip(&b.steps) {
             prop_assert!(x.total.as_f64().to_bits() == y.total.as_f64().to_bits());
@@ -264,11 +264,11 @@ proptest! {
             .unwrap();
         let sim = StepSimulator::new(SimConfig::testbed());
         let oracle = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
-            sim.run_steps_faulted_par(&g, &comm, steps, &plan, threads).unwrap()
+            sim.run_faulted(&g, &comm, steps, &plan, threads).unwrap()
         });
         // The public serial entry point is the same oracle, down to
         // the float bits of the wall clock.
-        let serial = sim.run_steps_faulted(&g, &comm, steps, &plan).unwrap();
+        let serial = sim.run_faulted(&g, &comm, steps, &plan, Threads::SERIAL).unwrap();
         prop_assert!(oracle.wall_clock.as_f64().to_bits() == serial.wall_clock.as_f64().to_bits());
         prop_assert_eq!(oracle, serial);
     }
@@ -287,7 +287,7 @@ proptest! {
         let comm = sync_comm();
         let sim = StepSimulator::new(SimConfig::testbed());
         let healthy = sim
-            .run_steps_faulted(&g, &comm, 6, &FaultPlan::healthy(3).unwrap())
+            .run_faulted(&g, &comm, 6, &FaultPlan::healthy(3).unwrap(), Threads::SERIAL)
             .unwrap();
         let builder = FaultPlan::builder(3);
         let plan = match kind {
@@ -298,7 +298,7 @@ proptest! {
         }
         .build()
         .unwrap();
-        let faulted = sim.run_steps_faulted(&g, &comm, 6, &plan).unwrap();
+        let faulted = sim.run_faulted(&g, &comm, 6, &plan, Threads::SERIAL).unwrap();
         prop_assert!(
             faulted.wall_clock.as_f64() >= healthy.wall_clock.as_f64() - 1e-12,
             "faulted wall clock {} < healthy {}",
@@ -327,8 +327,7 @@ fn degenerate_plans_through_the_parallel_path() {
         FaultPlan::builder(3).ps_retry(1, 0).build().unwrap(),
     ] {
         let run = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
-            sim.run_steps_faulted_par(&g, &comm, 20, &plan, threads)
-                .unwrap()
+            sim.run_faulted(&g, &comm, 20, &plan, threads).unwrap()
         });
         assert_eq!(run.steps.len(), 20);
         assert!(run.lost_time.is_zero());
@@ -355,8 +354,7 @@ fn chunk_boundary_step_counts_are_thread_invariant() {
         .unwrap();
     for steps in [1usize, 16, 32] {
         let run = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
-            sim.run_steps_faulted_par(&g, &comm, steps, &plan, threads)
-                .unwrap()
+            sim.run_faulted(&g, &comm, steps, &plan, threads).unwrap()
         });
         assert_eq!(run.steps.len(), steps);
     }

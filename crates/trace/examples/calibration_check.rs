@@ -1,7 +1,8 @@
 //! Scratch calibration probe (not part of the public surface).
-use pai_core::project::{project_population, ProjectionTarget};
+use pai_core::project::ProjectionTarget;
 use pai_core::{Architecture, PerfModel};
 use pai_hw::{SweepAxis, SweepPoint};
+use pai_par::Threads;
 use pai_trace::{Population, PopulationConfig};
 
 fn main() {
@@ -42,7 +43,7 @@ fn main() {
         / ps.len() as f64;
     println!("PS jobs >80% comm: {:.3} (target >0.40)", over80);
 
-    let outs = project_population(&model, &ps, ProjectionTarget::AllReduceLocal);
+    let outs = model.projections(&ps, ProjectionTarget::AllReduceLocal, Threads::SERIAL);
     println!(
         "eligible for ARL: {:.3} of PS",
         outs.len() as f64 / ps.len() as f64
@@ -57,7 +58,7 @@ fn main() {
     println!("single-cNode not sped up: {:.3} (target 0.226)", not_sped);
     println!("throughput not improved: {:.3} (target 0.402)", thr_not);
 
-    let outs_c = project_population(&model, &ps, ProjectionTarget::AllReduceCluster);
+    let outs_c = model.projections(&ps, ProjectionTarget::AllReduceCluster, Threads::SERIAL);
     let arc_sped =
         outs_c.iter().filter(|o| o.throughput_speedup > 1.0).count() as f64 / outs_c.len() as f64;
     println!("ARC sped up: {:.3} (target 0.679)", arc_sped);

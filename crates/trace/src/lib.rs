@@ -25,7 +25,14 @@
 //! Sec. III-A/B marginals are.
 //!
 //! Generation is deterministic per seed (xoshiro-free: plain
-//! [`rand::rngs::StdRng`]).
+//! [`rand::rngs::StdRng`]), and the population lives in an
+//! arena-backed **columnar store** ([`JobStore`]) rather than an
+//! array of structs: one column per feature, segmented on the same
+//! fixed chunk grid the RNG streams key on. The same job sequence is
+//! available lazily through [`JobStream`], and [`StreamSession`]
+//! characterizes a stream of any length incrementally — bit-for-bit
+//! identical to the batch statistics at any thread count, in bounded
+//! memory.
 //!
 //! Invalid caller input is rejected with typed errors
 //! ([`ConfigError`], [`TraceError`]) rather than panics, and
@@ -55,8 +62,12 @@ pub mod error;
 pub mod failures;
 pub mod population;
 pub mod sampler;
+pub mod store;
+pub mod stream;
 
 pub use config::{ConfigError, PopulationConfig};
 pub use error::TraceError;
 pub use failures::{FailureConfig, FailureSampler};
-pub use population::{JobRecord, Population};
+pub use population::{JobRecord, Population, PopulationBuilder};
+pub use store::JobStore;
+pub use stream::{JobStream, StreamSession};

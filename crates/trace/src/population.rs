@@ -6,7 +6,7 @@
 //! ([`PerfModel::paper_default`]) into physical features. See the
 //! crate-level docs for why this calibration strategy is sound.
 
-use pai_core::{Architecture, PerfModel, WorkloadFeatures};
+use pai_core::{Architecture, Jobs, PerfModel, WorkloadFeatures};
 use pai_hw::{Bytes, Flops, LinkKind};
 use pai_par::Threads;
 use rand::rngs::StdRng;
@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::PopulationConfig;
 use crate::error::TraceError;
 use crate::sampler;
+use crate::store::JobStore;
 
 /// Jobs per sampling chunk. Fixed — never derived from the thread
 /// count — so the chunk decomposition, and with it every RNG stream,
@@ -31,21 +32,91 @@ pub struct JobRecord {
     pub features: WorkloadFeatures,
 }
 
-/// A generated population of synthetic jobs.
+/// A generated population of synthetic jobs, stored columnar
+/// ([`JobStore`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Population {
-    jobs: Vec<JobRecord>,
+    store: JobStore,
+}
+
+/// Configures and runs population generation: seed, worker threads.
+///
+/// The chunk decomposition and per-chunk seeds never depend on the
+/// thread count, so every `threads` value yields the identical
+/// population; [`Threads::SERIAL`] (the default) is the oracle the
+/// equivalence tests compare against.
+#[derive(Debug, Clone)]
+pub struct PopulationBuilder {
+    config: PopulationConfig,
+    seed: u64,
+    threads: Threads,
+}
+
+impl PopulationBuilder {
+    /// The RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> PopulationBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads (default [`Threads::SERIAL`]). Pass
+    /// [`Threads::from_env`] to honor the `PAI_THREADS` knob.
+    pub fn threads(mut self, threads: Threads) -> PopulationBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// Samples the population into a columnar [`JobStore`].
+    ///
+    /// Sampling is chunked ([`JOB_CHUNK`] jobs per chunk) with one RNG
+    /// stream per chunk derived from `(seed, chunk_id)`, and chunk
+    /// stores merge in index order, so the result is a pure function
+    /// of `(config, seed)` — bit-for-bit identical at any thread
+    /// count, and identical to draining a [`crate::JobStream`] into a
+    /// store one job at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::config::ConfigError`] (wrapped in
+    /// [`TraceError::Config`]) when the config fails
+    /// [`PopulationConfig::validate`].
+    pub fn build(self) -> Result<Population, TraceError> {
+        self.config.validate()?;
+        let model = PerfModel::paper_default();
+        let config = &self.config;
+        let seed = self.seed;
+        let store = pai_par::fold_chunks(
+            config.jobs,
+            JOB_CHUNK,
+            self.threads,
+            JobStore::new(),
+            |chunk, range| {
+                let mut rng = StdRng::seed_from_u64(pai_par::derive_seed(seed, chunk as u64));
+                let mut part = JobStore::new();
+                for _ in range {
+                    part.push(&sample_job(&mut rng, config, &model));
+                }
+                part
+            },
+            |acc, part| acc.append(&part),
+        );
+        Ok(Population { store })
+    }
 }
 
 impl Population {
-    /// Generates a population deterministically from a seed.
-    ///
-    /// Sampling is chunked ([`JOB_CHUNK`] jobs per chunk) with one RNG
-    /// stream per chunk derived from `(seed, chunk_id)`, so the result
-    /// is a pure function of `(config, seed)` — and bit-for-bit
-    /// identical to [`Population::generate_par`] at any thread count.
-    /// This serial path is the oracle the equivalence tests compare
-    /// against.
+    /// Starts configuring a generation run; see [`PopulationBuilder`].
+    pub fn builder(config: PopulationConfig) -> PopulationBuilder {
+        PopulationBuilder {
+            config,
+            seed: 0,
+            threads: Threads::SERIAL,
+        }
+    }
+
+    /// Generates a population deterministically from a seed on the
+    /// current thread — shorthand for
+    /// `Population::builder(config).seed(seed).build()`.
     ///
     /// # Errors
     ///
@@ -53,37 +124,25 @@ impl Population {
     /// [`TraceError::Config`]) when `config` fails
     /// [`PopulationConfig::validate`].
     pub fn generate(config: &PopulationConfig, seed: u64) -> Result<Population, TraceError> {
-        Population::generate_par(config, seed, Threads::SERIAL)
+        Population::builder(config.clone()).seed(seed).build()
     }
 
     /// [`Population::generate`] scattered over `threads` worker
     /// threads.
     ///
-    /// The chunk decomposition and per-chunk seeds do not depend on
-    /// `threads`, and chunks gather in index order, so every thread
-    /// count (including the serial oracle) produces identical records.
-    /// Pass [`Threads::from_env`] to honor the `PAI_THREADS` knob.
-    ///
     /// # Errors
     ///
     /// Same contract as [`Population::generate`].
+    #[deprecated(note = "use `Population::builder(config).seed(seed).threads(threads).build()`")]
     pub fn generate_par(
         config: &PopulationConfig,
         seed: u64,
         threads: Threads,
     ) -> Result<Population, TraceError> {
-        config.validate()?;
-        let model = PerfModel::paper_default();
-        let jobs = pai_par::scatter_gather(config.jobs, JOB_CHUNK, threads, |chunk, range| {
-            let mut rng = StdRng::seed_from_u64(pai_par::derive_seed(seed, chunk as u64));
-            range
-                .map(|id| JobRecord {
-                    id,
-                    features: sample_job(&mut rng, config, &model),
-                })
-                .collect::<Vec<_>>()
-        });
-        Ok(Population { jobs })
+        Population::builder(config.clone())
+            .seed(seed)
+            .threads(threads)
+            .build()
     }
 
     /// Rebuilds a population from previously exported records (e.g.
@@ -97,88 +156,109 @@ impl Population {
     pub fn from_records<I: IntoIterator<Item = JobRecord>>(
         records: I,
     ) -> Result<Population, TraceError> {
-        let jobs: Vec<JobRecord> = records.into_iter().collect();
-        if jobs.is_empty() {
+        let mut store = JobStore::new();
+        let mut ids: Vec<usize> = Vec::new();
+        for record in records {
+            store.push_record(&record);
+            ids.push(record.id);
+        }
+        if store.is_empty() {
             return Err(TraceError::EmptyPopulation);
         }
-        let mut ids: Vec<usize> = jobs.iter().map(|j| j.id).collect();
         ids.sort_unstable();
         if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
             return Err(TraceError::DuplicateJobId { id: dup[0] });
         }
-        Ok(Population { jobs })
+        Ok(Population { store })
+    }
+
+    /// Wraps an already-filled columnar store (e.g. one a
+    /// [`crate::JobStream`] was drained into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptyPopulation`] when the store holds no
+    /// rows.
+    pub fn from_store(store: JobStore) -> Result<Population, TraceError> {
+        if store.is_empty() {
+            return Err(TraceError::EmptyPopulation);
+        }
+        Ok(Population { store })
     }
 
     /// Number of jobs.
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.store.len()
     }
 
     /// True when no jobs were generated (never, per config validation).
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.store.is_empty()
     }
 
-    /// All records.
-    pub fn records(&self) -> &[JobRecord] {
-        &self.jobs
+    /// The columnar store — the zero-copy view every analysis should
+    /// run against (it implements [`pai_core::Jobs`], as does
+    /// `Population` itself).
+    pub fn store(&self) -> &JobStore {
+        &self.store
     }
 
-    /// All feature records.
+    /// Consumes the population, releasing its store.
+    pub fn into_store(self) -> JobStore {
+        self.store
+    }
+
+    /// All records, **materialized** into a fresh array-of-structs
+    /// `Vec` — the exchange format for serialization and fault
+    /// planning. Analyses should prefer [`Population::store`], which
+    /// borrows instead of copying the whole population.
+    pub fn records(&self) -> Vec<JobRecord> {
+        (0..self.store.len())
+            .map(|i| self.store.record(i))
+            .collect()
+    }
+
+    /// All feature records, materialized.
     pub fn features(&self) -> Vec<WorkloadFeatures> {
-        self.jobs.iter().map(|j| j.features).collect()
+        (0..self.store.len()).map(|i| self.store.get(i)).collect()
     }
 
-    /// Feature records of one class.
+    /// Feature records of one class, materialized.
     pub fn jobs_of(&self, arch: Architecture) -> Vec<WorkloadFeatures> {
-        self.jobs
-            .iter()
-            .map(|j| j.features)
+        (0..self.store.len())
+            .map(|i| self.store.get(i))
             .filter(|f| f.arch() == arch)
             .collect()
     }
 
     /// Job count per class, in [`Architecture::ALL`] order.
     pub fn class_counts(&self) -> [usize; 5] {
-        let mut counts = [0usize; 5];
-        for j in &self.jobs {
-            counts[class_index(j.features.arch())] += 1;
-        }
-        counts
+        self.store.class_counts()
     }
 
     /// Total cNodes per class, in [`Architecture::ALL`] order — the
     /// denominator of Fig. 5b's resource-consumption view.
     pub fn cnode_totals(&self) -> [usize; 5] {
-        let mut totals = [0usize; 5];
-        for j in &self.jobs {
-            totals[class_index(j.features.arch())] += j.features.cnodes();
-        }
-        totals
+        self.store.cnode_totals()
     }
 
     /// Total cNodes across the population.
     pub fn total_cnodes(&self) -> usize {
-        self.jobs.iter().map(|j| j.features.cnodes()).sum()
+        self.store.total_cnodes()
     }
 }
 
-impl<'a> IntoIterator for &'a Population {
-    type Item = &'a JobRecord;
-    type IntoIter = std::slice::Iter<'a, JobRecord>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.jobs.iter()
+impl Jobs for Population {
+    fn len(&self) -> usize {
+        self.store.len()
     }
-}
 
-/// The [`Architecture::ALL`] (Table II) position of a class.
-fn class_index(arch: Architecture) -> usize {
-    match arch {
-        Architecture::OneWorkerOneGpu => 0,
-        Architecture::OneWorkerMultiGpu => 1,
-        Architecture::PsWorker => 2,
-        Architecture::AllReduceLocal => 3,
-        Architecture::AllReduceCluster => 4,
+    fn get(&self, index: usize) -> WorkloadFeatures {
+        self.store.get(index)
+    }
+
+    fn id_at(&self, index: usize) -> usize {
+        self.store.id_at(index)
     }
 }
 
@@ -338,7 +418,13 @@ fn invert_features(
         .build()
 }
 
-fn sample_job(rng: &mut StdRng, config: &PopulationConfig, model: &PerfModel) -> WorkloadFeatures {
+/// Samples one job — the single sampling routine behind batch,
+/// parallel and streaming generation.
+pub(crate) fn sample_job(
+    rng: &mut StdRng,
+    config: &PopulationConfig,
+    model: &PerfModel,
+) -> WorkloadFeatures {
     let arch = sample_class(rng, config);
     let cnodes = sample_cnodes(rng, config, arch);
     let batch = sampler::pow2(rng, config.batch_exp.0, config.batch_exp.1);
@@ -397,7 +483,7 @@ mod tests {
     #[test]
     fn records_roundtrip_through_json() {
         let pop = Population::generate(&PopulationConfig::paper_scale(50).unwrap(), 3).unwrap();
-        let body = serde_json::to_string(pop.records()).expect("serialize");
+        let body = serde_json::to_string(&pop.records()).expect("serialize");
         let back: Vec<JobRecord> = serde_json::from_str(&body).expect("deserialize");
         assert_eq!(Population::from_records(back).unwrap(), pop);
     }
@@ -405,7 +491,7 @@ mod tests {
     #[test]
     fn from_records_rejects_duplicates() {
         let pop = Population::generate(&PopulationConfig::paper_scale(2).unwrap(), 3).unwrap();
-        let mut records = pop.records().to_vec();
+        let mut records = pop.records();
         records[1].id = records[0].id;
         assert_eq!(
             Population::from_records(records),
@@ -500,8 +586,8 @@ mod tests {
         // of resources.
         let pop =
             Population::generate(&PopulationConfig::paper_scale(20_000).unwrap(), 1905930).unwrap();
-        let big: Vec<&JobRecord> = pop
-            .records()
+        let records = pop.records();
+        let big: Vec<&JobRecord> = records
             .iter()
             .filter(|j| j.features.cnodes() > 128)
             .collect();

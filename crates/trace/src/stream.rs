@@ -1,0 +1,271 @@
+//! Streaming generation and ingest.
+//!
+//! [`JobStream`] yields the exact job sequence batch generation
+//! produces — same per-chunk RNG streams, same order — one job at a
+//! time, without materializing the population. [`StreamSession`]
+//! consumes any job source incrementally, folding fixed
+//! [`JOB_CHUNK`]-sized accumulator chunks in arrival order so that a
+//! mid-stream or final [`StreamSession::stats`] snapshot is
+//! bit-for-bit identical to batch [`pai_core::characterize`] over the
+//! same prefix at any thread count.
+//!
+//! Together they characterize a population of any size in bounded
+//! memory: the stream holds one RNG and one feature record, the
+//! session holds two accumulators (a few KB) plus, optionally, the
+//! three-column [`WhatIfIndex`].
+
+use pai_core::{
+    HeadlineAccum, HeadlineStats, IngestSink, PerfModel, WhatIfIndex, WorkloadFeatures,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::PopulationConfig;
+use crate::error::TraceError;
+use crate::population::{sample_job, JOB_CHUNK};
+
+/// A lazy generator of the population's job sequence.
+///
+/// Yields exactly the jobs `Population::builder(config).seed(seed)`
+/// would store, in the same order: the iterator re-seeds its RNG at
+/// every [`JOB_CHUNK`] boundary from the same `(seed, chunk)`
+/// derivation the batch/parallel paths use, so batch, parallel and
+/// streaming generation are one sequence with three drivers.
+#[derive(Debug, Clone)]
+pub struct JobStream<'a> {
+    config: &'a PopulationConfig,
+    model: PerfModel,
+    seed: u64,
+    next: usize,
+    total: usize,
+    rng: StdRng,
+}
+
+impl<'a> JobStream<'a> {
+    /// Opens a stream over the population `config` describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Config`] when `config` fails validation.
+    pub fn new(config: &'a PopulationConfig, seed: u64) -> Result<JobStream<'a>, TraceError> {
+        config.validate()?;
+        Ok(JobStream {
+            config,
+            model: PerfModel::paper_default(),
+            seed,
+            next: 0,
+            total: config.jobs,
+            // Placeholder; re-seeded at the first chunk boundary.
+            rng: StdRng::seed_from_u64(0),
+        })
+    }
+
+    /// Jobs yielded so far — the id of the next job is this position.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+}
+
+impl Iterator for JobStream<'_> {
+    type Item = WorkloadFeatures;
+
+    fn next(&mut self) -> Option<WorkloadFeatures> {
+        if self.next >= self.total {
+            return None;
+        }
+        if self.next.is_multiple_of(JOB_CHUNK) {
+            let chunk = (self.next / JOB_CHUNK) as u64;
+            self.rng = StdRng::seed_from_u64(pai_par::derive_seed(self.seed, chunk));
+        }
+        self.next += 1;
+        Some(sample_job(&mut self.rng, self.config, &self.model))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for JobStream<'_> {}
+
+/// An incremental characterization session over a job stream.
+///
+/// Jobs fold into a pending accumulator that merges into the running
+/// one at every [`JOB_CHUNK`] boundary — the same chunk grid and
+/// merge order as batch [`pai_core::characterize`], which is what
+/// makes [`StreamSession::stats`] bit-identical to the batch result
+/// over the same jobs. Memory is bounded: two accumulators regardless
+/// of stream length, plus three `f64` columns per PS/Worker job when
+/// the optional what-if index is enabled.
+#[derive(Debug, Clone)]
+pub struct StreamSession {
+    model: PerfModel,
+    running: HeadlineAccum,
+    pending: HeadlineAccum,
+    pending_len: usize,
+    whatif: Option<WhatIfIndex>,
+}
+
+impl StreamSession {
+    /// A statistics-only session: strictly bounded memory at any
+    /// stream length.
+    pub fn new(model: PerfModel) -> StreamSession {
+        StreamSession {
+            model,
+            running: HeadlineAccum::new(model),
+            pending: HeadlineAccum::new(model),
+            pending_len: 0,
+            whatif: None,
+        }
+    }
+
+    /// A session that additionally builds the resident-column
+    /// [`WhatIfIndex`] for post-hoc bandwidth queries.
+    pub fn with_whatif(model: PerfModel) -> StreamSession {
+        StreamSession {
+            whatif: Some(WhatIfIndex::new(model)),
+            ..StreamSession::new(model)
+        }
+    }
+
+    /// Folds one job into the session.
+    pub fn ingest(&mut self, job: &WorkloadFeatures) {
+        self.pending.ingest(job);
+        if let Some(index) = &mut self.whatif {
+            index.push(job);
+        }
+        self.pending_len += 1;
+        if self.pending_len == JOB_CHUNK {
+            self.running.merge(&self.pending);
+            self.pending = HeadlineAccum::new(self.model);
+            self.pending_len = 0;
+        }
+    }
+
+    /// Jobs ingested so far.
+    pub fn jobs(&self) -> u64 {
+        self.running.jobs() + self.pending.jobs()
+    }
+
+    /// The headline statistics over everything ingested so far —
+    /// bit-identical to batch [`pai_core::characterize`] over the
+    /// same jobs.
+    pub fn stats(&self) -> HeadlineStats {
+        let mut acc = self.running.clone();
+        acc.merge(&self.pending);
+        acc.stats()
+    }
+
+    /// The what-if index, when the session was opened with one.
+    pub fn whatif(&self) -> Option<&WhatIfIndex> {
+        self.whatif.as_ref()
+    }
+
+    /// Consumes the session, releasing the what-if index.
+    pub fn into_whatif(self) -> Option<WhatIfIndex> {
+        self.whatif
+    }
+}
+
+impl IngestSink for StreamSession {
+    fn ingest(&mut self, job: &WorkloadFeatures) {
+        StreamSession::ingest(self, job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+    use crate::store::JobStore;
+    use pai_core::{characterize, Jobs};
+    use pai_par::Threads;
+
+    const SEED: u64 = 1905930;
+
+    #[test]
+    fn stream_reproduces_batch_generation() {
+        // 2.5 chunks: exercises the mid-chunk and chunk-boundary paths.
+        let cfg = PopulationConfig::paper_scale(2_560).unwrap();
+        let pop = Population::builder(cfg.clone())
+            .seed(SEED)
+            .threads(Threads::new(4))
+            .build()
+            .unwrap();
+        let streamed: JobStore = JobStream::new(&cfg, SEED).unwrap().collect();
+        assert_eq!(streamed.len(), pop.len());
+        for i in 0..pop.len() {
+            assert_eq!(
+                streamed.get(i),
+                Jobs::get(pop.store(), i),
+                "job {i} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_size_hint_is_exact() {
+        let cfg = PopulationConfig::paper_scale(100).unwrap();
+        let mut stream = JobStream::new(&cfg, 1).unwrap();
+        assert_eq!(stream.len(), 100);
+        let _ = stream.next();
+        assert_eq!(stream.size_hint(), (99, Some(99)));
+        assert_eq!(stream.position(), 1);
+        assert_eq!(stream.by_ref().count(), 99);
+        assert_eq!(stream.next(), None);
+    }
+
+    #[test]
+    fn session_stats_match_batch_bitwise() {
+        let cfg = PopulationConfig::paper_scale(3_000).unwrap();
+        let model = PerfModel::paper_default();
+        let mut session = StreamSession::with_whatif(model);
+        for job in JobStream::new(&cfg, SEED).unwrap() {
+            session.ingest(&job);
+        }
+        let pop = Population::generate(&cfg, SEED).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let batch = characterize(&model, pop.store(), Threads::new(threads));
+            assert_eq!(session.stats(), batch, "drift at {threads} threads");
+        }
+        // The streaming what-if index is the batch-built one.
+        let batch_index = WhatIfIndex::build(&model, pop.store(), Threads::new(4));
+        assert_eq!(session.whatif().unwrap(), &batch_index);
+        assert_eq!(session.jobs(), 3_000);
+    }
+
+    #[test]
+    fn mid_stream_snapshots_match_prefix_batches() {
+        let cfg = PopulationConfig::paper_scale(2_200).unwrap();
+        let model = PerfModel::paper_default();
+        let mut session = StreamSession::new(model);
+        let mut prefix = JobStore::new();
+        for (i, job) in JobStream::new(&cfg, 7).unwrap().enumerate() {
+            session.ingest(&job);
+            prefix.push(&job);
+            // Snapshot at a mid-chunk point, a boundary, and the end.
+            if i + 1 == 700 || i + 1 == 2 * JOB_CHUNK || i + 1 == 2_200 {
+                let batch = characterize(&model, &prefix, Threads::new(4));
+                assert_eq!(session.stats(), batch, "prefix {} drifted", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_only_session_has_no_index() {
+        let session = StreamSession::new(PerfModel::paper_default());
+        assert!(session.whatif().is_none());
+        assert!(session.into_whatif().is_none());
+    }
+
+    #[test]
+    fn stream_rejects_invalid_configs() {
+        let mut cfg = PopulationConfig::paper_scale(10).unwrap();
+        cfg.class_mix = [1.0, 1.0, 0.0, 0.0];
+        assert!(matches!(
+            JobStream::new(&cfg, 1),
+            Err(TraceError::Config(_))
+        ));
+    }
+}

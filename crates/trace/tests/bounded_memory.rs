@@ -1,0 +1,98 @@
+//! ISSUE acceptance: the streaming ingest path performs no per-job
+//! heap allocation, so characterizing an arbitrarily long job stream
+//! runs in bounded memory.
+//!
+//! A counting global allocator measures allocation count and peak
+//! live bytes across the ingest loop. Everything here lives in ONE
+//! `#[test]` so the process-global counters are never shared between
+//! concurrently running tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use pai_core::PerfModel;
+use pai_trace::{JobStore, JobStream, PopulationConfig, StreamSession};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Jobs to stream: a meaningful length in release, a fast one under
+/// the unoptimized debug sampler.
+const JOBS: usize = if cfg!(debug_assertions) {
+    128 * 1024
+} else {
+    1_000_000
+};
+
+const CHUNK: usize = pai_trace::population::JOB_CHUNK;
+
+#[test]
+fn streaming_characterization_memory_is_bounded() {
+    let cfg = PopulationConfig::paper_scale(JOBS).expect("nonzero");
+    let model = PerfModel::paper_default();
+
+    // --- Stats-only session: O(1) live memory, O(jobs/CHUNK) allocs.
+    let mut session = StreamSession::new(model);
+    let stream = JobStream::new(&cfg, 1905930).expect("valid config");
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let live_before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live_before, Ordering::Relaxed);
+    for job in stream {
+        session.ingest(&job);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let peak_growth = PEAK.load(Ordering::Relaxed).saturating_sub(live_before);
+
+    let chunks = JOBS.div_ceil(CHUNK) as u64;
+    assert!(
+        allocs <= 4 * chunks + 64,
+        "ingest allocated {allocs} times over {JOBS} jobs ({chunks} chunks): \
+         the per-job path must not touch the heap"
+    );
+    assert!(
+        peak_growth < 4 << 20,
+        "stats-only streaming grew live memory by {peak_growth} bytes; \
+         accumulator state must stay bounded"
+    );
+    assert_eq!(session.jobs(), JOBS as u64);
+    let stats = session.stats();
+    assert_eq!(stats.jobs, JOBS as u64);
+    assert!(stats.ps_cnode_share > 0.5, "sanity: PS dominates cNodes");
+
+    // --- Store-filling ingest: amortized one segment alloc per CHUNK
+    // rows per column, never a doubling copy of the population.
+    let mut store = JobStore::new();
+    let stream = JobStream::new(&cfg, 1905930).expect("valid config");
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for job in stream {
+        store.push(&job);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    // 7 columns, one segment each per chunk, plus slack for the
+    // segment-table Vecs (which do grow geometrically but are tiny).
+    assert!(
+        allocs <= 9 * chunks + 128,
+        "columnar ingest allocated {allocs} times over {chunks} chunks"
+    );
+    assert_eq!(store.len(), JOBS);
+}

@@ -1,0 +1,11 @@
+//! Bad fixture: a live doubled `_par` entry point. The deprecated
+//! shim below must stay silent.
+
+pub fn breakdown_all_par(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+#[deprecated(note = "use `project_all`, which takes a `Threads` count")]
+pub fn project_all_par(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

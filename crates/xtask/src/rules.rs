@@ -18,6 +18,10 @@
 //! - [`LOSSY_FLOAT_CAST`]: the model crates carry FLOP/byte counts that
 //!   exceed 2^24; an `as f32` cast silently rounds them and skews every
 //!   downstream breakdown.
+//! - [`PAR_SUFFIX`]: the `Threads`-parameter API redesign collapsed
+//!   every doubled `foo`/`foo_par` pair into one function; a new
+//!   public `_par` function reintroduces the doubled surface. The
+//!   `#[deprecated]` compatibility shims are exempt.
 //!
 //! A diagnostic can be suppressed by putting
 //! `// pai-lint: allow(<rule>)` on the offending line or the line
@@ -97,12 +101,23 @@ pub const LOSSY_FLOAT_CAST: Rule = Rule {
     lib_only: false,
 };
 
+/// Doubled-parallel-API rule.
+pub const PAR_SUFFIX: Rule = Rule {
+    slug: "par-suffix",
+    rationale: "the unified API takes a `Threads` parameter instead of doubling \
+                every entry point into `foo`/`foo_par`; mark compatibility shims \
+                `#[deprecated]` or fold the function into its serial twin",
+    scopes: ALL_SCOPES,
+    lib_only: true,
+};
+
 /// All rules, in reporting order.
 pub const ALL_RULES: &[&Rule] = &[
     &HASH_ITERATION,
     &PANIC_IN_LIB,
     &WALL_CLOCK,
     &LOSSY_FLOAT_CAST,
+    &PAR_SUFFIX,
 ];
 
 /// One rule hit before allow-comment filtering.
@@ -169,10 +184,54 @@ pub fn run_rule(rule: &Rule, toks: &[Tok]) -> Vec<Hit> {
                     push(tok, "as f32".to_string());
                 }
             }
+            "par-suffix" => {
+                if tok.text == "pub"
+                    && next == Some("fn")
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|t| t.text.ends_with("_par") && t.text.len() > 4)
+                    && !has_deprecated_attr(toks, i)
+                {
+                    let name = &toks[i + 2];
+                    push(name, format!("pub fn {}", name.text));
+                }
+            }
             _ => unreachable!("unknown rule slug {}", rule.slug),
         }
     }
     hits
+}
+
+/// True when the item starting at token `i` carries a `deprecated`
+/// attribute token in the attribute stack directly above it.
+///
+/// String literals lex to nothing, so `#[deprecated(note = "...")]`
+/// arrives as `# [ deprecated ( note = ) ]`; the scan walks the
+/// stacked `#[...]` groups backwards from the `pub` keyword.
+fn has_deprecated_attr(toks: &[Tok], start: usize) -> bool {
+    let mut i = start;
+    while i > 0 && toks[i - 1].text == "]" {
+        let mut j = i - 1;
+        let mut depth = 1usize;
+        let mut found = false;
+        while j > 0 && depth > 0 {
+            j -= 1;
+            match toks[j].text.as_str() {
+                "]" => depth += 1,
+                "[" => depth -= 1,
+                "deprecated" => found = true,
+                _ => {}
+            }
+        }
+        if depth != 0 || j == 0 || toks[j - 1].text != "#" {
+            return false;
+        }
+        if found {
+            return true;
+        }
+        i = j - 1;
+    }
+    false
 }
 
 /// True when `rel_path` (always `/`-separated) is inside one of the
@@ -224,6 +283,29 @@ mod tests {
     fn lossy_cast_rule() {
         let toks = tokenize("let x = n as f64; let y = n as f32;");
         assert_eq!(run_rule(&LOSSY_FLOAT_CAST, &toks).len(), 1);
+    }
+
+    #[test]
+    fn par_suffix_fires_on_live_pub_fn() {
+        let toks = tokenize("pub fn breakdown_all_par(x: u8) {}\nfn helper_par() {}");
+        let hits = run_rule(&PAR_SUFFIX, &toks);
+        assert_eq!(hits.len(), 1, "private fns are not public surface");
+        assert_eq!(hits[0].matched, "pub fn breakdown_all_par");
+    }
+
+    #[test]
+    fn par_suffix_exempts_deprecated_shims() {
+        let toks = tokenize(
+            "#[deprecated(note = \"use `sweep`\")]\npub fn sweep_par(x: u8) {}\n\
+             /// Docs.\n#[must_use]\n#[deprecated]\npub fn run_par(x: u8) {}",
+        );
+        assert!(run_rule(&PAR_SUFFIX, &toks).is_empty());
+    }
+
+    #[test]
+    fn par_suffix_skips_test_code_and_bare_par() {
+        let toks = tokenize("#[cfg(test)]\nmod tests { pub fn oracle_par() {} }\npub fn par() {}");
+        assert!(run_rule(&PAR_SUFFIX, &toks).is_empty());
     }
 
     #[test]

@@ -64,6 +64,16 @@ fn lossy_cast_fires_with_span() {
 }
 
 #[test]
+fn par_suffix_fires_on_the_live_fn_only() {
+    let diags = lint_fixture("par_suffix.rs");
+    // Only the undeprecated `breakdown_all_par` fires, at the fn-name
+    // token; the `#[deprecated]` shim stays silent.
+    assert_eq!(spans(&diags, "par-suffix"), vec![(4, 8)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].matched, "pub fn breakdown_all_par");
+}
+
+#[test]
 fn allow_comment_suppresses_the_fixture() {
     let path = fixture_dir("bad").join("suppressed.rs");
     let src = std::fs::read_to_string(&path).expect("fixture exists");
@@ -87,12 +97,13 @@ fn bad_fixture_tree_reports_every_rule() {
     let root = fixture_dir("bad");
     let (diags, scanned, _) =
         lint_paths(&root, std::slice::from_ref(&root), true).expect("scan bad fixtures");
-    assert_eq!(scanned, 5);
+    assert_eq!(scanned, 6);
     for rule in [
         "hash-iteration",
         "panic-in-lib",
         "wall-clock",
         "lossy-float-cast",
+        "par-suffix",
     ] {
         assert!(diags.iter().any(|d| d.rule == rule), "missing {rule}");
     }
@@ -113,8 +124,8 @@ fn lint_binary_exits_nonzero_on_bad_and_zero_on_clean() {
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).expect("report written"))
             .expect("valid JSON report");
-    assert!(report["diagnostics"].as_array().expect("array").len() >= 8);
-    assert_eq!(report["files_scanned"], 5);
+    assert!(report["diagnostics"].as_array().expect("array").len() >= 9);
+    assert_eq!(report["files_scanned"], 6);
     let _ = std::fs::remove_file(&json);
 
     let clean = Command::new(bin)

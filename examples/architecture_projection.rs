@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example architecture_projection`
 
-use alibaba_pai_workloads::core::project::{project_population, ProjectionTarget};
-use alibaba_pai_workloads::core::sweep::sweep_class;
-use alibaba_pai_workloads::core::{comm_bound_speedup, Architecture, Ecdf, PerfModel};
+use alibaba_pai_workloads::core::project::ProjectionTarget;
+use alibaba_pai_workloads::core::{class_sweep, comm_bound_speedup, Architecture, Ecdf, PerfModel};
+use alibaba_pai_workloads::par::Threads;
 use alibaba_pai_workloads::trace::{Population, PopulationConfig};
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         ProjectionTarget::AllReduceLocal,
         ProjectionTarget::AllReduceCluster,
     ] {
-        let outs = project_population(&model, &ps, target);
+        let outs = model.projections(&ps, target, Threads::SERIAL);
         let speedups = Ecdf::from_values(outs.iter().map(|o| o.single_cnode_speedup));
         let improved = outs.iter().filter(|o| o.improves_throughput()).count();
         println!(
@@ -57,7 +57,7 @@ fn main() {
         Architecture::PsWorker,
     ] {
         let jobs = pop.jobs_of(arch);
-        let curves = sweep_class(&model, arch, &jobs, &vec![1.0; jobs.len()]);
+        let curves = class_sweep(&model, arch, &jobs, &vec![1.0; jobs.len()], Threads::SERIAL);
         print!("  {:<10}", arch.label());
         for axis in alibaba_pai_workloads::core::sweep::relevant_axes(arch) {
             let top = curves

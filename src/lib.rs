@@ -13,7 +13,11 @@
 //! - [`par`] — deterministic chunked scatter/gather parallelism
 //! - [`sched`] — deterministic discrete-event gang scheduler (Sec. VI implications)
 //! - [`trace`] — calibrated synthetic cluster workload population
+//!   (columnar [`trace::JobStore`], streaming [`trace::JobStream`] /
+//!   [`trace::StreamSession`] ingest)
 //! - [`core`] — the paper's analytical characterization framework
+//!   (incremental [`core::HeadlineAccum`], resident-column
+//!   [`core::WhatIfIndex`] queries)
 //! - [`profiler`] — run-metadata capture and feature extraction (Fig. 4)
 //! - [`pearl`] — PS/Worker, AllReduce and PEARL distribution strategies (Fig. 14)
 //!
@@ -33,6 +37,25 @@
 //!     .build();
 //! let breakdown = PerfModel::paper_default().breakdown(&features);
 //! assert!(breakdown.total().as_f64() > 0.0);
+//! ```
+//!
+//! Streaming characterization — headline statistics accumulate one
+//! job at a time, bit-identical to the batch pass:
+//!
+//! ```
+//! use alibaba_pai_workloads::core::{characterize, PerfModel};
+//! use alibaba_pai_workloads::par::Threads;
+//! use alibaba_pai_workloads::trace::{JobStream, PopulationConfig, StreamSession};
+//!
+//! let cfg = PopulationConfig::paper_scale(500).unwrap();
+//! let mut session = StreamSession::new(PerfModel::paper_default());
+//! let mut store = alibaba_pai_workloads::trace::JobStore::new();
+//! for job in JobStream::new(&cfg, 7).unwrap() {
+//!     session.ingest(&job);
+//!     store.push(&job);
+//! }
+//! let batch = characterize(&PerfModel::paper_default(), &store, Threads::SERIAL);
+//! assert_eq!(session.stats(), batch);
 //! ```
 
 pub use pai_collectives as collectives;

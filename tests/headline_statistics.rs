@@ -3,9 +3,10 @@
 //! published values.
 
 use alibaba_pai_workloads::core::breakdown::mean_fractions;
-use alibaba_pai_workloads::core::project::{project_population, ProjectionTarget};
-use alibaba_pai_workloads::core::{comm_bound_speedup, Architecture, PerfModel};
+use alibaba_pai_workloads::core::project::ProjectionTarget;
+use alibaba_pai_workloads::core::{comm_bound_speedup, Architecture, Jobs, PerfModel};
 use alibaba_pai_workloads::hw::{SweepAxis, SweepPoint};
+use alibaba_pai_workloads::par::Threads;
 use alibaba_pai_workloads::trace::{Population, PopulationConfig};
 
 const SEED: u64 = 1_905_930;
@@ -30,9 +31,8 @@ fn ps_worker_consumes_about_81_percent_of_cnodes() {
 fn ninety_percent_of_jobs_train_small_models() {
     let pop = population();
     let small = pop
-        .records()
-        .iter()
-        .filter(|j| j.features.weight_bytes().as_gb() < 10.0)
+        .iter_jobs()
+        .filter(|j| j.weight_bytes().as_gb() < 10.0)
         .count() as f64
         / pop.len() as f64;
     assert!((small - 0.90).abs() < 0.04, "small-model share {small}");
@@ -89,7 +89,7 @@ fn sixty_percent_of_ps_jobs_gain_throughput_on_allreduce_local() {
     let pop = population();
     let m = model();
     let ps = pop.jobs_of(Architecture::PsWorker);
-    let outs = project_population(&m, &ps, ProjectionTarget::AllReduceLocal);
+    let outs = m.projections(&ps, ProjectionTarget::AllReduceLocal, Threads::SERIAL);
     let improved =
         outs.iter().filter(|o| o.improves_throughput()).count() as f64 / outs.len() as f64;
     assert!((improved - 0.60).abs() < 0.10, "improved share {improved}");
@@ -129,7 +129,7 @@ fn allreduce_cluster_helps_about_two_thirds() {
     let pop = population();
     let m = model();
     let ps = pop.jobs_of(Architecture::PsWorker);
-    let outs = project_population(&m, &ps, ProjectionTarget::AllReduceCluster);
+    let outs = m.projections(&ps, ProjectionTarget::AllReduceCluster, Threads::SERIAL);
     let sped =
         outs.iter().filter(|o| o.single_cnode_speedup > 1.0).count() as f64 / outs.len() as f64;
     assert!((sped - 0.679).abs() < 0.10, "ARC sped-up share {sped}");
@@ -140,14 +140,10 @@ fn allreduce_cluster_helps_about_two_thirds() {
 #[test]
 fn extreme_scale_jobs_are_rare_but_resource_heavy() {
     let pop = population();
-    let big: Vec<_> = pop
-        .records()
-        .iter()
-        .filter(|j| j.features.cnodes() > 128)
-        .collect();
+    let big: Vec<_> = pop.iter_jobs().filter(|j| j.cnodes() > 128).collect();
     let job_share = big.len() as f64 / pop.len() as f64;
     let cnode_share =
-        big.iter().map(|j| j.features.cnodes()).sum::<usize>() as f64 / pop.total_cnodes() as f64;
+        big.iter().map(|j| j.cnodes()).sum::<usize>() as f64 / pop.total_cnodes() as f64;
     assert!(job_share < 0.02, "big-job share {job_share}");
     assert!(cnode_share > 0.10, "big-job cNode share {cnode_share}");
 }
