@@ -35,7 +35,8 @@ use pai_par::{ChunkedVec, Threads, DEFAULT_CHUNK_SIZE};
 use serde::Serialize;
 
 use crate::arch::Architecture;
-use crate::features::WorkloadFeatures;
+use crate::codec::{ByteReader, ByteWriter, CheckpointError};
+use crate::features::{FeatureViolation, WorkloadFeatures};
 use crate::jobs::{IngestSink, Jobs};
 use crate::model::{ComponentTimes, PerfModel};
 use crate::project::{comm_bound_speedup, project, ProjectionTarget};
@@ -100,13 +101,17 @@ impl FracHist {
     }
 
     /// The `q`-quantile as the upper edge of the first bin whose
-    /// cumulative count reaches `q × total` (0 when empty).
+    /// cumulative count reaches `q × total`.
+    ///
+    /// Total for every input: an empty histogram or a non-finite `q`
+    /// answers 0, and `q` outside `[0, 1]` clamps to the nearest
+    /// defined quantile — never NaN, never a panic.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.total();
-        if total == 0 {
+        if total == 0 || !q.is_finite() {
             return 0.0;
         }
-        let threshold = q * total as f64;
+        let threshold = q.clamp(0.0, 1.0) * total as f64;
         let mut cum = 0u64;
         for (bin, &count) in self.bins.iter().enumerate() {
             cum += count;
@@ -126,6 +131,37 @@ impl FracHist {
         let last = ((value * FRAC_BINS as f64) as usize).min(FRAC_BINS - 1);
         let cum: u64 = self.bins[..=last].iter().sum();
         cum as f64 / total as f64
+    }
+
+    /// Appends the histogram to a checkpoint payload: a bin-count
+    /// prefix, then each bin as a little-endian `u64`.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(FRAC_BINS as u32);
+        for &bin in &self.bins {
+            w.put_u64(bin);
+        }
+    }
+
+    /// Decodes a histogram previously written by
+    /// [`FracHist::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] when the payload ends early and
+    /// [`CheckpointError::InvalidField`] when the bin count is not this
+    /// build's [`FRAC_BINS`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<FracHist, CheckpointError> {
+        let bins_len = r.u32()? as usize;
+        if bins_len != FRAC_BINS {
+            return Err(CheckpointError::InvalidField {
+                field: "comm_hist.bins",
+            });
+        }
+        let mut bins = vec![0u64; FRAC_BINS];
+        for bin in &mut bins {
+            *bin = r.u64()?;
+        }
+        Ok(FracHist { bins })
     }
 }
 
@@ -166,6 +202,7 @@ pub struct HeadlineAccum {
     arc_eligible: u64,
     arc_sped: u64,
     arc_speedup_sum: f64,
+    quarantined: [u64; FeatureViolation::REASONS],
 }
 
 impl HeadlineAccum {
@@ -203,6 +240,7 @@ impl HeadlineAccum {
             arc_eligible: 0,
             arc_sped: 0,
             arc_speedup_sum: 0.0,
+            quarantined: [0; FeatureViolation::REASONS],
         }
     }
 
@@ -343,6 +381,163 @@ impl HeadlineAccum {
         self.arc_eligible += other.arc_eligible;
         self.arc_sped += other.arc_sped;
         self.arc_speedup_sum += other.arc_speedup_sum;
+        for k in 0..FeatureViolation::REASONS {
+            self.quarantined[k] += other.quarantined[k];
+        }
+    }
+
+    /// Counts one record rejected at the untrusted-ingest boundary.
+    ///
+    /// Quarantined records never touch the statistics — only these
+    /// counters, which merge and checkpoint with the rest of the state
+    /// so a resumed session reports the same rejection totals.
+    pub fn record_quarantine(&mut self, reason: &FeatureViolation) {
+        self.quarantined[reason.index()] += 1;
+    }
+
+    /// Records quarantined so far, per [`FeatureViolation`] reason
+    /// index.
+    pub fn quarantined(&self) -> [u64; FeatureViolation::REASONS] {
+        self.quarantined
+    }
+
+    /// Total records quarantined so far.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined.iter().sum()
+    }
+
+    /// Appends the accumulator's complete state to a checkpoint
+    /// payload. The model itself is not serialized — the envelope
+    /// stores its fingerprint and [`HeadlineAccum::decode_from`]
+    /// rebuilds the derived scale factors from the caller's model.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64(self.jobs);
+        for k in 0..5 {
+            w.put_u64(self.class_counts[k]);
+        }
+        for k in 0..5 {
+            w.put_u64(self.cnode_totals[k]);
+        }
+        w.put_u64(self.small_models);
+        w.put_u64(self.analyzed_jobs);
+        w.put_f64(self.analyzed_cnodes);
+        for k in 0..4 {
+            w.put_f64(self.frac_job_sum[k]);
+        }
+        for k in 0..4 {
+            w.put_f64(self.frac_cnode_sum[k]);
+        }
+        w.put_u64(self.ps_jobs);
+        w.put_u64(self.ps_over80);
+        self.comm_hist.encode_into(w);
+        w.put_f64(self.eth_ratio_sum);
+        w.put_u64(self.arl_eligible);
+        w.put_u64(self.arl_improved);
+        w.put_u64(self.arl_not_sped);
+        w.put_f64(self.arl_speedup_sum);
+        w.put_u64(self.arc_eligible);
+        w.put_u64(self.arc_sped);
+        w.put_f64(self.arc_speedup_sum);
+        for k in 0..FeatureViolation::REASONS {
+            w.put_u64(self.quarantined[k]);
+        }
+    }
+
+    /// Decodes an accumulator written by [`HeadlineAccum::encode_into`]
+    /// against `model` (the envelope has already verified the model
+    /// fingerprint).
+    ///
+    /// Decoding is total — any byte sequence yields a value or a typed
+    /// error — and cross-validates the counters: totals that cannot
+    /// arise from any ingest sequence (a class count exceeding the job
+    /// count, a non-finite partial sum) are rejected as
+    /// [`CheckpointError::InvalidField`] even when the checksum
+    /// matches.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] on short input,
+    /// [`CheckpointError::InvalidField`] on impossible state.
+    pub fn decode_from(
+        model: PerfModel,
+        r: &mut ByteReader<'_>,
+    ) -> Result<HeadlineAccum, CheckpointError> {
+        let mut acc = HeadlineAccum::new(model);
+        acc.jobs = r.u64()?;
+        for k in 0..5 {
+            acc.class_counts[k] = r.u64()?;
+        }
+        for k in 0..5 {
+            acc.cnode_totals[k] = r.u64()?;
+        }
+        acc.small_models = r.u64()?;
+        acc.analyzed_jobs = r.u64()?;
+        acc.analyzed_cnodes = r.f64()?;
+        for k in 0..4 {
+            acc.frac_job_sum[k] = r.f64()?;
+        }
+        for k in 0..4 {
+            acc.frac_cnode_sum[k] = r.f64()?;
+        }
+        acc.ps_jobs = r.u64()?;
+        acc.ps_over80 = r.u64()?;
+        acc.comm_hist = FracHist::decode_from(r)?;
+        acc.eth_ratio_sum = r.f64()?;
+        acc.arl_eligible = r.u64()?;
+        acc.arl_improved = r.u64()?;
+        acc.arl_not_sped = r.u64()?;
+        acc.arl_speedup_sum = r.f64()?;
+        acc.arc_eligible = r.u64()?;
+        acc.arc_sped = r.u64()?;
+        acc.arc_speedup_sum = r.f64()?;
+        for k in 0..FeatureViolation::REASONS {
+            acc.quarantined[k] = r.u64()?;
+        }
+        acc.validate_decoded()?;
+        Ok(acc)
+    }
+
+    /// The cross-field invariants every reachable accumulator state
+    /// satisfies; decoded state that violates one is corrupt even if
+    /// its checksum verifies.
+    fn validate_decoded(&self) -> Result<(), CheckpointError> {
+        let invalid = |field: &'static str| CheckpointError::InvalidField { field };
+        let class_sum: u64 = self.class_counts.iter().sum();
+        if class_sum != self.jobs {
+            return Err(invalid("class_counts"));
+        }
+        if self.ps_jobs != self.class_counts[Architecture::PsWorker.index()] {
+            return Err(invalid("ps_jobs"));
+        }
+        if self.small_models > self.jobs || self.analyzed_jobs > self.jobs {
+            return Err(invalid("job_counters"));
+        }
+        if self.ps_over80 > self.ps_jobs || self.comm_hist.total() != self.ps_jobs {
+            return Err(invalid("comm_hist"));
+        }
+        if self.arl_eligible > self.ps_jobs
+            || self.arl_improved > self.arl_eligible
+            || self.arl_not_sped > self.arl_eligible
+        {
+            return Err(invalid("arl_counters"));
+        }
+        if self.arc_eligible > self.ps_jobs || self.arc_sped > self.arc_eligible {
+            return Err(invalid("arc_counters"));
+        }
+        if !self.analyzed_cnodes.is_finite() || self.analyzed_cnodes < 0.0 {
+            return Err(invalid("analyzed_cnodes"));
+        }
+        let sums = self.frac_job_sum.iter().chain(&self.frac_cnode_sum).chain([
+            &self.eth_ratio_sum,
+            &self.arl_speedup_sum,
+            &self.arc_speedup_sum,
+        ]);
+        for sum in sums {
+            if !sum.is_finite() {
+                return Err(invalid("partial_sums"));
+            }
+        }
+        Ok(())
     }
 
     /// Finalizes the headline statistics from the current state.
@@ -378,6 +573,8 @@ impl HeadlineAccum {
             arc_mean_step_speedup: self.arc_speedup_sum / self.arc_eligible.max(1) as f64,
             eth_100g_speedup: self.eth_ratio_sum / self.ps_jobs.max(1) as f64,
             eq3_bound: comm_bound_speedup(&self.model),
+            quarantined: self.quarantined,
+            quarantined_total: self.quarantined.iter().sum(),
         }
     }
 }
@@ -442,6 +639,13 @@ pub struct HeadlineStats {
     pub eth_100g_speedup: f64,
     /// The Eq. 3 communication-bound speedup bound (21× at Table I).
     pub eq3_bound: f64,
+    /// Untrusted-ingest records quarantined per
+    /// [`FeatureViolation`] reason, in
+    /// [`FeatureViolation::REASON_LABELS`] order. All zero on trusted
+    /// (generator-fed) pipelines.
+    pub quarantined: [u64; FeatureViolation::REASONS],
+    /// Total untrusted-ingest records quarantined.
+    pub quarantined_total: u64,
 }
 
 /// Accumulates a whole [`Jobs`] store into a [`HeadlineAccum`] using
@@ -600,6 +804,67 @@ impl WhatIfIndex {
             },
             |acc, part| acc.append(&part),
         )
+    }
+
+    /// Appends the index to a checkpoint payload: a row-count prefix,
+    /// then the three resident columns (`base`, `eth`, `pcie`) as
+    /// contiguous little-endian `f64` blocks.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len() as u64);
+        for column in [&self.base, &self.eth, &self.pcie] {
+            for value in column.iter() {
+                w.put_f64(value);
+            }
+        }
+    }
+
+    /// Decodes an index written by [`WhatIfIndex::encode_into`]
+    /// against `model`.
+    ///
+    /// The declared row count is checked against the bytes actually
+    /// remaining *before* any allocation, so a corrupt length prefix
+    /// cannot trigger an absurd reservation; every decoded time must
+    /// be finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] on short input,
+    /// [`CheckpointError::InvalidField`] on an impossible row count or
+    /// a non-physical column value.
+    pub fn decode_from(
+        model: PerfModel,
+        r: &mut ByteReader<'_>,
+    ) -> Result<WhatIfIndex, CheckpointError> {
+        let rows = r.u64()?;
+        let Ok(rows) = usize::try_from(rows) else {
+            return Err(CheckpointError::InvalidField {
+                field: "whatif.rows",
+            });
+        };
+        // 3 columns x 8 bytes per row must fit in what remains.
+        if rows > r.remaining() / 24 {
+            return Err(CheckpointError::Truncated {
+                offset: r.position(),
+                needed: rows.saturating_mul(24),
+            });
+        }
+        let mut index = WhatIfIndex::new(model);
+        for field in ["whatif.base", "whatif.eth", "whatif.pcie"] {
+            let mut column = ChunkedVec::new();
+            for _ in 0..rows {
+                let value = r.f64()?;
+                if !value.is_finite() || value < 0.0 {
+                    return Err(CheckpointError::InvalidField { field });
+                }
+                column.push(value);
+            }
+            match field {
+                "whatif.base" => index.base = column,
+                "whatif.eth" => index.eth = column,
+                _ => index.pcie = column,
+            }
+        }
+        Ok(index)
     }
 
     /// The Ethernet-time scale factor for a target bandwidth: transfer
@@ -949,5 +1214,131 @@ mod tests {
         h.record(5.0); // clamps into the last bin
         assert_eq!(h.total(), 101);
         assert!(h.quantile(1.0) >= 0.99);
+    }
+
+    #[test]
+    fn empty_frac_hist_quantile_is_defined_for_any_q() {
+        let h = FracHist::new();
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0, f64::NAN, f64::INFINITY] {
+            let v = h.quantile(q);
+            assert_eq!(v, 0.0, "quantile({q}) on empty hist");
+        }
+        assert_eq!(h.fraction_at_most(0.5), 0.0);
+        // Non-finite q stays defined on a populated histogram too.
+        let mut h = FracHist::new();
+        h.record(0.5);
+        assert_eq!(h.quantile(f64::NAN), 0.0);
+        assert!(h.quantile(f64::INFINITY).is_finite());
+        assert!(h.quantile(-1.0) >= 0.0);
+    }
+
+    #[test]
+    fn empty_whatif_summary_is_zero_and_nan_free() {
+        let index = WhatIfIndex::new(PerfModel::paper_default());
+        let s = index.summary_at(100.0);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_speedup, 0.0);
+        assert_eq!(s.p50_speedup, 0.0);
+        assert_eq!(s.p90_speedup, 0.0);
+        assert_eq!(s.max_speedup, 0.0);
+        for v in [s.mean_speedup, s.p50_speedup, s.p90_speedup, s.max_speedup] {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn frac_hist_codec_roundtrip() {
+        let mut h = FracHist::new();
+        for i in 0..500 {
+            h.record(i as f64 / 500.0);
+        }
+        let mut w = ByteWriter::new();
+        h.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = FracHist::decode_from(&mut r).expect("roundtrip");
+        assert!(r.finish().is_ok());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn accum_codec_roundtrip_is_bit_identical() {
+        let jobs = mixed_jobs(2_000);
+        let model = PerfModel::paper_default();
+        let mut acc = accumulate(&model, &jobs, Threads::new(4));
+        acc.record_quarantine(&FeatureViolation::ZeroCnodes);
+        acc.record_quarantine(&FeatureViolation::NonFinite { field: "flops" });
+        let mut w = ByteWriter::new();
+        acc.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = HeadlineAccum::decode_from(model, &mut r).expect("roundtrip");
+        assert!(r.finish().is_ok());
+        // Stats equality is bitwise (PartialEq over f64 fields).
+        assert_eq!(back.stats(), acc.stats());
+        assert_eq!(back.quarantined_total(), 2);
+        // Ingest continues seamlessly after a roundtrip.
+        let mut resumed = back;
+        for job in mixed_jobs(100) {
+            acc.ingest(&job);
+            resumed.ingest(&job);
+        }
+        assert_eq!(resumed.stats(), acc.stats());
+    }
+
+    #[test]
+    fn accum_decode_rejects_impossible_counters() {
+        let model = PerfModel::paper_default();
+        let mut acc = HeadlineAccum::new(model);
+        for job in mixed_jobs(64) {
+            acc.ingest(&job);
+        }
+        let mut w = ByteWriter::new();
+        acc.encode_into(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt the leading job counter: class counts no longer sum.
+        bytes[0] ^= 0xFF;
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            HeadlineAccum::decode_from(model, &mut r),
+            Err(CheckpointError::InvalidField { .. })
+        ));
+    }
+
+    #[test]
+    fn whatif_codec_roundtrip_and_length_guard() {
+        let jobs = mixed_jobs(900);
+        let model = PerfModel::paper_default();
+        let index = WhatIfIndex::build(&model, &jobs, Threads::new(2));
+        let mut w = ByteWriter::new();
+        index.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = WhatIfIndex::decode_from(model, &mut r).expect("roundtrip");
+        assert!(r.finish().is_ok());
+        assert_eq!(back, index);
+
+        // A length prefix promising more rows than the payload holds is
+        // rejected before any column is materialized.
+        let mut huge = ByteWriter::new();
+        huge.put_u64(u64::MAX);
+        let huge = huge.into_bytes();
+        let mut r = ByteReader::new(&huge);
+        assert!(WhatIfIndex::decode_from(model, &mut r).is_err());
+    }
+
+    #[test]
+    fn quarantine_counters_merge_and_surface() {
+        let model = PerfModel::paper_default();
+        let mut a = HeadlineAccum::new(model);
+        let mut b = HeadlineAccum::new(model);
+        a.record_quarantine(&FeatureViolation::ZeroBatch);
+        b.record_quarantine(&FeatureViolation::ZeroBatch);
+        b.record_quarantine(&FeatureViolation::Negative { field: "flops" });
+        a.merge(&b);
+        assert_eq!(a.quarantined_total(), 3);
+        let stats = a.stats();
+        assert_eq!(stats.quarantined_total, 3);
+        assert_eq!(stats.quarantined[FeatureViolation::ZeroBatch.index()], 2);
     }
 }

@@ -62,6 +62,7 @@
 pub mod accum;
 pub mod arch;
 pub mod breakdown;
+pub mod codec;
 pub mod features;
 pub mod jobs;
 pub mod model;
@@ -79,7 +80,8 @@ pub use accum::{
 };
 pub use arch::Architecture;
 pub use breakdown::{Breakdown, HardwareBreakdown};
-pub use features::{WorkloadFeatures, WorkloadFeaturesBuilder};
+pub use codec::{crc32, model_fingerprint, ByteReader, ByteWriter, CheckpointError};
+pub use features::{FeatureViolation, RawFeatures, WorkloadFeatures, WorkloadFeaturesBuilder};
 pub use jobs::{IngestSink, Jobs};
 pub use model::{ComponentTimes, PerfModel};
 pub use overlap::OverlapMode;

@@ -1,0 +1,294 @@
+//! Ingest-level chaos plans for the streaming characterization
+//! service.
+//!
+//! Where [`crate::FaultPlan`] describes faults *inside* a simulated
+//! cluster, a [`ChaosPlan`] describes faults *around* the
+//! characterization pipeline itself: where a process dies mid-stream,
+//! and how a checkpoint's bytes get mangled on their way to or from
+//! storage (truncation, bit rot, torn writes, duplicated or reordered
+//! blocks). Everything is a pure function of the plan seed, so a chaos
+//! experiment that found a recovery bug is replayable byte for byte.
+
+use crate::rng::SplitMix64;
+
+/// Lane tags separating the plan's independent derived streams.
+const LANE_KILLS: u64 = 1;
+const LANE_CORRUPTIONS: u64 = 2;
+
+/// One way to mangle a byte buffer in transit.
+///
+/// Every variant is *total*: [`Corruption::apply`] accepts any input
+/// length, clamping its offsets into range, so a plan generated for
+/// one checkpoint can be replayed against another without panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Keep only the first `len` bytes — a partial download or a
+    /// file cut short by process death.
+    Truncate {
+        /// Bytes to keep.
+        len: usize,
+    },
+    /// Flip one bit — storage or transport bit rot.
+    BitFlip {
+        /// Byte offset of the flip.
+        offset: usize,
+        /// Bit index within the byte (0–7).
+        bit: u8,
+    },
+    /// Zero everything from `from` on — a torn write that allocated
+    /// the full extent but crashed before flushing the tail.
+    TornWrite {
+        /// First byte of the unwritten tail.
+        from: usize,
+    },
+    /// Write the block starting at `start` twice, growing the buffer —
+    /// a retried append that was not idempotent.
+    DuplicateRange {
+        /// First byte of the duplicated block.
+        start: usize,
+        /// Length of the duplicated block.
+        len: usize,
+    },
+    /// Exchange two equal-length blocks — reordered chunks from an
+    /// out-of-order parallel writer.
+    SwapRanges {
+        /// First byte of the first block.
+        a: usize,
+        /// First byte of the second block.
+        b: usize,
+        /// Length of each block.
+        len: usize,
+    },
+}
+
+impl Corruption {
+    /// The corrupted copy of `bytes`. Pure and total: offsets are
+    /// clamped to the input length, and the input is never mutated.
+    pub fn apply(&self, bytes: &[u8]) -> Vec<u8> {
+        match *self {
+            Corruption::Truncate { len } => bytes[..len.min(bytes.len())].to_vec(),
+            Corruption::BitFlip { offset, bit } => {
+                let mut out = bytes.to_vec();
+                if let Some(b) = out.get_mut(offset) {
+                    *b ^= 1 << (bit & 7);
+                }
+                out
+            }
+            Corruption::TornWrite { from } => {
+                let mut out = bytes.to_vec();
+                let from = from.min(out.len());
+                for b in &mut out[from..] {
+                    *b = 0;
+                }
+                out
+            }
+            Corruption::DuplicateRange { start, len } => {
+                let start = start.min(bytes.len());
+                let end = start.saturating_add(len).min(bytes.len());
+                let mut out = Vec::with_capacity(bytes.len() + (end - start));
+                out.extend_from_slice(&bytes[..end]);
+                out.extend_from_slice(&bytes[start..end]);
+                out.extend_from_slice(&bytes[end..]);
+                out
+            }
+            Corruption::SwapRanges { a, b, len } => {
+                let mut out = bytes.to_vec();
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                // Clamp to non-overlapping in-range blocks.
+                let len = len
+                    .min(hi.saturating_sub(lo))
+                    .min(out.len().saturating_sub(hi));
+                for i in 0..len {
+                    out.swap(lo + i, hi + i);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A seeded schedule of process kills and checkpoint corruptions.
+///
+/// # Examples
+///
+/// ```
+/// use pai_faults::ChaosPlan;
+///
+/// let plan = ChaosPlan::new(7);
+/// let kills = plan.kill_chunks(196, 5);
+/// assert_eq!(kills.len(), 5);
+/// assert!(kills.windows(2).all(|w| w[0] < w[1]));
+/// // Same seed, same schedule.
+/// assert_eq!(kills, ChaosPlan::new(7).kill_chunks(196, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    seed: u64,
+}
+
+impl ChaosPlan {
+    /// A plan derived entirely from `seed`.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Chunk boundaries at which to kill the stream: up to `count`
+    /// distinct values in `1..total_chunks`, sorted ascending.
+    /// (Boundary `k` means "die after ingesting `k` full chunks" —
+    /// killing before the first chunk or after the last is not a
+    /// recovery scenario.)
+    pub fn kill_chunks(&self, total_chunks: usize, count: usize) -> Vec<usize> {
+        if total_chunks <= 1 {
+            return Vec::new();
+        }
+        let mut rng = SplitMix64::keyed(self.seed, LANE_KILLS);
+        let candidates = total_chunks - 1;
+        let mut kills: Vec<usize> = Vec::with_capacity(count.min(candidates));
+        while kills.len() < count.min(candidates) {
+            let boundary = 1 + (rng.next_u64() % candidates as u64) as usize;
+            if !kills.contains(&boundary) {
+                kills.push(boundary);
+            }
+        }
+        kills.sort_unstable();
+        kills
+    }
+
+    /// A seeded corpus of `count` corruptions for a buffer of `len`
+    /// bytes, cycling through every [`Corruption`] variant.
+    pub fn corruptions(&self, len: usize, count: usize) -> Vec<Corruption> {
+        let mut rng = SplitMix64::keyed(self.seed, LANE_CORRUPTIONS);
+        let mut out = Vec::with_capacity(count);
+        let at = |rng: &mut SplitMix64, len: usize| {
+            if len == 0 {
+                0
+            } else {
+                (rng.next_u64() % len as u64) as usize
+            }
+        };
+        for i in 0..count {
+            let c = match i % 5 {
+                0 => Corruption::Truncate {
+                    len: at(&mut rng, len),
+                },
+                1 => Corruption::BitFlip {
+                    offset: at(&mut rng, len),
+                    bit: (rng.next_u64() % 8) as u8,
+                },
+                2 => Corruption::TornWrite {
+                    from: at(&mut rng, len),
+                },
+                3 => Corruption::DuplicateRange {
+                    start: at(&mut rng, len),
+                    len: 1 + at(&mut rng, 64),
+                },
+                _ => {
+                    let a = at(&mut rng, len);
+                    let b = at(&mut rng, len);
+                    Corruption::SwapRanges {
+                        a,
+                        b,
+                        len: 1 + at(&mut rng, 32),
+                    }
+                }
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_schedule_is_deterministic_sorted_and_in_range() {
+        let plan = ChaosPlan::new(42);
+        let kills = plan.kill_chunks(196, 8);
+        assert_eq!(kills, ChaosPlan::new(42).kill_chunks(196, 8));
+        assert_eq!(kills.len(), 8);
+        assert!(kills.windows(2).all(|w| w[0] < w[1]), "not sorted/distinct");
+        assert!(kills.iter().all(|&k| (1..196).contains(&k)));
+        assert_ne!(kills, ChaosPlan::new(43).kill_chunks(196, 8));
+    }
+
+    #[test]
+    fn kill_schedule_handles_degenerate_sizes() {
+        let plan = ChaosPlan::new(1);
+        assert!(plan.kill_chunks(0, 4).is_empty());
+        assert!(plan.kill_chunks(1, 4).is_empty());
+        // More kills requested than boundaries exist: all boundaries.
+        assert_eq!(plan.kill_chunks(3, 100), vec![1, 2]);
+    }
+
+    #[test]
+    fn corruption_corpus_cycles_variants_deterministically() {
+        let plan = ChaosPlan::new(9);
+        let corpus = plan.corruptions(512, 10);
+        assert_eq!(corpus, ChaosPlan::new(9).corruptions(512, 10));
+        assert_eq!(corpus.len(), 10);
+        assert!(matches!(corpus[0], Corruption::Truncate { .. }));
+        assert!(matches!(corpus[1], Corruption::BitFlip { .. }));
+        assert!(matches!(corpus[2], Corruption::TornWrite { .. }));
+        assert!(matches!(corpus[3], Corruption::DuplicateRange { .. }));
+        assert!(matches!(corpus[4], Corruption::SwapRanges { .. }));
+    }
+
+    #[test]
+    fn corruptions_are_pure_and_total_on_any_length() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        for len in [0usize, 1, 7, 256] {
+            let input = &bytes[..len];
+            for c in ChaosPlan::new(5).corruptions(1024, 25) {
+                let out = c.apply(input);
+                assert_eq!(out, c.apply(input), "apply must be pure: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_and_torn_write_shapes() {
+        let bytes = [1u8, 2, 3, 4, 5];
+        assert_eq!(Corruption::Truncate { len: 2 }.apply(&bytes), vec![1, 2]);
+        assert_eq!(
+            Corruption::Truncate { len: 99 }.apply(&bytes),
+            bytes.to_vec()
+        );
+        assert_eq!(
+            Corruption::TornWrite { from: 3 }.apply(&bytes),
+            vec![1, 2, 3, 0, 0]
+        );
+    }
+
+    #[test]
+    fn bit_flip_flips_exactly_one_bit() {
+        let bytes = [0u8; 4];
+        let out = Corruption::BitFlip { offset: 2, bit: 3 }.apply(&bytes);
+        assert_eq!(out, vec![0, 0, 0b1000, 0]);
+        // Out-of-range offset is a no-op, not a panic.
+        let same = Corruption::BitFlip { offset: 9, bit: 0 }.apply(&bytes);
+        assert_eq!(same, bytes.to_vec());
+    }
+
+    #[test]
+    fn duplicate_and_swap_shapes() {
+        let bytes = [10u8, 20, 30, 40, 50, 60];
+        assert_eq!(
+            Corruption::DuplicateRange { start: 1, len: 2 }.apply(&bytes),
+            vec![10, 20, 30, 20, 30, 40, 50, 60]
+        );
+        assert_eq!(
+            Corruption::SwapRanges { a: 0, b: 4, len: 2 }.apply(&bytes),
+            vec![50, 60, 30, 40, 10, 20]
+        );
+        // Overlapping/out-of-range blocks clamp instead of panicking.
+        let _ = Corruption::SwapRanges { a: 4, b: 5, len: 9 }.apply(&bytes);
+        let _ = Corruption::DuplicateRange { start: 9, len: 9 }.apply(&bytes);
+    }
+}

@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 
 mod backoff;
+mod chaos;
 mod error;
 mod inject;
 mod plan;
 pub(crate) mod rng;
 
 pub use backoff::ExponentialBackoff;
+pub use chaos::{ChaosPlan, Corruption};
 pub use error::FaultError;
 pub use inject::{CrashOutcome, FaultInjector, StepFaults};
 pub use plan::{FaultKind, FaultPlan, FaultPlanBuilder};

@@ -12,6 +12,7 @@ use pai_faults::FaultError;
 use pai_sched::SchedError;
 use pai_sim::cluster::PlacementError;
 use pai_sim::SimError;
+use pai_trace::TraceError;
 
 /// Anything that can go wrong while regenerating an artifact.
 #[derive(Debug)]
@@ -32,6 +33,9 @@ pub enum ReproError {
     Sched(SchedError),
     /// A JSON payload failed to serialize.
     Json(serde_json::Error),
+    /// A trace operation (stream checkpoint/resume, population
+    /// rebuild) rejected its inputs.
+    Trace(TraceError),
 }
 
 impl fmt::Display for ReproError {
@@ -45,6 +49,7 @@ impl fmt::Display for ReproError {
             ReproError::Fault(e) => write!(f, "fault plan rejected: {e}"),
             ReproError::Sched(e) => write!(f, "scheduling failed: {e}"),
             ReproError::Json(e) => write!(f, "JSON serialization failed: {e}"),
+            ReproError::Trace(e) => write!(f, "trace operation failed: {e}"),
         }
     }
 }
@@ -58,7 +63,14 @@ impl Error for ReproError {
             ReproError::Fault(e) => Some(e),
             ReproError::Sched(e) => Some(e),
             ReproError::Json(e) => Some(e),
+            ReproError::Trace(e) => Some(e),
         }
+    }
+}
+
+impl From<TraceError> for ReproError {
+    fn from(e: TraceError) -> Self {
+        ReproError::Trace(e)
     }
 }
 
@@ -105,6 +117,9 @@ mod tests {
         assert!(e.source().is_some());
         let e: ReproError = SchedError::NoJobs.into();
         assert!(e.to_string().contains("scheduling"));
+        assert!(e.source().is_some());
+        let e: ReproError = TraceError::EmptyPopulation.into();
+        assert!(e.to_string().contains("trace operation"));
         assert!(e.source().is_some());
     }
 }

@@ -17,6 +17,7 @@ pub mod optimizations;
 pub mod projection;
 pub mod render;
 pub mod resilience;
+pub mod resume;
 pub mod schedule;
 pub mod scorecard;
 pub mod sensitivity_x;
@@ -130,6 +131,7 @@ pub const EXTENSION_EXPERIMENTS: &[&str] = &[
     "resilience",
     "schedule",
     "stream",
+    "resume",
 ];
 
 /// Paper experiments followed by the extensions.
@@ -164,6 +166,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "resilience",
     "schedule",
     "stream",
+    "resume",
 ];
 
 /// Runs one experiment by id (the valid ids are [`ALL_EXPERIMENTS`]).
@@ -205,6 +208,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<ExperimentResult, Repro
         "resilience" => resilience::resilience(ctx)?,
         "schedule" => schedule::schedule(ctx)?,
         "stream" => stream::stream(ctx),
+        "resume" => resume::resume(ctx)?,
         _ => {
             return Err(ReproError::UnknownExperiment { id: id.to_string() });
         }

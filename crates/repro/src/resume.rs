@@ -1,0 +1,243 @@
+//! The `resume` experiment: chaos-recovery for the streaming
+//! characterization service.
+//!
+//! Extends the serial≡parallel oracle to interrupted≡uninterrupted:
+//!
+//! 1. **Baseline**: stream the whole `(config, seed)` job sequence
+//!    into a [`StreamSession`], taking a checkpoint at every kill
+//!    boundary a seeded [`ChaosPlan`] selected on the way through.
+//! 2. **Kill & resume**: for each kill boundary, pretend the process
+//!    died there — rebuild a session from nothing but the checkpoint
+//!    bytes, reopen the job stream at the checkpointed position, and
+//!    ingest the tail.
+//! 3. **Oracle**: every resumed run must produce bit-identical
+//!    [`pai_core::HeadlineStats`] and what-if artifacts to the run
+//!    that never died; the report carries a per-kill `identical` flag
+//!    and an overall `all_identical` the CI crash-recovery job greps.
+//! 4. **Hostile storage**: the same plan's seeded [`Corruption`]
+//!    corpus mangles a real checkpoint (truncation, bit rot, torn
+//!    writes, duplicated/reordered blocks); every mangled buffer that
+//!    actually differs from the original must be *rejected with a
+//!    typed error* — never a panic, never a silent resume.
+//!
+//! Like `stream`, the experiment asserts nothing itself; it reports,
+//! and the equivalence suite plus CI pin the flags.
+
+use pai_faults::{ChaosPlan, Corruption};
+use pai_trace::population::JOB_CHUNK;
+use pai_trace::{JobStream, StreamSession};
+use serde_json::json;
+
+use crate::render::table;
+use crate::stream::WHATIF_GBPS;
+use crate::{Context, ExperimentResult, ReproError, SEED};
+
+/// Kill points requested from the chaos plan (fewer materialize when
+/// the stream has fewer interior chunk boundaries).
+const KILLS: usize = 5;
+
+/// Corruptions drawn from the chaos plan per checkpoint.
+const CORRUPTIONS: usize = 25;
+
+/// The `resume` experiment.
+///
+/// # Errors
+///
+/// Propagates [`ReproError::Trace`] when a checkpoint, resume, or
+/// stream reopen fails — on a healthy build none of them can.
+pub fn resume(ctx: &Context) -> Result<ExperimentResult, ReproError> {
+    let jobs = ctx.population.len();
+    let plan = ChaosPlan::new(SEED);
+    let kill_chunks = plan.kill_chunks(jobs / JOB_CHUNK, KILLS);
+
+    // Pass 1: the uninterrupted run, checkpointing at each kill
+    // boundary on the way through. `checkpoint()` borrows, so the
+    // baseline session is unperturbed by the snapshots.
+    let mut baseline = StreamSession::with_whatif(ctx.model);
+    let mut checkpoints: Vec<(usize, Vec<u8>)> = Vec::with_capacity(kill_chunks.len());
+    for (i, job) in JobStream::new(&ctx.config, SEED)?.enumerate() {
+        baseline.ingest(&job);
+        if (i + 1).is_multiple_of(JOB_CHUNK) && kill_chunks.contains(&((i + 1) / JOB_CHUNK)) {
+            checkpoints.push(((i + 1) / JOB_CHUNK, baseline.checkpoint()?));
+        }
+    }
+    let baseline_stats = baseline.stats();
+    let baseline_summaries: Vec<_> = WHATIF_GBPS
+        .iter()
+        .map(|&gbps| {
+            baseline
+                .whatif()
+                // pai-lint: allow(panic-in-lib)
+                .expect("the baseline session was built with a what-if index")
+                .summary_at(gbps)
+        })
+        .collect();
+
+    // Pass 2: die at each boundary, resume from bytes alone, finish.
+    let mut kills = Vec::with_capacity(checkpoints.len());
+    let mut all_identical = true;
+    for (chunk, bytes) in &checkpoints {
+        let mut resumed = StreamSession::resume(ctx.model, bytes)?;
+        let position = resumed.position() as usize;
+        for job in JobStream::resume(&ctx.config, SEED, position)? {
+            resumed.ingest(&job);
+        }
+        let stats_identical = resumed.stats() == baseline_stats;
+        let whatif_identical = resumed.whatif() == baseline.whatif();
+        let identical = stats_identical && whatif_identical;
+        all_identical &= identical;
+        kills.push(json!({
+            "chunk": chunk,
+            "position": position,
+            "checkpoint_bytes": bytes.len(),
+            "stats_identical": stats_identical,
+            "whatif_identical": whatif_identical,
+            "identical": identical,
+        }));
+    }
+
+    // Pass 3: hostile storage. Every corruption that changes the bytes
+    // must yield a typed error; corruptions that happen to be byte-
+    // identical no-ops (e.g. a swap of two equal blocks) are counted
+    // separately.
+    let (rejected, noops, samples) = match checkpoints.first() {
+        Some((_, bytes)) => corruption_sweep(ctx, bytes, &plan),
+        None => (0, 0, Vec::new()),
+    };
+    let corruptions_total = if checkpoints.is_empty() {
+        0
+    } else {
+        CORRUPTIONS
+    };
+    let all_rejected = rejected + noops == corruptions_total;
+
+    let mut rows = vec![vec![
+        "kill chunk".to_string(),
+        "position".to_string(),
+        "ckpt bytes".to_string(),
+        "identical".to_string(),
+    ]];
+    for k in &kills {
+        rows.push(vec![
+            k["chunk"].to_string(),
+            k["position"].to_string(),
+            k["checkpoint_bytes"].to_string(),
+            k["identical"].to_string(),
+        ]);
+    }
+    let mut text = table(&rows);
+    text.push_str(&format!(
+        "\nkill-anywhere resume == uninterrupted (bit-identical): {all_identical}\n\
+         corrupted checkpoints rejected with typed errors: {rejected}/{corruptions_total} \
+         ({noops} corruption(s) were byte-identical no-ops)\n\
+         jobs streamed: {jobs}\n",
+    ));
+
+    Ok(ExperimentResult {
+        id: "resume",
+        title: "Crash-safe streaming: kill at seeded chunk boundaries, \
+                resume from checkpoints, survive hostile storage",
+        text,
+        json: json!({
+            "jobs": jobs,
+            "chunk": JOB_CHUNK,
+            "kills": kills,
+            "all_identical": all_identical,
+            "corruption": {
+                "total": corruptions_total,
+                "rejected": rejected,
+                "noop": noops,
+                "all_rejected": all_rejected,
+                "samples": samples,
+            },
+            "baseline": baseline_stats,
+            "whatif": baseline_summaries,
+        }),
+    })
+}
+
+/// Applies the plan's corruption corpus to one checkpoint. Returns
+/// (rejected, byte-identical no-ops, error samples for the report).
+fn corruption_sweep(
+    ctx: &Context,
+    bytes: &[u8],
+    plan: &ChaosPlan,
+) -> (usize, usize, Vec<serde_json::Value>) {
+    let mut rejected = 0usize;
+    let mut noops = 0usize;
+    let mut samples = Vec::new();
+    for c in plan.corruptions(bytes.len(), CORRUPTIONS) {
+        let mangled = c.apply(bytes);
+        if mangled == bytes {
+            noops += 1;
+            continue;
+        }
+        match StreamSession::resume(ctx.model, &mangled) {
+            Err(e) => {
+                rejected += 1;
+                if samples.len() < 8 {
+                    samples.push(json!({
+                        "corruption": describe(&c),
+                        "error": e.to_string(),
+                    }));
+                }
+            }
+            Ok(_) => samples.push(json!({
+                "corruption": describe(&c),
+                "error": "ACCEPTED A CORRUPTED CHECKPOINT",
+            })),
+        }
+    }
+    (rejected, noops, samples)
+}
+
+fn describe(c: &Corruption) -> String {
+    match *c {
+        Corruption::Truncate { len } => format!("truncate to {len} byte(s)"),
+        Corruption::BitFlip { offset, bit } => format!("flip bit {bit} of byte {offset}"),
+        Corruption::TornWrite { from } => format!("torn write: zeros from byte {from}"),
+        Corruption::DuplicateRange { start, len } => {
+            format!("duplicate {len} byte(s) at {start}")
+        }
+        Corruption::SwapRanges { a, b, len } => format!("swap {len} byte(s) between {a} and {b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_and_resume_matches_the_uninterrupted_run() {
+        // ~5.8 chunks: several interior boundaries for the plan to hit.
+        let r = resume(&Context::with_size(6 * JOB_CHUNK)).expect("experiment");
+        assert_eq!(r.json["all_identical"], json!(true));
+        let kills = r.json["kills"].as_array().expect("kills array");
+        assert!(!kills.is_empty(), "the plan must select at least one kill");
+        for k in kills {
+            assert_eq!(k["identical"], json!(true), "{k}");
+        }
+        assert!(r.text.contains("bit-identical): true"));
+    }
+
+    #[test]
+    fn every_real_corruption_is_rejected_not_panicking() {
+        let r = resume(&Context::with_size(3 * JOB_CHUNK)).expect("experiment");
+        let c = &r.json["corruption"];
+        assert_eq!(c["all_rejected"], json!(true), "{c}");
+        assert!(c["total"].as_u64().expect("total") > 0);
+        for s in c["samples"].as_array().expect("samples") {
+            let err = s["error"].as_str().expect("error string");
+            assert_ne!(err, "ACCEPTED A CORRUPTED CHECKPOINT", "{s}");
+        }
+    }
+
+    #[test]
+    fn streams_too_short_to_kill_still_report() {
+        // Under one chunk: no interior boundary, no kills, vacuous pass.
+        let r = resume(&Context::with_size(100)).expect("experiment");
+        assert_eq!(r.json["all_identical"], json!(true));
+        assert_eq!(r.json["kills"].as_array().expect("kills").len(), 0);
+        assert_eq!(r.json["corruption"]["total"], json!(0));
+    }
+}

@@ -26,6 +26,7 @@ const PARALLEL_EXPERIMENTS: &[&str] = &[
     "resilience",
     "schedule",
     "stream",
+    "resume",
 ];
 
 proptest! {

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::config::ConfigError;
+use pai_core::{CheckpointError, FeatureViolation};
 use pai_faults::FaultError;
 
 /// Errors returned by the population and failure-sampling APIs.
@@ -20,6 +21,14 @@ pub enum TraceError {
     },
     /// A sampled fault plan failed its own validation.
     Fault(FaultError),
+    /// A checkpoint could not be taken or restored.
+    Checkpoint(CheckpointError),
+    /// An externally supplied feature record failed ingest validation
+    /// under the fail-fast policy.
+    RejectedFeatures {
+        /// Why the record was rejected.
+        violation: FeatureViolation,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -33,6 +42,10 @@ impl fmt::Display for TraceError {
                 write!(f, "duplicate job id {id} in the records")
             }
             TraceError::Fault(e) => write!(f, "invalid sampled fault plan: {e}"),
+            TraceError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            TraceError::RejectedFeatures { violation } => {
+                write!(f, "rejected feature record: {violation}")
+            }
         }
     }
 }
@@ -42,8 +55,22 @@ impl Error for TraceError {
         match self {
             TraceError::Config(e) => Some(e),
             TraceError::Fault(e) => Some(e),
+            TraceError::Checkpoint(e) => Some(e),
+            TraceError::RejectedFeatures { violation } => Some(violation),
             _ => None,
         }
+    }
+}
+
+impl From<CheckpointError> for TraceError {
+    fn from(e: CheckpointError) -> Self {
+        TraceError::Checkpoint(e)
+    }
+}
+
+impl From<FeatureViolation> for TraceError {
+    fn from(violation: FeatureViolation) -> Self {
+        TraceError::RejectedFeatures { violation }
     }
 }
 
@@ -72,6 +99,18 @@ mod tests {
             ),
             (TraceError::EmptyPopulation, "at least one job"),
             (TraceError::DuplicateJobId { id: 7 }, "duplicate job id 7"),
+            (
+                TraceError::Checkpoint(CheckpointError::BadMagic {
+                    found: [0, 1, 2, 3],
+                }),
+                "checkpoint failure",
+            ),
+            (
+                TraceError::RejectedFeatures {
+                    violation: FeatureViolation::ZeroCnodes,
+                },
+                "rejected feature record",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err} missing {needle:?}");

@@ -70,4 +70,4 @@ pub use error::TraceError;
 pub use failures::{FailureConfig, FailureSampler};
 pub use population::{JobRecord, Population, PopulationBuilder};
 pub use store::JobStore;
-pub use stream::{JobStream, StreamSession};
+pub use stream::{IngestPolicy, JobStream, StreamSession};

@@ -151,14 +151,18 @@ impl Population {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::EmptyPopulation`] when `records` is empty
-    /// and [`TraceError::DuplicateJobId`] when two records share an id.
+    /// Returns [`TraceError::EmptyPopulation`] when `records` is empty,
+    /// [`TraceError::DuplicateJobId`] when two records share an id, and
+    /// [`TraceError::RejectedFeatures`] when a record fails the ingest
+    /// invariants (possible when records arrive as typed values from
+    /// outside the deserializer, which validates on decode).
     pub fn from_records<I: IntoIterator<Item = JobRecord>>(
         records: I,
     ) -> Result<Population, TraceError> {
         let mut store = JobStore::new();
         let mut ids: Vec<usize> = Vec::new();
         for record in records {
+            record.features.validate()?;
             store.push_record(&record);
             ids.push(record.id);
         }

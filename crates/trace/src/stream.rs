@@ -14,8 +14,10 @@
 //! session holds two accumulators (a few KB) plus, optionally, the
 //! three-column [`WhatIfIndex`].
 
+use pai_core::codec::{crc32, model_fingerprint, ByteReader, ByteWriter, CheckpointError};
 use pai_core::{
-    HeadlineAccum, HeadlineStats, IngestSink, PerfModel, WhatIfIndex, WorkloadFeatures,
+    FeatureViolation, HeadlineAccum, HeadlineStats, IngestSink, PerfModel, RawFeatures,
+    WhatIfIndex, WorkloadFeatures,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +25,17 @@ use rand::SeedableRng;
 use crate::config::PopulationConfig;
 use crate::error::TraceError;
 use crate::population::{sample_job, JOB_CHUNK};
+
+/// Leading magic of a serialized checkpoint.
+const MAGIC: [u8; 4] = *b"PAIC";
+/// Checkpoint format version this build reads and writes.
+const VERSION: u16 = 1;
+/// Flag bit: the checkpoint carries a [`WhatIfIndex`].
+const FLAG_WHATIF: u8 = 0b0000_0001;
+/// Flag bit: the session ran with [`IngestPolicy::Quarantine`].
+const FLAG_QUARANTINE: u8 = 0b0000_0010;
+/// All flag bits this build understands.
+const KNOWN_FLAGS: u8 = FLAG_WHATIF | FLAG_QUARANTINE;
 
 /// A lazy generator of the population's job sequence.
 ///
@@ -64,6 +77,44 @@ impl<'a> JobStream<'a> {
     pub fn position(&self) -> usize {
         self.next
     }
+
+    /// Reopens a stream at a previously checkpointed `position`.
+    ///
+    /// Because the stream re-seeds its RNG from `(seed, chunk)` at
+    /// every [`JOB_CHUNK`] boundary, a stream resumed on the chunk grid
+    /// yields exactly the jobs the original stream would have yielded
+    /// from that position — the generation half of the
+    /// interrupted≡uninterrupted guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Config`] when `config` fails validation;
+    /// [`TraceError::Checkpoint`] with
+    /// [`CheckpointError::NotAtChunkBoundary`] when `position` is off
+    /// the chunk grid (and not the end of the stream), or
+    /// [`CheckpointError::InvalidField`] when `position` exceeds the
+    /// population size.
+    pub fn resume(
+        config: &'a PopulationConfig,
+        seed: u64,
+        position: usize,
+    ) -> Result<JobStream<'a>, TraceError> {
+        let mut stream = JobStream::new(config, seed)?;
+        if position > stream.total {
+            return Err(CheckpointError::InvalidField {
+                field: "stream.position",
+            }
+            .into());
+        }
+        if !position.is_multiple_of(JOB_CHUNK) && position != stream.total {
+            return Err(CheckpointError::NotAtChunkBoundary {
+                jobs: position as u64,
+            }
+            .into());
+        }
+        stream.next = position;
+        Ok(stream)
+    }
 }
 
 impl Iterator for JobStream<'_> {
@@ -89,6 +140,19 @@ impl Iterator for JobStream<'_> {
 
 impl ExactSizeIterator for JobStream<'_> {}
 
+/// What a session does with an externally supplied record that fails
+/// ingest validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPolicy {
+    /// Reject the record and fail the ingest call — the feeder must
+    /// handle (or crash on) the first malformed record.
+    #[default]
+    FailFast,
+    /// Skip the record and count it in the per-reason quarantine
+    /// counters surfaced by [`HeadlineStats`]; ingest keeps going.
+    Quarantine,
+}
+
 /// An incremental characterization session over a job stream.
 ///
 /// Jobs fold into a pending accumulator that merges into the running
@@ -98,6 +162,15 @@ impl ExactSizeIterator for JobStream<'_> {}
 /// over the same jobs. Memory is bounded: two accumulators regardless
 /// of stream length, plus three `f64` columns per PS/Worker job when
 /// the optional what-if index is enabled.
+///
+/// Two robustness layers wrap the hot path:
+///
+/// - [`StreamSession::ingest_untrusted`] validates external
+///   [`RawFeatures`] records under a configurable [`IngestPolicy`]
+///   before they can touch the accumulators.
+/// - [`StreamSession::checkpoint`] / [`StreamSession::resume`]
+///   serialize the complete session state on the chunk grid, so a
+///   killed process restarts bit-identical to one that never died.
 #[derive(Debug, Clone)]
 pub struct StreamSession {
     model: PerfModel,
@@ -105,6 +178,7 @@ pub struct StreamSession {
     pending: HeadlineAccum,
     pending_len: usize,
     whatif: Option<WhatIfIndex>,
+    policy: IngestPolicy,
 }
 
 impl StreamSession {
@@ -117,6 +191,7 @@ impl StreamSession {
             pending: HeadlineAccum::new(model),
             pending_len: 0,
             whatif: None,
+            policy: IngestPolicy::default(),
         }
     }
 
@@ -165,6 +240,202 @@ impl StreamSession {
     /// Consumes the session, releasing the what-if index.
     pub fn into_whatif(self) -> Option<WhatIfIndex> {
         self.whatif
+    }
+
+    /// The active policy for malformed external records.
+    pub fn policy(&self) -> IngestPolicy {
+        self.policy
+    }
+
+    /// Sets the policy for malformed external records.
+    pub fn set_policy(&mut self, policy: IngestPolicy) {
+        self.policy = policy;
+    }
+
+    /// Builder-style [`StreamSession::set_policy`].
+    pub fn with_policy(mut self, policy: IngestPolicy) -> StreamSession {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates and folds one externally supplied record.
+    ///
+    /// Returns `Ok(true)` when the record was accepted and ingested,
+    /// `Ok(false)` when it was quarantined under
+    /// [`IngestPolicy::Quarantine`].
+    ///
+    /// Quarantine counters live in the running accumulator, so they
+    /// merge, checkpoint and resume with the rest of the session state
+    /// and surface per reason in [`HeadlineStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::RejectedFeatures`] when the record fails
+    /// validation under [`IngestPolicy::FailFast`].
+    pub fn ingest_untrusted(&mut self, raw: &RawFeatures) -> Result<bool, TraceError> {
+        match raw.validate() {
+            Ok(job) => {
+                self.ingest(&job);
+                Ok(true)
+            }
+            Err(violation) => match self.policy {
+                IngestPolicy::FailFast => Err(violation.into()),
+                IngestPolicy::Quarantine => {
+                    self.running.record_quarantine(&violation);
+                    Ok(false)
+                }
+            },
+        }
+    }
+
+    /// Records quarantined so far, per [`FeatureViolation`] reason
+    /// index (labels in [`FeatureViolation::REASON_LABELS`]).
+    pub fn quarantined(&self) -> [u64; FeatureViolation::REASONS] {
+        self.running.quarantined()
+    }
+
+    /// Total records quarantined so far.
+    pub fn quarantined_total(&self) -> u64 {
+        self.running.quarantined_total()
+    }
+
+    /// Records offered to the session so far: accepted jobs plus
+    /// quarantined records. This is the position stored in a
+    /// checkpoint; a feeder replaying its source should skip exactly
+    /// this many records after a resume.
+    pub fn position(&self) -> u64 {
+        self.jobs() + self.quarantined_total()
+    }
+
+    /// Serializes the complete session state — accumulators,
+    /// quarantine counters, optional what-if index, ingest policy —
+    /// into a self-describing, CRC-checked byte envelope.
+    ///
+    /// Checkpoints are only taken on the [`JOB_CHUNK`] grid. That is
+    /// what makes resume bit-identical to never crashing: at a chunk
+    /// boundary the pending accumulator is empty, and a resumed
+    /// [`JobStream`] re-derives the same per-chunk RNG streams the
+    /// uninterrupted run would have used.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Checkpoint`] with
+    /// [`CheckpointError::NotAtChunkBoundary`] when jobs are pending
+    /// mid-chunk.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, TraceError> {
+        if self.pending_len != 0 {
+            return Err(CheckpointError::NotAtChunkBoundary { jobs: self.jobs() }.into());
+        }
+        let mut flags = 0u8;
+        if self.whatif.is_some() {
+            flags |= FLAG_WHATIF;
+        }
+        if self.policy == IngestPolicy::Quarantine {
+            flags |= FLAG_QUARANTINE;
+        }
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(flags);
+        w.put_u8(0); // reserved
+        w.put_u64(model_fingerprint(&self.model));
+        w.put_u64(self.position());
+        self.running.encode_into(&mut w);
+        if let Some(index) = &self.whatif {
+            index.encode_into(&mut w);
+        }
+        Ok(w.finish_with_crc())
+    }
+
+    /// Rebuilds a session from [`StreamSession::checkpoint`] bytes.
+    ///
+    /// The decoder is total: any byte sequence either rebuilds the
+    /// exact session or returns a typed [`CheckpointError`] — magic,
+    /// version and CRC are verified before any field is trusted, the
+    /// model fingerprint must match `model`, and decoded state must
+    /// satisfy the accumulator's internal invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Checkpoint`] describing the first defect found.
+    pub fn resume(model: PerfModel, bytes: &[u8]) -> Result<StreamSession, TraceError> {
+        let mut header = ByteReader::new(bytes);
+        let magic = header.take(4)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: [magic[0], magic[1], magic[2], magic[3]],
+            }
+            .into());
+        }
+        let version = header.u16()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version }.into());
+        }
+        // Verify the trailer before decoding any payload field.
+        if header.remaining() < 4 {
+            return Err(CheckpointError::Truncated {
+                offset: header.position(),
+                needed: 4,
+            }
+            .into());
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed }.into());
+        }
+        let mut r = ByteReader::new(payload);
+        // Already validated, but re-read to keep one cursor.
+        let _ = r.take(4)?;
+        let _ = r.u16()?;
+        let flags = r.u8()?;
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(CheckpointError::InvalidField { field: "flags" }.into());
+        }
+        let reserved = r.u8()?;
+        if reserved != 0 {
+            return Err(CheckpointError::InvalidField { field: "reserved" }.into());
+        }
+        let stored_model = r.u64()?;
+        let expected_model = model_fingerprint(&model);
+        if stored_model != expected_model {
+            return Err(CheckpointError::ModelMismatch {
+                stored: stored_model,
+                expected: expected_model,
+            }
+            .into());
+        }
+        let position = r.u64()?;
+        let running = HeadlineAccum::decode_from(model, &mut r)?;
+        let whatif = if flags & FLAG_WHATIF != 0 {
+            Some(WhatIfIndex::decode_from(model, &mut r)?)
+        } else {
+            None
+        };
+        r.finish()?;
+        if position != running.jobs() + running.quarantined_total() {
+            return Err(CheckpointError::InvalidField { field: "position" }.into());
+        }
+        if !running.jobs().is_multiple_of(JOB_CHUNK as u64) {
+            return Err(CheckpointError::NotAtChunkBoundary {
+                jobs: running.jobs(),
+            }
+            .into());
+        }
+        let policy = if flags & FLAG_QUARANTINE != 0 {
+            IngestPolicy::Quarantine
+        } else {
+            IngestPolicy::FailFast
+        };
+        Ok(StreamSession {
+            model,
+            running,
+            pending: HeadlineAccum::new(model),
+            pending_len: 0,
+            whatif,
+            policy,
+        })
     }
 }
 
@@ -266,6 +537,152 @@ mod tests {
         assert!(matches!(
             JobStream::new(&cfg, 1),
             Err(TraceError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn resumed_stream_yields_the_original_tail() {
+        let cfg = PopulationConfig::paper_scale(3 * JOB_CHUNK + 100).unwrap();
+        let full: Vec<_> = JobStream::new(&cfg, SEED).unwrap().collect();
+        for boundary in [0, JOB_CHUNK, 3 * JOB_CHUNK] {
+            let tail: Vec<_> = JobStream::resume(&cfg, SEED, boundary).unwrap().collect();
+            assert_eq!(tail, full[boundary..], "tail from {boundary} drifted");
+        }
+        // Resuming at the exact end yields nothing.
+        let end: Vec<_> = JobStream::resume(&cfg, SEED, full.len()).unwrap().collect();
+        assert!(end.is_empty());
+    }
+
+    #[test]
+    fn stream_resume_rejects_off_grid_and_out_of_range_positions() {
+        let cfg = PopulationConfig::paper_scale(3 * JOB_CHUNK).unwrap();
+        assert_eq!(
+            JobStream::resume(&cfg, SEED, 17).unwrap_err(),
+            TraceError::Checkpoint(CheckpointError::NotAtChunkBoundary { jobs: 17 })
+        );
+        assert_eq!(
+            JobStream::resume(&cfg, SEED, 4 * JOB_CHUNK).unwrap_err(),
+            TraceError::Checkpoint(CheckpointError::InvalidField {
+                field: "stream.position"
+            })
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_roundtrips_mid_stream() {
+        let cfg = PopulationConfig::paper_scale(4 * JOB_CHUNK).unwrap();
+        let model = PerfModel::paper_default();
+        let mut uninterrupted = StreamSession::with_whatif(model);
+        let mut victim = StreamSession::with_whatif(model);
+        let mut stream = JobStream::new(&cfg, SEED).unwrap();
+        for _ in 0..2 * JOB_CHUNK {
+            let job = stream.next().unwrap();
+            uninterrupted.ingest(&job);
+            victim.ingest(&job);
+        }
+        let bytes = victim.checkpoint().unwrap();
+        drop(victim); // the crash
+        let mut resumed = StreamSession::resume(model, &bytes).unwrap();
+        assert_eq!(resumed.jobs(), 2 * JOB_CHUNK as u64);
+        let mut tail = JobStream::resume(&cfg, SEED, resumed.jobs() as usize).unwrap();
+        for _ in 0..2 * JOB_CHUNK {
+            let job = tail.next().unwrap();
+            uninterrupted.ingest(&job);
+            resumed.ingest(&job);
+        }
+        assert_eq!(resumed.stats(), uninterrupted.stats());
+        assert_eq!(resumed.whatif().unwrap(), uninterrupted.whatif().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_off_the_chunk_grid_is_refused() {
+        let cfg = PopulationConfig::paper_scale(JOB_CHUNK + 10).unwrap();
+        let mut session = StreamSession::new(PerfModel::paper_default());
+        for job in JobStream::new(&cfg, SEED).unwrap() {
+            session.ingest(&job);
+        }
+        assert_eq!(
+            session.checkpoint().unwrap_err(),
+            TraceError::Checkpoint(CheckpointError::NotAtChunkBoundary {
+                jobs: JOB_CHUNK as u64 + 10
+            })
+        );
+    }
+
+    fn good_raw() -> RawFeatures {
+        RawFeatures::from(
+            &WorkloadFeatures::builder(pai_core::Architecture::PsWorker)
+                .cnodes(8)
+                .batch_size(64)
+                .input_bytes(pai_hw::Bytes::from_mb(10.0))
+                .weight_bytes(pai_hw::Bytes::from_gb(1.0))
+                .flops(pai_hw::Flops::from_tera(0.5))
+                .mem_access_bytes(pai_hw::Bytes::from_gb(20.0))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn untrusted_ingest_honours_both_policies() {
+        let model = PerfModel::paper_default();
+        let good = good_raw();
+        let mut bad = good;
+        bad.flops = f64::NAN;
+
+        // Fail-fast (the default) rejects the first malformed record.
+        let mut strict = StreamSession::new(model);
+        assert_eq!(strict.policy(), IngestPolicy::FailFast);
+        assert!(strict.ingest_untrusted(&good).unwrap());
+        assert!(matches!(
+            strict.ingest_untrusted(&bad),
+            Err(TraceError::RejectedFeatures { .. })
+        ));
+        assert_eq!(strict.jobs(), 1);
+
+        // Quarantine skips, counts per reason, and keeps going.
+        let mut lax = StreamSession::new(model).with_policy(IngestPolicy::Quarantine);
+        assert!(lax.ingest_untrusted(&good).unwrap());
+        assert!(!lax.ingest_untrusted(&bad).unwrap());
+        let mut zero_batch = good;
+        zero_batch.batch_size = 0;
+        assert!(!lax.ingest_untrusted(&zero_batch).unwrap());
+        assert_eq!(lax.jobs(), 1);
+        assert_eq!(lax.quarantined_total(), 2);
+        assert_eq!(lax.position(), 3);
+        let stats = lax.stats();
+        assert_eq!(stats.quarantined_total, 2);
+        assert_eq!(
+            stats.quarantined[FeatureViolation::ZeroBatch.index()],
+            1,
+            "zero-batch slot"
+        );
+    }
+
+    #[test]
+    fn resume_restores_policy_and_quarantine_counters() {
+        let model = PerfModel::paper_default();
+        let mut session = StreamSession::new(model).with_policy(IngestPolicy::Quarantine);
+        let mut bad = good_raw();
+        bad.cnodes = 0;
+        assert!(!session.ingest_untrusted(&bad).unwrap());
+        let bytes = session.checkpoint().unwrap();
+        let resumed = StreamSession::resume(model, &bytes).unwrap();
+        assert_eq!(resumed.policy(), IngestPolicy::Quarantine);
+        assert_eq!(resumed.quarantined_total(), 1);
+        assert_eq!(resumed.position(), 1);
+        assert_eq!(resumed.jobs(), 0);
+        assert_eq!(resumed.stats(), session.stats());
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_model() {
+        let session = StreamSession::new(PerfModel::paper_default());
+        let bytes = session.checkpoint().unwrap();
+        assert!(matches!(
+            StreamSession::resume(PerfModel::testbed_default(), &bytes),
+            Err(TraceError::Checkpoint(
+                CheckpointError::ModelMismatch { .. }
+            ))
         ));
     }
 }

@@ -1,0 +1,206 @@
+//! Crash-safety suite for the streaming checkpoint codec.
+//!
+//! Two contracts from the ISSUE, pinned end to end:
+//!
+//! - **Decode totality**: no byte sequence may panic the decoder.
+//!   Every single-byte truncation of a valid checkpoint and a seeded
+//!   corpus of bit flips must come back as a typed
+//!   [`CheckpointError`].
+//! - **Interrupted ≡ uninterrupted**: killing the stream at *any*
+//!   chunk boundary and resuming from the checkpoint yields
+//!   bit-identical statistics and what-if artifacts to a run that
+//!   never died, at 1/2/4/8 worker threads.
+
+use pai_core::{characterize, CheckpointError, PerfModel, RawFeatures};
+use pai_faults::ChaosPlan;
+use pai_par::Threads;
+use pai_trace::population::JOB_CHUNK;
+use pai_trace::{IngestPolicy, JobStream, Population, PopulationConfig, StreamSession, TraceError};
+use proptest::prelude::*;
+
+const SEED: u64 = 1_905_930;
+
+fn session_after(cfg: &PopulationConfig, jobs: usize) -> StreamSession {
+    let mut session = StreamSession::with_whatif(PerfModel::paper_default());
+    for job in JobStream::new(cfg, SEED).unwrap().take(jobs) {
+        session.ingest(&job);
+    }
+    session
+}
+
+/// A checkpoint with every section populated: accepted jobs, what-if
+/// rows, and nonzero quarantine counters.
+fn rich_checkpoint() -> Vec<u8> {
+    let cfg = PopulationConfig::paper_scale(2 * JOB_CHUNK).unwrap();
+    let mut session = session_after(&cfg, 2 * JOB_CHUNK).with_policy(IngestPolicy::Quarantine);
+    let good = JobStream::new(&cfg, SEED).unwrap().next().unwrap();
+    let mut bad = RawFeatures::from(&good);
+    bad.mem_access_bytes = f64::NEG_INFINITY;
+    assert!(!session.ingest_untrusted(&bad).unwrap());
+    session.checkpoint().unwrap()
+}
+
+#[test]
+fn every_single_byte_truncation_is_a_typed_error() {
+    let model = PerfModel::paper_default();
+    let bytes = rich_checkpoint();
+    assert!(StreamSession::resume(model, &bytes).is_ok());
+    for len in 0..bytes.len() {
+        let err = StreamSession::resume(model, &bytes[..len])
+            .expect_err("a truncated checkpoint must never decode");
+        assert!(
+            matches!(err, TraceError::Checkpoint(_)),
+            "truncation to {len} byte(s) produced a non-checkpoint error: {err}"
+        );
+    }
+}
+
+#[test]
+fn seeded_bit_flips_never_panic_and_never_resume_silently() {
+    let model = PerfModel::paper_default();
+    let bytes = rich_checkpoint();
+    let mut rejected = 0usize;
+    for c in ChaosPlan::new(SEED).corruptions(bytes.len(), 200) {
+        let mangled = c.apply(&bytes);
+        if mangled == bytes {
+            continue;
+        }
+        match StreamSession::resume(model, &mangled) {
+            Err(TraceError::Checkpoint(_)) => rejected += 1,
+            Err(e) => panic!("corruption surfaced a non-checkpoint error: {e}"),
+            Ok(_) => panic!("a corrupted checkpoint resumed silently: {c:?}"),
+        }
+    }
+    assert!(rejected > 100, "only {rejected} corruptions were exercised");
+}
+
+#[test]
+fn exhaustive_bit_flips_over_the_envelope_are_typed_errors() {
+    // Flip every bit of the header and the first accumulator fields,
+    // plus every bit of the CRC trailer: the regions where a wrong
+    // decode would be most damaging.
+    let model = PerfModel::paper_default();
+    let bytes = rich_checkpoint();
+    let head = 64.min(bytes.len());
+    let regions = (0..head).chain(bytes.len() - 4..bytes.len());
+    for offset in regions {
+        for bit in 0..8u8 {
+            let mut mangled = bytes.clone();
+            mangled[offset] ^= 1 << bit;
+            let err = StreamSession::resume(model, &mangled)
+                .expect_err("a flipped checkpoint must never decode");
+            assert!(matches!(err, TraceError::Checkpoint(_)), "{offset}:{bit}");
+        }
+    }
+}
+
+#[test]
+fn garbage_prefixes_are_rejected_with_precise_errors() {
+    let model = PerfModel::paper_default();
+    // Wrong magic.
+    let err = StreamSession::resume(model, b"NOPE____________").unwrap_err();
+    assert!(matches!(
+        err,
+        TraceError::Checkpoint(CheckpointError::BadMagic { .. })
+    ));
+    // Right magic, future version.
+    let mut bytes = StreamSession::new(model).checkpoint().unwrap();
+    bytes[4] = 0xFF;
+    // Recompute the CRC so only the version is wrong.
+    let crc = pai_core::crc32(&bytes[..bytes.len() - 4]);
+    let n = bytes.len();
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        StreamSession::resume(model, &bytes).unwrap_err(),
+        TraceError::Checkpoint(CheckpointError::UnsupportedVersion { .. })
+    ));
+    // Empty input.
+    assert!(matches!(
+        StreamSession::resume(model, &[]).unwrap_err(),
+        TraceError::Checkpoint(CheckpointError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn trailing_bytes_inside_the_envelope_are_rejected() {
+    let model = PerfModel::paper_default();
+    let bytes = StreamSession::new(model).checkpoint().unwrap();
+    // Splice two zero bytes in front of the CRC and re-seal the
+    // trailer, so only the payload length is wrong.
+    let mut padded = bytes[..bytes.len() - 4].to_vec();
+    padded.extend_from_slice(&[0, 0]);
+    let crc = pai_core::crc32(&padded);
+    padded.extend_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        StreamSession::resume(model, &padded).unwrap_err(),
+        TraceError::Checkpoint(CheckpointError::TrailingBytes { extra: 2 })
+    ));
+}
+
+#[test]
+fn resume_across_thread_counts_matches_batch_exactly() {
+    // The interrupted≡uninterrupted oracle composed with the
+    // serial≡parallel oracle: a session resumed mid-stream must equal
+    // batch characterization of the full population at any thread
+    // count.
+    let jobs = 5 * JOB_CHUNK + 123;
+    let cfg = PopulationConfig::paper_scale(jobs).unwrap();
+    let model = PerfModel::paper_default();
+    let bytes = session_after(&cfg, 3 * JOB_CHUNK).checkpoint().unwrap();
+    let mut resumed = StreamSession::resume(model, &bytes).unwrap();
+    for job in JobStream::resume(&cfg, SEED, resumed.jobs() as usize).unwrap() {
+        resumed.ingest(&job);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let pop = Population::builder(cfg.clone())
+            .seed(SEED)
+            .threads(Threads::new(threads))
+            .build()
+            .unwrap();
+        let batch = characterize(&model, pop.store(), Threads::new(threads));
+        assert_eq!(resumed.stats(), batch, "drift at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kill at an arbitrary chunk boundary, resume, finish: stats and
+    /// what-if artifacts are bit-identical to the uninterrupted run,
+    /// whose population generation itself ran at 1/2/4/8 threads.
+    #[test]
+    fn kill_at_any_chunk_boundary_resumes_bit_identical(
+        extra in 0usize..400,
+        kill_chunk in 1usize..4,
+    ) {
+        let jobs = 4 * JOB_CHUNK + extra;
+        let cfg = PopulationConfig::paper_scale(jobs).unwrap();
+        let model = PerfModel::paper_default();
+
+        let uninterrupted = session_after(&cfg, jobs);
+        let bytes = session_after(&cfg, kill_chunk * JOB_CHUNK).checkpoint().unwrap();
+        let mut resumed = StreamSession::resume(model, &bytes).unwrap();
+        for job in JobStream::resume(&cfg, SEED, resumed.jobs() as usize).unwrap() {
+            resumed.ingest(&job);
+        }
+        prop_assert_eq!(resumed.stats(), uninterrupted.stats());
+        prop_assert_eq!(resumed.whatif(), uninterrupted.whatif());
+
+        // And both equal the batch result at every thread count.
+        for threads in [1usize, 2, 4, 8] {
+            let pop = Population::builder(cfg.clone())
+                .seed(SEED)
+                .threads(Threads::new(threads))
+                .build()
+                .unwrap();
+            let batch = characterize(&model, pop.store(), Threads::new(threads));
+            prop_assert_eq!(resumed.stats(), batch, "drift at {} threads", threads);
+        }
+    }
+
+    /// Proptest leg of decode totality: random byte soup never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = StreamSession::resume(PerfModel::paper_default(), &bytes);
+    }
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture: panics inside a checkpoint decode path. A
+// decoder must return a typed error on hostile bytes, never unwrap.
+pub fn read_magic(bytes: &[u8]) -> [u8; 4] {
+    bytes[..4].try_into().unwrap()
+}
+
+pub fn read_version(bytes: &[u8]) -> u16 {
+    let raw = bytes.get(4..6).expect("version bytes");
+    u16::from_le_bytes([raw[0], raw[1]])
+}

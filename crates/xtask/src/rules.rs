@@ -312,6 +312,12 @@ mod tests {
     fn scoping_is_prefix_based() {
         assert!(in_scope(&PANIC_IN_LIB, "crates/sim/src/engine.rs"));
         assert!(in_scope(&PANIC_IN_LIB, "crates/sched/src/engine.rs"));
+        // The checkpoint codec, ingest validation, and chaos modules
+        // sit inside already-scoped crates; pin that they stay linted.
+        assert!(in_scope(&PANIC_IN_LIB, "crates/core/src/codec.rs"));
+        assert!(in_scope(&PANIC_IN_LIB, "crates/core/src/features.rs"));
+        assert!(in_scope(&PANIC_IN_LIB, "crates/trace/src/stream.rs"));
+        assert!(in_scope(&PANIC_IN_LIB, "crates/faults/src/chaos.rs"));
         assert!(!in_scope(
             &PANIC_IN_LIB,
             "crates/sched/tests/determinism.rs"

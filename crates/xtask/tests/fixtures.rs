@@ -48,6 +48,14 @@ fn panic_rule_fires_on_unwrap_expect_and_panic() {
 }
 
 #[test]
+fn panic_rule_fires_on_unwraps_in_a_decode_path() {
+    let diags = lint_fixture("codec_decode.rs");
+    let matched: Vec<&str> = diags.iter().map(|d| d.matched.as_str()).collect();
+    assert_eq!(matched, vec![".unwrap()", ".expect()"]);
+    assert_eq!(spans(&diags, "panic-in-lib"), vec![(4, 27), (8, 31)]);
+}
+
+#[test]
 fn wall_clock_fires_on_systemtime_and_instant_now() {
     let diags = lint_fixture("wall_clock.rs");
     // Both `SystemTime` mentions fire; `Instant` only as `Instant::now`,
@@ -97,7 +105,7 @@ fn bad_fixture_tree_reports_every_rule() {
     let root = fixture_dir("bad");
     let (diags, scanned, _) =
         lint_paths(&root, std::slice::from_ref(&root), true).expect("scan bad fixtures");
-    assert_eq!(scanned, 6);
+    assert_eq!(scanned, 7);
     for rule in [
         "hash-iteration",
         "panic-in-lib",
@@ -124,8 +132,8 @@ fn lint_binary_exits_nonzero_on_bad_and_zero_on_clean() {
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).expect("report written"))
             .expect("valid JSON report");
-    assert!(report["diagnostics"].as_array().expect("array").len() >= 9);
-    assert_eq!(report["files_scanned"], 6);
+    assert!(report["diagnostics"].as_array().expect("array").len() >= 11);
+    assert_eq!(report["files_scanned"], 7);
     let _ = std::fs::remove_file(&json);
 
     let clean = Command::new(bin)
