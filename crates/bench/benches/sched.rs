@@ -2,17 +2,23 @@
 //! trace, plus a machine-readable jobs/sec report.
 //!
 //! Besides the criterion groups, this target writes `BENCH_sched.json`
-//! at the repository root: engine jobs/sec per policy on a 50k-job
-//! arrival stream, and the policy × seed sweep rate at 1 thread and at
-//! `PAR_THREADS` threads.
+//! at the repository root: engine jobs/sec per policy (all six —
+//! placement baselines, predictive QSSF, and the SJF oracle — each
+//! running its *own* queue ordering via `run_kind`), the per-policy
+//! outcome deltas against FIFO first-fit (mean JCT, bounded slowdown,
+//! prediction error where the policy calibrates), and the policy ×
+//! seed sweep rate at 1 thread and at `PAR_THREADS` threads. Each
+//! sweep row records the `host_cpus` it ran on, and the speedup figure
+//! (plus its sanity assertion) is skipped on a single-CPU host, where
+//! a parallel-vs-serial ratio is noise, not signal.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pai_core::PerfModel;
 use pai_hw::ClusterSpec;
 use pai_par::Threads;
 use pai_sched::{
-    policy_sweep, realize_stream, run, templates_from_population, ArrivalConfig, PolicyKind,
-    SchedConfig, SweepConfig,
+    policy_sweep, realize_stream, run_kind, templates_from_population, ArrivalConfig, PolicyKind,
+    SchedConfig, SchedOutcome, SweepConfig,
 };
 use pai_trace::{FailureSampler, Population, PopulationConfig};
 use std::time::{Duration, Instant};
@@ -69,7 +75,7 @@ fn bench_engine(c: &mut Criterion) {
         group.bench_function(kind.name(), |b| {
             b.iter(|| {
                 black_box(
-                    run(&w.cluster, &w.stream, kind.policy(), &w.config).expect("stream runs"),
+                    run_kind(&w.cluster, &w.stream, kind, seed(), &w.config).expect("stream runs"),
                 )
             });
         });
@@ -88,6 +94,28 @@ fn time_best<F: FnMut()>(mut f: F) -> f64 {
     best
 }
 
+/// One policy's outcome line for the report: the mean-JCT and
+/// bounded-slowdown ratios against the FIFO first-fit baseline, and
+/// the calibration error when the policy predicts.
+fn outcome_line(out: &SchedOutcome, fifo: &SchedOutcome) -> String {
+    let prediction = match &out.prediction {
+        Some(report) => format!(
+            "{{ \"mape\": {:.4}, \"p90_rel_err\": {:.4} }}",
+            report.mape, report.p90_rel_err
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{ \"mean_jct_s\": {:.1}, \"mean_slowdown\": {:.2}, \
+         \"jct_vs_fifo\": {:.3}, \"slowdown_vs_fifo\": {:.3}, \
+         \"prediction\": {prediction} }}",
+        out.cluster.mean_jct_s,
+        out.cluster.mean_slowdown,
+        out.cluster.mean_jct_s / fifo.cluster.mean_jct_s,
+        out.cluster.mean_slowdown / fifo.cluster.mean_slowdown,
+    )
+}
+
 /// Measures engine jobs/sec per policy and the sweep rate at 1 and
 /// [`PAR_THREADS`] threads, then writes the `BENCH_sched.json` report.
 fn emit_report(_c: &mut Criterion) {
@@ -95,12 +123,18 @@ fn emit_report(_c: &mut Criterion) {
     let model = PerfModel::paper_default();
     let pop = population();
     let n = w.stream.len();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
 
+    let mut outcomes = Vec::new();
     let mut policy_lines = String::new();
     for (i, kind) in PolicyKind::ALL.iter().enumerate() {
+        let mut last = None;
         let secs = time_best(|| {
-            black_box(run(&w.cluster, &w.stream, kind.policy(), &w.config).expect("stream runs"));
+            last = Some(
+                run_kind(&w.cluster, &w.stream, *kind, seed(), &w.config).expect("stream runs"),
+            );
         });
+        outcomes.push((*kind, last.expect("at least one timing run")));
         let comma = if i + 1 < PolicyKind::ALL.len() {
             ","
         } else {
@@ -110,6 +144,31 @@ fn emit_report(_c: &mut Criterion) {
             "    \"{}\": {:.0}{comma}\n",
             kind.name(),
             n as f64 / secs
+        ));
+    }
+
+    let fifo = outcomes
+        .iter()
+        .find(|(kind, _)| *kind == PolicyKind::FifoFirstFit)
+        .map(|(_, out)| out.clone())
+        .expect("FIFO first-fit is always benchmarked");
+    // This stream saturates the testbed (queueing delays far beyond
+    // the one-virtual-day starvation bound), so nearly every queue
+    // entry escalates to FIFO service and the predictive orderings'
+    // JCT deltas sit near 1.0 by design — the bench measures engine
+    // *throughput*; the policy-quality comparison lives in the
+    // drained-backlog `repro schedule` regime (EXPERIMENTS.md).
+    let mut outcome_lines = String::from(
+        "    \"note\": \"saturated stream: the starvation bound escalates most \
+         entries, so ordering deltas ~1.0 here; see repro schedule for the \
+         drained-backlog comparison\",\n",
+    );
+    for (i, (kind, out)) in outcomes.iter().enumerate() {
+        let comma = if i + 1 < outcomes.len() { "," } else { "" };
+        outcome_lines.push_str(&format!(
+            "    \"{}\": {}{comma}\n",
+            kind.name(),
+            outcome_line(out, &fifo)
         ));
     }
 
@@ -125,31 +184,52 @@ fn emit_report(_c: &mut Criterion) {
         policies: PolicyKind::ALL.to_vec(),
         ..SweepConfig::default()
     };
+    let mut sweep_rows = String::new();
     let mut sweep_rates = Vec::new();
-    for threads in [1usize, PAR_THREADS] {
+    for (i, threads) in [1usize, PAR_THREADS].iter().enumerate() {
         let secs = time_best(|| {
             black_box(
-                policy_sweep(&w.cluster, &model, &pop, &sweep_cfg, Threads::new(threads))
+                policy_sweep(&w.cluster, &model, &pop, &sweep_cfg, Threads::new(*threads))
                     .expect("sweep runs"),
             );
         });
         let points = sweep_cfg.seeds.len() * sweep_cfg.policies.len();
-        sweep_rates.push((threads, (points * n) as f64 / secs));
+        let rate = (points * n) as f64 / secs;
+        sweep_rates.push(rate);
+        let comma = if i == 0 { "," } else { "" };
+        sweep_rows.push_str(&format!(
+            "      {{ \"threads\": {threads}, \"host_cpus\": {host_cpus}, \
+             \"jobs_per_sec\": {rate:.0} }}{comma}\n"
+        ));
     }
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let (t1, r1) = sweep_rates[0];
-    let (tn, rn) = sweep_rates[1];
+    // The parallel-vs-serial ratio only means something when the host
+    // can actually run the workers side by side: on a 1-CPU container
+    // "speedup" is scheduler noise around 1.0, so the figure and its
+    // sanity assertion are both skipped there.
+    let speedup_entry = if host_cpus > 1 {
+        let speedup = sweep_rates[1] / sweep_rates[0];
+        if host_cpus >= PAR_THREADS {
+            assert!(
+                speedup > 0.8,
+                "a {host_cpus}-CPU host must not lose throughput going \
+                 1 -> {PAR_THREADS} sweep threads (measured {speedup:.3})"
+            );
+        }
+        format!(",\n    \"speedup\": {speedup:.3}")
+    } else {
+        ",\n    \"speedup\": null,\n    \
+         \"speedup_note\": \"single-CPU host: parallel-vs-serial ratio is noise; skipped\""
+            .to_string()
+    };
+
     let report = format!(
         "{{\n  \"workload_jobs\": {JOBS},\n  \"scheduled_jobs\": {n},\n  \
          \"host_cpus\": {host_cpus},\n  \
          \"timing\": \"best of {TIMING_RUNS} runs, wall clock\",\n  \
          \"engine_jobs_per_sec\": {{\n{policy_lines}  }},\n  \
-         \"sweep_jobs_per_sec\": {{\n    \
-         \"{t1}_threads\": {r1:.0},\n    \
-         \"{tn}_threads\": {rn:.0},\n    \
-         \"speedup\": {:.3}\n  }}\n}}\n",
-        rn / r1,
+         \"policy_outcomes\": {{\n{outcome_lines}  }},\n  \
+         \"sweep_jobs_per_sec\": {{\n    \"rows\": [\n{sweep_rows}    ]{speedup_entry}\n  }}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
     std::fs::write(path, &report).expect("the repo root is writable");

@@ -1,0 +1,205 @@
+//! Predicted-vs-actual calibration: MAPE, relative-error percentiles,
+//! and the per-class breakdown.
+
+use serde::Serialize;
+
+use crate::signature::NUM_CLASSES;
+
+/// Table II class labels, in [`pai_core::Architecture::index`] order.
+const CLASS_LABELS: [&str; NUM_CLASSES] = [
+    "1w1g",
+    "1wng",
+    "PS/Worker",
+    "AllReduce-Local",
+    "AllReduce-Cluster",
+];
+
+/// Accumulates `(class, predicted, actual)` triples as jobs retire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CalibrationAccum {
+    /// Relative errors `(class index, |pred - actual| / actual)`.
+    errors: Vec<(usize, f64)>,
+    /// Pairs dropped because the actual or predicted value was not a
+    /// positive finite duration.
+    skipped: usize,
+}
+
+impl CalibrationAccum {
+    /// An empty accumulator.
+    pub fn new() -> CalibrationAccum {
+        CalibrationAccum::default()
+    }
+
+    /// Records one retired job. Pairs whose actual duration is not
+    /// positive and finite (or whose prediction is not finite) are
+    /// counted as skipped, never silently folded in.
+    pub fn record(&mut self, class_index: usize, predicted_s: f64, actual_s: f64) {
+        if class_index >= NUM_CLASSES
+            || !actual_s.is_finite()
+            || actual_s <= 0.0
+            || !predicted_s.is_finite()
+        {
+            self.skipped += 1;
+            return;
+        }
+        self.errors
+            .push((class_index, (predicted_s - actual_s).abs() / actual_s));
+    }
+
+    /// Pairs recorded so far.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Folds the pairs into a report, or `None` when nothing was
+    /// recorded (a report full of NaNs would poison downstream JSON).
+    pub fn report(&self) -> Option<CalibrationReport> {
+        if self.errors.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.errors.iter().map(|&(_, e)| e).collect();
+        sorted.sort_by(f64::total_cmp);
+        let mape = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let mut per_class = Vec::new();
+        for (index, label) in CLASS_LABELS.into_iter().enumerate() {
+            let class_errors: Vec<f64> = self
+                .errors
+                .iter()
+                .filter(|&&(c, _)| c == index)
+                .map(|&(_, e)| e)
+                .collect();
+            if class_errors.is_empty() {
+                continue;
+            }
+            per_class.push(ClassCalibration {
+                class: label,
+                jobs: class_errors.len(),
+                mape: class_errors.iter().sum::<f64>() / class_errors.len() as f64,
+            });
+        }
+        Some(CalibrationReport {
+            jobs: sorted.len(),
+            skipped: self.skipped,
+            mape,
+            p50_rel_err: percentile(&sorted, 0.50),
+            p90_rel_err: percentile(&sorted, 0.90),
+            per_class,
+        })
+    }
+}
+
+/// Calibration of one workload class.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassCalibration {
+    /// Table II class label.
+    pub class: &'static str,
+    /// Pairs recorded for this class.
+    pub jobs: usize,
+    /// Mean absolute percentage error within the class.
+    pub mape: f64,
+}
+
+/// Predicted-vs-actual error summary of one run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CalibrationReport {
+    /// Pairs the report is computed over.
+    pub jobs: usize,
+    /// Pairs dropped for non-finite/non-positive values.
+    pub skipped: usize,
+    /// Mean absolute percentage error, as a fraction (0.25 = 25%).
+    pub mape: f64,
+    /// Median relative error.
+    pub p50_rel_err: f64,
+    /// 90th-percentile relative error.
+    pub p90_rel_err: f64,
+    /// Per-class breakdown (classes with no pairs are omitted).
+    pub per_class: Vec<ClassCalibration>,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_reports_nothing() {
+        assert!(CalibrationAccum::new().report().is_none());
+    }
+
+    #[test]
+    fn perfect_predictions_report_zero_error() {
+        let mut acc = CalibrationAccum::new();
+        for i in 0..50 {
+            acc.record(i % NUM_CLASSES, 100.0 + i as f64, 100.0 + i as f64);
+        }
+        let report = acc.report().expect("non-empty");
+        assert_eq!(report.jobs, 50);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.mape, 0.0);
+        assert_eq!(report.p50_rel_err, 0.0);
+        assert_eq!(report.p90_rel_err, 0.0);
+        assert_eq!(report.per_class.len(), NUM_CLASSES);
+        assert!(report.per_class.iter().all(|c| c.mape == 0.0));
+    }
+
+    #[test]
+    fn errors_aggregate_per_class_and_overall() {
+        let mut acc = CalibrationAccum::new();
+        // Class 0: 10% high. Class 2: 50% low.
+        acc.record(0, 110.0, 100.0);
+        acc.record(0, 220.0, 200.0);
+        acc.record(2, 50.0, 100.0);
+        let report = acc.report().expect("non-empty");
+        assert!((report.mape - (0.1 + 0.1 + 0.5) / 3.0).abs() < 1e-12);
+        assert_eq!(report.per_class.len(), 2);
+        assert_eq!(report.per_class[0].class, "1w1g");
+        assert!((report.per_class[0].mape - 0.1).abs() < 1e-12);
+        assert_eq!(report.per_class[1].class, "PS/Worker");
+        assert!((report.per_class[1].mape - 0.5).abs() < 1e-12);
+        assert!(report.p50_rel_err <= report.p90_rel_err);
+    }
+
+    #[test]
+    fn junk_pairs_are_skipped_not_folded() {
+        let mut acc = CalibrationAccum::new();
+        acc.record(0, 100.0, 0.0);
+        acc.record(0, f64::NAN, 100.0);
+        acc.record(0, 100.0, f64::NAN);
+        acc.record(9, 100.0, 100.0);
+        acc.record(1, 100.0, 100.0);
+        let report = acc.report().expect("one valid pair");
+        assert_eq!(report.jobs, 1);
+        assert_eq!(report.skipped, 4);
+        assert!(report.mape.is_finite());
+    }
+
+    #[test]
+    fn class_labels_track_architecture_order() {
+        for (i, arch) in pai_core::Architecture::ALL.into_iter().enumerate() {
+            assert_eq!(CLASS_LABELS[i], arch.label());
+            assert_eq!(arch.index(), i);
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut acc = CalibrationAccum::new();
+        acc.record(3, 90.0, 100.0);
+        let json = serde_json::to_string(&acc.report().expect("non-empty")).expect("serializes");
+        assert!(json.contains("\"mape\""));
+        assert!(json.contains("AllReduce-Local"));
+    }
+}

@@ -1,0 +1,43 @@
+//! The predictor's typed error.
+
+use std::fmt;
+
+/// Anything that can go wrong configuring or feeding the predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// A [`crate::HistoryConfig`] parameter is out of range.
+    InvalidConfig {
+        /// The offending parameter.
+        name: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// An observed duration is non-finite or non-positive — feeding
+    /// it to the history would poison every later prediction, so the
+    /// store rejects it instead.
+    InvalidObservation {
+        /// The offending duration, in seconds.
+        duration_s: f64,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::InvalidConfig { name, value } => {
+                write!(
+                    f,
+                    "history config parameter {name} is out of range: {value}"
+                )
+            }
+            PredictError::InvalidObservation { duration_s } => {
+                write!(
+                    f,
+                    "observed duration must be positive and finite, got {duration_s}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}

@@ -1,0 +1,141 @@
+//! Seeded SplitMix64 feature hashing.
+//!
+//! Buckets must be identical across processes, platforms, and thread
+//! counts, so the hash is a fixed chain of SplitMix64 finalizer mixes
+//! over *quantized* features — never `std`'s per-process-keyed
+//! SipHash. Continuous features (Sw, FLOPs) and wide integer ones
+//! (#cNodes, batch) are quantized to half-octave log₂ buckets first:
+//! two jobs whose sizes differ by less than ~41% land in the same
+//! bucket and become each other's nearest-history candidates.
+
+use crate::signature::Signature;
+
+/// The SplitMix64 finalizer (Steele et al.) — the same mix
+/// `pai-faults` and `pai-par` derive their seed streams from.
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Half-octave log₂ quantization of a non-negative magnitude: the
+/// bucket index of `v` is `floor(2·log₂(1 + v))`, so 0 maps to 0 and
+/// each bucket spans a √2 ratio.
+pub fn log2_half_octave(v: f64) -> u64 {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    // 1 + v keeps the argument ≥ 1, so the floor is never negative.
+    (2.0 * (1.0 + v).log2()).floor() as u64
+}
+
+/// Per-field salts: distinct odd constants keep a cNodes value from
+/// colliding with an identical batch value.
+const SALT_CLASS: u64 = 0x517C_C1B7_2722_0A95;
+const SALT_CNODES: u64 = 0x2545_F491_4F6C_DD1D;
+const SALT_SW: u64 = 0x9E6C_63D0_876A_68A1;
+const SALT_FLOPS: u64 = 0xD6E8_FEB8_6659_FD93;
+const SALT_BATCH: u64 = 0xA076_1D64_78BD_642F;
+
+/// The signature's raw 64-bit hash under `seed`.
+pub fn signature_hash(sig: &Signature, seed: u64) -> u64 {
+    let mut h = mix(seed);
+    h = mix(h ^ SALT_CLASS ^ sig.class_index() as u64);
+    h = mix(h ^ SALT_CNODES ^ log2_half_octave(sig.cnodes as f64));
+    h = mix(h ^ SALT_SW ^ log2_half_octave(sig.weight_bytes));
+    h = mix(h ^ SALT_FLOPS ^ log2_half_octave(sig.flops));
+    h = mix(h ^ SALT_BATCH ^ log2_half_octave(sig.batch as f64));
+    h
+}
+
+/// The signature's bucket among `buckets` slots (`buckets > 0` —
+/// [`crate::HistoryConfig::validate`] enforces it before any call).
+pub fn bucket_of(sig: &Signature, seed: u64, buckets: usize) -> usize {
+    (signature_hash(sig, seed) % buckets.max(1) as u64) as usize
+}
+
+/// Log-space coordinates of the four magnitude features — the metric
+/// space k-nearest neighbors are ranked in. The class is not a
+/// coordinate: prediction filters on exact class equality instead.
+pub fn log_coords(sig: &Signature) -> [f64; 4] {
+    [
+        (1.0 + sig.cnodes as f64).ln(),
+        (1.0 + sig.batch as f64).ln(),
+        (1.0 + sig.weight_bytes.max(0.0)).ln(),
+        (1.0 + sig.flops.max(0.0)).ln(),
+    ]
+}
+
+/// Squared Euclidean distance between two log-coordinate points.
+pub fn log_distance2(a: &[f64; 4], b: &[f64; 4]) -> f64 {
+    let mut d = 0.0;
+    for i in 0..4 {
+        let delta = a[i] - b[i];
+        d += delta * delta;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_core::Architecture;
+
+    fn sig(cnodes: usize, batch: usize, sw: f64, flops: f64) -> Signature {
+        Signature {
+            class: Architecture::PsWorker,
+            cnodes,
+            weight_bytes: sw,
+            flops,
+            batch,
+        }
+    }
+
+    #[test]
+    fn quantization_is_monotone_and_half_octave() {
+        assert_eq!(log2_half_octave(0.0), 0);
+        assert_eq!(log2_half_octave(-3.0), 0);
+        assert_eq!(log2_half_octave(f64::NAN), 0);
+        let mut last = 0;
+        for v in [1.0, 2.0, 7.0, 100.0, 1e6, 1e12] {
+            let q = log2_half_octave(v);
+            assert!(q >= last, "quantization must be monotone");
+            last = q;
+        }
+        // A √2 ratio moves at most one bucket; a 2× ratio moves two.
+        assert_eq!(log2_half_octave(1024.0) + 2, log2_half_octave(2049.0));
+    }
+
+    #[test]
+    fn near_identical_jobs_share_a_bucket_distinct_ones_do_not() {
+        let a = sig(16, 512, 1.0e9, 5.0e11);
+        // 5% size jitter: same half-octave buckets.
+        let b = sig(16, 512, 1.05e9, 5.2e11);
+        assert_eq!(signature_hash(&a, 7), signature_hash(&b, 7));
+        // 8× wider: a different bucket.
+        let c = sig(128, 512, 1.0e9, 5.0e11);
+        assert_ne!(signature_hash(&a, 7), signature_hash(&c, 7));
+        // Different class, same magnitudes: a different bucket.
+        let mut d = a;
+        d.class = Architecture::AllReduceCluster;
+        assert_ne!(signature_hash(&a, 7), signature_hash(&d, 7));
+    }
+
+    #[test]
+    fn hash_depends_on_the_seed_and_bucket_stays_in_range() {
+        let a = sig(16, 512, 1.0e9, 5.0e11);
+        assert_ne!(signature_hash(&a, 1), signature_hash(&a, 2));
+        for seed in 0..32 {
+            assert!(bucket_of(&a, seed, 64) < 64);
+        }
+    }
+
+    #[test]
+    fn distance_is_zero_iff_coords_match() {
+        let a = sig(16, 512, 1.0e9, 5.0e11);
+        let b = sig(32, 512, 1.0e9, 5.0e11);
+        assert_eq!(log_distance2(&log_coords(&a), &log_coords(&a)), 0.0);
+        assert!(log_distance2(&log_coords(&a), &log_coords(&b)) > 0.0);
+    }
+}

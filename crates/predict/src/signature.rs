@@ -1,0 +1,92 @@
+//! The five-feature tuple the predictor keys history on.
+
+use pai_core::{Architecture, WorkloadFeatures};
+use serde::{Deserialize, Serialize};
+
+/// Number of workload classes (Table II rows) — the width of every
+/// per-class array in this crate.
+pub const NUM_CLASSES: usize = Architecture::ALL.len();
+
+/// What the predictor knows about a job *before it runs*: the paper's
+/// characterization tuple `(class, #cNodes, Sw, FLOPs, batch)`.
+///
+/// Deliberately a value type detached from
+/// [`pai_core::WorkloadFeatures`]: schedulers carry it per job, serde
+/// round-trips it with the job, and nothing in it can change once the
+/// job is submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Workload class (Table II architecture).
+    pub class: Architecture,
+    /// Replica count (#cNodes).
+    pub cnodes: usize,
+    /// Model weight size Sw, in bytes.
+    pub weight_bytes: f64,
+    /// Per-step floating-point work, in FLOPs.
+    pub flops: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Signature {
+    /// Extracts the tuple from the analytical model's feature record.
+    pub fn of(features: &WorkloadFeatures) -> Signature {
+        Signature {
+            class: features.arch(),
+            cnodes: features.cnodes(),
+            weight_bytes: features.weight_bytes().as_f64(),
+            flops: features.flops().as_f64(),
+            batch: features.batch_size(),
+        }
+    }
+
+    /// The class's dense index (Table II order) — the row of every
+    /// per-class prior and calibration bucket.
+    pub fn class_index(&self) -> usize {
+        self.class.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_hw::{Bytes, Flops};
+
+    #[test]
+    fn signature_mirrors_the_feature_record() {
+        let features = WorkloadFeatures::builder(Architecture::PsWorker)
+            .cnodes(16)
+            .batch_size(512)
+            .input_bytes(Bytes::from_mb(10.0))
+            .weight_bytes(Bytes::from_gb(1.0))
+            .flops(Flops::from_tera(0.5))
+            .mem_access_bytes(Bytes::from_gb(20.0))
+            .build();
+        let sig = Signature::of(&features);
+        assert_eq!(sig.class, Architecture::PsWorker);
+        assert_eq!(sig.cnodes, 16);
+        assert_eq!(sig.batch, 512);
+        assert_eq!(sig.weight_bytes, features.weight_bytes().as_f64());
+        assert_eq!(sig.flops, features.flops().as_f64());
+        assert_eq!(sig.class_index(), Architecture::PsWorker.index());
+    }
+
+    #[test]
+    fn class_count_matches_the_table() {
+        assert_eq!(NUM_CLASSES, Architecture::ALL.len());
+    }
+
+    #[test]
+    fn signature_round_trips_through_serde() {
+        let sig = Signature {
+            class: Architecture::AllReduceLocal,
+            cnodes: 8,
+            weight_bytes: 1.5e8,
+            flops: 2.0e12,
+            batch: 128,
+        };
+        let json = serde_json::to_string(&sig).expect("serializes");
+        let back: Signature = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, sig);
+    }
+}

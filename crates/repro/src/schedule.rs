@@ -4,9 +4,11 @@
 //! jobs, a few huge communication-bound gangs — makes placement
 //! policy a first-order provisioning lever. This experiment replays
 //! the calibrated population as an arrival stream through the
-//! `pai-sched` discrete-event engine under all four built-in gang
-//! policies × two stream seeds, and reports the per-policy means of
-//! the cluster metrics as a comparison table.
+//! `pai-sched` discrete-event engine under all six built-in policies
+//! (four placement baselines, history-predictive QSSF, and the SJF
+//! oracle upper bound) × two stream seeds, and reports the per-policy
+//! means of the cluster metrics — plus predicted-vs-actual error for
+//! the predictive rows — as a comparison table.
 //!
 //! The sweep fans out through `pai-par`; every number is bit-for-bit
 //! identical at any `PAI_THREADS` (pinned by the repro equivalence
@@ -29,10 +31,13 @@ const SEED_B: u64 = SEED ^ 0x9E37_79B9_7F4A_7C15;
 /// Target offered load as a fraction of the cluster's **solo-work**
 /// capacity. NIC contention dilates the communication-bound jobs well
 /// past their solo step times, so the effective load runs far above
-/// this figure: at 0.25 the cluster sits near saturation — the queue
-/// forms and drains, which is the regime where placement
-/// differentiates (0.35 and above the backlog diverges).
-const OFFERED_LOAD: f64 = 0.25;
+/// this figure: at 0.6 a deep backlog forms (mean queueing delays in
+/// the ~10^4 s range under FIFO) and drains by the end of the replay.
+/// That is the regime where *ordering* differentiates — with a short
+/// queue every discipline serves the same head, and QSSF collapses
+/// onto FIFO; with a deep one, serving predicted-short jobs first
+/// roughly halves the FIFO mean JCT at this population.
+const OFFERED_LOAD: f64 = 0.6;
 
 /// Widest gang the testbed replay admits (one server row, 8 servers'
 /// worth of GPUs). The trace's production giants span up to 2048
@@ -42,7 +47,7 @@ const OFFERED_LOAD: f64 = 0.25;
 /// dropped.
 const WIDTH_CAP: usize = 64;
 
-/// The sweep every `schedule` invocation runs: four policies × two
+/// The sweep every `schedule` invocation runs: six policies × two
 /// seeds on the shared testbed cluster, arrivals calibrated to
 /// [`OFFERED_LOAD`].
 fn sweep_config(arrival: ArrivalConfig) -> SweepConfig {
@@ -62,6 +67,9 @@ struct PolicyRow {
     dropped: usize,
     seeds: usize,
     mean: ClusterMetrics,
+    /// Mean `(MAPE, p50, p90)` of the predicted-vs-actual relative
+    /// error over the seeds — `None` for non-predictive policies.
+    prediction: Option<(f64, f64, f64)>,
 }
 
 fn mean_metrics(points: &[&SweepPoint]) -> ClusterMetrics {
@@ -90,12 +98,22 @@ fn aggregate(points: &[SweepPoint]) -> Vec<PolicyRow> {
         .map(|kind| {
             let mine: Vec<&SweepPoint> =
                 points.iter().filter(|p| p.policy == kind.name()).collect();
+            let calibrated: Vec<_> = mine.iter().filter_map(|p| p.prediction.as_ref()).collect();
+            let prediction = (!calibrated.is_empty()).then(|| {
+                let n = calibrated.len() as f64;
+                (
+                    calibrated.iter().map(|c| c.mape).sum::<f64>() / n,
+                    calibrated.iter().map(|c| c.p50_rel_err).sum::<f64>() / n,
+                    calibrated.iter().map(|c| c.p90_rel_err).sum::<f64>() / n,
+                )
+            });
             PolicyRow {
                 policy: kind.name(),
                 jobs: mine.first().map_or(0, |p| p.jobs),
                 dropped: mine.first().map_or(0, |p| p.dropped),
                 seeds: mine.len(),
                 mean: mean_metrics(&mine),
+                prediction,
             }
         })
         .collect()
@@ -113,8 +131,14 @@ fn text_rows(rows: &[PolicyRow]) -> Vec<Vec<String>> {
         "p95 JCT (s)".to_string(),
         "p99 JCT (s)".to_string(),
         "slowdown".to_string(),
+        "pred MAPE".to_string(),
+        "pred p90 err".to_string(),
     ]];
     for r in rows {
+        let (mape, p90) = match r.prediction {
+            Some((mape, _, p90)) => (format!("{mape:.3}"), format!("{p90:.3}")),
+            None => ("—".to_string(), "—".to_string()),
+        };
         out.push(vec![
             r.policy.to_string(),
             format!("{}", r.jobs),
@@ -126,6 +150,8 @@ fn text_rows(rows: &[PolicyRow]) -> Vec<Vec<String>> {
             format!("{:.1}", r.mean.p95_jct_s),
             format!("{:.1}", r.mean.p99_jct_s),
             format!("{:.2}", r.mean.mean_slowdown),
+            mape,
+            p90,
         ]);
     }
     out
@@ -176,6 +202,9 @@ pub fn schedule(ctx: &Context) -> Result<ExperimentResult, ReproError> {
                     "dropped": r.dropped,
                     "seeds": r.seeds,
                     "mean": r.mean,
+                    "prediction": r.prediction.map(|(mape, p50, p90)| {
+                        json!({ "mape": mape, "p50_rel_err": p50, "p90_rel_err": p90 })
+                    }),
                 })
             })
             .collect::<Vec<_>>(),
@@ -185,7 +214,7 @@ pub fn schedule(ctx: &Context) -> Result<ExperimentResult, ReproError> {
     Ok(ExperimentResult {
         id: "schedule",
         title: "Gang-scheduling policy comparison on the calibrated arrival stream \
-                (FIFO first-fit vs best-fit packed vs spread vs locality-aware)",
+                (four placement baselines vs predictive QSSF vs the SJF oracle)",
         text,
         json: payload,
     })
@@ -237,6 +266,26 @@ mod tests {
         for kind in PolicyKind::ALL {
             assert!(text.contains(kind.name()), "missing {}", kind.name());
         }
+    }
+
+    #[test]
+    fn predictive_rows_calibrate_and_baselines_do_not() {
+        let result = result();
+        for p in result.json["policies"].as_array().expect("array") {
+            let name = p["policy"].as_str().expect("str");
+            let predictive = name == "qssf" || name == "sjf-oracle";
+            assert_eq!(
+                !p["prediction"].is_null(),
+                predictive,
+                "{name} prediction presence"
+            );
+            if predictive {
+                let mape = p["prediction"]["mape"].as_f64().expect("f64");
+                assert!(mape.is_finite() && mape >= 0.0, "{name} MAPE {mape}");
+            }
+        }
+        assert!(result.text.contains("pred MAPE"));
+        assert!(result.text.contains('—'), "baselines render a dash");
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! comparison produced at the pinned seed and a 2 000-job population
 //! when the snapshot was taken, each with an explicit tolerance. A
 //! failure here means the scheduler's numbers moved — either an
-//! intentional engine/stream/policy change (regenerate the fixture by
-//! re-running `repro --jobs 2000 schedule` and copying the per-policy
-//! means) or an accidental determinism break (fix the code).
+//! intentional engine/stream/policy change (regenerate the fixture:
+//! `cargo run --release -q -p pai-repro --bin repro -- --jobs 2000
+//! schedule && python3 scripts/regen_schedule_golden.py`, see
+//! EXPERIMENTS.md) or an accidental determinism break (fix the code).
 
 use pai_repro::schedule::schedule;
 use pai_repro::{Context, SEED};
@@ -90,4 +91,31 @@ fn schedule_matches_the_golden_snapshot() {
     // metric silently skipping comparisons would defeat the snapshot.
     let fixture_keys = golden["headline"].as_object().expect("object").len();
     assert_eq!(checked, fixture_keys, "fixture and comparison disagree");
+}
+
+/// The headline acceptance claim: at the pinned population and seed,
+/// history-predictive QSSF clearly beats FIFO first-fit on mean JCT,
+/// and the perfect-information SJF oracle lower-bounds QSSF. Asserted
+/// against the *fixture* (already pinned to the live run above) so a
+/// regeneration that silently loses the ordering fails loudly here,
+/// not just in a shifted number.
+#[test]
+fn qssf_beats_fifo_and_the_oracle_bounds_qssf() {
+    let golden = fixture();
+    let jct = |policy: &str| -> f64 {
+        golden["headline"][format!("{policy}.mean_jct_s").as_str()]["value"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("fixture has {policy}.mean_jct_s"))
+    };
+    let fifo = jct("fifo-first-fit");
+    let qssf = jct("qssf");
+    let oracle = jct("sjf-oracle");
+    assert!(
+        qssf < fifo * 0.9,
+        "predictive QSSF ({qssf:.1} s) must clearly beat FIFO ({fifo:.1} s) on mean JCT"
+    );
+    assert!(
+        oracle <= qssf,
+        "the SJF oracle ({oracle:.1} s) lower-bounds online QSSF ({qssf:.1} s)"
+    );
 }

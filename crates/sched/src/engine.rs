@@ -17,25 +17,35 @@
 //!
 //! with ties broken by `(time, kind, job id)` — boundaries before
 //! requeues before arrivals, so freed GPUs are visible to a
-//! same-instant submission. The queue is strict FIFO head-of-line:
-//! policies only choose *where* a gang lands, never *which* job goes
-//! next. After every event the engine replays the head of the queue
-//! against the policy, then reprices every running job from the
-//! per-server communicating-replica counters — the same max-min NIC
-//! model `pai-sim::cluster` prices, maintained incrementally
-//! (`O(running + servers)` per event instead of a full placement
-//! rebuild).
+//! same-instant submission. Which queued job is served is the
+//! [`QueueOrder`]'s call: under [`QueueOrder::Fifo`] the queue is
+//! strict FIFO head-of-line (byte-identical to the pre-predictor
+//! engine — policies only choose *where* a gang lands); under
+//! [`QueueOrder::Qssf`]/[`QueueOrder::SjfOracle`] the head is the
+//! entry with the smallest estimated/true remaining service
+//! (starvation-bounded, ties to the oldest entry). Head-of-line
+//! blocking is preserved either way: when the selected head does not
+//! fit, nothing behind it backfills. After every event the engine
+//! replays the head against the policy, then reprices every running
+//! job from the per-server communicating-replica counters — the same
+//! max-min NIC model `pai-sim::cluster` prices, maintained
+//! incrementally (`O(running + servers)` per event instead of a full
+//! placement rebuild).
 
 use std::collections::VecDeque;
 
 use pai_faults::ExponentialBackoff;
 use pai_hw::{ClusterSpec, Seconds};
+use pai_predict::{CalibrationAccum, CalibrationReport, HistoryStore};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SchedError;
 use crate::job::{SchedJob, SyncClass};
 use crate::metrics::{percentile, ClusterMetrics, JobMetrics, BOUNDED_SLOWDOWN_TAU_S};
-use crate::policy::Policy;
+use crate::order::{
+    class_priors_from_jobs, order_for_kind, PredictorSource, QueueOrder, QSSF_STARVATION_AGE_S,
+};
+use crate::policy::{Policy, PolicyKind};
 
 /// Engine knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,12 +108,17 @@ pub struct EventRecord {
 /// [`SchedConfig::log_events`]).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SchedOutcome {
-    /// The placement policy that produced this schedule.
+    /// The policy that produced this schedule (the queue ordering's
+    /// label for predictive runs, the placement policy's otherwise).
     pub policy: String,
     /// Per-job outcomes, in stream order.
     pub jobs: Vec<JobMetrics>,
     /// Whole-run metrics.
     pub cluster: ClusterMetrics,
+    /// Predicted-vs-actual service-demand calibration — `Some` for
+    /// predictive queue orderings (QSSF and the oracles), `None`
+    /// under FIFO.
+    pub prediction: Option<CalibrationReport>,
     /// The event log.
     pub events: Vec<EventRecord>,
 }
@@ -131,6 +146,9 @@ struct JobState {
     crashes: usize,
     first_start: Option<f64>,
     finish: f64,
+    /// Full-duration estimate captured at arrival (NaN under FIFO) —
+    /// the "predicted" half of the calibration pair.
+    predicted: f64,
 }
 
 /// Event candidate classes, in same-instant processing order.
@@ -138,10 +156,130 @@ const CLASS_BOUNDARY: u8 = 0;
 const CLASS_REQUEUE: u8 = 1;
 const CLASS_ARRIVAL: u8 = 2;
 
-/// Runs the stream to completion under one policy.
+/// One queued gang.
+struct QueueEntry {
+    job: usize,
+    /// Monotone enqueue sequence — the FIFO order and every ordering
+    /// tie-break.
+    qseq: u64,
+    /// When the entry was (re)queued — the starvation-aging clock.
+    queued_at: f64,
+    /// Estimated remaining service at enqueue time (0 under FIFO).
+    key: f64,
+}
+
+/// The live remaining-service estimator behind a [`QueueOrder`].
+enum Estimator {
+    /// FIFO: no estimates, no calibration.
+    Inactive,
+    /// True remaining solo service demand (SJF oracle, and QSSF's
+    /// oracle feed — same arithmetic, so their event logs match
+    /// byte-for-byte).
+    Oracle,
+    /// Adversarially inverted truth.
+    Inverted,
+    /// The online feature-hashed history store.
+    History(Box<HistoryStore>),
+}
+
+impl Estimator {
+    fn active(&self) -> bool {
+        !matches!(self, Estimator::Inactive)
+    }
+
+    /// Estimated remaining service of a queued job that has already
+    /// executed `executed` of its `steps` (solo per-step time
+    /// `solo`). Pure; called at enqueue time only, so a prediction
+    /// reflects exactly the history of jobs retired before this
+    /// enqueue.
+    fn remaining_key(&self, job: &SchedJob, executed: f64, solo: f64) -> f64 {
+        let remaining = (job.steps as f64 - executed).max(0.0);
+        match self {
+            Estimator::Inactive => 0.0,
+            Estimator::Oracle => remaining * solo,
+            Estimator::Inverted => 1.0 / (remaining * solo).max(f64::MIN_POSITIVE),
+            Estimator::History(store) => {
+                store.predict(&job.signature).duration_s * (remaining / job.steps.max(1) as f64)
+            }
+        }
+    }
+}
+
+/// The queue entry to serve next: index 0 under FIFO, otherwise the
+/// minimum of `(unescalated?, key, qseq)` with entries older than
+/// `age` escalated to FIFO service among themselves — the starvation
+/// bound.
+fn select_head(queue: &VecDeque<QueueEntry>, ordered: bool, now: f64, age: f64) -> Option<usize> {
+    if queue.is_empty() {
+        return None;
+    }
+    if !ordered {
+        return Some(0);
+    }
+    let mut best = 0usize;
+    for i in 1..queue.len() {
+        let (cand, incumbent) = (&queue[i], &queue[best]);
+        let cand_escalated = now - cand.queued_at >= age;
+        let best_escalated = now - incumbent.queued_at >= age;
+        let better = match (cand_escalated, best_escalated) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => cand.qseq < incumbent.qseq,
+            (false, false) => match cand.key.total_cmp(&incumbent.key) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => cand.qseq < incumbent.qseq,
+            },
+        };
+        if better {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Runs the stream to completion under one placement policy with
+/// strict FIFO queue ordering — the original engine contract,
+/// byte-identical to [`run_ordered`] with [`QueueOrder::Fifo`].
+///
+/// # Errors
+///
+/// Same contract as [`run_ordered`].
+pub fn run(
+    cluster: &ClusterSpec,
+    jobs: &[SchedJob],
+    policy: &dyn Policy,
+    config: &SchedConfig,
+) -> Result<SchedOutcome, SchedError> {
+    run_ordered(cluster, jobs, policy, &QueueOrder::Fifo, config)
+}
+
+/// Runs one built-in [`PolicyKind`] end to end — placement *and*
+/// queue ordering. The QSSF history hash is seeded by `seed`, and its
+/// cold-start priors come from the stream's per-class mean realized
+/// service demand ([`class_priors_from_jobs`]).
+///
+/// # Errors
+///
+/// Same contract as [`run_ordered`].
+pub fn run_kind(
+    cluster: &ClusterSpec,
+    jobs: &[SchedJob],
+    kind: PolicyKind,
+    seed: u64,
+    config: &SchedConfig,
+) -> Result<SchedOutcome, SchedError> {
+    let order = order_for_kind(kind, seed, class_priors_from_jobs(jobs, cluster));
+    run_ordered(cluster, jobs, kind.policy(), &order, config)
+}
+
+/// Runs the stream to completion under one placement policy and one
+/// queue ordering.
 ///
 /// Deterministic: the outcome is a pure function of
-/// `(cluster, jobs, policy, config)`.
+/// `(cluster, jobs, policy, order, config)` — including the QSSF
+/// path, whose history store is trained online in retirement order
+/// (itself deterministic) and consulted only at enqueue instants.
 ///
 /// # Errors
 ///
@@ -150,13 +288,17 @@ const CLASS_ARRIVAL: u8 = 2;
 /// that can never be admitted would wedge the FIFO queue forever).
 /// A custom policy returning a malformed assignment yields
 /// [`SchedError::InvalidAssignment`]; one that refuses a feasible job
-/// on an otherwise idle cluster yields [`SchedError::Stalled`].
-pub fn run(
+/// on an otherwise idle cluster yields [`SchedError::Stalled`]. An
+/// invalid ordering configuration yields [`SchedError::Predict`] or
+/// [`SchedError::InvalidArrival`] before any event runs.
+pub fn run_ordered(
     cluster: &ClusterSpec,
     jobs: &[SchedJob],
     policy: &dyn Policy,
+    order: &QueueOrder,
     config: &SchedConfig,
 ) -> Result<SchedOutcome, SchedError> {
+    order.validate()?;
     if jobs.is_empty() {
         return Err(SchedError::NoJobs);
     }
@@ -184,11 +326,33 @@ pub fn run(
         }
     }
 
+    // The ordering's live estimator. Oracle-fed QSSF and the SJF
+    // oracle share Estimator::Oracle, so their event logs are
+    // byte-identical by construction (a test pins this).
+    let (mut est, starvation_age, ordered) = match order {
+        QueueOrder::Fifo => (Estimator::Inactive, f64::INFINITY, false),
+        QueueOrder::Qssf(qssf) => {
+            let estimator = match &qssf.predictor {
+                PredictorSource::History(hc) => {
+                    Estimator::History(Box::new(HistoryStore::new(hc.clone())?))
+                }
+                PredictorSource::Oracle => Estimator::Oracle,
+                PredictorSource::InvertedOracle => Estimator::Inverted,
+            };
+            (estimator, qssf.starvation_age_s, true)
+        }
+        QueueOrder::SjfOracle => (Estimator::Oracle, QSSF_STARVATION_AGE_S, true),
+    };
+    let mut calib = CalibrationAccum::new();
+
     // Per-job Ethernet transfer time of one step's weight volume.
     let eth_time: Vec<f64> = jobs
         .iter()
         .map(|j| cluster.ethernet().transfer_time(j.weight_bytes).as_f64())
         .collect();
+    // Per-job uncontended step time — the oracle's ground truth and
+    // the calibration target's per-step unit.
+    let solo: Vec<f64> = jobs.iter().map(|j| j.solo_step(cluster).as_f64()).collect();
     // Arrival order: by time, ties by stream position.
     let mut arrival_order: Vec<usize> = (0..jobs.len()).collect();
     arrival_order.sort_by(|&a, &b| {
@@ -207,12 +371,14 @@ pub fn run(
             crashes: 0,
             first_start: None,
             finish: 0.0,
+            predicted: f64::NAN,
         })
         .collect();
     let mut free = vec![per_server; num_servers];
     let mut comm = vec![0usize; num_servers];
     let mut running: Vec<Running> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut queue: VecDeque<QueueEntry> = VecDeque::new();
+    let mut qseq = 0u64;
     let mut waiting: Vec<(f64, usize)> = Vec::new();
     let mut events: Vec<EventRecord> = Vec::new();
     let mut seq = 0usize;
@@ -274,7 +440,8 @@ pub fn run(
             // Nothing can happen but jobs remain: the policy wedged
             // the queue head on an idle cluster.
             None => {
-                let head = queue.front().copied().unwrap_or(0);
+                let head =
+                    select_head(&queue, ordered, now, starvation_age).map_or(0, |i| queue[i].job);
                 return Err(SchedError::Stalled {
                     policy: policy.name(),
                     job: head,
@@ -329,23 +496,56 @@ pub fn run(
                 } else {
                     s.finish = now;
                     completed += 1;
+                    if est.active() {
+                        // The realized solo service demand — the
+                        // prediction target, known exactly at finish.
+                        let actual = jobs[r.job].steps as f64 * solo[r.job];
+                        let class = jobs[r.job].signature.class_index();
+                        calib.record(class, s.predicted, actual);
+                        if let Estimator::History(store) = &mut est {
+                            if actual.is_finite() && actual > 0.0 {
+                                store.observe(&jobs[r.job].signature, actual)?;
+                            }
+                        }
+                    }
                     record(&mut events, &mut seq, now, EventKind::Finish, r.job);
                 }
             }
             CLASS_REQUEUE => {
                 waiting.remove(slot);
-                queue.push_back(job);
+                // Re-predict with the store as grown by every job
+                // retired before this requeue.
+                let key = est.remaining_key(&jobs[job], state[job].executed, solo[job]);
+                queue.push_back(QueueEntry {
+                    job,
+                    qseq,
+                    queued_at: now,
+                    key,
+                });
+                qseq += 1;
                 record(&mut events, &mut seq, now, EventKind::Requeue, job);
             }
             _ => {
                 next_arrival += 1;
-                queue.push_back(job);
+                let key = est.remaining_key(&jobs[job], 0.0, solo[job]);
+                if est.active() {
+                    state[job].predicted = key;
+                }
+                queue.push_back(QueueEntry {
+                    job,
+                    qseq,
+                    queued_at: now,
+                    key,
+                });
+                qseq += 1;
                 record(&mut events, &mut seq, now, EventKind::Arrive, job);
             }
         }
 
-        // Replay the FIFO head against the policy until it blocks.
-        while let Some(&head) = queue.front() {
+        // Replay the ordering's head against the policy until it
+        // blocks — head-of-line, no backfill behind a blocked head.
+        while let Some(head_idx) = select_head(&queue, ordered, now, starvation_age) {
+            let head = queue[head_idx].job;
             let j = &jobs[head];
             let assignment = match policy.place(j.cnodes, j.sync, &free) {
                 Some(a) => a,
@@ -371,7 +571,7 @@ pub fn run(
                     job: head,
                 });
             }
-            queue.pop_front();
+            queue.remove(head_idx);
             let on_ethernet = match j.sync {
                 SyncClass::Ethernet => true,
                 // A split local gang spills its synchronization onto
@@ -444,8 +644,8 @@ pub fn run(
         let arrival = job.arrival.as_f64();
         let first_start = s.first_start.unwrap_or(s.finish);
         let jct = s.finish - arrival;
-        let solo = job.steps as f64 * job.solo_step(cluster).as_f64();
-        let slowdown = (jct / solo.max(BOUNDED_SLOWDOWN_TAU_S)).max(1.0);
+        let solo_demand = job.steps as f64 * solo[i];
+        let slowdown = (jct / solo_demand.max(BOUNDED_SLOWDOWN_TAU_S)).max(1.0);
         queue_sum += first_start - arrival;
         slowdown_sum += slowdown;
         crash_total += s.crashes;
@@ -487,9 +687,10 @@ pub fn run(
         mean_slowdown: slowdown_sum / n,
     };
     Ok(SchedOutcome {
-        policy: policy.name().to_string(),
+        policy: order.label().unwrap_or(policy.name()).to_string(),
         jobs: job_metrics,
         cluster: cluster_metrics,
+        prediction: if est.active() { calib.report() } else { None },
         events,
     })
 }
@@ -499,7 +700,9 @@ mod tests {
     use super::*;
     use crate::job::CrashPoint;
     use crate::policy::{FifoFirstFit, LocalityAware, PolicyKind, Spread};
+    use pai_core::Architecture;
     use pai_hw::Bytes;
+    use pai_predict::Signature;
     use pai_sim::cluster::{ClusterJob, Placement};
 
     fn cluster() -> ClusterSpec {
@@ -507,6 +710,11 @@ mod tests {
     }
 
     fn job(id: usize, arrival_s: f64, steps: usize, cnodes: usize, sync: SyncClass) -> SchedJob {
+        let class = match sync {
+            SyncClass::Silent => Architecture::OneWorkerOneGpu,
+            SyncClass::Local => Architecture::AllReduceLocal,
+            SyncClass::Ethernet => Architecture::PsWorker,
+        };
         SchedJob {
             id,
             arrival: Seconds::from_f64(arrival_s),
@@ -516,6 +724,13 @@ mod tests {
             weight_bytes: Bytes::from_mb(50.0),
             sync,
             local_sync_time: Seconds::from_millis(10.0),
+            signature: Signature {
+                class,
+                cnodes,
+                weight_bytes: Bytes::from_mb(50.0).as_f64(),
+                flops: 1.0e12,
+                batch: 32,
+            },
             crashes: Vec::new(),
         }
     }
@@ -841,7 +1056,10 @@ mod tests {
             jobs.push(job(i, i as f64 * 0.3, 10 + i, 1 + (i * 7) % 16, sync));
         }
         for kind in PolicyKind::ALL {
-            let out = run(&c, &jobs, kind.policy(), &cfg()).expect("runs");
+            let out = run_kind(&c, &jobs, kind, 7, &cfg()).expect("runs");
+            assert_eq!(out.policy, kind.name());
+            let predictive = matches!(kind, PolicyKind::Qssf | PolicyKind::SjfOracle);
+            assert_eq!(out.prediction.is_some(), predictive, "{}", kind.name());
             let m = out.cluster;
             assert_eq!(m.jobs, 40);
             assert!(m.gpu_utilization > 0.0 && m.gpu_utilization <= 1.0);

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pai_faults::FaultError;
+use pai_predict::PredictError;
 use pai_sim::cluster::PlacementError;
 use pai_trace::TraceError;
 
@@ -63,6 +64,8 @@ pub enum SchedError {
     Fault(FaultError),
     /// Failure sampling over the population rejected its inputs.
     Trace(TraceError),
+    /// The duration predictor rejected its configuration or feedback.
+    Predict(PredictError),
 }
 
 impl fmt::Display for SchedError {
@@ -93,6 +96,7 @@ impl fmt::Display for SchedError {
             SchedError::Placement(e) => write!(f, "placement snapshot failed: {e}"),
             SchedError::Fault(e) => write!(f, "fault plan rejected: {e}"),
             SchedError::Trace(e) => write!(f, "failure sampling failed: {e}"),
+            SchedError::Predict(e) => write!(f, "duration predictor rejected: {e}"),
         }
     }
 }
@@ -103,6 +107,7 @@ impl std::error::Error for SchedError {
             SchedError::Placement(e) => Some(e),
             SchedError::Fault(e) => Some(e),
             SchedError::Trace(e) => Some(e),
+            SchedError::Predict(e) => Some(e),
             _ => None,
         }
     }
@@ -123,6 +128,12 @@ impl From<FaultError> for SchedError {
 impl From<TraceError> for SchedError {
     fn from(e: TraceError) -> Self {
         SchedError::Trace(e)
+    }
+}
+
+impl From<PredictError> for SchedError {
+    fn from(e: PredictError) -> Self {
+        SchedError::Predict(e)
     }
 }
 

@@ -19,6 +19,7 @@
 
 use pai_core::Architecture;
 use pai_hw::{Bytes, ClusterSpec, Seconds};
+use pai_predict::Signature;
 use serde::{Deserialize, Serialize};
 
 /// The medium a job's weight synchronization rides (Table II,
@@ -80,6 +81,10 @@ pub struct SchedJob {
     /// what a [`SyncClass::Local`] job pays when its gang is contained
     /// in one server.
     pub local_sync_time: Seconds,
+    /// The paper's characterization tuple `(class, #cNodes, Sw,
+    /// FLOPs, batch)` — everything the duration predictor may see
+    /// before the job runs.
+    pub signature: Signature,
     /// Deterministic crashes, sorted by [`CrashPoint::at_step`].
     pub crashes: Vec<CrashPoint>,
 }
@@ -109,6 +114,11 @@ mod tests {
     use super::*;
 
     fn job(sync: SyncClass) -> SchedJob {
+        let class = match sync {
+            SyncClass::Silent => Architecture::OneWorkerOneGpu,
+            SyncClass::Local => Architecture::AllReduceLocal,
+            SyncClass::Ethernet => Architecture::PsWorker,
+        };
         SchedJob {
             id: 0,
             arrival: Seconds::ZERO,
@@ -118,6 +128,13 @@ mod tests {
             weight_bytes: Bytes::from_mb(200.0),
             sync,
             local_sync_time: Seconds::from_millis(20.0),
+            signature: Signature {
+                class,
+                cnodes: 4,
+                weight_bytes: Bytes::from_mb(200.0).as_f64(),
+                flops: 1.0e12,
+                batch: 32,
+            },
             crashes: Vec::new(),
         }
     }

@@ -11,9 +11,13 @@
 //! - [`stream`] turns a `pai-trace` population into a deterministic
 //!   arrival stream (exponential inter-arrivals, log-uniform step
 //!   counts, calibrated crash plans — all seed-derived);
-//! - [`policy`] defines the [`Policy`] trait and four built-in gang
+//! - [`policy`] defines the [`Policy`] trait, four built-in gang
 //!   placements (FIFO first-fit, best-fit packed, spread,
-//!   locality-aware);
+//!   locality-aware), and two predictive queue orderings (QSSF over a
+//!   `pai-predict` history store, and the SJF oracle upper bound);
+//! - [`order`] defines the [`QueueOrder`] discipline — which queued
+//!   gang the engine serves next — with a starvation bound for the
+//!   predictive orderings;
 //! - [`engine`] advances the fluid event loop, pricing running jobs
 //!   with the analytical model dilated by `pai-sim::cluster`'s
 //!   max-min NIC contention and requeueing crashed gangs with
@@ -31,14 +35,19 @@ pub mod engine;
 pub mod error;
 pub mod job;
 pub mod metrics;
+pub mod order;
 pub mod policy;
 pub mod stream;
 pub mod sweep;
 
-pub use engine::{run, EventKind, EventRecord, SchedConfig, SchedOutcome};
+pub use engine::{run, run_kind, run_ordered, EventKind, EventRecord, SchedConfig, SchedOutcome};
 pub use error::SchedError;
 pub use job::{CrashPoint, SchedJob, SyncClass};
 pub use metrics::{ClusterMetrics, JobMetrics, BOUNDED_SLOWDOWN_TAU_S};
+pub use order::{
+    class_priors, class_priors_from_jobs, order_for_kind, PredictorSource, QssfConfig, QueueOrder,
+    QSSF_STARVATION_AGE_S,
+};
 pub use policy::{BestFitPacked, FifoFirstFit, LocalityAware, Policy, PolicyKind, Spread};
 pub use stream::{realize_stream, templates_from_population, ArrivalConfig, JobTemplate};
 pub use sweep::{policy_sweep, SweepConfig, SweepPoint};

@@ -1,0 +1,311 @@
+//! Queue-ordering disciplines: FIFO, QSSF, and the SJF oracle.
+//!
+//! The engine's original contract was strict FIFO head-of-line:
+//! policies only chose *where* a gang lands. Predictive scheduling
+//! adds a second axis — *which* queued job goes next — without
+//! touching the event-loop tie-break contract:
+//!
+//! - [`QueueOrder::Fifo`] reproduces the original discipline
+//!   byte-for-byte (the head is always the oldest entry);
+//! - [`QueueOrder::Qssf`] is Quasi-Shortest-Service-First from the
+//!   Helios study (arXiv:2109.01313): the head is the queued job with
+//!   the smallest *estimated remaining service*, where the estimate
+//!   comes from a [`pai_predict::HistoryStore`] trained online as
+//!   jobs retire (or from an oracle/adversary in tests);
+//! - [`QueueOrder::SjfOracle`] ranks by the *true* remaining solo
+//!   service demand — the perfect-information upper bound on what
+//!   duration prediction can buy.
+//!
+//! Starvation bound: an entry queued longer than the configured
+//! `starvation_age_s` escalates above every unescalated entry and is
+//! served FIFO among escalated ones, so a wide long job cannot be
+//! overtaken forever — its bounded slowdown stays finite even under
+//! adversarially inverted predictions (a test pins this). Head-of-line
+//! blocking is preserved: if the selected head does not fit, nothing
+//! behind it backfills.
+
+use pai_hw::ClusterSpec;
+use pai_predict::{HistoryConfig, NUM_CLASSES};
+
+use crate::error::SchedError;
+use crate::job::SchedJob;
+use crate::policy::PolicyKind;
+use crate::stream::{expected_steps, ArrivalConfig, JobTemplate};
+
+/// Default queueing age, in virtual seconds, past which a QSSF entry
+/// escalates to FIFO service. One virtual day: clearly above the
+/// queueing delays a loaded replay produces (an age below them would
+/// escalate *every* entry and silently degenerate QSSF to FIFO),
+/// while still bounding how long a wide job can be overtaken.
+pub const QSSF_STARVATION_AGE_S: f64 = 86_400.0;
+
+/// Where QSSF's remaining-service estimates come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictorSource {
+    /// An online [`pai_predict::HistoryStore`]: trained with each
+    /// retiring job's realized service demand, cold-starting from the
+    /// config's per-class priors. The production mode.
+    History(HistoryConfig),
+    /// The true remaining solo service demand — QSSF with a perfect
+    /// predictor. Diagnostic: byte-identical to
+    /// [`QueueOrder::SjfOracle`] (a determinism test pins this).
+    Oracle,
+    /// Adversarially inverted truth: the longest job predicts
+    /// shortest. Diagnostic: the starvation bound must still keep
+    /// every job's bounded slowdown finite.
+    InvertedOracle,
+}
+
+/// QSSF knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QssfConfig {
+    /// The estimate source.
+    pub predictor: PredictorSource,
+    /// Queueing age past which an entry escalates to FIFO service.
+    pub starvation_age_s: f64,
+}
+
+impl QssfConfig {
+    /// QSSF over an online history store with the given hash seed and
+    /// cold-start priors, at the default starvation age.
+    pub fn online(seed: u64, class_priors: [f64; NUM_CLASSES]) -> QssfConfig {
+        QssfConfig {
+            predictor: PredictorSource::History(HistoryConfig::with_priors(seed, class_priors)),
+            starvation_age_s: QSSF_STARVATION_AGE_S,
+        }
+    }
+
+    /// Validates the starvation age and, for the history source, the
+    /// store configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Predict`] for a bad history config and
+    /// [`SchedError::InvalidArrival`] (naming `starvation age`) for a
+    /// non-finite or non-positive age.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        if !self.starvation_age_s.is_finite() || self.starvation_age_s <= 0.0 {
+            return Err(SchedError::InvalidArrival {
+                name: "starvation age",
+                value: self.starvation_age_s,
+            });
+        }
+        if let PredictorSource::History(config) = &self.predictor {
+            config.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Which job the engine serves next from the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueOrder {
+    /// Strict FIFO head-of-line — the original engine contract,
+    /// byte-identical to the pre-predictor engine.
+    Fifo,
+    /// Quasi-Shortest-Service-First, starvation-bounded.
+    Qssf(QssfConfig),
+    /// True shortest-remaining-service-first — the upper bound.
+    SjfOracle,
+}
+
+impl QueueOrder {
+    /// The display name this ordering gives an outcome, or `None`
+    /// when the placement policy's own name should stand (FIFO).
+    pub fn label(&self) -> Option<&'static str> {
+        match self {
+            QueueOrder::Fifo => None,
+            QueueOrder::Qssf(_) => Some("qssf"),
+            QueueOrder::SjfOracle => Some("sjf-oracle"),
+        }
+    }
+
+    /// Validates the ordering's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QssfConfig::validate`].
+    pub fn validate(&self) -> Result<(), SchedError> {
+        match self {
+            QueueOrder::Qssf(config) => config.validate(),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Per-class cold-start duration priors from the population templates
+/// and the arrival process: **geometric** mean analytical solo step
+/// time of the class, scaled by the configured step range's
+/// log-uniform expectation. The geometric mean matches the history
+/// store's log-space estimator: service demands in a production mix
+/// span many decades, and an arithmetic class mean — dominated by the
+/// giants — would overshoot a typical small job's cold start by
+/// orders of magnitude. No realized stream is consulted — this is
+/// what an operator can compute before the first job runs. Classes
+/// absent from the population fall back to the all-class geometric
+/// mean; an empty template set falls back to 1 s (priors must stay
+/// positive).
+pub fn class_priors(
+    templates: &[JobTemplate],
+    cluster: &ClusterSpec,
+    arrival: &ArrivalConfig,
+) -> [f64; NUM_CLASSES] {
+    let steps = expected_steps(arrival.steps_range.0, arrival.steps_range.1);
+    let mut log_sums = [0.0f64; NUM_CLASSES];
+    let mut counts = [0usize; NUM_CLASSES];
+    for tpl in templates {
+        let class = tpl.signature.class_index();
+        log_sums[class] += (tpl.solo_step(cluster).as_f64() * steps).ln();
+        counts[class] += 1;
+    }
+    finalize_priors(log_sums, counts)
+}
+
+/// Per-class priors from an already-realized stream: geometric mean
+/// realized service demand (`steps × solo step`) per class. The
+/// convenience path for direct [`crate::engine::run_kind`] calls that
+/// have no arrival config at hand.
+pub fn class_priors_from_jobs(jobs: &[SchedJob], cluster: &ClusterSpec) -> [f64; NUM_CLASSES] {
+    let mut log_sums = [0.0f64; NUM_CLASSES];
+    let mut counts = [0usize; NUM_CLASSES];
+    for job in jobs {
+        let class = job.signature.class_index();
+        log_sums[class] += (job.steps as f64 * job.solo_step(cluster).as_f64()).ln();
+        counts[class] += 1;
+    }
+    finalize_priors(log_sums, counts)
+}
+
+/// Per-class geometric means (from per-class `ln` sums) with
+/// all-class fallback for empty classes and a 1 s floor for anything
+/// degenerate — the result always satisfies
+/// [`HistoryConfig::validate`]'s positive-finite prior contract.
+fn finalize_priors(
+    log_sums: [f64; NUM_CLASSES],
+    counts: [usize; NUM_CLASSES],
+) -> [f64; NUM_CLASSES] {
+    let total: f64 = log_sums.iter().sum();
+    let n: usize = counts.iter().sum();
+    let global = if n > 0 { (total / n as f64).exp() } else { 1.0 };
+    let mut priors = [0.0f64; NUM_CLASSES];
+    for class in 0..NUM_CLASSES {
+        let prior = if counts[class] > 0 {
+            (log_sums[class] / counts[class] as f64).exp()
+        } else {
+            global
+        };
+        priors[class] = if prior.is_finite() && prior > 0.0 {
+            prior
+        } else {
+            1.0
+        };
+    }
+    priors
+}
+
+/// The queue ordering a built-in [`PolicyKind`] schedules under:
+/// FIFO for the four placement baselines, online QSSF (hash-seeded by
+/// `seed`, cold-starting from `priors`) for `Qssf`, and the oracle
+/// ordering for `SjfOracle`.
+pub fn order_for_kind(kind: PolicyKind, seed: u64, priors: [f64; NUM_CLASSES]) -> QueueOrder {
+    match kind {
+        PolicyKind::Qssf => QueueOrder::Qssf(QssfConfig::online(seed, priors)),
+        PolicyKind::SjfOracle => QueueOrder::SjfOracle,
+        _ => QueueOrder::Fifo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_core::PerfModel;
+    use pai_trace::{Population, PopulationConfig};
+
+    fn templates() -> Vec<JobTemplate> {
+        let config = PopulationConfig::paper_scale(400).expect("valid scale");
+        let population = Population::generate(&config, 7).expect("valid config");
+        crate::stream::templates_from_population(&PerfModel::paper_default(), &population, 512).0
+    }
+
+    #[test]
+    fn priors_are_always_positive_and_finite() {
+        let cluster = ClusterSpec::testbed(0.7);
+        let arrival = ArrivalConfig::default();
+        for priors in [
+            class_priors(&templates(), &cluster, &arrival),
+            class_priors(&[], &cluster, &arrival),
+            class_priors_from_jobs(&[], &cluster),
+        ] {
+            for p in priors {
+                assert!(p.is_finite() && p > 0.0, "prior {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn priors_scale_with_the_step_expectation() {
+        let cluster = ClusterSpec::testbed(0.7);
+        let tpls = templates();
+        let short = ArrivalConfig {
+            steps_range: (50, 500),
+            ..ArrivalConfig::default()
+        };
+        let long = ArrivalConfig {
+            steps_range: (500, 5000),
+            ..ArrivalConfig::default()
+        };
+        let a = class_priors(&tpls, &cluster, &short);
+        let b = class_priors(&tpls, &cluster, &long);
+        for class in 0..NUM_CLASSES {
+            assert!(b[class] > a[class] * 5.0, "10x steps must raise the prior");
+        }
+    }
+
+    #[test]
+    fn orders_validate_their_parameters() {
+        assert!(QueueOrder::Fifo.validate().is_ok());
+        assert!(QueueOrder::SjfOracle.validate().is_ok());
+        assert!(QueueOrder::Qssf(QssfConfig::online(7, [1.0; NUM_CLASSES]))
+            .validate()
+            .is_ok());
+        let bad_age = QssfConfig {
+            predictor: PredictorSource::Oracle,
+            starvation_age_s: 0.0,
+        };
+        assert!(matches!(
+            QueueOrder::Qssf(bad_age).validate(),
+            Err(SchedError::InvalidArrival { .. })
+        ));
+        let bad_store = QssfConfig::online(7, [0.0; NUM_CLASSES]);
+        assert!(matches!(
+            QueueOrder::Qssf(bad_store).validate(),
+            Err(SchedError::Predict(_))
+        ));
+    }
+
+    #[test]
+    fn kinds_map_to_their_orders() {
+        let priors = [1.0; NUM_CLASSES];
+        assert_eq!(
+            order_for_kind(PolicyKind::FifoFirstFit, 7, priors),
+            QueueOrder::Fifo
+        );
+        assert_eq!(
+            order_for_kind(PolicyKind::SjfOracle, 7, priors),
+            QueueOrder::SjfOracle
+        );
+        match order_for_kind(PolicyKind::Qssf, 7, priors) {
+            QueueOrder::Qssf(config) => {
+                assert_eq!(config.starvation_age_s, QSSF_STARVATION_AGE_S);
+                assert!(matches!(config.predictor, PredictorSource::History(_)));
+            }
+            other => panic!("expected qssf, got {other:?}"),
+        }
+        assert_eq!(QueueOrder::Fifo.label(), None);
+        assert_eq!(
+            order_for_kind(PolicyKind::Qssf, 7, priors).label(),
+            Some("qssf")
+        );
+        assert_eq!(QueueOrder::SjfOracle.label(), Some("sjf-oracle"));
+    }
+}

@@ -213,6 +213,12 @@ impl Policy for LocalityAware {
 
 /// The built-in policies as a value type — what sweeps and experiment
 /// configs name.
+///
+/// The first four differ only in gang *placement* under strict FIFO
+/// ordering; the last two keep first-fit placement and differ only in
+/// queue *ordering* (see [`crate::order::QueueOrder`]), so their JCT
+/// deltas against [`PolicyKind::FifoFirstFit`] isolate what duration
+/// prediction buys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// [`FifoFirstFit`].
@@ -223,6 +229,12 @@ pub enum PolicyKind {
     Spread,
     /// [`LocalityAware`].
     LocalityAware,
+    /// Quasi-Shortest-Service-First over the online history
+    /// predictor, first-fit placement.
+    Qssf,
+    /// True shortest-remaining-service ordering (perfect information),
+    /// first-fit placement — the upper bound on `qssf`.
+    SjfOracle,
 }
 
 static FIFO_FIRST_FIT: FifoFirstFit = FifoFirstFit;
@@ -232,17 +244,21 @@ static LOCALITY_AWARE: LocalityAware = LocalityAware;
 
 impl PolicyKind {
     /// Every built-in policy, in comparison order.
-    pub const ALL: [PolicyKind; 4] = [
+    pub const ALL: [PolicyKind; 6] = [
         PolicyKind::FifoFirstFit,
         PolicyKind::BestFitPacked,
         PolicyKind::Spread,
         PolicyKind::LocalityAware,
+        PolicyKind::Qssf,
+        PolicyKind::SjfOracle,
     ];
 
-    /// The policy object.
+    /// The *placement* half of the policy (the ordering half lives in
+    /// [`crate::order::QueueOrder`] — both predictive kinds place
+    /// first-fit so their deltas are pure ordering effects).
     pub fn policy(self) -> &'static dyn Policy {
         match self {
-            PolicyKind::FifoFirstFit => &FIFO_FIRST_FIT,
+            PolicyKind::FifoFirstFit | PolicyKind::Qssf | PolicyKind::SjfOracle => &FIFO_FIRST_FIT,
             PolicyKind::BestFitPacked => &BEST_FIT_PACKED,
             PolicyKind::Spread => &SPREAD,
             PolicyKind::LocalityAware => &LOCALITY_AWARE,
@@ -251,7 +267,11 @@ impl PolicyKind {
 
     /// The policy's display name.
     pub fn name(self) -> &'static str {
-        self.policy().name()
+        match self {
+            PolicyKind::Qssf => "qssf",
+            PolicyKind::SjfOracle => "sjf-oracle",
+            _ => self.policy().name(),
+        }
     }
 }
 

@@ -16,6 +16,7 @@ use pai_core::PerfModel;
 use pai_faults::FaultKind;
 use pai_hw::{Bytes, ClusterSpec, Seconds};
 use pai_par::derive_seed;
+use pai_predict::Signature;
 use pai_trace::{FailureSampler, JobRecord};
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +39,8 @@ pub struct JobTemplate {
     pub sync: SyncClass,
     /// Per-step intra-server synchronization time.
     pub local_sync_time: Seconds,
+    /// The pre-run feature tuple the duration predictor keys on.
+    pub signature: Signature,
 }
 
 impl JobTemplate {
@@ -76,6 +79,7 @@ pub fn templates_from_population<J: pai_core::Jobs + ?Sized>(
             continue;
         }
         let b = model.breakdown(&features);
+        let signature = Signature::of(&features);
         templates.push(JobTemplate {
             record: JobRecord {
                 id: jobs.id_at(i),
@@ -86,6 +90,7 @@ pub fn templates_from_population<J: pai_core::Jobs + ?Sized>(
             weight_bytes: features.weight_bytes(),
             sync: SyncClass::of(features.arch()),
             local_sync_time: b.weight_traffic(),
+            signature,
         });
     }
     (templates, dropped)
@@ -113,8 +118,11 @@ impl Default for ArrivalConfig {
     }
 }
 
-/// Expected step count under the log-uniform draw over `[lo, hi]`.
-fn expected_steps(lo: usize, hi: usize) -> f64 {
+/// Expected step count under the log-uniform draw over `[lo, hi]` —
+/// what the arrival-process configuration implies analytically, so
+/// cold-start duration priors can be built without peeking at any
+/// realized stream.
+pub fn expected_steps(lo: usize, hi: usize) -> f64 {
     if lo >= hi {
         return lo as f64;
     }
@@ -262,6 +270,7 @@ pub fn realize_stream(
             weight_bytes: tpl.weight_bytes,
             sync: tpl.sync,
             local_sync_time: tpl.local_sync_time,
+            signature: tpl.signature,
             crashes,
         });
     }

@@ -10,12 +10,14 @@
 use pai_core::PerfModel;
 use pai_hw::ClusterSpec;
 use pai_par::{map_items, Threads};
+use pai_predict::CalibrationReport;
 use pai_trace::{FailureSampler, Population};
 use serde::Serialize;
 
-use crate::engine::{run, SchedConfig};
+use crate::engine::{run_ordered, SchedConfig};
 use crate::error::SchedError;
 use crate::metrics::ClusterMetrics;
+use crate::order::{class_priors, order_for_kind};
 use crate::policy::PolicyKind;
 use crate::stream::{realize_stream, templates_from_population, ArrivalConfig};
 
@@ -64,6 +66,9 @@ pub struct SweepPoint {
     pub dropped: usize,
     /// The run's cluster metrics.
     pub metrics: ClusterMetrics,
+    /// Predicted-vs-actual calibration — `Some` for the predictive
+    /// queue orderings (QSSF and the oracles), `None` otherwise.
+    pub prediction: Option<CalibrationReport>,
 }
 
 /// Runs every `(policy, seed)` point of the sweep, in policy-major
@@ -119,17 +124,24 @@ pub fn policy_sweep<J: pai_core::Jobs + ?Sized>(
             points.push((policy, seed));
         }
     }
+    // QSSF cold-start priors from the shared templates and arrival
+    // config — identical for every point, so computed once here (and
+    // independent of the realized stream, keeping each point a pure
+    // function of its `(policy, seed)` coordinates).
+    let priors = class_priors(&templates, cluster, &config.arrival);
     // Chunk size 1: every point is a whole engine run, so one point
     // per work unit keeps the pool balanced.
     let results = map_items(&points, 1, threads, |&(kind, seed)| {
         let stream = realize_stream(&templates, &config.arrival, &failures, seed)?;
-        let outcome = run(cluster, &stream, kind.policy(), &run_config)?;
+        let order = order_for_kind(kind, seed, priors);
+        let outcome = run_ordered(cluster, &stream, kind.policy(), &order, &run_config)?;
         Ok(SweepPoint {
             policy: kind.name(),
             seed,
             jobs: stream.len(),
             dropped,
             metrics: outcome.cluster,
+            prediction: outcome.prediction,
         })
     });
     results.into_iter().collect()

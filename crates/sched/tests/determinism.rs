@@ -9,7 +9,7 @@ use pai_core::PerfModel;
 use pai_hw::ClusterSpec;
 use pai_par::{assert_serial_parallel_identical, EQUIVALENCE_THREADS};
 use pai_sched::{
-    policy_sweep, realize_stream, run, templates_from_population, ArrivalConfig, PolicyKind,
+    policy_sweep, realize_stream, run_kind, templates_from_population, ArrivalConfig, PolicyKind,
     SchedConfig, SweepConfig,
 };
 use pai_trace::{FailureSampler, Population, PopulationConfig};
@@ -21,7 +21,7 @@ fn population(jobs: usize, seed: u64) -> Population {
 }
 
 proptest! {
-    // Each case runs 4 thread counts x (4 policies x 2 seeds) engine
+    // Each case runs 4 thread counts x (6 policies x 2 seeds) engine
     // runs over a fresh population; a few cases cover the space.
     #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -42,10 +42,12 @@ proptest! {
         let points = assert_serial_parallel_identical(&EQUIVALENCE_THREADS, |threads| {
             policy_sweep(&cluster, &model, &pop, &config, threads).expect("valid sweep")
         });
-        prop_assert_eq!(points.len(), 8);
+        prop_assert_eq!(points.len(), 12);
         for p in &points {
             prop_assert!(p.metrics.gpu_utilization > 0.0);
             prop_assert!(p.metrics.mean_slowdown >= 1.0 - 1e-9);
+            let predictive = p.policy == "qssf" || p.policy == "sjf-oracle";
+            prop_assert_eq!(p.prediction.is_some(), predictive);
         }
     }
 }
@@ -64,8 +66,8 @@ fn same_seed_reproduces_the_event_log_bit_for_bit() {
         let stream_a = realize_stream(&templates, &arrival, &failures, 99).expect("valid");
         let stream_b = realize_stream(&templates, &arrival, &failures, 99).expect("valid");
         assert_eq!(stream_a, stream_b);
-        let a = run(&cluster, &stream_a, kind.policy(), &config).expect("runs");
-        let b = run(&cluster, &stream_b, kind.policy(), &config).expect("runs");
+        let a = run_kind(&cluster, &stream_a, kind, 99, &config).expect("runs");
+        let b = run_kind(&cluster, &stream_b, kind, 99, &config).expect("runs");
         assert_eq!(
             a.events,
             b.events,
@@ -74,9 +76,10 @@ fn same_seed_reproduces_the_event_log_bit_for_bit() {
         );
         assert_eq!(a.jobs, b.jobs);
         assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.prediction, b.prediction);
 
         let stream_c = realize_stream(&templates, &arrival, &failures, 100).expect("valid");
-        let c = run(&cluster, &stream_c, kind.policy(), &config).expect("runs");
+        let c = run_kind(&cluster, &stream_c, kind, 100, &config).expect("runs");
         assert_ne!(
             a.events,
             c.events,
@@ -88,7 +91,7 @@ fn same_seed_reproduces_the_event_log_bit_for_bit() {
 
 #[test]
 fn policies_agree_on_work_but_disagree_on_layout() {
-    // Same stream through all four policies: every job completes under
+    // Same stream through all six policies: every job completes under
     // each (same Finish count), but the schedules genuinely differ.
     let cluster = ClusterSpec::testbed(0.7);
     let model = PerfModel::paper_default();
@@ -100,7 +103,7 @@ fn policies_agree_on_work_but_disagree_on_layout() {
     let config = SchedConfig::default();
     let outcomes: Vec<_> = PolicyKind::ALL
         .iter()
-        .map(|k| run(&cluster, &stream, k.policy(), &config).expect("runs"))
+        .map(|&k| run_kind(&cluster, &stream, k, 17, &config).expect("runs"))
         .collect();
     for o in &outcomes {
         assert_eq!(o.cluster.jobs, stream.len());
@@ -108,6 +111,6 @@ fn policies_agree_on_work_but_disagree_on_layout() {
     let makespans: Vec<f64> = outcomes.iter().map(|o| o.cluster.makespan_s).collect();
     assert!(
         makespans.iter().any(|&m| (m - makespans[0]).abs() > 1e-9),
-        "four policies produced identical makespans — placement is not differentiating"
+        "six policies produced identical makespans — the axes are not differentiating"
     );
 }

@@ -1,0 +1,11 @@
+// Known-bad fixture: the predictor anti-patterns the lint scopes over
+// `crates/predict/src` exist to catch — a panicking bucket lookup and
+// a wall-clock-seeded hash (which would break serial≡parallel
+// bit-identity of the history store).
+pub fn bucket_duration(rings: &[Vec<f64>], bucket: usize) -> f64 {
+    *rings.get(bucket).unwrap().first().expect("warm bucket")
+}
+
+pub fn hash_seed() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

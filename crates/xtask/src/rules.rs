@@ -55,6 +55,7 @@ const PANIC_SCOPES: &[&str] = &[
     "crates/collectives/src",
     "crates/hw/src",
     "crates/sched/src",
+    "crates/predict/src",
 ];
 
 /// Crates that compute the model-level FLOP/byte accounting.
@@ -318,10 +319,15 @@ mod tests {
         assert!(in_scope(&PANIC_IN_LIB, "crates/core/src/features.rs"));
         assert!(in_scope(&PANIC_IN_LIB, "crates/trace/src/stream.rs"));
         assert!(in_scope(&PANIC_IN_LIB, "crates/faults/src/chaos.rs"));
+        // The predictor is library code with a typed PredictError —
+        // both panic-free and wall-clock rules must cover it.
+        assert!(in_scope(&PANIC_IN_LIB, "crates/predict/src/store.rs"));
+        assert!(in_scope(&WALL_CLOCK, "crates/predict/src/signature.rs"));
         assert!(!in_scope(
             &PANIC_IN_LIB,
             "crates/sched/tests/determinism.rs"
         ));
+        assert!(!in_scope(&PANIC_IN_LIB, "crates/predict/tests/accuracy.rs"));
         assert!(!in_scope(&PANIC_IN_LIB, "crates/graph/src/graph.rs"));
         assert!(in_scope(&LOSSY_FLOAT_CAST, "crates/graph/src/op.rs"));
         assert!(in_scope(&HASH_ITERATION, "crates/xtask/src/main.rs"));

@@ -56,6 +56,16 @@ fn panic_rule_fires_on_unwraps_in_a_decode_path() {
 }
 
 #[test]
+fn predictor_hot_path_fixture_fires_both_guard_rules() {
+    let diags = lint_fixture("predict_hot_path.rs");
+    let panics = spans(&diags, "panic-in-lib");
+    assert_eq!(panics.len(), 2, "{diags:?}");
+    let clocks = spans(&diags, "wall-clock");
+    assert_eq!(clocks.len(), 1, "{diags:?}");
+    assert!(diags.iter().any(|d| d.matched == "Instant::now"));
+}
+
+#[test]
 fn wall_clock_fires_on_systemtime_and_instant_now() {
     let diags = lint_fixture("wall_clock.rs");
     // Both `SystemTime` mentions fire; `Instant` only as `Instant::now`,
@@ -105,7 +115,7 @@ fn bad_fixture_tree_reports_every_rule() {
     let root = fixture_dir("bad");
     let (diags, scanned, _) =
         lint_paths(&root, std::slice::from_ref(&root), true).expect("scan bad fixtures");
-    assert_eq!(scanned, 7);
+    assert_eq!(scanned, 8);
     for rule in [
         "hash-iteration",
         "panic-in-lib",
@@ -132,8 +142,8 @@ fn lint_binary_exits_nonzero_on_bad_and_zero_on_clean() {
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).expect("report written"))
             .expect("valid JSON report");
-    assert!(report["diagnostics"].as_array().expect("array").len() >= 11);
-    assert_eq!(report["files_scanned"], 7);
+    assert!(report["diagnostics"].as_array().expect("array").len() >= 14);
+    assert_eq!(report["files_scanned"], 8);
     let _ = std::fs::remove_file(&json);
 
     let clean = Command::new(bin)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate the schedule golden fixture from a fresh repro run.
+
+One-command workflow (from the repo root):
+
+    cargo run --release -q -p pai-repro --bin repro -- --jobs 2000 schedule \
+        && python3 scripts/regen_schedule_golden.py
+
+Reads `target/repro/schedule.json` (the experiment's machine-readable
+output) and rewrites `crates/repro/tests/fixtures/schedule_golden.json`
+with every policy's seven headline metrics at a relative tolerance of
+1e-6 (absolute floor 1e-9 for exact zeros). The golden test
+`crates/repro/tests/golden_schedule.rs` then pins those numbers.
+"""
+
+import json
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SOURCE = ROOT / "target" / "repro" / "schedule.json"
+FIXTURE = ROOT / "crates" / "repro" / "tests" / "fixtures" / "schedule_golden.json"
+
+SEED = 1_905_930
+POPULATION = 2_000
+METRICS = [
+    "gpu_utilization",
+    "fragmentation",
+    "makespan_s",
+    "mean_queueing_delay_s",
+    "mean_jct_s",
+    "p99_jct_s",
+    "mean_slowdown",
+]
+
+
+def pinned(value: float) -> dict:
+    return {"value": value, "tolerance": max(abs(value) * 1e-6, 1e-9)}
+
+
+def main() -> None:
+    run = json.loads(SOURCE.read_text())
+    headline = {}
+    for policy in run["policies"]:
+        name = policy["policy"]
+        for metric in METRICS:
+            headline[f"{name}.{metric}"] = pinned(policy["mean"][metric])
+    fixture = {
+        "seed": SEED,
+        "population": POPULATION,
+        "cluster_gpus": run["cluster_gpus"],
+        "width_cap": run["width_cap"],
+        "offered_load": run["offered_load"],
+        "mean_interarrival_s": pinned(run["mean_interarrival_s"]),
+        "headline": headline,
+    }
+    FIXTURE.write_text(json.dumps(fixture, indent=2) + "\n")
+    print(f"wrote {FIXTURE.relative_to(ROOT)} ({len(headline)} headline keys)")
+
+
+if __name__ == "__main__":
+    main()

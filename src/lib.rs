@@ -12,6 +12,8 @@
 //! - [`faults`] — deterministic fault plans for degraded-run studies
 //! - [`par`] — deterministic chunked scatter/gather parallelism
 //! - [`sched`] — deterministic discrete-event gang scheduler (Sec. VI implications)
+//! - [`predict`] — feature-hashed k-nearest-history duration predictor
+//!   (drives the scheduler's `qssf` queue ordering)
 //! - [`trace`] — calibrated synthetic cluster workload population
 //!   (columnar [`trace::JobStore`], streaming [`trace::JobStream`] /
 //!   [`trace::StreamSession`] ingest)
@@ -65,6 +67,7 @@ pub use pai_graph as graph;
 pub use pai_hw as hw;
 pub use pai_par as par;
 pub use pai_pearl as pearl;
+pub use pai_predict as predict;
 pub use pai_profiler as profiler;
 pub use pai_sched as sched;
 pub use pai_sim as sim;
