@@ -32,12 +32,33 @@ use crate::job::SchedJob;
 use crate::policy::PolicyKind;
 use crate::stream::{expected_steps, ArrivalConfig, JobTemplate};
 
+/// Audit floor for the *default* starvation age, in virtual seconds:
+/// six virtual hours, comfortably above the per-job queueing delays a
+/// loaded 50k-job replay produces. A default below this would
+/// escalate entries during ordinary queueing — silently degenerating
+/// QSSF to FIFO and erasing the predictive ordering the paper's
+/// Sec. 5 motivates — so the compile-time assertion below makes
+/// lowering [`QSSF_STARVATION_AGE_S`] under the floor a deliberate
+/// two-constant change with a written rationale, never a drive-by
+/// edit. Explicit [`QssfConfig`] values are exempt: operators may
+/// configure any positive finite age, and a diagnostic test relies on
+/// that.
+pub const QSSF_STARVATION_AGE_FLOOR_S: u64 = 6 * 60 * 60;
+
 /// Default queueing age, in virtual seconds, past which a QSSF entry
 /// escalates to FIFO service. One virtual day: clearly above the
 /// queueing delays a loaded replay produces (an age below them would
 /// escalate *every* entry and silently degenerate QSSF to FIFO),
 /// while still bounding how long a wide job can be overtaken.
 pub const QSSF_STARVATION_AGE_S: f64 = 86_400.0;
+
+// Compile-time audit: see `QSSF_STARVATION_AGE_FLOOR_S`.
+const _: () = assert!(
+    QSSF_STARVATION_AGE_S >= QSSF_STARVATION_AGE_FLOOR_S as f64,
+    "the default QSSF starvation age fell below the audit floor; \
+     update QSSF_STARVATION_AGE_FLOOR_S (with a rationale) if the \
+     lower default is intentional"
+);
 
 /// Where QSSF's remaining-service estimates come from.
 #[derive(Debug, Clone, PartialEq)]
@@ -281,6 +302,23 @@ mod tests {
             QueueOrder::Qssf(bad_store).validate(),
             Err(SchedError::Predict(_))
         ));
+    }
+
+    #[test]
+    fn default_starvation_age_respects_the_audit_floor() {
+        // The const assertion enforces this at compile time; the test
+        // states the contract where a failing run can explain it, and
+        // pins the default itself so a change shows up in review.
+        assert!(QSSF_STARVATION_AGE_S >= QSSF_STARVATION_AGE_FLOOR_S as f64);
+        assert_eq!(QSSF_STARVATION_AGE_S, 86_400.0);
+        assert_eq!(QSSF_STARVATION_AGE_FLOOR_S, 21_600);
+        // Explicit sub-floor configs stay valid — the floor audits the
+        // default, not operator choice.
+        let tight = QssfConfig {
+            predictor: PredictorSource::Oracle,
+            starvation_age_s: 1.0,
+        };
+        assert!(tight.validate().is_ok());
     }
 
     #[test]

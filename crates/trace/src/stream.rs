@@ -68,8 +68,10 @@ impl<'a> JobStream<'a> {
             seed,
             next: 0,
             total: config.jobs,
-            // Placeholder; re-seeded at the first chunk boundary.
-            rng: StdRng::seed_from_u64(0),
+            // The first `next()` lands on the chunk-0 boundary, so
+            // seeding with the chunk-0 derivation up front is
+            // identical to the boundary re-seed it replaces.
+            rng: StdRng::seed_from_u64(pai_par::derive_seed(seed, 0)),
         })
     }
 
@@ -379,7 +381,17 @@ impl StreamSession {
             }
             .into());
         }
-        let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+        let Some((payload, trailer)) = bytes
+            .len()
+            .checked_sub(4)
+            .and_then(|mid| bytes.split_at_checked(mid))
+        else {
+            return Err(CheckpointError::Truncated {
+                offset: header.position(),
+                needed: 4,
+            }
+            .into());
+        };
         let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
         let computed = crc32(payload);
         if stored != computed {

@@ -41,6 +41,7 @@ fn rich_checkpoint() -> Vec<u8> {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "population generation is too slow under miri")]
 fn every_single_byte_truncation_is_a_typed_error() {
     let model = PerfModel::paper_default();
     let bytes = rich_checkpoint();
@@ -55,7 +56,23 @@ fn every_single_byte_truncation_is_a_typed_error() {
     }
 }
 
+/// The Miri leg of truncation totality: an empty session's checkpoint
+/// is a few dozen bytes, so every prefix decode runs under the
+/// interpreter and exercises the raw `ByteReader` pointer arithmetic.
 #[test]
+fn every_truncation_of_a_minimal_checkpoint_is_a_typed_error() {
+    let model = PerfModel::paper_default();
+    let bytes = StreamSession::new(model).checkpoint().unwrap();
+    assert!(StreamSession::resume(model, &bytes).is_ok());
+    for len in 0..bytes.len() {
+        let err = StreamSession::resume(model, &bytes[..len])
+            .expect_err("a truncated checkpoint must never decode");
+        assert!(matches!(err, TraceError::Checkpoint(_)), "len {len}: {err}");
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "population generation is too slow under miri")]
 fn seeded_bit_flips_never_panic_and_never_resume_silently() {
     let model = PerfModel::paper_default();
     let bytes = rich_checkpoint();
@@ -75,6 +92,7 @@ fn seeded_bit_flips_never_panic_and_never_resume_silently() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "population generation is too slow under miri")]
 fn exhaustive_bit_flips_over_the_envelope_are_typed_errors() {
     // Flip every bit of the header and the first accumulator fields,
     // plus every bit of the CRC trailer: the regions where a wrong
@@ -138,6 +156,7 @@ fn trailing_bytes_inside_the_envelope_are_rejected() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "population generation is too slow under miri")]
 fn resume_across_thread_counts_matches_batch_exactly() {
     // The interrupted≡uninterrupted oracle composed with the
     // serial≡parallel oracle: a session resumed mid-stream must equal
@@ -169,6 +188,7 @@ proptest! {
     /// what-if artifacts are bit-identical to the uninterrupted run,
     /// whose population generation itself ran at 1/2/4/8 threads.
     #[test]
+    #[cfg_attr(miri, ignore = "population generation is too slow under miri")]
     fn kill_at_any_chunk_boundary_resumes_bit_identical(
         extra in 0usize..400,
         kill_chunk in 1usize..4,

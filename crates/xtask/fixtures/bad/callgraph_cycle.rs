@@ -1,0 +1,22 @@
+// Known-bad fixture: a call cycle that still reaches a panic — the
+// reachability pass must terminate (no hang, no stack overflow) and
+// fire exactly once, on the public entry.
+pub fn even(n: u64) -> bool {
+    if n == 0 {
+        true
+    } else {
+        odd(n - 1)
+    }
+}
+
+fn odd(n: u64) -> bool {
+    if n == 0 {
+        boom()
+    } else {
+        even(n - 1)
+    }
+}
+
+fn boom() -> bool {
+    panic!("parity underflow")
+}

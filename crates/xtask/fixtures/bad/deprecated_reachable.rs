@@ -1,0 +1,10 @@
+// Known-bad fixture: an internal caller still routes through a
+// deprecated shim — the migration was left half-done.
+#[deprecated(note = "use `report`")]
+pub fn total_v1(xs: &[u64]) -> u64 {
+    xs.len() as u64
+}
+
+pub fn report(xs: &[u64]) -> u64 {
+    total_v1(xs)
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture: a public entry point reaching unwrap through a
+// private two-hop chain — invisible to the lexical panic rule's
+// per-function view.
+pub fn entry(v: &[u8]) -> u8 {
+    hop(v)
+}
+
+fn hop(v: &[u8]) -> u8 {
+    inner(v)
+}
+
+fn inner(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

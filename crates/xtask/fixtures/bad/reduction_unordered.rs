@@ -1,0 +1,7 @@
+// Known-bad fixture: float accumulation folded in a map's key order,
+// not the chunk grid's index order.
+use std::collections::BTreeMap;
+
+pub fn total(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}

@@ -1,0 +1,12 @@
+// Known-bad fixture: a literal seed laundered through a helper and a
+// local still has no lineage — the stream forks the seed universe.
+// Never compiled — only scanned by the lint-engine tests.
+fn default_seed() -> u64 {
+    42
+}
+
+pub fn make_stream() -> u64 {
+    let seed = default_seed();
+    let rng = SplitMix64::new(seed);
+    rng
+}

@@ -1,0 +1,11 @@
+// Known-clean fixture: the deprecated shim has no internal callers;
+// the replacement carries all workspace traffic, and a shim calling
+// the live API is the sanctioned direction.
+#[deprecated(note = "use `total`")]
+pub fn total_v1(xs: &[u64]) -> u64 {
+    total(xs)
+}
+
+pub fn total(xs: &[u64]) -> u64 {
+    xs.len() as u64
+}

@@ -1,0 +1,13 @@
+// Known-clean fixture: every chain bottoms out in a typed result —
+// checked slice splits, no unwrap at any call distance.
+pub fn entry(v: &[u8]) -> Result<u8, String> {
+    hop(v)
+}
+
+fn hop(v: &[u8]) -> Result<u8, String> {
+    v.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+pub fn halves(v: &[u8]) -> Option<(&[u8], &[u8])> {
+    v.split_at_checked(4)
+}

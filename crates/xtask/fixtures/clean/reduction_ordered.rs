@@ -1,0 +1,13 @@
+// Known-clean fixture: float folds over index-ordered sources only —
+// slices and ranges, never map accessors.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn weighted(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (i, x) in xs.iter().enumerate() {
+        acc += x * i as f64;
+    }
+    acc
+}

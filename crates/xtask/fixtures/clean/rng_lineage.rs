@@ -1,0 +1,14 @@
+// Known-clean fixture: every stream's seed has lineage — a fn
+// parameter, a chunk index through derive_seed, or a named constant.
+pub const BASE_SEED: u64 = 0x9E37_79B9;
+
+pub fn streams(seed: u64, chunks: u64) -> u64 {
+    let base = SplitMix64::new(seed);
+    let fixed = SplitMix64::new(BASE_SEED);
+    let mut acc = base + fixed;
+    for chunk in 0..chunks {
+        let lane = SplitMix64::new(derive_seed(seed, chunk));
+        acc += lane;
+    }
+    acc
+}

@@ -1,0 +1,353 @@
+//! The lightweight item/expression AST the recursive-descent
+//! [`crate::parser`] produces.
+//!
+//! This is deliberately **not** full Rust: it models exactly the
+//! shapes the semantic rules reason about — function items with their
+//! parameter names and bodies, `let` bindings (the taint frontier),
+//! call/method-call expressions (the call-graph edges), `for` loops
+//! and iterator chains (the reduction-order rule), literals and paths
+//! (the RNG-lineage rule). Everything else parses into [`ExprKind::Group`]
+//! so its subexpressions still get visited, just without structure.
+//!
+//! Every node carries the 1-based line/col of its defining token so
+//! diagnostics land span-exact.
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+}
+
+/// One parsed top-level (or impl/mod-nested, flattened) item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Position of the item's name token.
+    pub span: Span,
+}
+
+/// The item kinds the rules consume; everything else is dropped at
+/// parse time (its tokens are still scanned by the lexical rules).
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    /// A function (free, impl method, or trait default method).
+    Fn(FnDef),
+    /// A `const` or `static` with its initializer.
+    Const {
+        /// The constant's name.
+        name: String,
+        /// The initializer expression, when one parsed.
+        init: Option<Expr>,
+    },
+}
+
+/// A parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function name.
+    pub name: String,
+    /// True when declared `pub` (any restriction counts as pub for
+    /// reachability purposes — `pub(crate)` is still internal API
+    /// surface that private helpers feed).
+    pub is_pub: bool,
+    /// True when a `#[deprecated]` attribute gates the item.
+    pub is_deprecated: bool,
+    /// True when the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// The enclosing `impl`/`trait` type name, if any.
+    pub self_type: Option<String>,
+    /// Parameter binding names, in order (`self` excluded).
+    pub params: Vec<String>,
+    /// The body, when the item has one (trait methods may not).
+    pub body: Option<Block>,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A `let` binding: the bound names, the ascribed type tokens
+    /// (empty when none), and the initializer.
+    Let {
+        /// Names bound by the pattern (tuple patterns bind several).
+        names: Vec<String>,
+        /// Raw tokens of the ascribed type, when present.
+        ty: Vec<String>,
+        /// The initializer expression, when present.
+        init: Option<Expr>,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// A nested item (inner `fn`, `const`, ...).
+    Item(Box<Item>),
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// The expression shape.
+    pub kind: ExprKind,
+    /// Position of the expression's leading (or, for method calls,
+    /// method-name) token.
+    pub span: Span,
+}
+
+/// Expression shapes.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// A literal token (numbers; `true`/`false`; merged floats like
+    /// `0.5`). String/char literals never reach the parser — the
+    /// lexer drops them.
+    Lit(String),
+    /// A possibly-qualified path: `x`, `a::b::c`, `Self::helper`.
+    Path(Vec<String>),
+    /// Field access `recv.name` (tuple indices included).
+    Field(Box<Expr>, String),
+    /// A call with a path callee or arbitrary callee expression.
+    Call {
+        /// The called expression (usually a [`ExprKind::Path`]).
+        callee: Box<Expr>,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+    /// A method call `recv.name::<T>(args)`.
+    MethodCall {
+        /// The receiver.
+        recv: Box<Expr>,
+        /// The method name.
+        method: String,
+        /// Raw turbofish tokens (`f64` from `::<f64>`), empty if none.
+        turbofish: Vec<String>,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+    /// A binary operation; `op` is the merged operator text.
+    Binary {
+        /// Operator text (`+`, `&&`, `<<`, ...).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A prefix operation (`-x`, `!x`, `&x`, `*x`).
+    Unary {
+        /// Operator text.
+        op: String,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// Indexing `base[index]`.
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// A range `lo..hi` / `lo..=hi` (either side optional).
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+    },
+    /// Assignment or compound assignment; `op` is `=`, `+=`, ...
+    Assign {
+        /// Operator text.
+        op: String,
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Assigned value.
+        value: Box<Expr>,
+    },
+    /// A macro invocation `name!(...)` with best-effort parsed
+    /// argument expressions.
+    MacroCall {
+        /// The macro name (last path segment).
+        name: String,
+        /// Best-effort parsed inner expressions.
+        args: Vec<Expr>,
+    },
+    /// A closure; parameter names bind into the taint environment.
+    Closure {
+        /// Parameter binding names.
+        params: Vec<String>,
+        /// The body expression.
+        body: Box<Expr>,
+    },
+    /// A `for` loop.
+    ForLoop {
+        /// Names bound by the loop pattern.
+        pats: Vec<String>,
+        /// The iterated expression.
+        iter: Box<Expr>,
+        /// The loop body.
+        body: Block,
+    },
+    /// A block expression.
+    Block(Block),
+    /// Structure the rules don't model (tuples, arrays, `if`/`match`
+    /// lumps, struct literals): the subexpressions, still visited.
+    Group(Vec<Expr>),
+}
+
+impl Expr {
+    /// Visits this expression and every subexpression, pre-order.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a Expr)) {
+        visit(self);
+        match &self.kind {
+            ExprKind::Lit(_) | ExprKind::Path(_) => {}
+            ExprKind::Field(recv, _) => recv.walk(visit),
+            ExprKind::Call { callee, args } => {
+                callee.walk(visit);
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                recv.walk(visit);
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.walk(visit);
+                rhs.walk(visit);
+            }
+            ExprKind::Unary { operand, .. } => operand.walk(visit),
+            ExprKind::Index { base, index } => {
+                base.walk(visit);
+                index.walk(visit);
+            }
+            ExprKind::Range { lo, hi } => {
+                if let Some(e) = lo {
+                    e.walk(visit);
+                }
+                if let Some(e) = hi {
+                    e.walk(visit);
+                }
+            }
+            ExprKind::Assign { target, value, .. } => {
+                target.walk(visit);
+                value.walk(visit);
+            }
+            ExprKind::MacroCall { args, .. } | ExprKind::Group(args) => {
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            ExprKind::Closure { body, .. } => body.walk(visit),
+            ExprKind::ForLoop { iter, body, .. } => {
+                iter.walk(visit);
+                body.walk_exprs(visit);
+            }
+            ExprKind::Block(block) => block.walk_exprs(visit),
+        }
+    }
+
+    /// The root identifier of an lvalue/receiver chain
+    /// (`a.b[i].c` → `a`), when the chain bottoms out in a plain path.
+    pub fn root_ident(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Path(segs) if segs.len() == 1 => Some(segs[0].as_str()),
+            ExprKind::Field(recv, _) => recv.root_ident(),
+            ExprKind::Index { base, .. } => base.root_ident(),
+            ExprKind::Unary { operand, .. } => operand.root_ident(),
+            ExprKind::MethodCall { recv, .. } => recv.root_ident(),
+            _ => None,
+        }
+    }
+
+    /// A canonical text rendering, used to detect duplicated seed
+    /// expressions (two RNG streams constructed from the same seed).
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        self.canonical_into(&mut out);
+        out
+    }
+
+    fn canonical_into(&self, out: &mut String) {
+        match &self.kind {
+            ExprKind::Lit(t) => out.push_str(t),
+            ExprKind::Path(segs) => out.push_str(&segs.join("::")),
+            ExprKind::Field(recv, name) => {
+                recv.canonical_into(out);
+                out.push('.');
+                out.push_str(name);
+            }
+            ExprKind::Call { callee, args } => {
+                callee.canonical_into(out);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    a.canonical_into(out);
+                }
+                out.push(')');
+            }
+            ExprKind::MethodCall {
+                recv, method, args, ..
+            } => {
+                recv.canonical_into(out);
+                out.push('.');
+                out.push_str(method);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    a.canonical_into(out);
+                }
+                out.push(')');
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                lhs.canonical_into(out);
+                out.push_str(op);
+                rhs.canonical_into(out);
+            }
+            ExprKind::Unary { op, operand } => {
+                out.push_str(op);
+                operand.canonical_into(out);
+            }
+            ExprKind::Index { base, index } => {
+                base.canonical_into(out);
+                out.push('[');
+                index.canonical_into(out);
+                out.push(']');
+            }
+            _ => out.push('?'),
+        }
+    }
+}
+
+impl Block {
+    /// Visits every expression in the block, pre-order, in source
+    /// order (including `let` initializers and nested items' bodies).
+    pub fn walk_exprs<'a>(&'a self, visit: &mut dyn FnMut(&'a Expr)) {
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::Let { init, .. } => {
+                    if let Some(e) = init {
+                        e.walk(visit);
+                    }
+                }
+                Stmt::Expr(e) => e.walk(visit),
+                // Nested items are separate analysis nodes (the
+                // symbol table lifts them); their bodies must not be
+                // attributed to the enclosing function.
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+}

@@ -2,13 +2,21 @@
 //! `pai-lint`: the workspace static-analysis engine behind
 //! `cargo xtask lint`.
 //!
-//! Two passes run under one report:
+//! Three passes run under one report:
 //!
-//! 1. **Workspace invariant linter** — a token-level walk over every
-//!    `crates/*/src` file (no crates.io access, so no `syn`; see
-//!    [`lexer`]) enforcing the determinism, panic-safety, wall-clock
-//!    and precision rules in [`rules`].
-//! 2. **Graph validator** — [`pai_graph::passes::validate`] run over
+//! 1. **Lexical pass** — a token-level walk over every `crates/*/src`
+//!    file (no crates.io access, so no `syn`; see [`lexer`]) enforcing
+//!    the determinism, panic-safety, wall-clock and precision rules in
+//!    [`rules`]. Runs per file through `pai-par` lanes with in-order
+//!    gather, so the report is bit-identical at any `PAI_THREADS`.
+//! 2. **Semantic pass** — a recursive-descent [`parser`] turns each
+//!    token stream into a lightweight AST ([`ast`]); a workspace
+//!    [`symbols::SymbolTable`] and interprocedural
+//!    [`callgraph::CallGraph`] then drive the four dataflow rules
+//!    (RNG lineage, reduction order, transitive panic-freedom,
+//!    deprecated-shim reachability — see [`taint`] and
+//!    [`rules::run_semantic`]).
+//! 3. **Graph validator** — [`pai_graph::passes::validate`] run over
 //!    every zoo model (training, inference and optimized variants), so
 //!    the FLOPs/`S_mem` inputs to the closed-form `Tc` are proven
 //!    consistent rather than assumed.
@@ -18,16 +26,27 @@
 //! `// pai-lint: allow(<rule>)` escape hatch on the offending line or
 //! the line above it.
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use pai_par::Threads;
 use serde::Serialize;
 
 use rules::ALL_RULES;
+
+/// Files per `pai-par` chunk in the per-file lexical/parse lane.
+/// Fixed (never thread-count derived) so the decomposition — and with
+/// it the report — is a pure function of the input file list.
+const FILES_PER_CHUNK: usize = 4;
 
 /// One finding, with enough span information for an editor jump.
 #[derive(Debug, Clone, Serialize)]
@@ -60,7 +79,7 @@ impl Diagnostic {
 /// The machine-readable lint report (`--json`).
 #[derive(Debug, Serialize)]
 pub struct Report {
-    /// Report schema version.
+    /// Report schema version (2 = semantic rules added).
     pub version: u32,
     /// Number of `.rs` files scanned by pass 1.
     pub files_scanned: usize,
@@ -72,39 +91,120 @@ pub struct Report {
     pub suppressed: usize,
 }
 
-/// Lints one source file. `all_rules` forces every rule regardless of
-/// the per-rule crate scoping (used for fixtures).
-pub fn lint_source(rel_path: &str, src: &str, all_rules: bool) -> (Vec<Diagnostic>, usize) {
-    let toks = lexer::tokenize(src);
-    let lines: Vec<&str> = src.lines().collect();
-    let mut out = Vec::new();
-    let mut suppressed = 0usize;
-    for rule in ALL_RULES {
-        if !all_rules && !rules::in_scope(rule, rel_path) {
-            continue;
-        }
-        for hit in rules::run_rule(rule, &toks) {
-            if is_allowed(&lines, hit.line, rule.slug) {
-                suppressed += 1;
+/// One input file for [`lint_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// The file contents.
+    pub src: String,
+}
+
+/// One file's lane output: its lexical findings plus the parsed items
+/// and raw lines the serial semantic pass consumes after the gather.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// The file's lines (for allow-comment checks at semantic spans).
+    pub lines: Vec<String>,
+    /// The parsed item list.
+    pub items: Vec<ast::Item>,
+    /// Lexical diagnostics, allow-filtered.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Lexical findings silenced by allow comments.
+    pub suppressed: usize,
+}
+
+impl FileAnalysis {
+    /// Tokenizes, parses and lexically lints one file. Pure — this is
+    /// the per-file unit of work the `pai-par` lanes map.
+    pub fn analyze(rel_path: &str, src: &str, all_rules: bool) -> FileAnalysis {
+        let toks = lexer::tokenize(src);
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let mut diagnostics = Vec::new();
+        let mut suppressed = 0usize;
+        for rule in ALL_RULES {
+            if !all_rules && !rules::in_scope(rule, rel_path) {
                 continue;
             }
-            out.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: hit.line,
-                col: hit.col,
-                rule: rule.slug.to_string(),
-                matched: hit.matched,
-                message: rule.rationale.to_string(),
-            });
+            for hit in rules::run_rule(rule, &toks) {
+                if is_allowed(&lines, hit.line, rule.slug) {
+                    suppressed += 1;
+                    continue;
+                }
+                diagnostics.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: hit.line,
+                    col: hit.col,
+                    rule: rule.slug.to_string(),
+                    matched: hit.matched,
+                    message: rule.rationale.to_string(),
+                });
+            }
+        }
+        let items = parser::parse_items(&toks);
+        FileAnalysis {
+            rel_path: rel_path.to_string(),
+            lines,
+            items,
+            diagnostics,
+            suppressed,
         }
     }
-    out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
-    (out, suppressed)
+}
+
+/// Lints a set of sources: the per-file lexical/parse lane runs
+/// through `pai-par` with in-order gather, then the semantic pass
+/// (symbol table, call graph, dataflow rules) runs serially over the
+/// gathered analyses. Returns `(diagnostics, suppressed)` sorted by
+/// `(file, line, col, rule)` — byte-identical at any thread count.
+pub fn lint_sources(
+    sources: &[SourceFile],
+    all_rules: bool,
+    threads: Threads,
+) -> (Vec<Diagnostic>, usize) {
+    let files: Vec<FileAnalysis> = pai_par::map_items(sources, FILES_PER_CHUNK, threads, |sf| {
+        FileAnalysis::analyze(&sf.rel_path, &sf.src, all_rules)
+    });
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut suppressed = 0usize;
+    for fa in &files {
+        diags.extend(fa.diagnostics.iter().cloned());
+        suppressed += fa.suppressed;
+    }
+    for hit in rules::run_semantic(&files, all_rules) {
+        let fa = &files[hit.file];
+        if is_allowed(&fa.lines, hit.span.line, hit.rule.slug) {
+            suppressed += 1;
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: fa.rel_path.clone(),
+            line: hit.span.line,
+            col: hit.span.col,
+            rule: hit.rule.slug.to_string(),
+            matched: hit.matched,
+            message: hit.rule.rationale.to_string(),
+        });
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    (diags, suppressed)
+}
+
+/// Lints one source file serially (both passes, single-file symbol
+/// table). Convenience wrapper over [`lint_sources`].
+pub fn lint_source(rel_path: &str, src: &str, all_rules: bool) -> (Vec<Diagnostic>, usize) {
+    let sources = [SourceFile {
+        rel_path: rel_path.to_string(),
+        src: src.to_string(),
+    }];
+    lint_sources(&sources, all_rules, Threads::SERIAL)
 }
 
 /// True when `line` (1-based) or the line above carries
 /// `pai-lint: allow(<slug>)`.
-fn is_allowed(lines: &[&str], line: usize, slug: &str) -> bool {
+fn is_allowed(lines: &[String], line: usize, slug: &str) -> bool {
     let needle = format!("pai-lint: allow({slug})");
     let here = line.checked_sub(1).and_then(|i| lines.get(i));
     let above = line.checked_sub(2).and_then(|i| lines.get(i));
@@ -136,10 +236,9 @@ pub fn lint_paths(
     workspace_root: &Path,
     roots: &[PathBuf],
     all_rules: bool,
+    threads: Threads,
 ) -> io::Result<(Vec<Diagnostic>, usize, usize)> {
-    let mut diags = Vec::new();
-    let mut scanned = 0usize;
-    let mut suppressed = 0usize;
+    let mut sources = Vec::new();
     for root in roots {
         for file in collect_rs_files(root)? {
             let rel = file
@@ -150,12 +249,11 @@ pub fn lint_paths(
                 .collect::<Vec<_>>()
                 .join("/");
             let src = fs::read_to_string(&file)?;
-            let (d, s) = lint_source(&rel, &src, all_rules);
-            diags.extend(d);
-            suppressed += s;
-            scanned += 1;
+            sources.push(SourceFile { rel_path: rel, src });
         }
     }
+    let scanned = sources.len();
+    let (diags, suppressed) = lint_sources(&sources, all_rules, threads);
     Ok((diags, scanned, suppressed))
 }
 
@@ -172,7 +270,7 @@ pub fn default_roots(workspace_root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(roots)
 }
 
-/// Pass 2: validates every zoo model — training graphs against their
+/// Pass 3: validates every zoo model — training graphs against their
 /// Table V targets, plus the inference and optimized (XLA fusion +
 /// mixed precision) variants — returning one diagnostic per defect.
 pub fn validate_zoo() -> (Vec<Diagnostic>, usize) {
@@ -269,5 +367,51 @@ mod tests {
         let r = d[0].render();
         assert!(r.contains("crates/sim/src/a.rs:1:"), "{r}");
         assert!(r.contains("panic-in-lib"), "{r}");
+    }
+
+    #[test]
+    fn semantic_diagnostics_flow_through_lint_source() {
+        let src = "pub fn entry(v: &[u8]) -> u8 { hop(v) }\n\
+                   fn hop(v: &[u8]) -> u8 { *v.first().unwrap() }";
+        let (d, _) = lint_source("crates/sim/src/a.rs", src, false);
+        let rules: Vec<&str> = d.iter().map(|x| x.rule.as_str()).collect();
+        assert!(rules.contains(&"panic-in-lib"), "{rules:?}");
+        assert!(rules.contains(&"panic-transitive"), "{rules:?}");
+    }
+
+    #[test]
+    fn semantic_suppression_is_counted() {
+        let src = "// pai-lint: allow(rng-lineage)\n\
+                   fn f() { let r = SplitMix64::new(42); }";
+        let (d, s) = lint_source("crates/sim/src/a.rs", src, false);
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn reports_are_identical_at_any_thread_count() {
+        let sources: Vec<SourceFile> = (0..40)
+            .map(|i| SourceFile {
+                rel_path: format!("crates/sim/src/gen{i}.rs"),
+                src: format!(
+                    "pub fn entry{i}(v: &[u8]) -> u8 {{ hop{i}(v) }}\n\
+                     fn hop{i}(v: &[u8]) -> u8 {{ *v.first().unwrap() }}\n\
+                     fn seed{i}() {{ let r = SplitMix64::new({i}); }}"
+                ),
+            })
+            .collect();
+        let serial = lint_sources(&sources, false, Threads::SERIAL);
+        for t in [2usize, 8] {
+            let parallel = lint_sources(&sources, false, Threads::new(t));
+            assert_eq!(
+                serde_json::to_string(&serial.0).unwrap(),
+                serde_json::to_string(&parallel.0).unwrap(),
+                "diverged at {t} threads"
+            );
+            assert_eq!(serial.1, parallel.1);
+        }
+        // And the findings themselves are the expected ones.
+        assert!(serial.0.iter().any(|d| d.rule == "panic-transitive"));
+        assert!(serial.0.iter().any(|d| d.rule == "rng-lineage"));
     }
 }

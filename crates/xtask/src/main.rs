@@ -14,6 +14,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use pai_par::Threads;
 use xtask::{default_roots, lint_paths, validate_zoo, Report};
 
 fn usage() -> ExitCode {
@@ -72,8 +73,12 @@ fn main() -> ExitCode {
         };
     }
 
+    // The per-file lane honors PAI_THREADS; the report is
+    // bit-identical at any value (the linter satisfies the invariant
+    // it enforces — CI byte-compares 1 vs 8).
+    let threads = Threads::from_env();
     let (mut diagnostics, files_scanned, suppressed) =
-        match lint_paths(&workspace_root, &roots, all_rules) {
+        match lint_paths(&workspace_root, &roots, all_rules, threads) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("xtask: scan failed: {e}");
@@ -103,7 +108,7 @@ fn main() -> ExitCode {
 
     let failed = !diagnostics.is_empty();
     let report = Report {
-        version: 1,
+        version: 2,
         files_scanned,
         graphs_validated,
         diagnostics,

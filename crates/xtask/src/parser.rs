@@ -1,0 +1,1363 @@
+//! A recursive-descent parser over the [`crate::lexer`] token stream.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Total and terminating** — the parser must accept any token
+//!    stream (fixtures are never compiled), always make progress, and
+//!    never panic or hang. Bracketed constructs are parsed by finding
+//!    the balanced close delimiter *first* and recursing on the
+//!    bounded slice, so a local mis-parse (an exotic pattern, a
+//!    struct literal) can only garble the inside of its own brackets.
+//! 2. **Deterministic** — output is a pure function of the tokens.
+//! 3. **Precise where the rules look** — function items, `let`
+//!    bindings, calls/method chains, `for` loops, literals, paths and
+//!    `#[deprecated]`/`pub` markers parse exactly; everything else
+//!    degrades to [`ExprKind::Group`] without losing subexpressions.
+//!
+//! Because the lexer emits single-character punctuation, multi-char
+//! operators (`::`, `->`, `..`, `+=`) are re-joined here via source
+//! adjacency (same line, contiguous columns).
+
+use crate::ast::{Block, Expr, ExprKind, FnDef, Item, ItemKind, Span, Stmt};
+use crate::lexer::Tok;
+
+/// Parses a whole file's token stream into items (impl/mod-nested
+/// functions are flattened, tagged with their `self_type`).
+pub fn parse_items(toks: &[Tok]) -> Vec<Item> {
+    let mut p = P { t: toks, i: 0 };
+    let mut out = Vec::new();
+    parse_item_list(&mut p, toks.len(), None, &mut out);
+    // Lift items declared inside fn bodies (inner fns, local consts)
+    // to the top level so the symbol table and call graph see them as
+    // first-class nodes; `walk_exprs` skips the in-place copies so
+    // their bodies are never attributed to the enclosing fn.
+    let mut lifted = Vec::new();
+    for item in &out {
+        if let ItemKind::Fn(f) = &item.kind {
+            if let Some(body) = &f.body {
+                lift_nested_block(body, &mut lifted);
+            }
+        }
+    }
+    out.extend(lifted);
+    out
+}
+
+fn lift_nested_block(block: &Block, out: &mut Vec<Item>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Item(item) => {
+                out.push((**item).clone());
+                if let ItemKind::Fn(f) = &item.kind {
+                    if let Some(body) = &f.body {
+                        lift_nested_block(body, out);
+                    }
+                }
+            }
+            Stmt::Let { init: Some(e), .. } => lift_nested_expr(e, out),
+            Stmt::Let { .. } => {}
+            Stmt::Expr(e) => lift_nested_expr(e, out),
+        }
+    }
+}
+
+fn lift_nested_expr(e: &Expr, out: &mut Vec<Item>) {
+    match &e.kind {
+        ExprKind::Lit(_) | ExprKind::Path(_) => {}
+        ExprKind::Field(recv, _) => lift_nested_expr(recv, out),
+        ExprKind::Call { callee, args } => {
+            lift_nested_expr(callee, out);
+            for a in args {
+                lift_nested_expr(a, out);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            lift_nested_expr(recv, out);
+            for a in args {
+                lift_nested_expr(a, out);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            lift_nested_expr(lhs, out);
+            lift_nested_expr(rhs, out);
+        }
+        ExprKind::Unary { operand, .. } => lift_nested_expr(operand, out),
+        ExprKind::Index { base, index } => {
+            lift_nested_expr(base, out);
+            lift_nested_expr(index, out);
+        }
+        ExprKind::Range { lo, hi } => {
+            if let Some(e) = lo {
+                lift_nested_expr(e, out);
+            }
+            if let Some(e) = hi {
+                lift_nested_expr(e, out);
+            }
+        }
+        ExprKind::Assign { target, value, .. } => {
+            lift_nested_expr(target, out);
+            lift_nested_expr(value, out);
+        }
+        ExprKind::MacroCall { args, .. } | ExprKind::Group(args) => {
+            for a in args {
+                lift_nested_expr(a, out);
+            }
+        }
+        ExprKind::Closure { body, .. } => lift_nested_expr(body, out),
+        ExprKind::ForLoop { iter, body, .. } => {
+            lift_nested_expr(iter, out);
+            lift_nested_block(body, out);
+        }
+        ExprKind::Block(block) => lift_nested_block(block, out),
+    }
+}
+
+struct P<'a> {
+    t: &'a [Tok],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self, k: usize) -> Option<&'a Tok> {
+        self.t.get(self.i + k)
+    }
+
+    fn text(&self, k: usize) -> &'a str {
+        self.peek(k).map_or("", |t| t.text.as_str())
+    }
+
+    fn span(&self) -> Span {
+        self.peek(0).map_or(Span { line: 0, col: 0 }, |t| Span {
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.text(0) == s {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when tokens `k` and `k+1` are contiguous in the source
+    /// (multi-char operator re-joining).
+    fn adjacent(&self, k: usize) -> bool {
+        match (self.peek(k), self.peek(k + 1)) {
+            (Some(a), Some(b)) => a.line == b.line && a.col + a.text.len() == b.col,
+            _ => false,
+        }
+    }
+
+    /// True when the next tokens spell the multi-char operator `op`
+    /// (each char its own contiguous token).
+    fn at_op(&self, op: &str) -> bool {
+        for (k, ch) in op.chars().enumerate() {
+            if self.text(k).len() != 1 || self.text(k) != ch.to_string() {
+                return false;
+            }
+            if k + 1 < op.len() && !self.adjacent(k) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Index of the token after the close delimiter matching the open
+    /// delimiter at the cursor (which must be `(`, `[` or `{`).
+    /// Returns `end` when unbalanced.
+    fn matching(&self, end: usize) -> usize {
+        let open = self.text(0);
+        let close = match open {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return (self.i + 1).min(end),
+        };
+        let mut depth = 0usize;
+        let mut j = self.i;
+        while j < end {
+            let t = self.t[j].text.as_str();
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_number(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Attribute facts gathered before an item.
+#[derive(Default)]
+struct Attrs {
+    deprecated: bool,
+}
+
+/// Parses items until `end` (exclusive); flattens `mod`/`impl` bodies.
+fn parse_item_list(p: &mut P, end: usize, self_type: Option<&str>, out: &mut Vec<Item>) {
+    while p.i < end {
+        let before = p.i;
+        parse_item(p, end, self_type, out);
+        if p.i == before {
+            p.bump();
+        }
+    }
+}
+
+fn parse_item(p: &mut P, end: usize, self_type: Option<&str>, out: &mut Vec<Item>) {
+    let attrs = parse_attrs(p, end);
+    let is_pub = parse_visibility(p);
+    // Fn qualifiers; `const fn` must not be taken for a const item.
+    loop {
+        match p.text(0) {
+            "const"
+                if p.text(1) == "fn"
+                    || p.text(1) == "unsafe"
+                    || p.text(1) == "extern"
+                    || p.text(1) == "async" =>
+            {
+                p.bump();
+            }
+            "async" | "unsafe" => p.bump(),
+            "extern" if p.text(1) == "fn" => p.bump(),
+            _ => break,
+        }
+    }
+    match p.text(0) {
+        "fn" => {
+            p.bump();
+            parse_fn(p, end, is_pub, attrs.deprecated, self_type, out);
+        }
+        "const" | "static" => {
+            p.bump();
+            p.eat("mut");
+            let span = p.span();
+            let name = if is_ident(p.text(0)) {
+                let n = p.text(0).to_string();
+                p.bump();
+                n
+            } else {
+                return skip_to_semi(p, end);
+            };
+            // `: Type = init ;`
+            skip_type_until(p, end, &["=", ";"]);
+            let init = if p.eat("=") {
+                Some(parse_expr(p, end))
+            } else {
+                None
+            };
+            p.eat(";");
+            out.push(Item {
+                kind: ItemKind::Const { name, init },
+                span,
+            });
+        }
+        "mod" => {
+            p.bump();
+            if is_ident(p.text(0)) {
+                p.bump();
+            }
+            if p.text(0) == "{" {
+                let inner_end = p.matching(end);
+                p.bump();
+                parse_item_list(p, inner_end.saturating_sub(1), self_type, out);
+                p.i = inner_end;
+            } else {
+                p.eat(";");
+            }
+        }
+        "impl" => {
+            p.bump();
+            skip_generics(p, end);
+            // Tokens up to `{`: `Type`, or `Trait for Type`.
+            let mut ty: Option<String> = None;
+            let mut after_for = false;
+            while p.i < end && p.text(0) != "{" {
+                if p.text(0) == "for" {
+                    after_for = true;
+                    ty = None;
+                } else if is_ident(p.text(0)) && (ty.is_none() || after_for) {
+                    ty = Some(p.text(0).to_string());
+                    after_for = false;
+                } else if p.text(0) == "where" {
+                    // Bounds may mention many idents; stop refining.
+                    while p.i < end && p.text(0) != "{" {
+                        p.bump();
+                    }
+                    break;
+                }
+                p.bump();
+            }
+            if p.text(0) == "{" {
+                let inner_end = p.matching(end);
+                p.bump();
+                parse_item_list(p, inner_end.saturating_sub(1), ty.as_deref(), out);
+                p.i = inner_end;
+            }
+        }
+        "trait" => {
+            p.bump();
+            let name = if is_ident(p.text(0)) {
+                let n = p.text(0).to_string();
+                p.bump();
+                Some(n)
+            } else {
+                None
+            };
+            while p.i < end && p.text(0) != "{" && p.text(0) != ";" {
+                p.bump();
+            }
+            if p.text(0) == "{" {
+                let inner_end = p.matching(end);
+                p.bump();
+                parse_item_list(p, inner_end.saturating_sub(1), name.as_deref(), out);
+                p.i = inner_end;
+            } else {
+                p.eat(";");
+            }
+        }
+        "struct" | "enum" | "union" => {
+            p.bump();
+            while p.i < end && p.text(0) != "{" && p.text(0) != ";" && p.text(0) != "(" {
+                p.bump();
+            }
+            if p.text(0) == "{" || p.text(0) == "(" {
+                p.i = p.matching(end);
+                p.eat(";");
+            } else {
+                p.eat(";");
+            }
+        }
+        "use" | "type" => skip_to_semi(p, end),
+        "extern" => {
+            p.bump();
+            if p.text(0) == "crate" {
+                skip_to_semi(p, end);
+            } else if p.text(0) == "{" {
+                p.i = p.matching(end);
+            }
+        }
+        "macro_rules" => {
+            p.bump();
+            p.eat("!");
+            if is_ident(p.text(0)) {
+                p.bump();
+            }
+            if matches!(p.text(0), "{" | "(" | "[") {
+                p.i = p.matching(end);
+            }
+        }
+        _ => {} // caller bumps on no progress
+    }
+}
+
+fn skip_to_semi(p: &mut P, end: usize) {
+    while p.i < end && p.text(0) != ";" {
+        if matches!(p.text(0), "{" | "(" | "[") {
+            p.i = p.matching(end);
+        } else {
+            p.bump();
+        }
+    }
+    p.eat(";");
+}
+
+fn parse_attrs(p: &mut P, end: usize) -> Attrs {
+    let mut attrs = Attrs::default();
+    loop {
+        if p.text(0) == "#" && (p.text(1) == "[" || (p.text(1) == "!" && p.text(2) == "[")) {
+            p.bump();
+            p.eat("!");
+            let close = p.matching(end);
+            // First attr-path segment decides; `deprecated` may carry
+            // a `(note = ...)` tail.
+            if p.text(1) == "deprecated" {
+                attrs.deprecated = true;
+            }
+            p.i = close;
+        } else {
+            return attrs;
+        }
+    }
+}
+
+fn parse_visibility(p: &mut P) -> bool {
+    if p.eat("pub") {
+        if p.text(0) == "(" {
+            p.i = p.matching(p.t.len());
+        }
+        true
+    } else {
+        false
+    }
+}
+
+/// Skips a balanced `<...>` generics region at the cursor. The `>` of
+/// a `->` arrow inside (fn-pointer types) must not close the region.
+fn skip_generics(p: &mut P, end: usize) {
+    if p.text(0) != "<" {
+        return;
+    }
+    let mut depth = 0i64;
+    while p.i < end {
+        match p.text(0) {
+            "<" => depth += 1,
+            ">" => {
+                let arrow = p.i > 0 && p.t[p.i - 1].text == "-";
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        p.bump();
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+        p.bump();
+    }
+}
+
+/// Skips type tokens until one of `stops` at top level (angle-, paren-
+/// and bracket-balanced).
+fn skip_type_until(p: &mut P, end: usize, stops: &[&str]) {
+    let mut angle = 0i64;
+    while p.i < end {
+        let t = p.text(0);
+        if angle == 0 && stops.contains(&t) {
+            return;
+        }
+        match t {
+            "<" => angle += 1,
+            ">" => {
+                let arrow = p.i > 0 && p.t[p.i - 1].text == "-";
+                if !arrow && angle > 0 {
+                    angle -= 1;
+                }
+            }
+            "(" | "[" | "{" => {
+                p.i = p.matching(end);
+                continue;
+            }
+            _ => {}
+        }
+        p.bump();
+    }
+}
+
+/// Collects binding names from a pattern region ending at one of
+/// `stops` (top-level). Keywords, `_`, and CamelCase path segments
+/// (enum variants, structs) are not bindings.
+fn parse_pattern_until(p: &mut P, end: usize, stops: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0i64;
+    while p.i < end {
+        let t = p.text(0);
+        if depth == 0 && stops.contains(&t) {
+            return names;
+        }
+        match t {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return names;
+                }
+                depth -= 1;
+            }
+            "mut" | "ref" | "box" | "_" => {}
+            _ if is_ident(t) => {
+                let is_path_seg = p.text(1) == ":" && p.text(2) == ":";
+                let after_path = p.i >= 2 && p.t[p.i - 1].text == ":" && p.t[p.i - 2].text == ":";
+                let camel = t.chars().next().is_some_and(|c| c.is_uppercase());
+                // `name @ subpattern` and struct-pattern fields
+                // (`Foo { name }`) still bind `name`.
+                if !is_path_seg && !after_path && !camel {
+                    names.push(t.to_string());
+                }
+            }
+            _ => {}
+        }
+        p.bump();
+    }
+    names
+}
+
+fn parse_fn(
+    p: &mut P,
+    end: usize,
+    is_pub: bool,
+    is_deprecated: bool,
+    self_type: Option<&str>,
+    out: &mut Vec<Item>,
+) {
+    let span = p.span();
+    let in_test = p.peek(0).is_some_and(|t| t.in_test);
+    let name = if is_ident(p.text(0)) {
+        let n = p.text(0).to_string();
+        p.bump();
+        n
+    } else {
+        return;
+    };
+    skip_generics(p, end);
+    // Parameters.
+    let mut params = Vec::new();
+    if p.text(0) == "(" {
+        let close = p.matching(end);
+        p.bump();
+        let inner_end = close.saturating_sub(1);
+        while p.i < inner_end {
+            let before = p.i;
+            let mut names = parse_pattern_until(p, inner_end, &[":", ","]);
+            if p.eat(":") {
+                skip_type_until(p, inner_end, &[","]);
+            }
+            p.eat(",");
+            params.append(&mut names);
+            if p.i == before {
+                p.bump();
+            }
+        }
+        p.i = close;
+    }
+    // Return type and where clause.
+    if p.at_op("->") {
+        p.i += 2;
+        skip_type_until(p, end, &["{", ";", "where"]);
+    }
+    if p.text(0) == "where" {
+        while p.i < end && p.text(0) != "{" && p.text(0) != ";" {
+            if matches!(p.text(0), "(" | "[") {
+                p.i = p.matching(end);
+            } else {
+                p.bump();
+            }
+        }
+    }
+    let body = if p.text(0) == "{" {
+        let close = p.matching(end);
+        p.bump();
+        let block = parse_block(p, close.saturating_sub(1));
+        p.i = close;
+        Some(block)
+    } else {
+        p.eat(";");
+        None
+    };
+    params.retain(|n| n != "self");
+    out.push(Item {
+        kind: ItemKind::Fn(FnDef {
+            name,
+            is_pub,
+            is_deprecated,
+            in_test,
+            self_type: self_type.map(str::to_string),
+            params,
+            body,
+        }),
+        span,
+    });
+}
+
+/// Parses statements until `end` (exclusive); the cursor finishes at
+/// `end`.
+fn parse_block(p: &mut P, end: usize) -> Block {
+    let mut stmts = Vec::new();
+    while p.i < end {
+        let before = p.i;
+        match p.text(0) {
+            ";" => {
+                p.bump();
+            }
+            "let" => {
+                p.bump();
+                let names = parse_pattern_until(p, end, &[":", "=", ";"]);
+                let mut ty = Vec::new();
+                if p.eat(":") {
+                    let ty_start = p.i;
+                    skip_type_until(p, end, &["=", ";"]);
+                    ty = p.t[ty_start..p.i].iter().map(|t| t.text.clone()).collect();
+                }
+                let init = if p.text(0) == "=" && !p.at_op("==") {
+                    p.bump();
+                    Some(parse_expr(p, end))
+                } else {
+                    None
+                };
+                // let-else divergence block.
+                if p.text(0) == "else" {
+                    p.bump();
+                    if p.text(0) == "{" {
+                        let close = p.matching(end);
+                        p.bump();
+                        let block = parse_block(p, close.saturating_sub(1));
+                        p.i = close;
+                        stmts.push(Stmt::Expr(Expr {
+                            kind: ExprKind::Block(block),
+                            span: p.span(),
+                        }));
+                    }
+                }
+                p.eat(";");
+                stmts.push(Stmt::Let { names, ty, init });
+            }
+            "use" => skip_to_semi(p, end),
+            "fn" | "const" | "static" | "struct" | "enum" | "impl" | "mod" | "trait"
+            | "macro_rules" => {
+                let mut items = Vec::new();
+                parse_item(p, end, None, &mut items);
+                stmts.extend(items.into_iter().map(|i| Stmt::Item(Box::new(i))));
+            }
+            "#" if p.text(1) == "[" || (p.text(1) == "!" && p.text(2) == "[") => {
+                // Statement-level attribute (`#[allow]`, `#[cfg]`):
+                // skip; the next pass sees the gated statement.
+                p.bump();
+                p.eat("!");
+                p.i = p.matching(end);
+            }
+            "pub" => {
+                let mut items = Vec::new();
+                parse_item(p, end, None, &mut items);
+                stmts.extend(items.into_iter().map(|i| Stmt::Item(Box::new(i))));
+            }
+            _ => {
+                let e = parse_expr(p, end);
+                stmts.push(Stmt::Expr(e));
+                p.eat(";");
+            }
+        }
+        if p.i == before {
+            p.bump();
+        }
+    }
+    p.i = end;
+    Block { stmts }
+}
+
+/// Tokens that terminate an expression at top level.
+fn is_expr_stop(t: &str) -> bool {
+    matches!(t, ";" | "," | ")" | "]" | "}")
+}
+
+fn parse_expr(p: &mut P, end: usize) -> Expr {
+    let lhs = parse_binary(p, end);
+    // Assignment / compound assignment.
+    for op in ASSIGN_OPS {
+        if p.at_op(op) {
+            let span = p.span();
+            p.i += op.len();
+            let value = parse_expr(p, end);
+            return Expr {
+                kind: ExprKind::Assign {
+                    op: op.to_string(),
+                    target: Box::new(lhs),
+                    value: Box::new(value),
+                },
+                span,
+            };
+        }
+    }
+    if p.text(0) == "=" && !p.at_op("==") && !p.at_op("=>") {
+        let span = p.span();
+        p.bump();
+        let value = parse_expr(p, end);
+        return Expr {
+            kind: ExprKind::Assign {
+                op: "=".to_string(),
+                target: Box::new(lhs),
+                value: Box::new(value),
+            },
+            span,
+        };
+    }
+    lhs
+}
+
+const ASSIGN_OPS: &[&str] = &["+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "<<=", ">>="];
+
+const BINARY_OPS: &[&str] = &[
+    "<<", ">>", "&&", "||", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%", "^", "|", "&", "<",
+    ">",
+];
+
+fn parse_binary(p: &mut P, end: usize) -> Expr {
+    let mut lhs = parse_unary(p, end);
+    loop {
+        if p.i >= end || is_expr_stop(p.text(0)) || p.text(0) == "{" {
+            return lhs;
+        }
+        // Ranges bind loosest; `..=` and open-ended `..`.
+        if p.at_op("..") {
+            let span = p.span();
+            p.i += 2;
+            p.eat("=");
+            let hi = if p.i < end && !is_expr_stop(p.text(0)) && p.text(0) != "{" {
+                Some(Box::new(parse_binary(p, end)))
+            } else {
+                None
+            };
+            lhs = Expr {
+                kind: ExprKind::Range {
+                    lo: Some(Box::new(lhs)),
+                    hi,
+                },
+                span,
+            };
+            continue;
+        }
+        if p.at_op("=>") || (p.text(0) == "=" && !p.at_op("==")) {
+            return lhs; // assignment handled by parse_expr; arrows by match
+        }
+        if ASSIGN_OPS.iter().any(|op| p.at_op(op)) {
+            return lhs; // compound assignment belongs to parse_expr
+        }
+        let Some(op) = BINARY_OPS.iter().find(|op| p.at_op(op)) else {
+            return lhs;
+        };
+        let span = p.span();
+        p.i += op.len();
+        let rhs = parse_unary(p, end);
+        lhs = Expr {
+            kind: ExprKind::Binary {
+                op: op.to_string(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        };
+    }
+}
+
+fn parse_unary(p: &mut P, end: usize) -> Expr {
+    let span = p.span();
+    // Closures (optionally `move`).
+    if p.text(0) == "move" && (p.text(1) == "|" || (p.text(1) == "|" && p.text(2) == "|")) {
+        p.bump();
+    }
+    if p.text(0) == "|" {
+        p.bump();
+        let params = if p.text(0) == "|" {
+            Vec::new()
+        } else {
+            let mut names = Vec::new();
+            while p.i < end && p.text(0) != "|" {
+                let before = p.i;
+                let mut pat = parse_pattern_until(p, end, &[":", ",", "|"]);
+                names.append(&mut pat);
+                if p.eat(":") {
+                    skip_type_until(p, end, &[",", "|"]);
+                }
+                p.eat(",");
+                if p.i == before {
+                    p.bump();
+                }
+            }
+            names
+        };
+        p.eat("|");
+        if p.at_op("->") {
+            p.i += 2;
+            skip_type_until(p, end, &["{"]);
+        }
+        let body = parse_expr(p, end);
+        return Expr {
+            kind: ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+            span,
+        };
+    }
+    for op in ["&", "*", "-", "!"] {
+        if p.text(0) == op && !p.at_op("..") {
+            p.bump();
+            p.eat("mut");
+            let operand = parse_unary(p, end);
+            return Expr {
+                kind: ExprKind::Unary {
+                    op: op.to_string(),
+                    operand: Box::new(operand),
+                },
+                span,
+            };
+        }
+    }
+    let primary = parse_primary(p, end);
+    parse_postfix(p, end, primary)
+}
+
+fn parse_primary(p: &mut P, end: usize) -> Expr {
+    let span = p.span();
+    let t = p.text(0);
+    if p.i >= end || is_expr_stop(t) {
+        return Expr {
+            kind: ExprKind::Group(Vec::new()),
+            span,
+        };
+    }
+    if is_number(t) {
+        let mut text = t.to_string();
+        p.bump();
+        // Merge float literals split by the single-char lexer:
+        // `0 . 5` (adjacent) and exponent tails.
+        if p.text(0) == "."
+            && p.i > 0
+            && p.t[p.i - 1].line == p.t[p.i].line
+            && p.t[p.i - 1].col + p.t[p.i - 1].text.len() == p.t[p.i].col
+            && !p.at_op("..")
+        {
+            if is_number(p.text(1)) {
+                text.push('.');
+                text.push_str(p.text(1));
+                p.i += 2;
+            } else if !is_ident(p.text(1)) {
+                // Trailing-dot float `1.`
+                text.push('.');
+                p.bump();
+            }
+        }
+        return Expr {
+            kind: ExprKind::Lit(text),
+            span,
+        };
+    }
+    match t {
+        "true" | "false" => {
+            p.bump();
+            Expr {
+                kind: ExprKind::Lit(t.to_string()),
+                span,
+            }
+        }
+        "(" | "[" => {
+            let close = p.matching(end);
+            p.bump();
+            let items = parse_comma_exprs(p, close.saturating_sub(1));
+            p.i = close;
+            Expr {
+                kind: ExprKind::Group(items),
+                span,
+            }
+        }
+        "{" => {
+            let close = p.matching(end);
+            p.bump();
+            let block = parse_block(p, close.saturating_sub(1));
+            p.i = close;
+            Expr {
+                kind: ExprKind::Block(block),
+                span,
+            }
+        }
+        "if" | "while" => {
+            p.bump();
+            let mut parts = Vec::new();
+            if p.eat("let") {
+                parse_pattern_until(p, end, &["="]);
+                p.eat("=");
+            }
+            parts.push(parse_expr(p, end)); // condition / scrutinee
+            if p.text(0) == "{" {
+                parts.push(parse_primary(p, end)); // block
+            }
+            while p.text(0) == "else" {
+                p.bump();
+                if p.text(0) == "if" || p.text(0) == "{" {
+                    parts.push(parse_primary(p, end));
+                } else {
+                    break;
+                }
+            }
+            Expr {
+                kind: ExprKind::Group(parts),
+                span,
+            }
+        }
+        "loop" => {
+            p.bump();
+            let body = if p.text(0) == "{" {
+                parse_primary(p, end)
+            } else {
+                Expr {
+                    kind: ExprKind::Group(Vec::new()),
+                    span,
+                }
+            };
+            Expr {
+                kind: ExprKind::Group(vec![body]),
+                span,
+            }
+        }
+        "for" => {
+            p.bump();
+            let pats = parse_pattern_until(p, end, &["in"]);
+            p.eat("in");
+            let iter = parse_expr(p, end);
+            let body = if p.text(0) == "{" {
+                let close = p.matching(end);
+                p.bump();
+                let b = parse_block(p, close.saturating_sub(1));
+                p.i = close;
+                b
+            } else {
+                Block::default()
+            };
+            Expr {
+                kind: ExprKind::ForLoop {
+                    pats,
+                    iter: Box::new(iter),
+                    body,
+                },
+                span,
+            }
+        }
+        "match" => {
+            p.bump();
+            let scrutinee = parse_expr(p, end);
+            let mut parts = vec![scrutinee];
+            if p.text(0) == "{" {
+                let close = p.matching(end);
+                p.bump();
+                let inner_end = close.saturating_sub(1);
+                while p.i < inner_end {
+                    let before = p.i;
+                    // Skip the pattern (and any `if` guard) to `=>`.
+                    let mut depth = 0i64;
+                    while p.i < inner_end {
+                        let s = p.text(0);
+                        if depth == 0 && p.at_op("=>") {
+                            break;
+                        }
+                        match s {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            _ => {}
+                        }
+                        p.bump();
+                    }
+                    if p.at_op("=>") {
+                        p.i += 2;
+                        parts.push(parse_expr(p, inner_end));
+                        p.eat(",");
+                    }
+                    if p.i == before {
+                        p.bump();
+                    }
+                }
+                p.i = close;
+            }
+            Expr {
+                kind: ExprKind::Group(parts),
+                span,
+            }
+        }
+        "return" | "break" | "continue" | "yield" => {
+            p.bump();
+            if p.i < end && !is_expr_stop(p.text(0)) && p.text(0) != "{" {
+                let e = parse_expr(p, end);
+                Expr {
+                    kind: ExprKind::Group(vec![e]),
+                    span,
+                }
+            } else {
+                Expr {
+                    kind: ExprKind::Group(Vec::new()),
+                    span,
+                }
+            }
+        }
+        "unsafe" | "async" => {
+            p.bump();
+            parse_primary(p, end)
+        }
+        _ if is_ident(t) => {
+            // Path (with optional turbofish segments and macro bang).
+            let mut segs = vec![t.to_string()];
+            p.bump();
+            loop {
+                if p.at_op("::") {
+                    if p.text(2) == "<" {
+                        p.i += 2;
+                        skip_generics(p, end);
+                        continue;
+                    }
+                    if is_ident(p.text(2)) {
+                        segs.push(p.text(2).to_string());
+                        p.i += 3;
+                        continue;
+                    }
+                }
+                break;
+            }
+            if p.text(0) == "!" && matches!(p.text(1), "(" | "[" | "{") && !p.at_op("!=") {
+                p.bump();
+                let close = p.matching(end);
+                p.bump();
+                let args = parse_comma_exprs(p, close.saturating_sub(1));
+                p.i = close;
+                return Expr {
+                    kind: ExprKind::MacroCall {
+                        name: segs.pop().unwrap_or_default(),
+                        args,
+                    },
+                    span,
+                };
+            }
+            Expr {
+                kind: ExprKind::Path(segs),
+                span,
+            }
+        }
+        _ => {
+            p.bump();
+            Expr {
+                kind: ExprKind::Group(Vec::new()),
+                span,
+            }
+        }
+    }
+}
+
+fn parse_postfix(p: &mut P, end: usize, mut e: Expr) -> Expr {
+    loop {
+        if p.i >= end {
+            return e;
+        }
+        if p.text(0) == "." && !p.at_op("..") {
+            // Method call, field access, tuple index, `.await`.
+            let nt = p.text(1);
+            if nt == "await" {
+                p.i += 2;
+                continue;
+            }
+            if is_number(nt) {
+                let span = p.span();
+                p.i += 2;
+                e = Expr {
+                    kind: ExprKind::Field(Box::new(e), nt.to_string()),
+                    span,
+                };
+                continue;
+            }
+            if is_ident(nt) {
+                let name_span = p.peek(1).map_or(p.span(), |t| Span {
+                    line: t.line,
+                    col: t.col,
+                });
+                let name = nt.to_string();
+                p.i += 2;
+                let mut turbofish = Vec::new();
+                if p.at_op("::") && p.text(2) == "<" {
+                    p.i += 2;
+                    let tf_start = p.i;
+                    skip_generics(p, end);
+                    turbofish = p.t[tf_start + 1..p.i.saturating_sub(1)]
+                        .iter()
+                        .map(|t| t.text.clone())
+                        .collect();
+                }
+                if p.text(0) == "(" {
+                    let close = p.matching(end);
+                    p.bump();
+                    let args = parse_comma_exprs(p, close.saturating_sub(1));
+                    p.i = close;
+                    e = Expr {
+                        kind: ExprKind::MethodCall {
+                            recv: Box::new(e),
+                            method: name,
+                            turbofish,
+                            args,
+                        },
+                        span: name_span,
+                    };
+                } else {
+                    e = Expr {
+                        kind: ExprKind::Field(Box::new(e), name),
+                        span: name_span,
+                    };
+                }
+                continue;
+            }
+            p.bump();
+            continue;
+        }
+        match p.text(0) {
+            "(" => {
+                let span = e.span;
+                let close = p.matching(end);
+                p.bump();
+                let args = parse_comma_exprs(p, close.saturating_sub(1));
+                p.i = close;
+                e = Expr {
+                    kind: ExprKind::Call {
+                        callee: Box::new(e),
+                        args,
+                    },
+                    span,
+                };
+            }
+            "[" => {
+                let span = p.span();
+                let close = p.matching(end);
+                p.bump();
+                let index = parse_expr(p, close.saturating_sub(1));
+                p.i = close;
+                e = Expr {
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    },
+                    span,
+                };
+            }
+            "?" => p.bump(),
+            "as" => {
+                p.bump();
+                // Skip one type: path w/ generics, refs, parens.
+                while p.i < end {
+                    match p.text(0) {
+                        "&" | "*" => p.bump(),
+                        "(" | "[" => {
+                            p.i = p.matching(end);
+                            break;
+                        }
+                        s if is_ident(s) => {
+                            p.bump();
+                            if p.at_op("::") && is_ident(p.text(2)) {
+                                p.i += 1; // stay in the path loop
+                                continue;
+                            }
+                            if p.text(0) == "<" {
+                                skip_generics(p, end);
+                            }
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            _ => return e,
+        }
+    }
+}
+
+/// `{` opens a struct literal only in positions our grammar never
+/// treats as one — parse comma-separated expressions, tolerating
+/// non-expression junk (macro token soup, struct fields).
+fn parse_comma_exprs(p: &mut P, end: usize) -> Vec<Expr> {
+    let mut out = Vec::new();
+    while p.i < end {
+        let before = p.i;
+        let e = parse_expr(p, end);
+        if !matches!(&e.kind, ExprKind::Group(items) if items.is_empty()) {
+            out.push(e);
+        }
+        p.eat(",");
+        if p.i == before {
+            p.bump();
+        }
+    }
+    p.i = end;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        parse_items(&tokenize(src))
+            .into_iter()
+            .filter_map(|i| match i.kind {
+                ItemKind::Fn(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fn_items_carry_visibility_params_and_body() {
+        let fs = fns("pub fn add(a: u64, mut b: u64) -> u64 { a + b }\nfn helper() {}");
+        assert_eq!(fs.len(), 2);
+        assert!(fs[0].is_pub);
+        assert_eq!(fs[0].name, "add");
+        assert_eq!(fs[0].params, vec!["a", "b"]);
+        assert!(fs[0].body.is_some());
+        assert!(!fs[1].is_pub);
+    }
+
+    #[test]
+    fn impl_methods_get_their_self_type() {
+        let fs = fns("impl Engine { pub fn run(&self, n: usize) -> u64 { n as u64 } }");
+        assert_eq!(fs[0].self_type.as_deref(), Some("Engine"));
+        assert_eq!(fs[0].params, vec!["n"]);
+    }
+
+    #[test]
+    fn trait_impls_use_the_implementing_type() {
+        let fs = fns("impl Iterator for Stream { fn next(&mut self) -> Option<u8> { None } }");
+        assert_eq!(fs[0].self_type.as_deref(), Some("Stream"));
+        assert_eq!(fs[0].name, "next");
+    }
+
+    #[test]
+    fn deprecated_attribute_is_detected() {
+        let fs = fns("#[deprecated(note = \"use x\")]\npub fn old() {}\npub fn live() {}");
+        assert!(fs[0].is_deprecated);
+        assert!(!fs[1].is_deprecated);
+    }
+
+    #[test]
+    fn let_bindings_and_calls_parse() {
+        let fs = fns("fn f(seed: u64) { let s = derive(seed, 0); let mut r = Rng::new(s); }");
+        let body = fs[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        let Stmt::Let { names, init, .. } = &body.stmts[0] else {
+            panic!("expected let");
+        };
+        assert_eq!(names, &vec!["s".to_string()]);
+        let Some(Expr {
+            kind: ExprKind::Call { callee, args },
+            ..
+        }) = init
+        else {
+            panic!("expected call init");
+        };
+        assert!(matches!(&callee.kind, ExprKind::Path(p) if p == &vec!["derive".to_string()]));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn method_chains_and_turbofish_parse() {
+        let fs = fns("fn f(xs: &[f64]) -> f64 { xs.iter().map(|x| x * 2.0).sum::<f64>() }");
+        let body = fs[0].body.as_ref().unwrap();
+        let Stmt::Expr(e) = &body.stmts[0] else {
+            panic!("expected expr");
+        };
+        let ExprKind::MethodCall {
+            method, turbofish, ..
+        } = &e.kind
+        else {
+            panic!("expected method call, got {e:?}");
+        };
+        assert_eq!(method, "sum");
+        assert_eq!(turbofish, &vec!["f64".to_string()]);
+    }
+
+    #[test]
+    fn for_loops_expose_iter_and_body() {
+        let fs = fns("fn f(m: &M) { let mut acc = 0.0; for v in m.values() { acc += v; } }");
+        let body = fs[0].body.as_ref().unwrap();
+        let Stmt::Expr(Expr {
+            kind: ExprKind::ForLoop { pats, iter, body },
+            ..
+        }) = &body.stmts[1]
+        else {
+            panic!("expected for loop, got {:?}", body.stmts[1]);
+        };
+        assert_eq!(pats, &vec!["v".to_string()]);
+        assert!(matches!(&iter.kind, ExprKind::MethodCall { method, .. } if method == "values"));
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Expr(Expr {
+                kind: ExprKind::Assign { op, .. },
+                ..
+            }) if op == "+="
+        ));
+    }
+
+    #[test]
+    fn float_literals_merge_across_the_dot() {
+        let fs = fns("fn f() { let x = 0.5; let y = 1.0e3; }");
+        let body = fs[0].body.as_ref().unwrap();
+        let Stmt::Let { init, .. } = &body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            init.as_ref().map(|e| &e.kind),
+            Some(ExprKind::Lit(t)) if t == "0.5"
+        ));
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_floats() {
+        let fs = fns("fn f() { for i in 0..10 { touch(i); } }");
+        let body = fs[0].body.as_ref().unwrap();
+        let Stmt::Expr(Expr {
+            kind: ExprKind::ForLoop { iter, .. },
+            ..
+        }) = &body.stmts[0]
+        else {
+            panic!("expected for loop");
+        };
+        assert!(matches!(&iter.kind, ExprKind::Range { .. }));
+    }
+
+    #[test]
+    fn struct_literals_and_match_do_not_desync_the_parser() {
+        let src = "fn f(x: u8) -> S {\n            match x { 0 => S { a: mk(), b: 2 }, _ => S::default() }\n        }\n        fn after() {}";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 2, "parser must recover and see `after`");
+        assert_eq!(fs[1].name, "after");
+    }
+
+    #[test]
+    fn nested_fns_are_lifted_not_inlined() {
+        let fs = fns("fn outer() { fn inner() { boom(); } inner(); }");
+        assert_eq!(fs.len(), 2);
+        // The outer body keeps the call but not the nested body.
+        let outer = fs.iter().find(|f| f.name == "outer").unwrap();
+        let mut calls = Vec::new();
+        outer.body.as_ref().unwrap().walk_exprs(&mut |e| {
+            if let ExprKind::Call { callee, .. } = &e.kind {
+                if let ExprKind::Path(p) = &callee.kind {
+                    calls.push(p.join("::"));
+                }
+            }
+        });
+        assert_eq!(calls, vec!["inner".to_string()]);
+    }
+
+    #[test]
+    fn cfg_test_functions_are_marked() {
+        let fs = fns("fn lib() {}\n#[cfg(test)]\nmod tests { fn t() {} }");
+        assert!(!fs[0].in_test);
+        assert!(fs[1].in_test);
+    }
+
+    #[test]
+    fn parser_terminates_on_garbage() {
+        // Unbalanced and nonsensical token streams must not hang.
+        for src in [
+            "fn f( {",
+            "impl { fn",
+            "let = = =",
+            "match { => => }",
+            ") } ] >::",
+        ] {
+            let _ = parse_items(&tokenize(src));
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! The workspace invariant rules.
+//! The workspace invariant rules: five token-level (lexical) rules
+//! and four AST/call-graph (semantic) rules.
 //!
 //! Every rule exists to protect a property the reproduction's numbers
 //! depend on:
@@ -22,15 +23,39 @@
 //!   every doubled `foo`/`foo_par` pair into one function; a new
 //!   public `_par` function reintroduces the doubled surface. The
 //!   `#[deprecated]` compatibility shims are exempt.
+//! - [`RNG_LINEAGE`]: every RNG stream must derive its seed from a
+//!   function parameter, chunk index, or named seed constant — a fresh
+//!   literal splits the reproduction into two seed universes, and two
+//!   streams built from the same seed expression silently correlate.
+//!   Taint-propagated through locals and same-crate calls
+//!   ([`crate::taint`]).
+//! - [`REDUCTION_ORDER`]: float accumulation is only thread-count
+//!   invariant when its iteration source is index-ordered; summing a
+//!   map's values folds in key order, which drifts from the chunk
+//!   grid's index order the moment the keying changes.
+//! - [`PANIC_TRANSITIVE`]: lexical panic detection stops at the
+//!   function boundary; this rule walks the call graph so a public fn
+//!   of a typed-error crate cannot reach `unwrap`/`panic!`/panicking
+//!   slice helpers through any private-call chain.
+//! - [`DEPRECATED_REACHABLE`]: compatibility shims must be dead
+//!   internally — any workspace call path into a `#[deprecated]` item
+//!   means a migration was left half-done (clippy's `-D deprecated`
+//!   approximates this per-crate; the call graph proves it).
 //!
 //! A diagnostic can be suppressed by putting
 //! `// pai-lint: allow(<rule>)` on the offending line or the line
 //! directly above it.
 
+use crate::ast::Span;
+use crate::callgraph::{CallGraph, PanicSite};
 use crate::lexer::Tok;
+use crate::symbols::SymbolTable;
+use crate::taint::Taint;
+use crate::FileAnalysis;
 
 /// A lint rule: a slug (used by the allow escape hatch), the crates it
 /// guards, and a token-pattern matcher.
+#[derive(Debug)]
 pub struct Rule {
     /// Stable machine-readable identifier, e.g. `panic-in-lib`.
     pub slug: &'static str,
@@ -112,13 +137,61 @@ pub const PAR_SUFFIX: Rule = Rule {
     lib_only: true,
 };
 
-/// All rules, in reporting order.
+/// RNG seed lineage rule (semantic).
+pub const RNG_LINEAGE: Rule = Rule {
+    slug: "rng-lineage",
+    rationale: "RNG seeds must derive from a fn parameter, chunk index, or named \
+                seed constant (derive_seed lineage) — a literal seed forks the \
+                seed universe and a reused seed expression correlates two streams",
+    scopes: ALL_SCOPES,
+    lib_only: true,
+};
+
+/// Float reduction order rule (semantic).
+pub const REDUCTION_ORDER: Rule = Rule {
+    slug: "reduction-order",
+    rationale: "f32/f64 accumulation must fold an index-ordered source (slices, \
+                ranges, ChunkedVec segments); map values/keys fold in key order, \
+                which is not the chunk grid's index order",
+    scopes: ALL_SCOPES,
+    lib_only: true,
+};
+
+/// Transitive panic-freedom rule (semantic).
+pub const PANIC_TRANSITIVE: Rule = Rule {
+    slug: "panic-transitive",
+    rationale: "public fns of typed-error crates must not reach unwrap/expect/\
+                panic!/panicking slice helpers through any private-call chain; \
+                return the crate's typed error instead",
+    scopes: PANIC_SCOPES,
+    lib_only: true,
+};
+
+/// Deprecated-shim reachability rule (semantic).
+pub const DEPRECATED_REACHABLE: Rule = Rule {
+    slug: "deprecated-reachable",
+    rationale: "no internal code path may call a #[deprecated] shim — migrate the \
+                caller to the replacement API; shims exist only for external \
+                compatibility",
+    scopes: ALL_SCOPES,
+    lib_only: true,
+};
+
+/// The token-level rules, in reporting order.
 pub const ALL_RULES: &[&Rule] = &[
     &HASH_ITERATION,
     &PANIC_IN_LIB,
     &WALL_CLOCK,
     &LOSSY_FLOAT_CAST,
     &PAR_SUFFIX,
+];
+
+/// The AST/call-graph rules, in reporting order.
+pub const SEMANTIC_RULES: &[&Rule] = &[
+    &RNG_LINEAGE,
+    &REDUCTION_ORDER,
+    &PANIC_TRANSITIVE,
+    &DEPRECATED_REACHABLE,
 ];
 
 /// One rule hit before allow-comment filtering.
@@ -134,7 +207,7 @@ pub struct Hit {
     pub matched: String,
 }
 
-/// Runs one rule's matcher over a token stream.
+/// Runs one lexical rule's matcher over a token stream.
 pub fn run_rule(rule: &Rule, toks: &[Tok]) -> Vec<Hit> {
     let mut hits = Vec::new();
     let mut push = |tok: &Tok, matched: String| {
@@ -201,6 +274,125 @@ pub fn run_rule(rule: &Rule, toks: &[Tok]) -> Vec<Hit> {
         }
     }
     hits
+}
+
+/// One semantic-rule finding: the file it lands in, the rule, and the
+/// hit payload.
+#[derive(Debug)]
+pub struct SemanticHit {
+    /// Index into the analyzed file slice.
+    pub file: usize,
+    /// The rule that fired.
+    pub rule: &'static Rule,
+    /// Span of the finding.
+    pub span: Span,
+    /// What was matched (for `panic-transitive`, the whole chain).
+    pub matched: String,
+}
+
+/// Runs the four semantic rules over the parsed workspace: builds the
+/// symbol table and call graph, then walks every function once. The
+/// output order is a pure function of the input file order.
+pub fn run_semantic(files: &[FileAnalysis], all_rules: bool) -> Vec<SemanticHit> {
+    let table = SymbolTable::build(files);
+    let graph = CallGraph::build(files, &table);
+    let taint = Taint::new(files, &table);
+    let mut hits = Vec::new();
+
+    for id in 0..table.fns.len() {
+        let (def, decl_span) = table.def(files, id);
+        let file = table.file_of(id);
+        let rel = files[file].rel_path.as_str();
+        if def.in_test {
+            // Every semantic rule is lib-only: test code may seed
+            // ad hoc, sum ad hoc, and unwrap freely.
+            continue;
+        }
+
+        if all_rules || in_scope(&RNG_LINEAGE, rel) {
+            for h in taint.rng_lineage(id) {
+                hits.push(SemanticHit {
+                    file,
+                    rule: &RNG_LINEAGE,
+                    span: h.span,
+                    matched: h.matched,
+                });
+            }
+        }
+
+        if all_rules || in_scope(&REDUCTION_ORDER, rel) {
+            for h in taint.reduction_order(id) {
+                hits.push(SemanticHit {
+                    file,
+                    rule: &REDUCTION_ORDER,
+                    span: h.span,
+                    matched: h.matched,
+                });
+            }
+        }
+
+        if !def.is_deprecated && (all_rules || in_scope(&DEPRECATED_REACHABLE, rel)) {
+            for call in &graph.calls[id] {
+                let all_deprecated = !call.targets.is_empty()
+                    && call
+                        .targets
+                        .iter()
+                        .all(|&t| table.def(files, t).0.is_deprecated);
+                if all_deprecated {
+                    hits.push(SemanticHit {
+                        file,
+                        rule: &DEPRECATED_REACHABLE,
+                        span: call.span,
+                        matched: format!("call to deprecated `{}`", call.name),
+                    });
+                }
+            }
+        }
+
+        if def.is_pub && !def.is_deprecated && (all_rules || in_scope(&PANIC_TRANSITIVE, rel)) {
+            let enter = |t: usize| {
+                let (tdef, _) = table.def(files, t);
+                !tdef.in_test
+                    && (all_rules || in_scope(&PANIC_TRANSITIVE, &files[table.file_of(t)].rel_path))
+            };
+            let site_live = |sid: usize, site: &PanicSite| {
+                // Direct unwrap/panic in the fn itself is the lexical
+                // rule's finding; this rule owns the transitive chains
+                // and the slice-helper tier the lexer can't see.
+                if sid == id && !site.slice {
+                    return false;
+                }
+                let lines = &files[table.file_of(sid)].lines;
+                !site_allowed(lines, site.span.line)
+            };
+            if let Some((chain, site)) = graph.find_panic_chain(id, &enter, &site_live) {
+                let names: Vec<&str> = chain
+                    .iter()
+                    .map(|&c| table.def(files, c).0.name.as_str())
+                    .collect();
+                hits.push(SemanticHit {
+                    file,
+                    rule: &PANIC_TRANSITIVE,
+                    span: decl_span,
+                    matched: format!("`{}` via {}", site.what, names.join(" -> ")),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// True when a panic *site* is allowed by either the lexical or the
+/// transitive panic escape hatch — an allowed site is clean and stops
+/// propagating through the call graph.
+fn site_allowed(lines: &[String], line: usize) -> bool {
+    let check = |l: &String| {
+        l.contains("pai-lint: allow(panic-in-lib)")
+            || l.contains("pai-lint: allow(panic-transitive)")
+    };
+    let here = line.checked_sub(1).and_then(|i| lines.get(i));
+    let above = line.checked_sub(2).and_then(|i| lines.get(i));
+    here.is_some_and(check) || above.is_some_and(check)
 }
 
 /// True when the item starting at token `i` carries a `deprecated`
@@ -331,5 +523,151 @@ mod tests {
         assert!(!in_scope(&PANIC_IN_LIB, "crates/graph/src/graph.rs"));
         assert!(in_scope(&LOSSY_FLOAT_CAST, "crates/graph/src/op.rs"));
         assert!(in_scope(&HASH_ITERATION, "crates/xtask/src/main.rs"));
+        // The semantic rules' scoping: panic-transitive follows the
+        // typed-error crate set, the dataflow rules cover everything.
+        assert!(in_scope(&PANIC_TRANSITIVE, "crates/trace/src/stream.rs"));
+        assert!(!in_scope(&PANIC_TRANSITIVE, "crates/graph/src/graph.rs"));
+        assert!(in_scope(&RNG_LINEAGE, "crates/graph/src/graph.rs"));
+        assert!(in_scope(&REDUCTION_ORDER, "crates/xtask/src/rules.rs"));
+        assert!(in_scope(&DEPRECATED_REACHABLE, "crates/core/src/model.rs"));
+    }
+
+    // ---- semantic-rule integration (built via FileAnalysis) -------
+
+    fn semantic(srcs: &[(&str, &str)], all_rules: bool) -> Vec<SemanticHit> {
+        let files: Vec<FileAnalysis> = srcs
+            .iter()
+            .map(|(p, s)| FileAnalysis::analyze(p, s, all_rules))
+            .collect();
+        run_semantic(&files, all_rules)
+    }
+
+    #[test]
+    fn transitive_panic_is_found_through_private_chains() {
+        let hits = semantic(
+            &[(
+                "crates/sim/src/a.rs",
+                "pub fn entry(v: &[u8]) -> u8 { hop(v) }\n\
+                 fn hop(v: &[u8]) -> u8 { inner(v) }\n\
+                 fn inner(v: &[u8]) -> u8 { *v.first().unwrap() }",
+            )],
+            false,
+        );
+        let transitive: Vec<&SemanticHit> = hits
+            .iter()
+            .filter(|h| h.rule.slug == "panic-transitive")
+            .collect();
+        assert_eq!(transitive.len(), 1, "{hits:?}");
+        assert_eq!(transitive[0].span.line, 1);
+        assert!(transitive[0].matched.contains("entry -> hop -> inner"));
+    }
+
+    #[test]
+    fn direct_unwrap_belongs_to_the_lexical_rule_only() {
+        let hits = semantic(
+            &[(
+                "crates/sim/src/a.rs",
+                "pub fn entry(v: &[u8]) -> u8 { *v.first().unwrap() }",
+            )],
+            false,
+        );
+        assert!(
+            hits.iter().all(|h| h.rule.slug != "panic-transitive"),
+            "distance-0 unwrap is panic-in-lib's finding: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn direct_slice_helpers_are_the_transitive_rules_tier() {
+        let hits = semantic(
+            &[(
+                "crates/sim/src/a.rs",
+                "pub fn entry(v: &[u8]) -> (&[u8], &[u8]) { v.split_at(4) }",
+            )],
+            false,
+        );
+        let transitive: Vec<&SemanticHit> = hits
+            .iter()
+            .filter(|h| h.rule.slug == "panic-transitive")
+            .collect();
+        assert_eq!(transitive.len(), 1, "{hits:?}");
+        assert!(transitive[0].matched.contains("split_at"));
+    }
+
+    #[test]
+    fn allowed_panic_sites_stop_propagation() {
+        let hits = semantic(
+            &[(
+                "crates/sim/src/a.rs",
+                "pub fn entry() { hop(); }\n\
+                 fn hop() {\n\
+                 // pai-lint: allow(panic-in-lib)\n\
+                 panic!(\"executor corruption must stay loud\");\n\
+                 }",
+            )],
+            false,
+        );
+        assert!(
+            hits.iter().all(|h| h.rule.slug != "panic-transitive"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn exempt_crates_do_not_propagate_panics_inward() {
+        // graph is outside the typed-error set: a sim pub fn calling
+        // into pai_graph code that panics is a documented `# Panics`
+        // contract, not a finding.
+        let hits = semantic(
+            &[
+                (
+                    "crates/sim/src/a.rs",
+                    "pub fn entry() { pai_graph::lookup(3); }",
+                ),
+                (
+                    "crates/graph/src/lib.rs",
+                    "pub fn lookup(i: u64) { panic!(\"no such op\"); }",
+                ),
+            ],
+            false,
+        );
+        assert!(
+            hits.iter().all(|h| h.rule.slug != "panic-transitive"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn deprecated_reachability_flags_internal_callers() {
+        let hits = semantic(
+            &[(
+                "crates/core/src/a.rs",
+                "#[deprecated(note = \"use report\")]\npub fn total_par(x: u8) -> u8 { x }\n\
+                 pub fn report(x: u8) -> u8 { total_par(x) }",
+            )],
+            false,
+        );
+        let dep: Vec<&SemanticHit> = hits
+            .iter()
+            .filter(|h| h.rule.slug == "deprecated-reachable")
+            .collect();
+        assert_eq!(dep.len(), 1, "{hits:?}");
+        assert_eq!(dep[0].span.line, 3);
+    }
+
+    #[test]
+    fn deprecated_shims_may_call_each_other() {
+        let hits = semantic(
+            &[(
+                "crates/core/src/a.rs",
+                "#[deprecated]\npub fn old_inner(x: u8) -> u8 { x }\n\
+                 #[deprecated]\npub fn old_outer(x: u8) -> u8 { old_inner(x) }",
+            )],
+            false,
+        );
+        assert!(
+            hits.iter().all(|h| h.rule.slug != "deprecated-reachable"),
+            "{hits:?}"
+        );
     }
 }

@@ -1,0 +1,627 @@
+//! Intraprocedural taint for the two dataflow rules.
+//!
+//! **RNG lineage** walks each function body in source order with a
+//! literal-taint environment over the locals: a seed expression is
+//! *literal-tainted* when every leaf is a bare literal — propagated
+//! through `let` bindings, re-assignments, arithmetic, and same-crate
+//! calls to argument-less functions that themselves return literals.
+//! Named `UPPER_SNAKE` constants are the sanctioned carve-out (a
+//! reviewed seed constant is lineage), as are function parameters and
+//! loop/chunk indices (non-literal by construction). A second RNG
+//! constructed from a byte-identical non-literal seed expression in
+//! the same function is a *reused stream* and is equally flagged.
+//!
+//! **Reduction order** flags `f32`/`f64` accumulation whose iteration
+//! source is not provably index-ordered: `.sum::<f64>()` /
+//! `.product` / float-seeded `.fold` chains that pass through map
+//! accessors (`values`, `keys`, `into_values`, `into_keys`), and
+//! float `+=` accumulation inside a `for` loop over such a source.
+//! Chains rooted at slices, ranges and plain locals are ordered by
+//! construction and stay silent.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Block, Expr, ExprKind, Span, Stmt};
+use crate::symbols::SymbolTable;
+use crate::FileAnalysis;
+
+/// One taint finding before suppression filtering.
+#[derive(Debug, Clone)]
+pub struct TaintHit {
+    /// Span of the offending construct.
+    pub span: Span,
+    /// What was matched, e.g. `SplitMix64::new(<literal>)`.
+    pub matched: String,
+}
+
+/// RNG type names whose constructors the lineage rule guards.
+const RNG_TYPES: &[&str] = &["SplitMix64", "StdRng", "SmallRng", "ChaCha8Rng", "Pcg64"];
+
+/// Constructor method names on those types.
+const RNG_CTORS: &[&str] = &["new", "keyed", "seed_from_u64", "from_seed", "from_u64"];
+
+/// Map accessors that yield values in key order, not index order.
+const UNORDERED_SOURCES: &[&str] = &["values", "keys", "into_values", "into_keys"];
+
+/// The shared analysis context (memoizes literal-source functions).
+pub struct Taint<'a> {
+    files: &'a [FileAnalysis],
+    table: &'a SymbolTable,
+    /// fn id → whether it is an argument-less literal source;
+    /// `None` marks in-progress (recursion breaks to `false`).
+    literal_src: RefCell<BTreeMap<usize, Option<bool>>>,
+}
+
+impl<'a> Taint<'a> {
+    /// A context over the analyzed file set.
+    pub fn new(files: &'a [FileAnalysis], table: &'a SymbolTable) -> Taint<'a> {
+        Taint {
+            files,
+            table,
+            literal_src: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    // ---- RNG lineage ---------------------------------------------
+
+    /// Lineage findings for one function.
+    pub fn rng_lineage(&self, fn_id: usize) -> Vec<TaintHit> {
+        let (def, _) = self.table.def(self.files, fn_id);
+        let crate_name = &self.table.crates[self.table.file_of(fn_id)];
+        let Some(body) = &def.body else {
+            return Vec::new();
+        };
+        let mut env: BTreeMap<String, bool> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        self.scan_block(crate_name, body, &mut env, &mut seen, &mut out);
+        out
+    }
+
+    fn scan_block(
+        &self,
+        crate_name: &str,
+        block: &Block,
+        env: &mut BTreeMap<String, bool>,
+        seen: &mut BTreeSet<String>,
+        out: &mut Vec<TaintHit>,
+    ) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let { names, init, .. } => {
+                    if let Some(init) = init {
+                        self.scan_expr(crate_name, init, env, seen, out);
+                        let lit = self.is_literal(crate_name, init, env);
+                        for n in names {
+                            env.insert(n.clone(), lit && names.len() == 1);
+                        }
+                    } else {
+                        for n in names {
+                            env.insert(n.clone(), false);
+                        }
+                    }
+                }
+                Stmt::Expr(e) => self.scan_expr(crate_name, e, env, seen, out),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    fn scan_expr(
+        &self,
+        crate_name: &str,
+        e: &Expr,
+        env: &mut BTreeMap<String, bool>,
+        seen: &mut BTreeSet<String>,
+        out: &mut Vec<TaintHit>,
+    ) {
+        match &e.kind {
+            ExprKind::Call { callee, args } => {
+                for a in args {
+                    self.scan_expr(crate_name, a, env, seen, out);
+                }
+                if let Some(ctor) = rng_ctor_name(callee) {
+                    if let Some(seed) = args.first() {
+                        if self.is_literal(crate_name, seed, env) {
+                            out.push(TaintHit {
+                                span: callee.span,
+                                matched: format!("{ctor}(<literal seed>)"),
+                            });
+                        } else {
+                            let canon = seed.canonical();
+                            if !seen.insert(canon.clone()) {
+                                out.push(TaintHit {
+                                    span: callee.span,
+                                    matched: format!("{ctor}(<reused stream `{canon}`>)"),
+                                });
+                            }
+                        }
+                    }
+                }
+                self.scan_expr(crate_name, callee, env, seen, out);
+            }
+            ExprKind::Assign { op, target, value } => {
+                self.scan_expr(crate_name, value, env, seen, out);
+                if op == "=" {
+                    if let ExprKind::Path(segs) = &target.kind {
+                        if segs.len() == 1 {
+                            let lit = self.is_literal(crate_name, value, env);
+                            env.insert(segs[0].clone(), lit);
+                        }
+                    }
+                }
+            }
+            ExprKind::Closure { params, body } => {
+                for p in params {
+                    env.insert(p.clone(), false);
+                }
+                self.scan_expr(crate_name, body, env, seen, out);
+            }
+            ExprKind::ForLoop { pats, iter, body } => {
+                self.scan_expr(crate_name, iter, env, seen, out);
+                for p in pats {
+                    env.insert(p.clone(), false);
+                }
+                self.scan_block(crate_name, body, env, seen, out);
+            }
+            ExprKind::Block(b) => self.scan_block(crate_name, b, env, seen, out),
+            ExprKind::MethodCall { recv, args, .. } => {
+                self.scan_expr(crate_name, recv, env, seen, out);
+                for a in args {
+                    self.scan_expr(crate_name, a, env, seen, out);
+                }
+            }
+            ExprKind::Field(recv, _) => self.scan_expr(crate_name, recv, env, seen, out),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.scan_expr(crate_name, lhs, env, seen, out);
+                self.scan_expr(crate_name, rhs, env, seen, out);
+            }
+            ExprKind::Unary { operand, .. } => self.scan_expr(crate_name, operand, env, seen, out),
+            ExprKind::Index { base, index } => {
+                self.scan_expr(crate_name, base, env, seen, out);
+                self.scan_expr(crate_name, index, env, seen, out);
+            }
+            ExprKind::Range { lo, hi } => {
+                if let Some(x) = lo {
+                    self.scan_expr(crate_name, x, env, seen, out);
+                }
+                if let Some(x) = hi {
+                    self.scan_expr(crate_name, x, env, seen, out);
+                }
+            }
+            ExprKind::MacroCall { args, .. } | ExprKind::Group(args) => {
+                for a in args {
+                    self.scan_expr(crate_name, a, env, seen, out);
+                }
+            }
+            ExprKind::Lit(_) | ExprKind::Path(_) => {}
+        }
+    }
+
+    /// Literal taint of a seed expression under the current locals.
+    fn is_literal(&self, crate_name: &str, e: &Expr, env: &BTreeMap<String, bool>) -> bool {
+        match &e.kind {
+            ExprKind::Lit(_) => true,
+            ExprKind::Path(segs) => {
+                let last = segs.last().map_or("", String::as_str);
+                if is_upper_snake(last) {
+                    // Named seed constants are sanctioned lineage.
+                    false
+                } else if segs.len() == 1 {
+                    // Unbound idents are fn params / loop vars:
+                    // non-literal by construction.
+                    env.get(last).copied().unwrap_or(false)
+                } else {
+                    false
+                }
+            }
+            ExprKind::Unary { operand, .. } => self.is_literal(crate_name, operand, env),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.is_literal(crate_name, lhs, env) && self.is_literal(crate_name, rhs, env)
+            }
+            ExprKind::Group(items) => {
+                !items.is_empty() && items.iter().all(|i| self.is_literal(crate_name, i, env))
+            }
+            ExprKind::Call { callee, args } => {
+                // Laundering a literal through an argument-less helper
+                // (`fn default_seed() -> u64 { 42 }`) stays literal.
+                if !args.is_empty() {
+                    return false;
+                }
+                let ExprKind::Path(segs) = &callee.kind else {
+                    return false;
+                };
+                let Some(last) = segs.last() else {
+                    return false;
+                };
+                let targets = self.table.resolve(crate_name, last);
+                !targets.is_empty()
+                    && targets
+                        .iter()
+                        .all(|&id| self.fn_is_literal_source(crate_name, id))
+            }
+            _ => false,
+        }
+    }
+
+    /// True when fn `id` takes no arguments and returns a literal.
+    fn fn_is_literal_source(&self, crate_name: &str, id: usize) -> bool {
+        if let Some(cached) = self.literal_src.borrow().get(&id) {
+            // In-progress (None) means recursion: break to false.
+            return cached.unwrap_or(false);
+        }
+        self.literal_src.borrow_mut().insert(id, None);
+        let (def, _) = self.table.def(self.files, id);
+        let result = def.params.is_empty()
+            && def.body.as_ref().is_some_and(|b| {
+                let mut env = BTreeMap::new();
+                for stmt in &b.stmts {
+                    if let Stmt::Let { names, init, .. } = stmt {
+                        let lit = init
+                            .as_ref()
+                            .is_some_and(|i| self.is_literal(crate_name, i, &env));
+                        for n in names {
+                            env.insert(n.clone(), lit && names.len() == 1);
+                        }
+                    }
+                }
+                match b.stmts.last() {
+                    Some(Stmt::Expr(e)) => self.is_literal(crate_name, e, &env),
+                    _ => false,
+                }
+            });
+        self.literal_src.borrow_mut().insert(id, Some(result));
+        result
+    }
+
+    // ---- Reduction order -----------------------------------------
+
+    /// Reduction-order findings for one function.
+    pub fn reduction_order(&self, fn_id: usize) -> Vec<TaintHit> {
+        let (def, _) = self.table.def(self.files, fn_id);
+        let Some(body) = &def.body else {
+            return Vec::new();
+        };
+        let mut floats = BTreeSet::new();
+        let mut out = Vec::new();
+        scan_reduction_block(body, &mut floats, &mut out);
+        out
+    }
+}
+
+/// The `Type::ctor` name when `callee` is an RNG constructor path.
+fn rng_ctor_name(callee: &Expr) -> Option<String> {
+    let ExprKind::Path(segs) = &callee.kind else {
+        return None;
+    };
+    let last = segs.last()?;
+    if segs.len() >= 2 {
+        let ty = &segs[segs.len() - 2];
+        let rng_type = RNG_TYPES.contains(&ty.as_str()) || ty.ends_with("Rng");
+        if rng_type && RNG_CTORS.contains(&last.as_str()) {
+            return Some(format!("{ty}::{last}"));
+        }
+    }
+    if last == "seed_from_u64" {
+        return Some(segs.join("::"));
+    }
+    None
+}
+
+fn is_upper_snake(s: &str) -> bool {
+    s.chars().any(|c| c.is_ascii_uppercase())
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn is_float_lit(e: &Expr) -> bool {
+    matches!(&e.kind, ExprKind::Lit(t)
+        if t.contains('.') || t.ends_with("f32") || t.ends_with("f64"))
+}
+
+/// The unordered map accessor a receiver chain passes through, if any.
+fn unordered_source(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::MethodCall { recv, method, .. } => {
+            if UNORDERED_SOURCES.contains(&method.as_str()) {
+                Some(method.as_str())
+            } else {
+                unordered_source(recv)
+            }
+        }
+        ExprKind::Field(recv, _) => unordered_source(recv),
+        ExprKind::Index { base, .. } => unordered_source(base),
+        ExprKind::Unary { operand, .. } => unordered_source(operand),
+        ExprKind::Call { args, .. } => args.first().and_then(unordered_source),
+        _ => None,
+    }
+}
+
+fn float_turbofish(turbofish: &[String]) -> bool {
+    turbofish.iter().any(|t| t == "f32" || t == "f64")
+}
+
+fn ty_is_float(ty: &[String]) -> bool {
+    ty.iter().any(|t| t == "f32" || t == "f64")
+}
+
+fn scan_reduction_block(block: &Block, floats: &mut BTreeSet<String>, out: &mut Vec<TaintHit>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { names, ty, init } => {
+                if let Some(init) = init {
+                    // A type-ascribed float sum needs no turbofish.
+                    if ty_is_float(ty) {
+                        check_reduction(init, true, out);
+                    }
+                    scan_reduction_expr(init, floats, out);
+                    if ty_is_float(ty) || is_float_lit(init) {
+                        for n in names {
+                            floats.insert(n.clone());
+                        }
+                    }
+                } else if ty_is_float(ty) {
+                    for n in names {
+                        floats.insert(n.clone());
+                    }
+                }
+            }
+            Stmt::Expr(e) => scan_reduction_expr(e, floats, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn scan_reduction_expr(e: &Expr, floats: &mut BTreeSet<String>, out: &mut Vec<TaintHit>) {
+    check_reduction(e, false, out);
+    match &e.kind {
+        ExprKind::ForLoop { iter, body, .. } => {
+            scan_reduction_expr(iter, floats, out);
+            if let Some(src) = unordered_source(iter) {
+                let src = src.to_string();
+                // Float `+=` against an unordered iteration source.
+                for stmt in &body.stmts {
+                    if let Stmt::Expr(inner) = stmt {
+                        inner.walk(&mut |x| {
+                            if let ExprKind::Assign { op, target, value } = &x.kind {
+                                let float_target =
+                                    target.root_ident().is_some_and(|r| floats.contains(r))
+                                        || is_float_lit(value);
+                                if op == "+=" && float_target {
+                                    out.push(TaintHit {
+                                        span: x.span,
+                                        matched: format!("`+=` over `.{src}()`"),
+                                    });
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+            scan_reduction_block(body, floats, out);
+        }
+        ExprKind::Block(b) => scan_reduction_block(b, floats, out),
+        _ => {
+            // Recurse one level at a time so nested blocks/loops pass
+            // back through the statement scanner.
+            let mut children: Vec<&Expr> = Vec::new();
+            collect_children(e, &mut children);
+            for c in children {
+                scan_reduction_expr(c, floats, out);
+            }
+        }
+    }
+}
+
+fn collect_children<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match &e.kind {
+        ExprKind::Lit(_) | ExprKind::Path(_) => {}
+        ExprKind::Field(recv, _) => out.push(recv),
+        ExprKind::Call { callee, args } => {
+            out.push(callee);
+            out.extend(args.iter());
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            out.push(recv);
+            out.extend(args.iter());
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            out.push(lhs);
+            out.push(rhs);
+        }
+        ExprKind::Unary { operand, .. } => out.push(operand),
+        ExprKind::Index { base, index } => {
+            out.push(base);
+            out.push(index);
+        }
+        ExprKind::Range { lo, hi } => {
+            out.extend(lo.iter().map(Box::as_ref));
+            out.extend(hi.iter().map(Box::as_ref));
+        }
+        ExprKind::Assign { target, value, .. } => {
+            out.push(target);
+            out.push(value);
+        }
+        ExprKind::MacroCall { args, .. } | ExprKind::Group(args) => out.extend(args.iter()),
+        ExprKind::Closure { body, .. } => out.push(body),
+        ExprKind::ForLoop { .. } | ExprKind::Block(_) => {}
+    }
+}
+
+/// Flags `e` when it is a float reduction over an unordered chain.
+/// `ascribed_float` marks reductions whose element type comes from a
+/// `let` ascription instead of a turbofish.
+fn check_reduction(e: &Expr, ascribed_float: bool, out: &mut Vec<TaintHit>) {
+    let ExprKind::MethodCall {
+        recv,
+        method,
+        turbofish,
+        args,
+    } = &e.kind
+    else {
+        return;
+    };
+    let float_reduce = match method.as_str() {
+        "sum" | "product" => float_turbofish(turbofish) || ascribed_float,
+        "fold" => args.first().is_some_and(is_float_lit),
+        _ => false,
+    };
+    if !float_reduce {
+        return;
+    }
+    if let Some(src) = unordered_source(recv) {
+        out.push(TaintHit {
+            span: e.span,
+            matched: format!(".{method}() over `.{src}()`"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(srcs: &[(&str, &str)]) -> (Vec<FileAnalysis>, SymbolTable) {
+        let files: Vec<FileAnalysis> = srcs
+            .iter()
+            .map(|(p, s)| FileAnalysis::analyze(p, s, true))
+            .collect();
+        let table = SymbolTable::build(&files);
+        (files, table)
+    }
+
+    fn fn_named(files: &[FileAnalysis], table: &SymbolTable, name: &str) -> usize {
+        (0..table.fns.len())
+            .find(|&i| table.def(files, i).0.name == name)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn literal_seed_is_flagged_through_locals_and_helpers() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "fn default_seed() -> u64 { 42 }\n\
+             fn bad() { let s = default_seed(); let r = SplitMix64::new(s); }\n\
+             fn also_bad() { let r = StdRng::seed_from_u64(7 + 1); }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        let bad = taint.rng_lineage(fn_named(&files, &table, "bad"));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].span.line, 2);
+        let also = taint.rng_lineage(fn_named(&files, &table, "also_bad"));
+        assert_eq!(also.len(), 1);
+    }
+
+    #[test]
+    fn param_const_and_derived_seeds_are_lineage() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "const BASE_SEED: u64 = 9;\n\
+             fn good(seed: u64, chunk: u64) {\n\
+                 let a = SplitMix64::new(seed);\n\
+                 let b = SplitMix64::new(pai_par::derive_seed(seed, chunk));\n\
+                 let c = SplitMix64::new(BASE_SEED);\n\
+             }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        let hits = taint.rng_lineage(fn_named(&files, &table, "good"));
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn reused_stream_is_flagged_once_at_second_site() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "fn f(seed: u64) {\n\
+                 let a = SplitMix64::new(seed);\n\
+                 let b = SplitMix64::new(seed);\n\
+                 let c = SplitMix64::new(seed + 1);\n\
+             }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        let hits = taint.rng_lineage(fn_named(&files, &table, "f"));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].span.line, 3);
+        assert!(hits[0].matched.contains("reused"));
+    }
+
+    #[test]
+    fn recursive_literal_helpers_terminate() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "fn a() -> u64 { b() }\nfn b() -> u64 { a() }\n\
+             fn f() { let r = SplitMix64::new(a()); }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        // Mutually-recursive helpers are not literal sources; no hang.
+        assert!(taint.rng_lineage(fn_named(&files, &table, "f")).is_empty());
+    }
+
+    #[test]
+    fn float_sum_over_map_values_is_flagged() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "fn f(m: &BTreeMap<u64, f64>, xs: &[f64]) -> f64 {\n\
+                 let bad: f64 = m.values().sum();\n\
+                 let fine: f64 = xs.iter().sum();\n\
+                 bad + fine\n\
+             }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        let hits = taint.reduction_order(fn_named(&files, &table, "f"));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].span.line, 2);
+    }
+
+    #[test]
+    fn float_accumulate_loop_over_values_is_flagged() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "fn f(m: &BTreeMap<u64, f64>) -> f64 {\n\
+                 let mut acc = 0.0;\n\
+                 for v in m.values() { acc += v; }\n\
+                 acc\n\
+             }\n\
+             fn g(xs: &[f64]) -> f64 {\n\
+                 let mut acc = 0.0;\n\
+                 for v in xs { acc += v; }\n\
+                 acc\n\
+             }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        let bad = taint.reduction_order(fn_named(&files, &table, "f"));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].span.line, 3);
+        assert!(taint
+            .reduction_order(fn_named(&files, &table, "g"))
+            .is_empty());
+    }
+
+    #[test]
+    fn integer_sums_over_values_stay_silent() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "fn f(m: &BTreeMap<u64, u64>) -> u64 { m.values().sum::<u64>() }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        assert!(taint
+            .reduction_order(fn_named(&files, &table, "f"))
+            .is_empty());
+    }
+
+    #[test]
+    fn float_fold_over_keys_is_flagged() {
+        let (files, table) = analyze(&[(
+            "crates/sim/src/a.rs",
+            "fn f(m: &BTreeMap<u64, f64>) -> f64 {\n\
+                 m.keys().fold(0.0, |a, k| a + *k as f64)\n\
+             }",
+        )]);
+        let taint = Taint::new(&files, &table);
+        assert_eq!(
+            taint.reduction_order(fn_named(&files, &table, "f")).len(),
+            1
+        );
+    }
+}

@@ -6,6 +6,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use pai_par::Threads;
 use xtask::{lint_paths, lint_source, Diagnostic};
 
 fn fixture_dir(which: &str) -> PathBuf {
@@ -92,6 +93,55 @@ fn par_suffix_fires_on_the_live_fn_only() {
 }
 
 #[test]
+fn rng_lineage_fires_once_at_the_construction_site() {
+    let diags = lint_fixture("rng_literal_seed.rs");
+    assert_eq!(spans(&diags, "rng-lineage"), vec![(10, 15)]);
+    assert_eq!(diags.len(), 1, "only the lineage rule fires: {diags:?}");
+    assert!(diags[0].matched.contains("literal seed"), "{diags:?}");
+}
+
+#[test]
+fn reduction_order_fires_once_at_the_sum() {
+    let diags = lint_fixture("reduction_unordered.rs");
+    assert_eq!(spans(&diags, "reduction-order"), vec![(6, 16)]);
+    assert_eq!(diags.len(), 1, "only the reduction rule fires: {diags:?}");
+    assert!(diags[0].matched.contains("values"), "{diags:?}");
+}
+
+#[test]
+fn panic_transitive_fires_once_at_the_public_entry() {
+    let diags = lint_fixture("panic_transitive.rs");
+    assert_eq!(spans(&diags, "panic-transitive"), vec![(4, 8)]);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "panic-transitive")
+        .expect("transitive hit");
+    assert!(hit.matched.contains("entry -> hop -> inner"), "{hit:?}");
+    // The lexical rule still owns the unwrap itself.
+    assert_eq!(spans(&diags, "panic-in-lib").len(), 1);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn deprecated_reachable_fires_once_at_the_call_site() {
+    let diags = lint_fixture("deprecated_reachable.rs");
+    assert_eq!(spans(&diags, "deprecated-reachable"), vec![(9, 5)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].matched.contains("total_v1"), "{diags:?}");
+}
+
+#[test]
+fn cyclic_call_graph_terminates_and_fires_once() {
+    let diags = lint_fixture("callgraph_cycle.rs");
+    assert_eq!(spans(&diags, "panic-transitive"), vec![(4, 8)]);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "panic-transitive")
+        .expect("transitive hit");
+    assert!(hit.matched.contains("even -> odd -> boom"), "{hit:?}");
+}
+
+#[test]
 fn allow_comment_suppresses_the_fixture() {
     let path = fixture_dir("bad").join("suppressed.rs");
     let src = std::fs::read_to_string(&path).expect("fixture exists");
@@ -104,8 +154,9 @@ fn allow_comment_suppresses_the_fixture() {
 fn clean_fixture_tree_is_silent() {
     let root = fixture_dir("clean");
     let (diags, scanned, suppressed) =
-        lint_paths(&root, std::slice::from_ref(&root), true).expect("scan clean fixtures");
-    assert_eq!(scanned, 1);
+        lint_paths(&root, std::slice::from_ref(&root), true, Threads::SERIAL)
+            .expect("scan clean fixtures");
+    assert_eq!(scanned, 5);
     assert!(diags.is_empty(), "{diags:?}");
     assert_eq!(suppressed, 0);
 }
@@ -113,15 +164,19 @@ fn clean_fixture_tree_is_silent() {
 #[test]
 fn bad_fixture_tree_reports_every_rule() {
     let root = fixture_dir("bad");
-    let (diags, scanned, _) =
-        lint_paths(&root, std::slice::from_ref(&root), true).expect("scan bad fixtures");
-    assert_eq!(scanned, 8);
+    let (diags, scanned, _) = lint_paths(&root, std::slice::from_ref(&root), true, Threads::SERIAL)
+        .expect("scan bad fixtures");
+    assert_eq!(scanned, 13);
     for rule in [
         "hash-iteration",
         "panic-in-lib",
         "wall-clock",
         "lossy-float-cast",
         "par-suffix",
+        "rng-lineage",
+        "reduction-order",
+        "panic-transitive",
+        "deprecated-reachable",
     ] {
         assert!(diags.iter().any(|d| d.rule == rule), "missing {rule}");
     }
@@ -142,8 +197,9 @@ fn lint_binary_exits_nonzero_on_bad_and_zero_on_clean() {
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).expect("report written"))
             .expect("valid JSON report");
-    assert!(report["diagnostics"].as_array().expect("array").len() >= 14);
-    assert_eq!(report["files_scanned"], 8);
+    assert!(report["diagnostics"].as_array().expect("array").len() >= 18);
+    assert_eq!(report["files_scanned"], 13);
+    assert_eq!(report["version"], 2);
     let _ = std::fs::remove_file(&json);
 
     let clean = Command::new(bin)
@@ -155,5 +211,30 @@ fn lint_binary_exits_nonzero_on_bad_and_zero_on_clean() {
         clean.status.success(),
         "clean fixtures must pass: {}",
         String::from_utf8_lossy(&clean.stdout)
+    );
+}
+
+#[test]
+fn lint_binary_report_is_byte_identical_across_thread_counts() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let mut reports = Vec::new();
+    for threads in ["1", "8"] {
+        let json = std::env::temp_dir().join(format!("pai-lint-threads-{threads}.json"));
+        let out = Command::new(bin)
+            .args(["lint", "--all-rules", "--no-graph", "--json"])
+            .arg(&json)
+            .arg("--paths")
+            .arg(fixture_dir("bad"))
+            .arg(fixture_dir("clean"))
+            .env("PAI_THREADS", threads)
+            .output()
+            .expect("run xtask lint");
+        assert!(!out.status.success(), "bad fixtures fail at any threads");
+        reports.push(std::fs::read(&json).expect("report written"));
+        let _ = std::fs::remove_file(&json);
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "lint --json must be byte-identical at PAI_THREADS=1 vs 8"
     );
 }
