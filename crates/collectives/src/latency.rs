@@ -35,6 +35,19 @@ impl Latency {
         Latency(Seconds::from_micros(25.0))
     }
 
+    /// A typical PCIe DMA kick-off latency (2 µs) — the per-transfer
+    /// fixed cost a gradient push over the host bridge pays before the
+    /// bandwidth term starts.
+    pub fn pcie_default() -> Self {
+        Latency(Seconds::from_micros(2.0))
+    }
+
+    /// Zero latency: degrades every α–β formula to the paper's pure
+    /// bandwidth model.
+    pub fn zero() -> Self {
+        Latency(Seconds::ZERO)
+    }
+
     /// The per-step value.
     pub fn alpha(&self) -> Seconds {
         self.0
@@ -54,6 +67,32 @@ pub fn allreduce_time(n: usize, payload: Bytes, link: &LinkModel, latency: Laten
     }
     let steps = 2 * (n - 1);
     latency.alpha().scale(steps as f64) + link.transfer_time(ring::allreduce_per_rank(n, payload))
+}
+
+/// One point-to-point message over a link: `α + S / B_eff`.
+///
+/// This is the per-message building block of wait-free backprop and
+/// tensor fusion: each gradient push pays the link's fixed latency
+/// once, however small the payload, so splitting a fixed byte volume
+/// into more messages strictly costs more time.
+pub fn message_time(payload: Bytes, link: &LinkModel, latency: Latency) -> Seconds {
+    latency.alpha() + link.transfer_time(payload)
+}
+
+/// A stream of `n` equal-share messages totalling `payload` bytes over
+/// one link: `n·α + S / B_eff`.
+///
+/// The bandwidth term is independent of `n` — only the per-message
+/// latency scales with the message count. Halving `n` at equal total
+/// bytes therefore strictly reduces the modeled time (by `n/2 · α`),
+/// which is exactly the saving greedy tensor fusion banks.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn fused_stream_time(n: usize, payload: Bytes, link: &LinkModel, latency: Latency) -> Seconds {
+    assert!(n > 0, "a message stream needs at least one message");
+    latency.alpha().scale(n as f64) + link.transfer_time(payload)
 }
 
 /// Ring AllGather time with latency: `n-1` steps plus bandwidth.
@@ -147,8 +186,76 @@ mod tests {
     #[test]
     fn defaults_are_ordered() {
         assert!(
-            Latency::ethernet_default().alpha().as_f64()
-                > Latency::nvlink_default().alpha().as_f64()
+            Latency::ethernet_default().alpha().as_f64() > Latency::pcie_default().alpha().as_f64()
         );
+        assert!(
+            Latency::pcie_default().alpha().as_f64() > Latency::nvlink_default().alpha().as_f64()
+        );
+        assert!(Latency::zero().alpha().is_zero());
+    }
+
+    #[test]
+    fn message_time_splits_into_latency_and_bandwidth() {
+        let link = nvlink();
+        let lat = Latency::nvlink_default();
+        let payload = Bytes::from_mb(32.0);
+        let t = message_time(payload, &link, lat);
+        let expected = lat.alpha().as_f64() + link.transfer_time(payload).as_f64();
+        assert!((t.as_f64() - expected).abs() < 1e-15);
+        // Zero latency degrades to the paper's pure bandwidth model.
+        assert_eq!(
+            message_time(payload, &link, Latency::zero()).as_f64(),
+            link.transfer_time(payload).as_f64()
+        );
+    }
+
+    /// The fusion premise: halving the message count at equal total
+    /// bytes must *strictly* reduce the modeled time, on every medium
+    /// with a non-zero per-message latency.
+    #[test]
+    fn halving_message_count_at_equal_bytes_strictly_reduces_time() {
+        let media = [
+            (nvlink(), Latency::nvlink_default()),
+            (
+                LinkModel::new(LinkKind::Ethernet, Bandwidth::from_gbit_per_sec(25.0), 0.7),
+                Latency::ethernet_default(),
+            ),
+            (
+                LinkModel::new(LinkKind::Pcie, Bandwidth::from_gb_per_sec(10.0), 0.7),
+                Latency::pcie_default(),
+            ),
+        ];
+        for (link, lat) in media {
+            for payload in [
+                Bytes::from_kb(64.0),
+                Bytes::from_mb(4.0),
+                Bytes::from_gb(1.0),
+            ] {
+                for n in [2usize, 8, 64, 512] {
+                    let split = fused_stream_time(n, payload, &link, lat);
+                    let fused = fused_stream_time(n / 2, payload, &link, lat);
+                    assert!(
+                        fused.as_f64() < split.as_f64(),
+                        "{}: {n} -> {} messages must strictly help",
+                        link.kind(),
+                        n / 2
+                    );
+                    // The saving is exactly the dropped latency terms.
+                    let saved = split.as_f64() - fused.as_f64();
+                    let expected = lat.alpha().as_f64() * (n - n / 2) as f64;
+                    assert!((saved - expected).abs() < 1e-12 * split.as_f64().max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_stream_bandwidth_term_is_count_invariant() {
+        let link = nvlink();
+        let payload = Bytes::from_mb(100.0);
+        let t1 = fused_stream_time(1, payload, &link, Latency::zero());
+        let t64 = fused_stream_time(64, payload, &link, Latency::zero());
+        assert_eq!(t1.as_f64(), t64.as_f64());
+        assert_eq!(t1.as_f64(), link.transfer_time(payload).as_f64());
     }
 }

@@ -112,7 +112,7 @@ impl Breakdown {
     /// `T_total` under the breakdown's overlap mode: the sum of parts
     /// for [`OverlapMode::Serialized`] (the paper's default),
     /// `max{Td, Tc, Tw}` for [`OverlapMode::Ideal`] (Sec. V-B), or the
-    /// linear interpolation for [`OverlapMode::Partial`].
+    /// linear interpolation for the deprecated `OverlapMode::Partial`.
     pub fn total(&self) -> Seconds {
         let parts = [
             self.td.as_f64(),

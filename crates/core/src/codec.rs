@@ -383,6 +383,7 @@ pub fn model_fingerprint(model: &PerfModel) -> u64 {
     let overlap_tag: u8 = match model.overlap() {
         OverlapMode::Serialized => 0,
         OverlapMode::Ideal => 1,
+        #[allow(deprecated)]
         OverlapMode::Partial(_) => 2,
     };
     h = fnv1a(h, &[overlap_tag]);

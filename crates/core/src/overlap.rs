@@ -5,9 +5,13 @@
 //! is used as the prediction of the total execution time". Sec. V-B
 //! re-runs the key analyses under the opposite extreme — ideal overlap,
 //! `T_total = max{Td, Tc, Tw}` — and shows the fundamental-bottleneck
-//! conclusions survive. [`OverlapMode::Partial`] interpolates between
-//! the two extremes, since real frameworks (Poseidon, TicTac — the
-//! paper's refs 36 and 37) land somewhere in between.
+//! conclusions survive. The two extremes are the documented bounds;
+//! where a real framework lands between them (Poseidon, TicTac — the
+//! paper's refs 36 and 37) is now *derived*, not assumed: the
+//! `pai-dag` critical-path evaluator schedules each gradient's
+//! synchronization against the op stream (WFBP, tensor fusion)
+//! instead of interpolating with a free parameter. The old
+//! [`OverlapMode::Partial`] interpolation is deprecated in its favor.
 
 use std::fmt;
 
@@ -25,6 +29,15 @@ pub enum OverlapMode {
     /// `T = (1-α)·sum + α·max` with `α = percent/100`.
     /// `Partial(0)` equals [`OverlapMode::Serialized`] and
     /// `Partial(100)` equals [`OverlapMode::Ideal`].
+    ///
+    /// The free parameter α answers nothing the bounds don't: any
+    /// measurement it could be fit to is better explained by the
+    /// `pai-dag` evaluator, which *derives* the achieved overlap from
+    /// the op DAG and the network path instead of assuming it.
+    #[deprecated(
+        note = "use the two bound modes, or the `pai-dag` critical-path evaluator \
+                (`StepTimeBackend::Dag`) which derives the achieved overlap"
+    )]
     Partial(u8),
 }
 
@@ -41,6 +54,7 @@ impl OverlapMode {
         match self {
             OverlapMode::Serialized => 0.0,
             OverlapMode::Ideal => 1.0,
+            #[allow(deprecated)]
             OverlapMode::Partial(percent) => {
                 assert!(
                     percent <= 100,
@@ -66,6 +80,7 @@ impl fmt::Display for OverlapMode {
         match self {
             OverlapMode::Serialized => f.write_str("non-overlap"),
             OverlapMode::Ideal => f.write_str("ideal overlap"),
+            #[allow(deprecated)]
             OverlapMode::Partial(p) => write!(f, "{p}% overlap"),
         }
     }
@@ -81,6 +96,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn labels_match_fig16() {
         assert_eq!(OverlapMode::Serialized.to_string(), "non-overlap");
         assert_eq!(OverlapMode::Ideal.to_string(), "ideal overlap");
@@ -88,6 +104,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn combine_interpolates_between_sum_and_max() {
         let parts = [1.0, 2.0, 3.0];
         assert_eq!(OverlapMode::Serialized.combine(&parts), 6.0);
@@ -98,6 +115,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn combine_is_monotone_in_alpha() {
         let parts = [0.5, 2.5, 1.0];
         let mut prev = f64::INFINITY;
@@ -110,6 +128,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at most 100")]
+    #[allow(deprecated)]
     fn rejects_over_100_percent() {
         let _ = OverlapMode::Partial(101).alpha();
     }

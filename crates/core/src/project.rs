@@ -102,10 +102,21 @@ pub fn project(
     job: &WorkloadFeatures,
     target: ProjectionTarget,
 ) -> Option<ProjectionOutcome> {
+    project_with(model, job, target)
+}
+
+/// [`project`] over any [`crate::steptime::StepTimer`] backend — the
+/// same mapping rules and eligibility checks, priced by the closed
+/// form or a DAG critical-path engine behind one switch.
+pub fn project_with<B: crate::steptime::StepTimer + ?Sized>(
+    backend: &B,
+    job: &WorkloadFeatures,
+    target: ProjectionTarget,
+) -> Option<ProjectionOutcome> {
     if job.arch() != Architecture::PsWorker {
         return None;
     }
-    if !model.config().gpu().fits_in_memory(job.weight_bytes()) {
+    if !backend.hardware().gpu().fits_in_memory(job.weight_bytes()) {
         return None;
     }
     let cnodes = match target {
@@ -113,10 +124,10 @@ pub fn project(
         ProjectionTarget::AllReduceCluster => job.cnodes(),
     };
     let projected = job.remapped(target.architecture(), cnodes.max(2));
-    let original_step = model.total_time(job);
-    let projected_step = model.total_time(&projected);
+    let original_step = backend.total_time(job);
+    let projected_step = backend.total_time(&projected);
     let single_cnode_speedup = original_step.ratio(projected_step);
-    let throughput_speedup = model.throughput(&projected) / model.throughput(job);
+    let throughput_speedup = backend.throughput(&projected) / backend.throughput(job);
     Some(ProjectionOutcome {
         original: *job,
         projected,
@@ -126,6 +137,32 @@ pub fn project(
         single_cnode_speedup,
         throughput_speedup,
     })
+}
+
+/// Projects every eligible PS/Worker job onto `target` over any
+/// [`crate::steptime::StepTimer`] backend, in index order; ineligible
+/// jobs are skipped. Chunks concatenate in index order, so the
+/// outcome sequence is identical at every thread count.
+pub fn projections_with<B, J>(
+    backend: &B,
+    jobs: &J,
+    target: ProjectionTarget,
+    threads: pai_par::Threads,
+) -> Vec<ProjectionOutcome>
+where
+    B: crate::steptime::StepTimer + ?Sized,
+    J: crate::jobs::Jobs + ?Sized,
+{
+    pai_par::scatter_gather(
+        jobs.len(),
+        pai_par::DEFAULT_CHUNK_SIZE,
+        threads,
+        |_, range| {
+            range
+                .filter_map(|i| project_with(backend, &jobs.get(i), target))
+                .collect()
+        },
+    )
 }
 
 impl PerfModel {
@@ -142,16 +179,7 @@ impl PerfModel {
         target: ProjectionTarget,
         threads: pai_par::Threads,
     ) -> Vec<ProjectionOutcome> {
-        pai_par::scatter_gather(
-            jobs.len(),
-            pai_par::DEFAULT_CHUNK_SIZE,
-            threads,
-            |_, range| {
-                range
-                    .filter_map(|i| project(self, &jobs.get(i), target))
-                    .collect()
-            },
-        )
+        projections_with(self, jobs, target, threads)
     }
 }
 
@@ -348,6 +376,21 @@ mod tests {
             .expect("eligible");
         let expected = out.single_cnode_speedup * 8.0 / 128.0;
         assert!((out.throughput_speedup - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_with_on_the_model_backend_is_bitwise_project() {
+        let m = PerfModel::paper_default();
+        let job = ps_job(128, 1.0, 0.5);
+        for target in [
+            ProjectionTarget::AllReduceLocal,
+            ProjectionTarget::AllReduceCluster,
+        ] {
+            let direct = project(&m, &job, target).expect("eligible");
+            let dyn_backend: &dyn crate::steptime::StepTimer = &m;
+            let via = project_with(dyn_backend, &job, target).expect("eligible");
+            assert_eq!(direct, via);
+        }
     }
 
     #[test]

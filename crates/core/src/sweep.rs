@@ -102,6 +102,42 @@ pub fn class_sweep<J: crate::jobs::Jobs + ?Sized>(
     weights: &[f64],
     threads: pai_par::Threads,
 ) -> SweepCurves {
+    class_sweep_with(
+        model,
+        |config| model.with_config(config),
+        arch,
+        jobs,
+        weights,
+        threads,
+    )
+}
+
+/// [`class_sweep`] over any [`crate::steptime::StepTimer`] backend.
+///
+/// Sweeping varies the hardware, so the caller supplies `rebuild`: a
+/// constructor of the backend over an arbitrary configuration (for
+/// [`PerfModel`] this is [`PerfModel::with_config`]; a DAG engine
+/// rebuilds itself around the varied model). The baseline is priced
+/// by `base`, each sweep point by `rebuild(base.hardware() + point)`.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty, lengths mismatch, or any job's class
+/// differs from `arch`.
+pub fn class_sweep_with<B, R, F, J>(
+    base: &B,
+    rebuild: F,
+    arch: Architecture,
+    jobs: &J,
+    weights: &[f64],
+    threads: pai_par::Threads,
+) -> SweepCurves
+where
+    B: crate::steptime::StepTimer + ?Sized,
+    R: crate::steptime::StepTimer,
+    F: Fn(HardwareConfig) -> R,
+    J: crate::jobs::Jobs + ?Sized,
+{
     assert!(!jobs.is_empty(), "sweep needs at least one job");
     assert_eq!(jobs.len(), weights.len(), "one weight per job required");
     for job in jobs.iter_jobs() {
@@ -110,14 +146,14 @@ pub fn class_sweep<J: crate::jobs::Jobs + ?Sized>(
     let chunk = pai_par::DEFAULT_CHUNK_SIZE;
     let base_times: Vec<f64> = pai_par::scatter_gather(jobs.len(), chunk, threads, |_, range| {
         range
-            .map(|i| model.total_time(&jobs.get(i)).as_f64())
+            .map(|i| base.total_time(&jobs.get(i)).as_f64())
             .collect()
     });
     let mut samples = Vec::new();
     for axis in relevant_axes(arch) {
         for &value in axis.candidates() {
             let point = SweepPoint { axis, value };
-            let varied = model.with_config(model.config().with_resource(point));
+            let varied = rebuild(base.hardware().with_resource(point));
             let speedups: Vec<f64> =
                 pai_par::scatter_gather(jobs.len(), chunk, threads, |_, range| {
                     range
@@ -127,7 +163,7 @@ pub fn class_sweep<J: crate::jobs::Jobs + ?Sized>(
             samples.push(SweepSample {
                 axis,
                 value,
-                normalized: varied.config().normalized_resource(axis),
+                normalized: varied.hardware().normalized_resource(axis),
                 mean_speedup: weighted_mean(&speedups, weights),
             });
         }

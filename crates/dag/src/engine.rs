@@ -1,0 +1,201 @@
+//! The backend switch: one [`StepTimer`] over either pricing model.
+//!
+//! [`StepTimeEngine`] wraps the analytical [`PerfModel`] and routes
+//! each job through either the closed form
+//! ([`StepTimeBackend::Additive`]) or the DAG critical-path evaluator
+//! ([`StepTimeBackend::Dag`]) — so projections, sweeps, schedules and
+//! simulations downstream of [`pai_core::StepTimer`] run on either
+//! backend behind this one switch.
+
+use pai_core::{ComponentTimes, PerfModel, StepTimer, WorkloadFeatures};
+use pai_hw::HardwareConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::{evaluate, OverlapStrategy};
+use crate::lower::{from_features, DEFAULT_LAYERS};
+use crate::step::NetworkPath;
+
+/// Which pricing model a [`StepTimeEngine`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StepTimeBackend {
+    /// The paper's closed form, untouched — the default everywhere.
+    Additive,
+    /// The DAG critical-path evaluator under one overlap strategy.
+    Dag(OverlapStrategy),
+}
+
+impl StepTimeBackend {
+    /// Stable report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StepTimeBackend::Additive => "additive",
+            StepTimeBackend::Dag(s) => s.label(),
+        }
+    }
+}
+
+/// A [`StepTimer`] that prices jobs on a selectable backend.
+///
+/// Population jobs exist only as feature records, so the DAG backends
+/// price the canonical [`from_features`] lowering (its `layers`
+/// granularity is configurable). Evaluation is a pure fold per job:
+/// callers may fan jobs out through `pai-par` at any thread count and
+/// get bit-identical results.
+///
+/// # Examples
+///
+/// ```
+/// use pai_core::{Architecture, PerfModel, StepTimer, WorkloadFeatures};
+/// use pai_dag::{OverlapStrategy, StepTimeBackend, StepTimeEngine};
+/// use pai_hw::{Bytes, Flops};
+///
+/// let job = WorkloadFeatures::builder(Architecture::PsWorker)
+///     .cnodes(16)
+///     .batch_size(256)
+///     .input_bytes(Bytes::from_mb(10.0))
+///     .weight_bytes(Bytes::from_gb(1.0))
+///     .flops(Flops::from_tera(0.5))
+///     .mem_access_bytes(Bytes::from_gb(20.0))
+///     .build();
+/// let model = PerfModel::paper_default();
+/// let additive = StepTimeEngine::new(model, StepTimeBackend::Additive);
+/// let wfbp = StepTimeEngine::new(model, StepTimeBackend::Dag(OverlapStrategy::Wfbp));
+/// // Overlap can only help: WFBP never prices a step above the sum.
+/// assert!(wfbp.total_time(&job) <= additive.total_time(&job));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTimeEngine {
+    model: PerfModel,
+    backend: StepTimeBackend,
+    layers: usize,
+}
+
+impl StepTimeEngine {
+    /// An engine over `model` routing through `backend`.
+    pub fn new(model: PerfModel, backend: StepTimeBackend) -> Self {
+        StepTimeEngine {
+            model,
+            backend,
+            layers: DEFAULT_LAYERS,
+        }
+    }
+
+    /// Overrides the synthetic-lowering stage count (clamped to ≥ 1).
+    pub fn with_layers(self, layers: usize) -> Self {
+        StepTimeEngine {
+            layers: layers.max(1),
+            ..self
+        }
+    }
+
+    /// The wrapped analytical model.
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> StepTimeBackend {
+        self.backend
+    }
+
+    /// Component times of every job in any [`pai_core::Jobs`]
+    /// storage, fanned over `threads` with index-ordered chunk
+    /// concatenation — bit-identical at any `PAI_THREADS`.
+    pub fn component_times_all<J: pai_core::Jobs + ?Sized>(
+        &self,
+        jobs: &J,
+        threads: pai_par::Threads,
+    ) -> Vec<ComponentTimes> {
+        pai_par::scatter_gather(
+            jobs.len(),
+            pai_par::DEFAULT_CHUNK_SIZE,
+            threads,
+            |_, range| range.map(|i| self.component_times(&jobs.get(i))).collect(),
+        )
+    }
+}
+
+impl StepTimer for StepTimeEngine {
+    fn hardware(&self) -> &HardwareConfig {
+        self.model.config()
+    }
+
+    fn component_times(&self, job: &WorkloadFeatures) -> ComponentTimes {
+        match self.backend {
+            StepTimeBackend::Additive => self.model.component_times(job),
+            StepTimeBackend::Dag(strategy) => {
+                let step = from_features(job, self.model.config(), self.layers);
+                let path = NetworkPath::for_arch(self.model.config(), job.arch());
+                evaluate(&step, &path, strategy).component_times()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_core::Architecture;
+    use pai_hw::{Bytes, Flops};
+
+    fn job(weight_gb: f64) -> WorkloadFeatures {
+        WorkloadFeatures::builder(Architecture::PsWorker)
+            .cnodes(16)
+            .batch_size(256)
+            .input_bytes(Bytes::from_mb(10.0))
+            .weight_bytes(Bytes::from_gb(weight_gb))
+            .flops(Flops::from_tera(0.5))
+            .mem_access_bytes(Bytes::from_gb(20.0))
+            .build()
+    }
+
+    #[test]
+    fn additive_backend_is_bitwise_the_perf_model() {
+        let m = PerfModel::paper_default();
+        let engine = StepTimeEngine::new(m, StepTimeBackend::Additive);
+        for w in [0.1, 1.0, 10.0] {
+            let j = job(w);
+            assert_eq!(
+                engine.total_time(&j).as_f64().to_bits(),
+                m.total_time(&j).as_f64().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn dag_serial_matches_additive_within_1e9() {
+        let m = PerfModel::paper_default();
+        let engine = StepTimeEngine::new(m, StepTimeBackend::Dag(OverlapStrategy::Serial));
+        for w in [0.0, 0.1, 1.0, 10.0] {
+            let j = job(w);
+            let d = crate::lower::rel_diff(engine.total_time(&j), m.total_time(&j));
+            assert!(d < 1e-9, "rel diff {d} at {w} GB");
+        }
+    }
+
+    #[test]
+    fn overlap_strictly_helps_comm_heavy_jobs() {
+        let m = PerfModel::paper_default();
+        let serial = StepTimeEngine::new(m, StepTimeBackend::Dag(OverlapStrategy::Serial));
+        let wfbp = StepTimeEngine::new(m, StepTimeBackend::Dag(OverlapStrategy::Wfbp));
+        let fused = StepTimeEngine::new(m, StepTimeBackend::Dag(OverlapStrategy::fused_default()));
+        let j = job(1.0);
+        assert!(wfbp.total_time(&j) < serial.total_time(&j));
+        assert!(fused.total_time(&j) < serial.total_time(&j));
+    }
+
+    #[test]
+    fn fanout_is_identical_at_every_thread_count() {
+        let m = PerfModel::paper_default();
+        let engine = StepTimeEngine::new(m, StepTimeBackend::Dag(OverlapStrategy::fused_default()));
+        let jobs: Vec<WorkloadFeatures> = (1..40).map(|i| job(i as f64 * 0.25)).collect();
+        let serial = engine.component_times_all(&jobs, pai_par::Threads::SERIAL);
+        for t in pai_par::EQUIVALENCE_THREADS {
+            let par = engine.component_times_all(&jobs, pai_par::Threads::new(t));
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.total.as_f64().to_bits(), b.total.as_f64().to_bits());
+            }
+        }
+    }
+}

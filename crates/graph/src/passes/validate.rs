@@ -56,6 +56,11 @@ pub enum Defect {
     AccountingDrift,
     /// Claimed Table V features disagree with shape-derived stats.
     TargetMismatch,
+    /// A weight-carrying forward op in a backward-augmented graph has
+    /// no gradient producer: the gradient tensor the synchronization
+    /// step ships is consumed (by the DAG evaluator's communication
+    /// schedule) but produced by nothing.
+    OrphanGradient,
 }
 
 impl Defect {
@@ -69,6 +74,7 @@ impl Defect {
             Defect::DegenerateShape => "degenerate-shape",
             Defect::AccountingDrift => "accounting-drift",
             Defect::TargetMismatch => "target-mismatch",
+            Defect::OrphanGradient => "orphan-gradient",
         }
     }
 }
@@ -512,6 +518,65 @@ pub fn validate_model_graph(g: &Graph) -> Vec<Diagnostic> {
     out
 }
 
+/// Training-graph validation: everything in [`validate_model_graph`]
+/// plus the backward-sweep invariants the DAG step-time evaluator
+/// depends on.
+///
+/// The evaluator turns every weight gradient into a network message
+/// whose eligibility is its producer's retirement time, so it needs
+/// two guarantees beyond plain model-graph soundness:
+///
+/// - the backward-augmented graph is still acyclic (the base pass
+///   reports [`Defect::Cycle`] instead of panicking, so a mangled
+///   augmentation is a diagnostic, not a crash);
+/// - every weight-carrying forward op (`MatMul`, `Conv2d`,
+///   `EmbeddingLookup`) has a gradient producer — the
+///   `grad/<name>/wgrad` contraction or `grad/<name>` scatter update
+///   [`crate::backward::augment`] synthesizes. A training graph where
+///   an optimization pass dropped one would ship a gradient tensor
+///   nothing produced ([`Defect::OrphanGradient`]).
+///
+/// The gradient-producer rule only applies to graphs that carry a
+/// backward sweep at all (at least one `grad/` node); inference
+/// graphs pass vacuously. Calibration pad ops (`calibration/*`) are
+/// measurement ballast appended after augmentation and are exempt.
+pub fn validate_training_graph(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = validate_model_graph(g);
+    let has_backward = g.nodes().any(|(_, op)| op.name().starts_with("grad/"));
+    if !has_backward {
+        return out;
+    }
+    for (id, op) in g.nodes() {
+        let name = op.name();
+        if name.starts_with("grad/") || name.starts_with("calibration/") {
+            continue;
+        }
+        let producer: Option<(String, &str)> = match op.kind() {
+            OpKind::MatMul { .. } | OpKind::Conv2d { .. } => {
+                Some((format!("grad/{name}/wgrad"), "weight-gradient contraction"))
+            }
+            OpKind::EmbeddingLookup { .. } => {
+                Some((format!("grad/{name}"), "embedding scatter update"))
+            }
+            _ => None,
+        };
+        if let Some((wanted, what)) = producer {
+            let found = g.nodes().any(|(_, o)| o.name() == wanted);
+            if !found {
+                out.push(Diagnostic {
+                    node: Some(id),
+                    defect: Defect::OrphanGradient,
+                    message: format!(
+                        "'{name}' carries weights but its {what} '{wanted}' is missing: \
+                         the gradient tensor has no producer"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Cross-checks a graph's shape-derived statistics against claimed
 /// Table V features, within relative tolerance `tol`.
 pub fn check_targets(g: &Graph, targets: &FeatureTargets, tol: f64) -> Vec<Diagnostic> {
@@ -544,10 +609,11 @@ pub fn check_targets(g: &Graph, targets: &FeatureTargets, tol: f64) -> Vec<Diagn
     out
 }
 
-/// Full model validation: graph soundness plus Table V target
-/// consistency at the calibration tolerance (2 %).
+/// Full model validation: training-graph soundness (including the
+/// backward-sweep invariants of [`validate_training_graph`]) plus
+/// Table V target consistency at the calibration tolerance (2 %).
 pub fn validate_model(spec: &ModelSpec) -> Vec<Diagnostic> {
-    let mut out = validate_model_graph(spec.graph());
+    let mut out = validate_training_graph(spec.graph());
     out.extend(check_targets(spec.graph(), spec.targets(), 0.02));
     out
 }
@@ -773,6 +839,89 @@ mod tests {
             let d = validate_model(&spec);
             assert!(d.is_empty(), "{}: {:?}", spec.name(), d);
         }
+    }
+
+    #[test]
+    fn all_zoo_training_graphs_pass_the_backward_sweep_rules() {
+        for spec in zoo::all() {
+            let d = validate_training_graph(spec.graph());
+            assert!(d.is_empty(), "{}: {:?}", spec.name(), d);
+        }
+    }
+
+    /// The defect-class fixture: a hand-built training graph whose
+    /// weight-gradient producer was dropped. Exactly one
+    /// `orphan-gradient` diagnostic fires, anchored at the forward op.
+    #[test]
+    fn orphan_gradient_fixture_fires_exactly_once() {
+        let mut fwd = Graph::new("mlp");
+        let input = fwd.add(Op::new("in", OpKind::DataLoad { bytes: 256 }));
+        let fc = fwd.add(Op::new("fc", matmul(4, 8, 16)));
+        let act = fwd.add(Op::new("act", elementwise(1, 64, 1)));
+        fwd.connect(input, fc);
+        fwd.connect(fc, act);
+        let train = crate::backward::augment(&fwd);
+        assert!(
+            validate_training_graph(&train).is_empty(),
+            "a fresh augmentation must be sound"
+        );
+
+        // The same training-shaped chain built by hand with the wgrad
+        // contraction dropped — the only defect is the missing
+        // gradient producer.
+        let mut broken = Graph::new("mlp/train");
+        let b_in = broken.add(Op::new("in", OpKind::DataLoad { bytes: 256 }));
+        let b_fc = broken.add(Op::new("fc", matmul(4, 8, 16)));
+        let b_act = broken.add(Op::new("act", elementwise(1, 64, 1)));
+        let b_gact = broken.add(Op::new("grad/act", elementwise(2, 64, 1)));
+        let b_dgrad = broken.add(Op::new("grad/fc/dgrad", matmul(4, 16, 8)));
+        broken.connect(b_in, b_fc);
+        broken.connect(b_fc, b_act);
+        broken.connect(b_act, b_gact);
+        broken.connect(b_gact, b_dgrad);
+
+        let d = validate_training_graph(&broken);
+        let orphans: Vec<&Diagnostic> = d
+            .iter()
+            .filter(|x| x.defect == Defect::OrphanGradient)
+            .collect();
+        assert_eq!(orphans.len(), 1, "{d:?}");
+        assert!(orphans[0].message.contains("grad/fc/wgrad"), "{d:?}");
+        assert_eq!(d.len(), 1, "no collateral defect classes: {d:?}");
+    }
+
+    #[test]
+    fn inference_graphs_are_exempt_from_the_gradient_producer_rule() {
+        // No backward sweep at all: the rule is vacuous, not violated.
+        let mut g = Graph::new("serve");
+        let input = g.add(Op::new("in", OpKind::DataLoad { bytes: 256 }));
+        let fc = g.add(Op::new("fc", matmul(4, 8, 16)));
+        g.connect(input, fc);
+        assert!(validate_training_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn cyclic_backward_augmentation_is_reported_not_panicked() {
+        let mut fwd = Graph::new("mlp");
+        let input = fwd.add(Op::new("in", OpKind::DataLoad { bytes: 256 }));
+        let fc = fwd.add(Op::new("fc", matmul(4, 8, 16)));
+        fwd.connect(input, fc);
+        let mut train = crate::backward::augment(&fwd);
+        // A mangled augmentation: the forward op depends on its own
+        // weight gradient.
+        let wgrad = train
+            .nodes()
+            .find(|(_, op)| op.name() == "grad/fc/wgrad")
+            .map(|(id, _)| id)
+            .expect("wgrad present");
+        let fc_id = train
+            .nodes()
+            .find(|(_, op)| op.name() == "fc")
+            .map(|(id, _)| id)
+            .expect("fc present");
+        train.connect(wgrad, fc_id);
+        let d = validate_training_graph(&train);
+        assert!(d.iter().any(|x| x.defect == Defect::Cycle), "{d:?}");
     }
 
     #[test]

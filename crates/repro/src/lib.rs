@@ -14,6 +14,7 @@ pub mod config_tables;
 pub mod error;
 pub mod extensions;
 pub mod optimizations;
+pub mod overlap;
 pub mod projection;
 pub mod render;
 pub mod resilience;
@@ -132,6 +133,7 @@ pub const EXTENSION_EXPERIMENTS: &[&str] = &[
     "schedule",
     "stream",
     "resume",
+    "overlap",
 ];
 
 /// Paper experiments followed by the extensions.
@@ -167,6 +169,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "schedule",
     "stream",
     "resume",
+    "overlap",
 ];
 
 /// Runs one experiment by id (the valid ids are [`ALL_EXPERIMENTS`]).
@@ -209,6 +212,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<ExperimentResult, Repro
         "schedule" => schedule::schedule(ctx)?,
         "stream" => stream::stream(ctx),
         "resume" => resume::resume(ctx)?,
+        "overlap" => overlap::overlap(ctx),
         _ => {
             return Err(ReproError::UnknownExperiment { id: id.to_string() });
         }

@@ -27,6 +27,7 @@ const PARALLEL_EXPERIMENTS: &[&str] = &[
     "schedule",
     "stream",
     "resume",
+    "overlap",
 ];
 
 proptest! {

@@ -1,0 +1,72 @@
+//! Golden snapshot of the `overlap` experiment.
+//!
+//! The fixture pins the complete JSON artifact — the 18 zoo-graph
+//! rows (additive / serial-DAG / WFBP / fused-WFBP step times,
+//! exposed-communication fractions, transfer counts, overstatement
+//! factors) and the population-level backend means — at the pinned
+//! seed and a 2 000-job population. Structure, strings and integers
+//! must match exactly; floats within 1e-9 relative (the documented
+//! Serial ≡ additive agreement bound). A failure means the DAG
+//! evaluator's numbers moved — either an intentional pricing change
+//! (regenerate: `cargo run --release -q -p pai-repro --bin repro --
+//! --jobs 2000 overlap && cp target/repro/overlap.json
+//! crates/repro/tests/fixtures/overlap_golden.json`) or an accidental
+//! determinism break (fix the code).
+
+use pai_repro::overlap::overlap;
+use pai_repro::{Context, SEED};
+use serde_json::Value;
+
+/// Small enough for debug-mode CI, large enough that every class and
+/// sync path appears in the population means.
+const GOLDEN_POPULATION: usize = 2_000;
+
+fn fixture() -> Value {
+    serde_json::from_str(include_str!("fixtures/overlap_golden.json"))
+        .expect("the committed fixture is valid JSON")
+}
+
+/// Recursive comparison: identical shape and key order, exact
+/// non-float leaves, floats within 1e-9 relative.
+fn assert_close(golden: &Value, actual: &Value, path: &str) {
+    match (golden, actual) {
+        (Value::Object(g), Value::Object(a)) => {
+            assert_eq!(g.len(), a.len(), "{path}: key count changed");
+            for ((gk, gv), (ak, av)) in g.iter().zip(a) {
+                assert_eq!(gk, ak, "{path}: key order changed");
+                assert_close(gv, av, &format!("{path}.{gk}"));
+            }
+        }
+        (Value::Array(g), Value::Array(a)) => {
+            assert_eq!(g.len(), a.len(), "{path}: length changed");
+            for (i, (gv, av)) in g.iter().zip(a).enumerate() {
+                assert_close(gv, av, &format!("{path}[{i}]"));
+            }
+        }
+        (Value::F64(g), Value::F64(a)) => {
+            let scale = g.abs().max(a.abs()).max(1e-30);
+            assert!(
+                (g - a).abs() / scale < 1e-9,
+                "{path}: reproduced {a} drifted from golden {g}"
+            );
+        }
+        _ => assert_eq!(golden, actual, "{path}: value changed"),
+    }
+}
+
+#[test]
+fn overlap_matches_the_golden_snapshot() {
+    let golden = fixture();
+    assert_eq!(
+        golden["seed"].as_u64(),
+        Some(SEED),
+        "fixture seed matches the harness"
+    );
+    assert_eq!(
+        golden["population"].as_u64().map(|p| p as usize),
+        Some(GOLDEN_POPULATION),
+        "fixture population matches this test"
+    );
+    let produced = overlap(&Context::with_size(GOLDEN_POPULATION)).json;
+    assert_close(&golden, &produced, "$");
+}

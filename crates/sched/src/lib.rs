@@ -49,7 +49,9 @@ pub use order::{
     QSSF_STARVATION_AGE_S,
 };
 pub use policy::{BestFitPacked, FifoFirstFit, LocalityAware, Policy, PolicyKind, Spread};
-pub use stream::{realize_stream, templates_from_population, ArrivalConfig, JobTemplate};
+pub use stream::{
+    realize_stream, templates_from_population, templates_with, ArrivalConfig, JobTemplate,
+};
 pub use sweep::{policy_sweep, SweepConfig, SweepPoint};
 
 #[allow(deprecated)]

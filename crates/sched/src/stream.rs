@@ -69,6 +69,21 @@ pub fn templates_from_population<J: pai_core::Jobs + ?Sized>(
     jobs: &J,
     capacity: usize,
 ) -> (Vec<JobTemplate>, usize) {
+    templates_with(model, jobs, capacity)
+}
+
+/// [`templates_from_population`] over any [`pai_core::StepTimer`]
+/// backend — the additive model and the DAG critical-path evaluator
+/// price a template through the same seam. The off-NIC time is the
+/// backend's `data_io + computation`, the sync time its
+/// `weight_traffic` (for a DAG backend that is the *exposed* — i.e.
+/// non-overlapped — communication, so WFBP templates sync for less
+/// wall-clock than additive ones).
+pub fn templates_with<B, J>(backend: &B, jobs: &J, capacity: usize) -> (Vec<JobTemplate>, usize)
+where
+    B: pai_core::StepTimer + ?Sized,
+    J: pai_core::Jobs + ?Sized,
+{
     let mut templates = Vec::with_capacity(jobs.len());
     let mut dropped = 0usize;
     for i in 0..jobs.len() {
@@ -78,7 +93,7 @@ pub fn templates_from_population<J: pai_core::Jobs + ?Sized>(
             dropped += 1;
             continue;
         }
-        let b = model.breakdown(&features);
+        let ct = backend.component_times(&features);
         let signature = Signature::of(&features);
         templates.push(JobTemplate {
             record: JobRecord {
@@ -86,10 +101,10 @@ pub fn templates_from_population<J: pai_core::Jobs + ?Sized>(
                 features,
             },
             cnodes,
-            compute_time: b.data_io() + b.computation(),
+            compute_time: ct.data_io + ct.computation(),
             weight_bytes: features.weight_bytes(),
             sync: SyncClass::of(features.arch()),
-            local_sync_time: b.weight_traffic(),
+            local_sync_time: ct.weight_traffic,
             signature,
         });
     }
@@ -290,6 +305,16 @@ mod tests {
     fn templates() -> Vec<JobTemplate> {
         let model = PerfModel::paper_default();
         templates_from_population(&model, &population(300), 512).0
+    }
+
+    #[test]
+    fn templates_with_a_dyn_backend_is_bitwise_the_model_path() {
+        let model = PerfModel::paper_default();
+        let pop = population(200);
+        let direct = templates_from_population(&model, &pop, 512);
+        let backend: &dyn pai_core::StepTimer = &model;
+        let via_seam = templates_with(backend, &pop, 512);
+        assert_eq!(direct, via_seam);
     }
 
     #[test]

@@ -73,5 +73,5 @@ pub mod measure;
 pub use config::{ConfigError, OverlapPolicy, SimConfig};
 pub use error::SimError;
 pub use executor::StepSimulator;
-pub use faulted::FaultedRun;
+pub use faulted::{run_faulted_priced, FaultedRun};
 pub use measure::{FaultAttribution, OpProfile, StepMeasurement, StepStats};

@@ -1,0 +1,13 @@
+// Known-bad fixture: a DAG step evaluator that panics on a malformed
+// producer index instead of saturating, and times itself with the
+// wall clock. The real evaluator (crates/dag/src) must do neither.
+pub fn ready_time(finish: &[f64], after_task: usize) -> f64 {
+    *finish.get(after_task).unwrap()
+}
+
+pub fn timed_critical_path(durations: &[f64]) -> f64 {
+    let start = std::time::Instant::now();
+    let total: f64 = durations.iter().sum();
+    let _elapsed = start.elapsed();
+    total
+}

@@ -81,6 +81,7 @@ const PANIC_SCOPES: &[&str] = &[
     "crates/hw/src",
     "crates/sched/src",
     "crates/predict/src",
+    "crates/dag/src",
 ];
 
 /// Crates that compute the model-level FLOP/byte accounting.
@@ -514,6 +515,14 @@ mod tests {
         // The predictor is library code with a typed PredictError —
         // both panic-free and wall-clock rules must cover it.
         assert!(in_scope(&PANIC_IN_LIB, "crates/predict/src/store.rs"));
+        // The DAG step-time evaluator prices untrusted graph sizes;
+        // its lib code must stay panic-free and wall-clock-free.
+        assert!(in_scope(&PANIC_IN_LIB, "crates/dag/src/evaluate.rs"));
+        assert!(in_scope(&PANIC_TRANSITIVE, "crates/dag/src/engine.rs"));
+        assert!(!in_scope(
+            &PANIC_IN_LIB,
+            "crates/dag/tests/zoo_properties.rs"
+        ));
         assert!(in_scope(&WALL_CLOCK, "crates/predict/src/signature.rs"));
         assert!(!in_scope(
             &PANIC_IN_LIB,

@@ -166,7 +166,7 @@ fn bad_fixture_tree_reports_every_rule() {
     let root = fixture_dir("bad");
     let (diags, scanned, _) = lint_paths(&root, std::slice::from_ref(&root), true, Threads::SERIAL)
         .expect("scan bad fixtures");
-    assert_eq!(scanned, 13);
+    assert_eq!(scanned, 14);
     for rule in [
         "hash-iteration",
         "panic-in-lib",
@@ -198,7 +198,7 @@ fn lint_binary_exits_nonzero_on_bad_and_zero_on_clean() {
         serde_json::from_str(&std::fs::read_to_string(&json).expect("report written"))
             .expect("valid JSON report");
     assert!(report["diagnostics"].as_array().expect("array").len() >= 18);
-    assert_eq!(report["files_scanned"], 13);
+    assert_eq!(report["files_scanned"], 14);
     assert_eq!(report["version"], 2);
     let _ = std::fs::remove_file(&json);
 

@@ -8,6 +8,9 @@
 //! - [`hw`] — hardware models (Table I, Table III, Fig. 1)
 //! - [`graph`] — computation-graph framework and the six-model zoo (Tables IV/V)
 //! - [`collectives`] — communication primitive cost models (NCCL analog)
+//! - [`dag`] — DAG critical-path step-time engine with comm/comp
+//!   overlap (WFBP, tensor fusion) behind the [`core::StepTimer`]
+//!   backend switch
 //! - [`sim`] — discrete-event execution simulator (the "testbed")
 //! - [`faults`] — deterministic fault plans for degraded-run studies
 //! - [`par`] — deterministic chunked scatter/gather parallelism
@@ -62,6 +65,7 @@
 
 pub use pai_collectives as collectives;
 pub use pai_core as core;
+pub use pai_dag as dag;
 pub use pai_faults as faults;
 pub use pai_graph as graph;
 pub use pai_hw as hw;
